@@ -1,0 +1,71 @@
+//! Criterion benches of the *native* Rust kernels (real host wall time,
+//! complementing the simulated A64FX numbers): the V2D vector routines
+//! over tile fields and the matrix-free stencil application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use v2d_comm::{CartComm, Spmd, TileMap};
+use v2d_linalg::{kernels, LinearOp, StencilCoeffs, StencilOp, TileVec};
+use v2d_machine::{CompilerProfile, CostSink, MultiCostSink};
+
+fn sink() -> MultiCostSink {
+    MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+}
+
+fn fields(n1: usize, n2: usize) -> (TileVec, TileVec, TileVec) {
+    let mut x = TileVec::new(n1, n2);
+    let mut y = TileVec::new(n1, n2);
+    let w = TileVec::new(n1, n2);
+    x.fill_with(|s, i1, i2| ((s + i1 + 3 * i2) as f64 * 0.17).sin());
+    y.fill_with(|s, i1, i2| ((s + 2 * i1 + i2) as f64 * 0.29).cos());
+    (x, y, w)
+}
+
+fn bench_vector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_vector_kernels");
+    for &(n1, n2) in &[(200usize, 100usize), (40, 25)] {
+        let (x, y, mut w) = fields(n1, n2);
+        let mut sk = sink();
+        let elems = (2 * n1 * n2) as u64;
+        group.throughput(Throughput::Elements(elems));
+        group.bench_with_input(BenchmarkId::new("dprod", n1 * n2), &(), |b, ()| {
+            b.iter(|| kernels::dprod_local(&mut sk, 0, &x, &y))
+        });
+        group.bench_with_input(BenchmarkId::new("daxpy", n1 * n2), &(), |b, ()| {
+            b.iter(|| kernels::daxpy(&mut sk, 0, 1.0000001, &x, &mut w))
+        });
+        group.bench_with_input(BenchmarkId::new("ddaxpy", n1 * n2), &(), |b, ()| {
+            b.iter(|| kernels::ddaxpy(&mut sk, 0, 0.9999, &x, 1.0001, &y, &mut w))
+        });
+        group.bench_with_input(BenchmarkId::new("dscal", n1 * n2), &(), |b, ()| {
+            b.iter(|| kernels::dscal(&mut sk, 0, 1.0, 0.9999999, &mut w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stencil_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_matvec");
+    for &(n1, n2) in &[(200usize, 100usize), (40, 25)] {
+        group.throughput(Throughput::Elements((2 * n1 * n2) as u64));
+        group.bench_function(BenchmarkId::new("stencil_apply", n1 * n2), |b| {
+            let map = TileMap::new(n1, n2, 1, 1);
+            // Spmd::run takes a Fn closure; hand the bencher through a
+            // mutex so the single rank can drive the iterations.
+            let cell = std::sync::Mutex::new(b);
+            Spmd::new(1)
+                .with_profiles(vec![CompilerProfile::cray_opt()])
+                .run(|ctx| {
+                    let cart = CartComm::new(&ctx.comm, map);
+                    let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                    let (mut x, _, mut y) = fields(n1, n2);
+                    cell.lock().expect("single rank").iter(|| {
+                        op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut y);
+                    });
+                });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_kernels, bench_stencil_apply);
+criterion_main!(benches);

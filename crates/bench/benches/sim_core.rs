@@ -1,0 +1,27 @@
+//! Criterion benches of the simulated-core *interpreter throughput*:
+//! how fast the instruction-level SVE simulator itself executes (host
+//! wall time per simulated kernel), for both ISAs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use v2d_sve::kernels::{run_routine, Routine, Variant};
+use v2d_sve::ExecConfig;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_interpreter");
+    let n = 1000;
+    for routine in Routine::ALL {
+        for (variant, label) in [(Variant::Scalar, "scalar"), (Variant::Sve, "sve")] {
+            // Throughput in simulated dynamic instructions.
+            let cfg = ExecConfig::a64fx_l1();
+            let instrs = run_routine(routine, n, variant, &cfg).instrs;
+            group.throughput(Throughput::Elements(instrs));
+            group.bench_function(BenchmarkId::new(label, routine.name()), |b| {
+                b.iter(|| run_routine(routine, n, variant, &cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

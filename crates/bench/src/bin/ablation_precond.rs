@@ -1,0 +1,58 @@
+//! Ablation A4 — preconditioner comparison, echoing the paper's ref [7]
+//! (Swesty, Smolarski & Saylor 2004, who compared preconditioning
+//! strategies for exactly these flux-limited-diffusion systems).
+//!
+//! Runs the radiation problem with each preconditioner and reports
+//! iteration counts and simulated time: the stronger the approximate
+//! inverse, the fewer the iterations — and the more each one costs.
+//!
+//! Usage: `ablation_precond [steps]` (default 5).
+
+use v2d_comm::{Spmd, TileMap};
+use v2d_core::problems::GaussianPulse;
+use v2d_core::sim::{PrecondKind, V2dSim};
+use v2d_machine::CompilerId;
+
+fn main() {
+    let steps: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    println!("preconditioner ablation — 200×100×2, {steps} steps, serial\n");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12}",
+        "preconditioner", "iters", "iters/solve", "cray-opt s", "reductions"
+    );
+    for (kind, name) in [
+        (PrecondKind::None, "none"),
+        (PrecondKind::Jacobi, "jacobi"),
+        (PrecondKind::BlockJacobi, "block-jacobi SPAI(0)"),
+        (PrecondKind::Spai, "stencil SPAI(1)"),
+    ] {
+        let mut cfg = GaussianPulse::scaled_config(200, 100, steps);
+        cfg.precond = kind;
+        let map = TileMap::new(200, 100, 1, 1);
+        let outs = Spmd::new(1).run(move |ctx| {
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            GaussianPulse::standard().init(&mut sim);
+            let agg = sim.run(&ctx.comm, &mut ctx.sink);
+            let t = ctx
+                .sink
+                .lanes
+                .iter()
+                .find(|l| l.profile.id == CompilerId::CrayOpt)
+                .unwrap()
+                .elapsed_secs();
+            (agg.total_iters, agg.total_solves, t, agg.total_reductions)
+        });
+        let (iters, solves, t, reds) = outs[0];
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>12.2} {:>12}",
+            name,
+            iters,
+            iters as f64 / solves as f64,
+            t,
+            reds
+        );
+    }
+    println!("\nThe study's configuration uses the block-diagonal sparse");
+    println!("approximate inverse: nearly SPAI(1)'s iteration counts at a");
+    println!("tenth of its per-application cost.");
+}

@@ -1,0 +1,23 @@
+//! Regenerate the paper's §II-E timing analysis: the serial routine
+//! breakdown (matvec ≈ 141 s of 181, preconditioning ≈ 14 s, three
+//! BiCGSTAB call sites at ~31–33 % each) and the 20-processor 5×4
+//! breakdown (matvec ≈ 7.5 s of ≈ 15, preconditioning ≈ 0.8 s, with
+//! significant MPI time).
+//!
+//! Usage: `breakdown [--quick]` (quick = 10 timesteps).
+
+use v2d_bench::breakdown;
+use v2d_core::problems::GaussianPulse;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steps = if quick { 10 } else { 100 };
+    let cfg = GaussianPulse::scaled_config(200, 100, steps);
+    for (nx1, nx2) in [(1, 1), (5, 4)] {
+        eprintln!("running {nx1}×{nx2}…");
+        let b = breakdown::run(&cfg, nx1, nx2);
+        println!("{}", breakdown::format(&b));
+    }
+    println!("paper reference: serial matvec ≈ 141 s of 181 s total, precond ≈ 14 s;");
+    println!("Np=20 (5×4): matvec ≈ 7.5 s of ≈ 15 s, precond ≈ 0.8 s.");
+}

@@ -1,0 +1,53 @@
+//! Documents (and re-measures) the calibration of the compiler profiles:
+//! prints the reproduced serial Table I column and the §II-E breakdown
+//! targets next to the paper's values.  Run after touching any constant
+//! in `v2d_machine::profile`.
+//!
+//! Usage: `calibrate [steps]` (default 100 = the paper's workload).
+
+use v2d_bench::{breakdown, paper};
+use v2d_comm::{Spmd, TileMap};
+use v2d_core::problems::GaussianPulse;
+use v2d_core::sim::V2dSim;
+use v2d_machine::ALL_COMPILERS;
+
+fn main() {
+    let steps: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let cfg = GaussianPulse::scaled_config(200, 100, steps);
+    let scale = steps as f64 / 100.0;
+    eprintln!("serial calibration run ({steps} steps)…");
+    let map = TileMap::new(200, 100, 1, 1);
+    let outs = Spmd::new(1).run(move |ctx| {
+        let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+        GaussianPulse::standard().init(&mut sim);
+        let agg = sim.run(&ctx.comm, &mut ctx.sink);
+        (ctx.sink.elapsed_secs(), agg.total_iters, agg.total_solves)
+    });
+    let (secs, iters, solves) = &outs[0];
+    let paper_serial = [363.91, 252.31, 181.26, 262.57];
+    println!("serial Table I column ({} BiCGSTAB iters over {} solves):", iters, solves);
+    println!("{:<14} {:>10} {:>10} {:>7}", "compiler", "model s", "paper s", "err");
+    for ((id, got), want) in ALL_COMPILERS.iter().zip(secs).zip(paper_serial) {
+        let scaled_want = want * scale;
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>6.1}%",
+            id.label(),
+            got,
+            scaled_want,
+            100.0 * (got - scaled_want) / scaled_want
+        );
+    }
+
+    println!("\n§II-E serial breakdown targets:");
+    let b = breakdown::run(&cfg, 1, 1);
+    println!(
+        "  matvec share: {:.2} (paper {:.2})",
+        b.matvec / b.total,
+        paper::SERIAL_MATVEC_SECS / paper::SERIAL_TOTAL_SECS
+    );
+    println!(
+        "  precond share: {:.3} (paper {:.3})",
+        b.precond / b.total,
+        paper::SERIAL_PRECOND_SECS / paper::SERIAL_TOTAL_SECS
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerate the paper's Fig. 1 (sparsity pattern of the V2D matrix).
+//!
+//! Writes `fig1_sparsity.pbm` (one pixel per matrix entry of the
+//! upper-left 400×400 block) and prints an ASCII rendering.
+
+use v2d_bench::fig1;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "fig1_sparsity.pbm".into());
+    std::fs::write(&out, fig1::pbm()).expect("write PBM");
+    println!("{}", fig1::stats());
+    println!("{}", fig1::ascii(100));
+    println!("bitmap written to {out}");
+}

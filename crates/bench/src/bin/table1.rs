@@ -1,0 +1,38 @@
+//! Regenerate the paper's Table I ("Times by Compiler").
+//!
+//! Usage: `table1 [--quick]`
+//!
+//! The default runs the full study — the 200×100×2 Gaussian pulse for
+//! 100 timesteps (300 BiCGSTAB solves) over all twelve process
+//! topologies; expect a few native minutes.  `--quick` runs 10 timesteps
+//! and scales nothing (the printed times are then ~1/10 of the paper's,
+//! with identical ordering).
+
+use v2d_bench::table1;
+use v2d_core::problems::GaussianPulse;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        GaussianPulse::scaled_config(200, 100, 10)
+    } else {
+        GaussianPulse::paper_config()
+    };
+    eprintln!(
+        "running {} topologies of the {}×{}×2 Gaussian pulse, {} steps each…",
+        table1::TOPOLOGIES.len(),
+        cfg.grid.n1,
+        cfg.grid.n2,
+        cfg.n_steps
+    );
+    let rows = table1::run_full(&cfg, |row| {
+        eprintln!(
+            "  {:>2}×{:<2} (Np {:>2}) done: cray-opt {:.2} s ({:.0} iters/solve)",
+            row.nx1, row.nx2, row.np, row.secs[2], row.iters_per_solve
+        );
+    });
+    println!("{}", table1::format(&rows));
+    if quick {
+        println!("(--quick: 10 of 100 timesteps; multiply by ~10 to compare with the paper)");
+    }
+}

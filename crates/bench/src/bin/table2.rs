@@ -1,0 +1,21 @@
+//! Regenerate the paper's Table II ("Linear Algebra Routines Times"):
+//! the single-processor driver exercising the five V2D BiCGSTAB kernels
+//! on the instruction-level SVE simulator, with and without SVE.
+
+use v2d_bench::table2;
+
+fn main() {
+    let rows = table2::run_full();
+    println!("{}", table2::format(&rows));
+    println!("per-repetition dynamic instructions (scalar → SVE):");
+    for r in &rows {
+        println!(
+            "  {:<8} {:>8} → {:>7}   flops/cycle {:>5.2} → {:>5.2}",
+            r.routine.name(),
+            r.instrs.0,
+            r.instrs.1,
+            r.flops_per_cycle.0,
+            r.flops_per_cycle.1
+        );
+    }
+}

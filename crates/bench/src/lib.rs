@@ -1,0 +1,19 @@
+//! # v2d-bench — the experiment harness
+//!
+//! One module per paper artifact, each exposing a `run…` function the
+//! corresponding binary wraps:
+//!
+//! * [`table1`] — "Times by Compiler": the Gaussian-pulse study over the
+//!   paper's twelve process topologies × four compiler models;
+//! * [`table2`] — "Linear Algebra Routines Times": the single-processor
+//!   kernel driver on the instruction-level SVE simulator;
+//! * [`fig1`] — the sparsity-pattern figure;
+//! * [`breakdown`] — the in-text §II-E routine/ MPI timing analysis;
+//! * [`paper`] — the published reference numbers, printed side-by-side
+//!   with the reproduction.
+
+pub mod breakdown;
+pub mod fig1;
+pub mod paper;
+pub mod table1;
+pub mod table2;

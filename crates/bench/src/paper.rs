@@ -1,0 +1,59 @@
+//! The published numbers from the CLUSTER 2022 paper, for side-by-side
+//! comparison in the harness output and in `EXPERIMENTS.md`.
+
+/// One row of the paper's Table I: `(Np, NX1, NX2, GNU, Fujitsu,
+/// Cray-opt, Cray-no-opt)`; `None` where the paper left the cell blank.
+pub type Table1Row = (usize, usize, usize, Option<f64>, Option<f64>, Option<f64>, Option<f64>);
+
+/// Table I — "Times by Compiler" (seconds).
+pub const TABLE1: [Table1Row; 12] = [
+    (1, 1, 1, Some(363.91), Some(252.31), Some(181.26), Some(262.57)),
+    (10, 10, 1, Some(43.85), Some(31.76), Some(24.20), Some(32.35)),
+    (20, 20, 1, Some(26.80), Some(19.79), Some(16.78), Some(20.66)),
+    (20, 10, 2, Some(25.74), Some(19.66), Some(15.73), Some(19.93)),
+    (20, 5, 4, Some(25.42), Some(18.85), Some(15.39), Some(19.79)),
+    (25, 25, 1, Some(24.62), Some(17.24), Some(15.65), None),
+    (40, 40, 1, Some(25.30), Some(13.97), Some(19.12), None),
+    (40, 20, 2, Some(22.88), Some(12.96), Some(17.37), None),
+    (40, 10, 4, Some(21.91), Some(13.04), Some(17.16), None),
+    (50, 50, 1, Some(30.10), Some(13.05), Some(25.56), None),
+    (50, 25, 2, Some(29.26), Some(12.09), Some(24.07), None),
+    (50, 10, 5, Some(27.55), Some(11.40), Some(23.51), None),
+];
+
+/// Table II — "Linear Algebra Routines Times" (PAPI seconds):
+/// `(routine, no_sve, sve)`; the paper's printed SVE/No-SVE ratios are
+/// 0.16, 0.18, 0.26, 0.31, 0.22.
+pub const TABLE2: [(&str, f64, f64); 5] = [
+    ("MATVEC", 599.0, 96.0),
+    ("DPROD", 132.0, 24.3),
+    ("DAXPY", 206.0, 53.8),
+    ("DSCAL", 153.0, 47.7),
+    ("DDAXPY", 296.0, 65.0),
+];
+
+/// §II-E reference points for the serial breakdown (seconds out of the
+/// 181 s Cray-opt run).
+pub const SERIAL_MATVEC_SECS: f64 = 141.0;
+pub const SERIAL_TOTAL_SECS: f64 = 181.0;
+pub const SERIAL_PRECOND_SECS: f64 = 14.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_products_match_np() {
+        for (np, nx1, nx2, ..) in TABLE1 {
+            assert_eq!(np, nx1 * nx2, "topology {nx1}×{nx2} ≠ {np}");
+        }
+    }
+
+    #[test]
+    fn table2_ratios_are_in_the_published_band() {
+        for (name, no_sve, sve) in TABLE2 {
+            let r = sve / no_sve;
+            assert!((0.15..=0.32).contains(&r), "{name}: ratio {r}");
+        }
+    }
+}

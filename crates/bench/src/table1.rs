@@ -1,0 +1,159 @@
+//! Table I — "Times by Compiler".
+//!
+//! For each process topology of the paper, run the Gaussian-pulse
+//! problem natively under the SPMD substrate; every kernel and message
+//! charges all four compiler lanes at once, so a single run yields the
+//! whole row.  The reported time per cell is the per-rank maximum of the
+//! simulated clocks — what `perf stat -e duration_time` measured on the
+//! slowest process.
+
+use v2d_comm::{Spmd, TileMap};
+use v2d_core::problems::GaussianPulse;
+use v2d_core::sim::{V2dConfig, V2dSim};
+use v2d_machine::ALL_COMPILERS;
+use v2d_perf::PerfStat;
+
+/// One reproduced row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub np: usize,
+    pub nx1: usize,
+    pub nx2: usize,
+    /// Simulated seconds per compiler, in [`ALL_COMPILERS`] order
+    /// (GNU, Fujitsu, Cray-opt, Cray-no-opt).
+    pub secs: [f64; 4],
+    /// Mean BiCGSTAB iterations per solve (sanity metadata).
+    pub iters_per_solve: f64,
+}
+
+/// The paper's twelve `(NX1, NX2)` topologies, in Table I order.
+pub const TOPOLOGIES: [(usize, usize); 12] = [
+    (1, 1),
+    (10, 1),
+    (20, 1),
+    (10, 2),
+    (5, 4),
+    (25, 1),
+    (40, 1),
+    (20, 2),
+    (10, 4),
+    (50, 1),
+    (25, 2),
+    (10, 5),
+];
+
+/// Run one topology of the study under `cfg`.
+pub fn run_topology(cfg: &V2dConfig, nx1: usize, nx2: usize) -> Row {
+    let np = nx1 * nx2;
+    let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, nx1, nx2);
+    let cfg = *cfg;
+    let outs = Spmd::new(np).run(move |ctx| {
+        let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+        GaussianPulse::standard().init(&mut sim);
+        let sessions: Vec<PerfStat> = ctx.sink.lanes.iter().map(PerfStat::start).collect();
+        let agg = sim.run(&ctx.comm, &mut ctx.sink);
+        let secs: Vec<f64> = sessions
+            .into_iter()
+            .zip(&ctx.sink.lanes)
+            .map(|(s, lane)| s.stop(lane).duration_time)
+            .collect();
+        (secs, agg.total_iters, agg.total_solves)
+    });
+    // Per-compiler max over ranks (the job finishes with its slowest
+    // process), iteration metadata from rank 0.
+    let mut secs = [0.0f64; 4];
+    for (rank_secs, _, _) in &outs {
+        for (a, &b) in secs.iter_mut().zip(rank_secs) {
+            *a = a.max(b);
+        }
+    }
+    let (_, iters, solves) = &outs[0];
+    Row {
+        np,
+        nx1,
+        nx2,
+        secs,
+        iters_per_solve: *iters as f64 / *solves as f64,
+    }
+}
+
+/// Run the full table.  `progress` is called after each topology.
+pub fn run_full(cfg: &V2dConfig, mut progress: impl FnMut(&Row)) -> Vec<Row> {
+    TOPOLOGIES
+        .iter()
+        .map(|&(nx1, nx2)| {
+            let row = run_topology(cfg, nx1, nx2);
+            progress(&row);
+            row
+        })
+        .collect()
+}
+
+/// Format the reproduced rows side-by-side with the paper's numbers.
+pub fn format(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I — TIMES BY COMPILER (simulated seconds; paper values in parentheses)");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>4} {:>4} | {:>18} {:>18} {:>18} {:>18}",
+        "Np", "NX1", "NX2", "GNU", "Fujitsu", "Cray (opt)", "Cray (no-opt)"
+    );
+    for row in rows {
+        let paper = crate::paper::TABLE1
+            .iter()
+            .find(|&&(np, nx1, nx2, ..)| (np, nx1, nx2) == (row.np, row.nx1, row.nx2));
+        let cell = |i: usize| -> String {
+            let p: Option<f64> = paper.and_then(|&(_, _, _, g, f, c, n)| [g, f, c, n][i]);
+            match p {
+                Some(v) => format!("{:>8.2} ({:>7.2})", row.secs[i], v),
+                None => format!("{:>8.2} (      –)", row.secs[i]),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>4} {:>4} | {} {} {} {}",
+            row.np,
+            row.nx1,
+            row.nx2,
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3)
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "compiler lane order: {:?}", ALL_COMPILERS.map(|c| c.label()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature Table I: tiny grid, few steps — verifies the harness
+    /// plumbing end-to-end (full-size runs live in the `table1` binary).
+    #[test]
+    fn mini_table_has_sane_shape() {
+        // Big enough that four ranks beat one despite collective costs.
+        let cfg = GaussianPulse::scaled_config(48, 24, 2);
+        let serial = run_topology(&cfg, 1, 1);
+        let par = run_topology(&cfg, 2, 2);
+        // Serial ordering of the paper's first row.
+        let [gnu, fuj, cray, noopt] = serial.secs;
+        assert!(gnu > fuj && fuj > cray, "serial ordering broken: {:?}", serial.secs);
+        assert!(noopt > cray);
+        // Parallel compute share shrinks.
+        assert!(par.secs[2] < serial.secs[2], "4 ranks should beat 1");
+        assert!(serial.iters_per_solve >= 1.0);
+    }
+
+    #[test]
+    fn format_includes_paper_reference() {
+        let cfg = GaussianPulse::scaled_config(20, 10, 1);
+        let rows = vec![run_topology(&cfg, 1, 1)];
+        let text = format(&rows);
+        assert!(text.contains("363.91"), "paper serial GNU value missing:\n{text}");
+        assert!(text.contains("Cray (no-opt)"));
+    }
+}

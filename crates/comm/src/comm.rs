@@ -1,0 +1,320 @@
+//! Point-to-point messaging and data-carrying collectives.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use v2d_machine::{MultiCostSink, SimDuration};
+
+/// Reduction operators for collectives.  Sums are evaluated in rank order,
+/// so results are bitwise deterministic for a fixed topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    fn fold(self, acc: f64, v: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Min => acc.min(v),
+            ReduceOp::Max => acc.max(v),
+        }
+    }
+
+    fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A point-to-point message: payload plus the sender's per-lane virtual
+/// clocks at send time.
+struct Message {
+    tag: u32,
+    data: Vec<f64>,
+    send_clocks: Vec<SimDuration>,
+}
+
+/// One round of a data-carrying collective.
+struct CollRound {
+    /// Per-rank contribution: (payload, per-lane clocks).
+    contrib: Vec<Option<(Vec<f64>, Vec<SimDuration>)>>,
+    deposited: usize,
+    /// Result payload + per-lane synchronized clocks (before cost).
+    result: Option<(Arc<Vec<f64>>, Vec<SimDuration>)>,
+    left: usize,
+}
+
+impl CollRound {
+    fn new(n: usize) -> Self {
+        CollRound {
+            contrib: (0..n).map(|_| None).collect(),
+            deposited: 0,
+            result: None,
+            left: 0,
+        }
+    }
+}
+
+/// What a collective does with the deposited contributions.
+enum CollKind {
+    Reduce(ReduceOp),
+    Concat,
+    TakeRoot(usize),
+}
+
+/// Shared state of the rank group.
+pub(crate) struct Shared {
+    n_ranks: usize,
+    /// `mailboxes[dst][src]` receives messages from `src` to `dst`.
+    mailboxes: Vec<Vec<Receiver<Message>>>,
+    /// `senders[src][dst]` sends from `src` to `dst`.
+    senders: Vec<Vec<Sender<Message>>>,
+    coll: Mutex<CollRound>,
+    coll_cv: Condvar,
+}
+
+/// A rank's handle to the communicator (analogous to `MPI_COMM_WORLD`).
+///
+/// All methods that move data also advance the virtual clocks in the
+/// caller's [`MultiCostSink`]; every rank must call collectives in the
+/// same order with the same lane profiles (the usual MPI contract).
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+impl Comm {
+    pub(crate) fn create(n_ranks: usize) -> Vec<Comm> {
+        let mut senders: Vec<Vec<Sender<Message>>> = (0..n_ranks).map(|_| Vec::new()).collect();
+        let mut mailboxes: Vec<Vec<Receiver<Message>>> = (0..n_ranks).map(|_| Vec::new()).collect();
+        // One channel per ordered (src, dst) pair; src-major iteration
+        // leaves each mailboxes[dst] row ordered by src.
+        for tx_row in senders.iter_mut() {
+            for boxes in mailboxes.iter_mut() {
+                let (tx, rx) = unbounded();
+                tx_row.push(tx);
+                boxes.push(rx);
+            }
+        }
+        let shared = Arc::new(Shared {
+            n_ranks,
+            mailboxes,
+            senders,
+            coll: Mutex::new(CollRound::new(n_ranks)),
+            coll_cv: Condvar::new(),
+        });
+        (0..n_ranks)
+            .map(|rank| Comm { rank, shared: Arc::clone(&shared) })
+            .collect()
+    }
+
+    /// This rank's id in `0..n_ranks()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn n_ranks(&self) -> usize {
+        self.shared.n_ranks
+    }
+
+    /// Send `data` to `dst` with `tag`.  Non-blocking (buffered): the
+    /// sender's clocks advance only by the per-message software overhead;
+    /// transfer time is charged on the receiving side.
+    pub fn send(&self, sink: &mut MultiCostSink, dst: usize, tag: u32, data: &[f64]) {
+        assert!(dst < self.n_ranks(), "send to nonexistent rank {dst}");
+        assert_ne!(dst, self.rank, "self-sends are not supported (use local copies)");
+        // Per-lane send overhead: half the latency (the classic
+        // overhead/latency split), then record post-send clocks.
+        let mut send_clocks = Vec::with_capacity(sink.lanes.len());
+        for lane in &mut sink.lanes {
+            lane.charge_mpi_secs(0.5 * lane.profile.mpi.p2p_latency);
+            send_clocks.push(lane.clock.now());
+        }
+        let msg = Message { tag, data: data.to_vec(), send_clocks };
+        self.shared.senders[self.rank][dst]
+            .send(msg)
+            .expect("receiver hung up — rank panicked?");
+    }
+
+    /// Receive the next message from `src`; its tag must equal `tag`
+    /// (messages from one source arrive in order, as in MPI).
+    ///
+    /// The receiver's clock per lane becomes
+    /// `max(own, sender_send_time + latency + bytes/bandwidth)`.
+    pub fn recv(&self, sink: &mut MultiCostSink, src: usize, tag: u32) -> Vec<f64> {
+        assert!(src < self.n_ranks(), "recv from nonexistent rank {src}");
+        let msg = self.shared.mailboxes[self.rank][src]
+            .recv()
+            .expect("sender hung up — rank panicked?");
+        assert_eq!(
+            msg.tag, tag,
+            "message tag mismatch from rank {src}: expected {tag}, got {}",
+            msg.tag
+        );
+        assert_eq!(
+            msg.send_clocks.len(),
+            sink.lanes.len(),
+            "sender and receiver lane profiles differ"
+        );
+        let bytes = 8 * msg.data.len();
+        for (lane, &sent) in sink.lanes.iter_mut().zip(&msg.send_clocks) {
+            let transfer = lane.profile.mpi.p2p_secs(bytes);
+            let arrival = sent.saturating_add(SimDuration::from_secs(transfer, lane.model.freq_hz));
+            lane.wait_until_mpi(arrival);
+        }
+        msg.data
+    }
+
+    /// Combined send+receive with a partner (the halo-exchange workhorse;
+    /// safe against deadlock because sends are buffered).
+    pub fn sendrecv(
+        &self,
+        sink: &mut MultiCostSink,
+        partner: usize,
+        tag: u32,
+        data: &[f64],
+    ) -> Vec<f64> {
+        self.send(sink, partner, tag, data);
+        self.recv(sink, partner, tag)
+    }
+
+    fn collective(
+        &self,
+        sink: &mut MultiCostSink,
+        kind: CollKind,
+        data: Vec<f64>,
+    ) -> Arc<Vec<f64>> {
+        let n = self.n_ranks();
+        if n == 1 {
+            // Single rank: no synchronization, no cost.
+            return Arc::new(match kind {
+                CollKind::Reduce(_) | CollKind::TakeRoot(_) | CollKind::Concat => data,
+            });
+        }
+        let clocks: Vec<SimDuration> = sink.lanes.iter().map(|l| l.clock.now()).collect();
+        let mut round = self.shared.coll.lock();
+        // Wait for the previous round to fully drain before depositing.
+        while round.result.is_some() {
+            self.shared.coll_cv.wait(&mut round);
+        }
+        assert!(
+            round.contrib[self.rank].is_none(),
+            "rank {} re-entered a collective before the group completed one — \
+             collective call order must match across ranks",
+            self.rank
+        );
+        round.contrib[self.rank] = Some((data, clocks));
+        round.deposited += 1;
+        if round.deposited == n {
+            // Last to arrive computes the result, rank-ordered.
+            let contribs: Vec<(Vec<f64>, Vec<SimDuration>)> =
+                round.contrib.iter_mut().map(|c| c.take().expect("all deposited")).collect();
+            let lanes = contribs[0].1.len();
+            let mut sync = vec![SimDuration::ZERO; lanes];
+            for (_, cl) in &contribs {
+                for (s, &c) in sync.iter_mut().zip(cl) {
+                    if c > *s {
+                        *s = c;
+                    }
+                }
+            }
+            let payload = match kind {
+                CollKind::Reduce(op) => {
+                    let len = contribs[0].0.len();
+                    let mut out = vec![op.identity(); len];
+                    for (vals, _) in &contribs {
+                        assert_eq!(vals.len(), len, "reduce contributions differ in length");
+                        for (o, &v) in out.iter_mut().zip(vals) {
+                            *o = op.fold(*o, v);
+                        }
+                    }
+                    out
+                }
+                CollKind::Concat => {
+                    let mut out = Vec::new();
+                    for (vals, _) in &contribs {
+                        out.extend_from_slice(vals);
+                    }
+                    out
+                }
+                CollKind::TakeRoot(root) => contribs[root].0.clone(),
+            };
+            round.result = Some((Arc::new(payload), sync));
+            round.deposited = 0;
+            self.shared.coll_cv.notify_all();
+        } else {
+            while round.result.is_none() {
+                self.shared.coll_cv.wait(&mut round);
+            }
+        }
+        let (payload, sync) = round.result.as_ref().expect("result just set");
+        let payload = Arc::clone(payload);
+        let sync = sync.clone();
+        round.left += 1;
+        if round.left == n {
+            round.left = 0;
+            round.result = None;
+            // Wake ranks blocked at the entry of the *next* round.
+            self.shared.coll_cv.notify_all();
+        }
+        drop(round);
+
+        // Conservative clock synchronization + collective cost per lane
+        // (lanes are positionally aligned across ranks; asserted at
+        // Spmd launch).
+        let bytes = 8 * payload.len();
+        for (lane, &sync_t) in sink.lanes.iter_mut().zip(&sync) {
+            lane.wait_until_mpi(sync_t);
+            let cost = lane.profile.mpi.collective_secs(bytes, n);
+            lane.charge_mpi_secs(cost);
+        }
+        payload
+    }
+
+    /// Element-wise allreduce; every rank gets the reduced vector.
+    /// Gang several inner products into one call to reduce reduction
+    /// count — V2D's restructured BiCGSTAB does exactly this.
+    pub fn allreduce(&self, sink: &mut MultiCostSink, op: ReduceOp, vals: &mut [f64]) {
+        let out = self.collective(sink, CollKind::Reduce(op), vals.to_vec());
+        vals.copy_from_slice(&out);
+    }
+
+    /// Sum-allreduce of a single scalar.
+    pub fn allreduce_scalar(&self, sink: &mut MultiCostSink, op: ReduceOp, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce(sink, op, &mut buf);
+        buf[0]
+    }
+
+    /// Concatenate every rank's contribution in rank order (allgather
+    /// with per-rank variable lengths).
+    pub fn allgatherv(&self, sink: &mut MultiCostSink, data: &[f64]) -> Vec<f64> {
+        self.collective(sink, CollKind::Concat, data.to_vec()).as_ref().clone()
+    }
+
+    /// Broadcast `data` from `root` (other ranks pass anything, usually
+    /// an empty slice — lengths need not match).
+    pub fn broadcast(&self, sink: &mut MultiCostSink, root: usize, data: &[f64]) -> Vec<f64> {
+        assert!(root < self.n_ranks());
+        self.collective(sink, CollKind::TakeRoot(root), data.to_vec()).as_ref().clone()
+    }
+
+    /// Synchronize all ranks (and their virtual clocks).
+    pub fn barrier(&self, sink: &mut MultiCostSink) {
+        self.collective(sink, CollKind::Reduce(ReduceOp::Sum), Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Comm is exercised through Spmd in `universe.rs` tests and the
+    // crate-level integration tests.
+}

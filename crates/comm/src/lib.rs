@@ -1,0 +1,32 @@
+//! # v2d-comm — the message-passing substrate (MPI stand-in)
+//!
+//! V2D is an MPI code: it decomposes its 2-D grid into NPRX1 × NPRX2
+//! tiles, exchanges halo strips for the matrix-free stencil operator, and
+//! reduces (ganged) inner products globally once or twice per BiCGSTAB
+//! iteration.  No MPI implementation is available here, so this crate
+//! provides a faithful stand-in: an SPMD runner that launches one OS
+//! thread per rank ([`Spmd`]), typed point-to-point messaging over
+//! channels, and data-carrying collectives (allreduce / allgather /
+//! broadcast / barrier) with deterministic rank-ordered reduction.
+//!
+//! **Simulated time.**  Every operation both moves real data *and*
+//! advances the per-rank virtual clocks in the rank's
+//! [`v2d_machine::MultiCostSink`] according to the per-compiler
+//! [`v2d_machine::MpiCostModel`]s.  Collectives synchronize clocks
+//! conservatively (no rank leaves before the slowest participant has
+//! entered, exactly like a real allreduce); point-to-point receives wait
+//! for the sender's virtual send time plus latency and transfer time.
+//! This is a small conservative parallel-discrete-event simulation riding
+//! on real threads — deterministic, and independent of host scheduling.
+//!
+//! [`CartComm`] adds the Cartesian process topology of V2D (runtime
+//! parameters NPRX1/NPRX2 in the paper) with block tile extents and
+//! neighbor halo exchange.
+
+pub mod comm;
+pub mod topology;
+pub mod universe;
+
+pub use comm::{Comm, ReduceOp};
+pub use topology::{CartComm, Tile, TileMap};
+pub use universe::{RankCtx, Spmd};

@@ -1,0 +1,284 @@
+//! The SPMD runner: one OS thread per rank, each with its communicator
+//! handle and its own [`MultiCostSink`] of virtual clocks.
+//!
+//! Table I varies the total processor count from 1 to 50 — more ranks
+//! than this host has cores, which is fine: time is *simulated*, so rank
+//! threads only need to make progress, not run simultaneously.
+
+use v2d_machine::{CompilerProfile, MultiCostSink};
+
+use crate::comm::Comm;
+
+/// Per-rank execution context handed to the SPMD body.
+pub struct RankCtx {
+    /// The communicator handle for this rank.
+    pub comm: Comm,
+    /// Virtual clocks + counters, one lane per modeled compiler.
+    pub sink: MultiCostSink,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Total number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.comm.n_ranks()
+    }
+}
+
+/// An SPMD launch configuration (rank count + modeled compilers).
+pub struct Spmd {
+    n_ranks: usize,
+    profiles: Vec<CompilerProfile>,
+}
+
+impl Spmd {
+    /// A launch of `n_ranks` ranks, modeling all four Table I compilers.
+    pub fn new(n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1, "need at least one rank");
+        Spmd {
+            n_ranks,
+            profiles: v2d_machine::ALL_COMPILERS
+                .iter()
+                .map(|&id| CompilerProfile::of(id))
+                .collect(),
+        }
+    }
+
+    /// Model only the given compiler configurations (cheaper when a
+    /// single column is needed).
+    pub fn with_profiles(mut self, profiles: Vec<CompilerProfile>) -> Self {
+        assert!(!profiles.is_empty(), "need at least one compiler profile");
+        self.profiles = profiles;
+        self
+    }
+
+    /// Run `body` on every rank and return the per-rank results in rank
+    /// order.  Panics in any rank propagate (the whole launch aborts, as
+    /// an MPI job would).
+    pub fn run<T, F>(&self, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Send + Sync,
+    {
+        let comms = Comm::create(self.n_ranks);
+        let profiles = &self.profiles;
+        let body = &body;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.n_ranks);
+            for comm in comms {
+                handles.push(scope.spawn(move || {
+                    let sink = MultiCostSink {
+                        lanes: profiles.iter().map(|p| v2d_machine::CostSink::new(*p)).collect(),
+                    };
+                    let mut ctx = RankCtx { comm, sink };
+                    body(&mut ctx)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+    use v2d_machine::CompilerProfile;
+
+    fn single_profile() -> Vec<CompilerProfile> {
+        vec![CompilerProfile::cray_opt()]
+    }
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = Spmd::new(4).with_profiles(single_profile()).run(|ctx| ctx.rank());
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let n = 6;
+        let sums = Spmd::new(n).with_profiles(single_profile()).run(|ctx| {
+            let mut v = [ctx.rank() as f64, 1.0];
+            ctx.comm.allreduce(&mut ctx.sink, ReduceOp::Sum, &mut v);
+            v
+        });
+        for s in sums {
+            assert_eq!(s[0], (0..6).sum::<usize>() as f64);
+            assert_eq!(s[1], 6.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let outs = Spmd::new(5).with_profiles(single_profile()).run(|ctx| {
+            let r = ctx.rank() as f64;
+            let mn = ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Min, r);
+            let mx = ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Max, r);
+            (mn, mx)
+        });
+        for (mn, mx) in outs {
+            assert_eq!((mn, mx), (0.0, 4.0));
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_rounds() {
+        // Exercises round-draining: many back-to-back collectives with
+        // staggered per-rank work between them.
+        let n = 4;
+        let outs = Spmd::new(n).with_profiles(single_profile()).run(|ctx| {
+            let mut total = 0.0;
+            for round in 0..50 {
+                // Uneven host-side delay to shuffle arrival order.
+                if (ctx.rank() + round) % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                let v = ctx
+                    .comm
+                    .allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, (round + 1) as f64);
+                total += v;
+            }
+            total
+        });
+        let expect = (1..=50).map(|r| (r * 4) as f64).sum::<f64>();
+        for t in outs {
+            assert_eq!(t, expect);
+        }
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_partners() {
+        let outs = Spmd::new(2).with_profiles(single_profile()).run(|ctx| {
+            let me = ctx.rank();
+            let partner = 1 - me;
+            let data = vec![me as f64; 3];
+            ctx.comm.sendrecv(&mut ctx.sink, partner, 7, &data)
+        });
+        assert_eq!(outs[0], vec![1.0; 3]);
+        assert_eq!(outs[1], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn p2p_messages_arrive_in_order() {
+        let outs = Spmd::new(2).with_profiles(single_profile()).run(|ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.comm.send(&mut ctx.sink, 1, i, &[i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|i| ctx.comm.recv(&mut ctx.sink, 0, i)[0]).collect()
+            }
+        });
+        assert_eq!(outs[1], (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let outs = Spmd::new(3).with_profiles(single_profile()).run(|ctx| {
+            let data = vec![ctx.rank() as f64; ctx.rank() + 1];
+            ctx.comm.allgatherv(&mut ctx.sink, &data)
+        });
+        for o in outs {
+            assert_eq!(o, vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_takes_root_payload() {
+        let outs = Spmd::new(4).with_profiles(single_profile()).run(|ctx| {
+            let data = if ctx.rank() == 2 { vec![42.0, 43.0] } else { vec![] };
+            ctx.comm.broadcast(&mut ctx.sink, 2, &data)
+        });
+        for o in outs {
+            assert_eq!(o, vec![42.0, 43.0]);
+        }
+    }
+
+    #[test]
+    fn collective_synchronizes_virtual_clocks() {
+        // A rank that did lots of local work drags everyone's clock
+        // forward at the barrier.
+        let times = Spmd::new(3).with_profiles(single_profile()).run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.sink.lanes[0].advance_secs(5.0);
+            }
+            ctx.comm.barrier(&mut ctx.sink);
+            ctx.sink.lanes[0].elapsed_secs()
+        });
+        for t in &times {
+            assert!(*t >= 5.0, "barrier must not complete before the slowest rank: {t}");
+        }
+        // And the fast ranks accounted the wait as MPI time.
+        let mpi = Spmd::new(3).with_profiles(single_profile()).run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.sink.lanes[0].advance_secs(5.0);
+            }
+            ctx.comm.barrier(&mut ctx.sink);
+            ctx.sink.lanes[0].mpi_secs()
+        });
+        assert!(mpi[0] >= 5.0 && mpi[2] >= 5.0);
+        assert!(mpi[1] < 1.0);
+    }
+
+    #[test]
+    fn recv_waits_for_virtual_send_time() {
+        let times = Spmd::new(2).with_profiles(single_profile()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.sink.lanes[0].advance_secs(2.0);
+                ctx.comm.send(&mut ctx.sink, 1, 0, &[1.0; 100]);
+            } else {
+                let _ = ctx.comm.recv(&mut ctx.sink, 0, 0);
+            }
+            ctx.sink.lanes[0].elapsed_secs()
+        });
+        assert!(times[1] > 2.0, "receiver finished before sender sent: {}", times[1]);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free_and_identity() {
+        let outs = Spmd::new(1).with_profiles(single_profile()).run(|ctx| {
+            let mut v = [3.5];
+            ctx.comm.allreduce(&mut ctx.sink, ReduceOp::Sum, &mut v);
+            (v[0], ctx.sink.lanes[0].mpi_secs())
+        });
+        assert_eq!(outs[0].0, 3.5);
+        assert_eq!(outs[0].1, 0.0);
+    }
+
+    #[test]
+    fn deterministic_simulated_times() {
+        // The whole point of virtual time: bitwise-identical clocks on
+        // every run regardless of host scheduling.
+        let run = || {
+            Spmd::new(5).with_profiles(single_profile()).run(|ctx| {
+                let mut acc = ctx.rank() as f64;
+                for _ in 0..20 {
+                    acc = ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, acc);
+                    acc = acc.sqrt();
+                }
+                ctx.sink.lanes[0].clock.now().cycles()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn more_ranks_than_host_cores() {
+        // 64 rank threads on any host: progress, correctness.
+        let outs = Spmd::new(64).with_profiles(single_profile()).run(|ctx| {
+            ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, 1.0)
+        });
+        for o in outs {
+            assert_eq!(o, 64.0);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Checkpoint / restart through the h5lite substrate.
+//!
+//! V2D writes HDF5 checkpoints through MPI-IO; here each rank
+//! contributes its tile through an `allgatherv` (so every rank holds the
+//! assembled file — rank 0 is the one that typically persists it) and
+//! the global datasets are assembled with `v2d_io::gather_global`.  The
+//! file layout:
+//!
+//! ```text
+//! /              @time, @istep, @n1, @n2
+//! /radiation/erad        f64 [2, n2, n1]
+//! /hydro/{rho,m1,m2,etot} f64 [n2, n1]   (when hydro is enabled)
+//! ```
+
+use v2d_comm::Comm;
+use v2d_io::parallel::TileData;
+use v2d_io::{Dataset, File, Value};
+use v2d_linalg::NSPEC;
+use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+
+use crate::sim::V2dSim;
+
+/// Gather one distributed field (given per-rank `values` of the local
+/// tile, species-major) into a global row-major array on every rank.
+fn gather_field(
+    comm: &Comm,
+    sink: &mut MultiCostSink,
+    sim: &V2dSim,
+    nspec: usize,
+    values: Vec<f64>,
+) -> Vec<f64> {
+    let g = sim.grid();
+    // Header: tile extents, then payload.
+    let mut msg = vec![
+        g.i1_start as f64,
+        g.n1 as f64,
+        g.i2_start as f64,
+        g.n2 as f64,
+    ];
+    sink.charge(&KernelShape::streaming(KernelClass::Pack, values.len(), 0, 1, 1, 0));
+    msg.extend_from_slice(&values);
+    let all = comm.allgatherv(sink, &msg);
+
+    // Decode rank contributions in order.
+    let mut tiles = Vec::with_capacity(comm.n_ranks());
+    let mut at = 0;
+    while at < all.len() {
+        let i1_start = all[at] as usize;
+        let n1 = all[at + 1] as usize;
+        let i2_start = all[at + 2] as usize;
+        let n2 = all[at + 3] as usize;
+        let len = nspec * n1 * n2;
+        tiles.push(TileData {
+            i1_start,
+            n1,
+            i2_start,
+            n2,
+            data: all[at + 4..at + 4 + len].to_vec(),
+        });
+        at += 4 + len;
+    }
+    v2d_io::gather_global(g.global.n1, g.global.n2, nspec, &tiles)
+}
+
+/// Assemble a checkpoint of `sim` (every rank returns the identical
+/// file; persist it from rank 0 with [`v2d_io::File::save`]).
+pub fn write_checkpoint(comm: &Comm, sink: &mut MultiCostSink, sim: &V2dSim) -> File {
+    let g = sim.grid();
+    let (gn1, gn2) = (g.global.n1, g.global.n2);
+    let mut f = File::new();
+    f.set_attr("time", Value::F64(sim.time()));
+    f.set_attr("istep", Value::I64(sim.istep() as i64));
+    f.set_attr("n1", Value::I64(gn1 as i64));
+    f.set_attr("n2", Value::I64(gn2 as i64));
+    f.set_attr("code", Value::Str("V2D-rust".into()));
+
+    let erad = gather_field(comm, sink, sim, NSPEC, sim.erad().interior_to_vec());
+    f.write_dataset(
+        "radiation/erad",
+        Dataset::f64(vec![NSPEC, gn2, gn1], erad),
+    );
+
+    if let Some(h) = sim.hydro() {
+        for (name, field) in [
+            ("rho", &h.rho),
+            ("m1", &h.m1),
+            ("m2", &h.m2),
+            ("etot", &h.etot),
+        ] {
+            let global = gather_field(comm, sink, sim, 1, field.interior_to_vec());
+            f.write_dataset(&format!("hydro/{name}"), Dataset::f64(vec![gn2, gn1], global));
+        }
+    }
+    f
+}
+
+/// Restore `sim`'s rank-local state from a checkpoint file.
+///
+/// # Panics
+/// If the checkpoint's grid does not match the simulation's.
+pub fn restore_checkpoint(sim: &mut V2dSim, file: &File) {
+    let g = *sim.grid();
+    let (gn1, gn2) = (g.global.n1, g.global.n2);
+    let n1_ck = match file.attr("n1").expect("checkpoint missing n1") {
+        Value::I64(v) => *v as usize,
+        other => panic!("bad n1 attribute: {other:?}"),
+    };
+    let n2_ck = match file.attr("n2").expect("checkpoint missing n2") {
+        Value::I64(v) => *v as usize,
+        other => panic!("bad n2 attribute: {other:?}"),
+    };
+    assert_eq!((n1_ck, n2_ck), (gn1, gn2), "checkpoint grid mismatch");
+
+    let time = match file.attr("time").expect("missing time") {
+        Value::F64(v) => *v,
+        other => panic!("bad time attribute: {other:?}"),
+    };
+    let istep = match file.attr("istep").expect("missing istep") {
+        Value::I64(v) => *v as usize,
+        other => panic!("bad istep attribute: {other:?}"),
+    };
+    sim.set_time(time, istep);
+
+    let erad = file
+        .dataset("radiation/erad")
+        .expect("missing radiation/erad")
+        .as_f64()
+        .expect("erad must be f64")
+        .to_vec();
+    {
+        let (i1s, i2s) = (g.i1_start, g.i2_start);
+        sim.erad_mut().fill_with(|s, i1, i2| {
+            erad[s * gn1 * gn2 + (i2s + i2) * gn1 + (i1s + i1)]
+        });
+    }
+
+    if sim.hydro().is_some() {
+        let (i1s, i2s) = (g.i1_start, g.i2_start);
+        let (ln1, ln2) = (g.n1, g.n2);
+        for name in ["rho", "m1", "m2", "etot"] {
+            let data = file
+                .dataset(&format!("hydro/{name}"))
+                .unwrap_or_else(|_| panic!("checkpoint missing hydro/{name}"))
+                .as_f64()
+                .expect("hydro fields must be f64")
+                .to_vec();
+            let h = sim.hydro_mut().expect("hydro enabled");
+            let field = match name {
+                "rho" => &mut h.rho,
+                "m1" => &mut h.m1,
+                "m2" => &mut h.m2,
+                _ => &mut h.etot,
+            };
+            for i2 in 0..ln2 {
+                for i1 in 0..ln1 {
+                    field.set(
+                        i1 as isize,
+                        i2 as isize,
+                        data[(i2s + i2) * gn1 + (i1s + i1)],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::GaussianPulse;
+    use crate::sim::V2dSim;
+    use v2d_comm::{Spmd, TileMap};
+    use v2d_machine::CompilerProfile;
+
+    fn profiles() -> Vec<CompilerProfile> {
+        vec![CompilerProfile::cray_opt()]
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_exact_state() {
+        let (n1, n2) = (16, 12);
+        let cfg = GaussianPulse::linear_config(n1, n2, 10);
+        Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+            let map = TileMap::new(n1, n2, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            GaussianPulse::standard().init(&mut sim);
+            for _ in 0..2 {
+                sim.step(&ctx.comm, &mut ctx.sink);
+            }
+            let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+            // Continue the original.
+            for _ in 0..2 {
+                sim.step(&ctx.comm, &mut ctx.sink);
+            }
+            let reference = sim.erad().interior_to_vec();
+
+            // Restore into a fresh sim and continue identically.
+            let mut sim2 = V2dSim::new(cfg, &ctx.comm, map);
+            restore_checkpoint(&mut sim2, &ck);
+            assert_eq!(sim2.istep(), 2);
+            for _ in 0..2 {
+                sim2.step(&ctx.comm, &mut ctx.sink);
+            }
+            let restored = sim2.erad().interior_to_vec();
+            assert_eq!(reference, restored, "restart diverged from original run");
+        });
+    }
+
+    #[test]
+    fn checkpoint_survives_disk_and_is_topology_independent() {
+        let (n1, n2) = (12, 8);
+        let cfg = GaussianPulse::linear_config(n1, n2, 10);
+        let make = |np1: usize, np2: usize| {
+            Spmd::new(np1 * np2).with_profiles(profiles()).run(|ctx| {
+                let map = TileMap::new(n1, n2, np1, np2);
+                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+                GaussianPulse::standard().init(&mut sim);
+                sim.step(&ctx.comm, &mut ctx.sink);
+                write_checkpoint(&ctx.comm, &mut ctx.sink, &sim)
+            })
+        };
+        let single = make(1, 1);
+        let multi = make(2, 2);
+        // Every rank assembled the same file.
+        for f in &multi {
+            assert_eq!(f.attr("istep").unwrap(), single[0].attr("istep").unwrap());
+            let a = f.dataset("radiation/erad").unwrap().as_f64().unwrap();
+            let b = single[0].dataset("radiation/erad").unwrap().as_f64().unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert!(
+                    (x - y).abs() < 1e-9,
+                    "decomposed checkpoint differs from single-rank: {x} vs {y}"
+                );
+            }
+        }
+        // Disk roundtrip through the h5lite container.
+        let dir = std::env::temp_dir().join("v2d_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.h5l");
+        single[0].save(&path).unwrap();
+        let loaded = v2d_io::File::open(&path).unwrap();
+        assert_eq!(&loaded, &single[0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,392 @@
+//! Runtime parameter files.
+//!
+//! V2D, like most production simulation codes, is driven by a runtime
+//! parameter file rather than recompilation — the paper's NPRX1/NPRX2
+//! process-topology knobs are exactly such parameters.  This module
+//! implements the reader: a strict `key = value` format with `#`
+//! comments and `[section]` headers, parsed without any external
+//! dependency, plus the mapping onto [`V2dConfig`].
+//!
+//! ```text
+//! # v2d.par — the paper's radiation benchmark
+//! [grid]
+//! n1 = 200
+//! n2 = 100
+//! x1 = 0.0 2.0
+//! x2 = 0.0 1.0
+//! geometry = cartesian
+//!
+//! [run]
+//! dt = 0.0075
+//! n_steps = 100
+//! nprx1 = 5
+//! nprx2 = 4
+//!
+//! [radiation]
+//! limiter = levermore-pomraning
+//! kappa_a = 0.02 0.04
+//! kappa_s = 2.0 3.0
+//! kappa_x = 0.01
+//! precond = block-jacobi
+//! tol = 1e-9
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use v2d_linalg::{BicgVariant, SolveOpts};
+
+use crate::grid::{Geometry, Grid2};
+use crate::limiter::Limiter;
+use crate::opacity::OpacityModel;
+use crate::sim::{HydroConfig, PrecondKind, V2dConfig};
+
+/// Parameter-file errors, with the line number where applicable.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParError {
+    Syntax { line: usize, msg: String },
+    Missing(String),
+    Invalid { key: String, msg: String },
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ParError::Missing(k) => write!(f, "missing required parameter `{k}`"),
+            ParError::Invalid { key, msg } => write!(f, "parameter `{key}`: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// A parsed parameter file: `section.key → value` (keys outside any
+/// section live under the empty section name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParFile {
+    entries: BTreeMap<String, String>,
+}
+
+impl ParFile {
+    /// Parse the text of a parameter file.
+    pub fn parse(text: &str) -> Result<Self, ParError> {
+        let mut entries = BTreeMap::new();
+        let mut section = String::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name.strip_suffix(']').ok_or_else(|| ParError::Syntax {
+                    line: ln + 1,
+                    msg: "unterminated section header".into(),
+                })?;
+                section = name.trim().to_ascii_lowercase();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ParError::Syntax {
+                line: ln + 1,
+                msg: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            if key.is_empty() {
+                return Err(ParError::Syntax { line: ln + 1, msg: "empty key".into() });
+            }
+            let full = if section.is_empty() { key } else { format!("{section}.{key}") };
+            if entries.insert(full.clone(), value.trim().to_string()).is_some() {
+                return Err(ParError::Syntax {
+                    line: ln + 1,
+                    msg: format!("duplicate parameter `{full}`"),
+                });
+            }
+        }
+        Ok(ParFile { entries })
+    }
+
+    /// Read a parameter file from disk.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(Self::parse(&std::fs::read_to_string(path)?)?)
+    }
+
+    /// Raw string value of `key` (fully qualified: `section.key`).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    fn req(&self, key: &str) -> Result<&str, ParError> {
+        self.get(key).ok_or_else(|| ParError::Missing(key.to_string()))
+    }
+
+    fn parse_val<T: std::str::FromStr>(&self, key: &str, v: &str) -> Result<T, ParError> {
+        v.parse().map_err(|_| ParError::Invalid {
+            key: key.to_string(),
+            msg: format!("cannot parse `{v}`"),
+        })
+    }
+
+    /// Required scalar.
+    pub fn scalar<T: std::str::FromStr>(&self, key: &str) -> Result<T, ParError> {
+        let v = self.req(key)?;
+        self.parse_val(key, v)
+    }
+
+    /// Optional scalar with default.
+    pub fn scalar_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParError> {
+        match self.get(key) {
+            Some(v) => self.parse_val(key, v),
+            None => Ok(default),
+        }
+    }
+
+    /// Required whitespace-separated pair.
+    pub fn pair(&self, key: &str) -> Result<(f64, f64), ParError> {
+        let v = self.req(key)?;
+        let mut it = v.split_whitespace();
+        let a = it.next().ok_or_else(|| ParError::Invalid {
+            key: key.to_string(),
+            msg: "expected two values".into(),
+        })?;
+        let b = it.next().ok_or_else(|| ParError::Invalid {
+            key: key.to_string(),
+            msg: "expected two values".into(),
+        })?;
+        if it.next().is_some() {
+            return Err(ParError::Invalid { key: key.to_string(), msg: "expected exactly two values".into() });
+        }
+        Ok((self.parse_val(key, a)?, self.parse_val(key, b)?))
+    }
+
+    /// Build the full [`V2dConfig`] plus the process topology
+    /// `(NPRX1, NPRX2)` from this file.
+    pub fn to_config(&self) -> Result<(V2dConfig, (usize, usize)), ParError> {
+        let n1: usize = self.scalar("grid.n1")?;
+        let n2: usize = self.scalar("grid.n2")?;
+        let x1 = self.pair("grid.x1")?;
+        let x2 = self.pair("grid.x2")?;
+        let geometry = match self.get("grid.geometry").unwrap_or("cartesian") {
+            "cartesian" => Geometry::Cartesian,
+            "cylindrical" | "rz" => Geometry::CylindricalRZ,
+            "spherical" | "rtheta" => Geometry::SphericalRTheta,
+            other => {
+                return Err(ParError::Invalid {
+                    key: "grid.geometry".into(),
+                    msg: format!("unknown geometry `{other}`"),
+                })
+            }
+        };
+        let grid = Grid2::new(n1, n2, x1, x2, geometry);
+
+        let limiter = match self.get("radiation.limiter").unwrap_or("levermore-pomraning") {
+            "none" => Limiter::None,
+            "levermore-pomraning" | "lp" => Limiter::LevermorePomraning,
+            "wilson" => Limiter::Wilson,
+            other => {
+                return Err(ParError::Invalid {
+                    key: "radiation.limiter".into(),
+                    msg: format!("unknown limiter `{other}`"),
+                })
+            }
+        };
+        let ka = self.pair("radiation.kappa_a")?;
+        let ks = self.pair("radiation.kappa_s")?;
+        let kx: f64 = self.scalar_or("radiation.kappa_x", 0.0)?;
+        let opacity = OpacityModel::Constant {
+            kappa_a: [ka.0, ka.1],
+            kappa_s: [ks.0, ks.1],
+            kappa_x: kx,
+        };
+        let precond = match self.get("radiation.precond").unwrap_or("block-jacobi") {
+            "none" => PrecondKind::None,
+            "jacobi" => PrecondKind::Jacobi,
+            "block-jacobi" | "spai0" => PrecondKind::BlockJacobi,
+            "spai" | "spai1" => PrecondKind::Spai,
+            other => {
+                return Err(ParError::Invalid {
+                    key: "radiation.precond".into(),
+                    msg: format!("unknown preconditioner `{other}`"),
+                })
+            }
+        };
+        let variant = match self.get("radiation.bicgstab").unwrap_or("ganged") {
+            "ganged" => BicgVariant::Ganged,
+            "classic" => BicgVariant::Classic,
+            other => {
+                return Err(ParError::Invalid {
+                    key: "radiation.bicgstab".into(),
+                    msg: format!("unknown variant `{other}`"),
+                })
+            }
+        };
+        let solve = SolveOpts {
+            tol: self.scalar_or("radiation.tol", 1e-9)?,
+            max_iters: self.scalar_or("radiation.max_iters", 10_000)?,
+            variant,
+        };
+
+        let hydro = match self.get("hydro.enabled").unwrap_or("false") {
+            "true" | "yes" | "1" => {
+                let bc_of = |key: &str| -> Result<crate::hydro::BcKind, ParError> {
+                    match self.get(key).unwrap_or("outflow") {
+                        "outflow" => Ok(crate::hydro::BcKind::Outflow),
+                        "reflecting" | "wall" => Ok(crate::hydro::BcKind::Reflecting),
+                        other => Err(ParError::Invalid {
+                            key: key.to_string(),
+                            msg: format!("unknown boundary `{other}`"),
+                        }),
+                    }
+                };
+                Some(HydroConfig {
+                    gamma: self.scalar_or("hydro.gamma", 5.0 / 3.0)?,
+                    cfl: self.scalar_or("hydro.cfl", 0.4)?,
+                    bc: crate::hydro::HydroBc {
+                        west: bc_of("hydro.bc_west")?,
+                        east: bc_of("hydro.bc_east")?,
+                        south: bc_of("hydro.bc_south")?,
+                        north: bc_of("hydro.bc_north")?,
+                    },
+                })
+            }
+            "false" | "no" | "0" => None,
+            other => {
+                return Err(ParError::Invalid {
+                    key: "hydro.enabled".into(),
+                    msg: format!("expected a boolean, got `{other}`"),
+                })
+            }
+        };
+
+        let cfg = V2dConfig {
+            grid,
+            limiter,
+            opacity,
+            c_light: self.scalar_or("radiation.c_light", 1.0)?,
+            dt: self.scalar("run.dt")?,
+            n_steps: self.scalar("run.n_steps")?,
+            precond,
+            solve,
+            hydro,
+            coupling: None,
+        };
+        let nprx1: usize = self.scalar_or("run.nprx1", 1)?;
+        let nprx2: usize = self.scalar_or("run.nprx2", 1)?;
+        Ok((cfg, (nprx1, nprx2)))
+    }
+}
+
+/// The parameter file reproducing the paper's benchmark configuration.
+pub const PAPER_PAR: &str = r#"# The CLUSTER 2022 radiation benchmark: 2-D Gaussian pulse,
+# 200 x 100 zones x 2 species, 100 timesteps (300 BiCGSTAB solves).
+[grid]
+n1 = 200
+n2 = 100
+x1 = 0.0 2.0
+x2 = 0.0 1.0
+geometry = cartesian
+
+[run]
+# ~400x the explicit diffusion-stability limit, as in
+# problems::gaussian::scaled_config — the stiffness regime that gives
+# the study its ~128 BiCGSTAB iterations per solve.
+dt = 0.06
+n_steps = 100
+nprx1 = 1
+nprx2 = 1
+
+[radiation]
+limiter = levermore-pomraning
+kappa_a = 0.02 0.04
+kappa_s = 2.0 3.0
+kappa_x = 0.01
+precond = block-jacobi
+tol = 1e-9
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_par_parses_to_the_study_config() {
+        let pf = ParFile::parse(PAPER_PAR).expect("parse");
+        let (cfg, (np1, np2)) = pf.to_config().expect("config");
+        assert_eq!((cfg.grid.n1, cfg.grid.n2), (200, 100));
+        assert_eq!(cfg.n_steps, 100);
+        assert_eq!(cfg.precond, PrecondKind::BlockJacobi);
+        assert_eq!(cfg.limiter, Limiter::LevermorePomraning);
+        assert_eq!((np1, np2), (1, 1));
+        assert!(cfg.hydro.is_none());
+        // The deck must stay in sync with the programmatic config.
+        let reference = crate::problems::GaussianPulse::paper_config();
+        assert!(
+            ((cfg.dt - reference.dt) / reference.dt).abs() < 1e-12,
+            "deck dt {} diverged from paper_config dt {}",
+            cfg.dt,
+            reference.dt
+        );
+    }
+
+    #[test]
+    fn comments_sections_and_whitespace() {
+        let pf = ParFile::parse(
+            "# header\n a = 1 # trailing\n[Sec]\n b = 2\n\n[other]\nc = hello world\n",
+        )
+        .unwrap();
+        assert_eq!(pf.get("a"), Some("1"));
+        assert_eq!(pf.get("sec.b"), Some("2"));
+        assert_eq!(pf.get("other.c"), Some("hello world"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        match ParFile::parse("ok = 1\nbroken line\n") {
+            Err(ParError::Syntax { line: 2, .. }) => {}
+            other => panic!("expected syntax error on line 2, got {other:?}"),
+        }
+        match ParFile::parse("[unterminated\n") {
+            Err(ParError::Syntax { line: 1, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(matches!(
+            ParFile::parse("a = 1\na = 2\n"),
+            Err(ParError::Syntax { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_keys_are_reported() {
+        let pf = ParFile::parse("[grid]\nn1 = 4\n").unwrap();
+        match pf.to_config() {
+            Err(ParError::Missing(k)) => assert_eq!(k, "grid.n2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_enumerations_are_reported() {
+        let text = PAPER_PAR.replace("levermore-pomraning", "quantum");
+        let pf = ParFile::parse(&text).unwrap();
+        assert!(matches!(pf.to_config(), Err(ParError::Invalid { .. })));
+    }
+
+    #[test]
+    fn hydro_section_enables_the_flow_solver() {
+        let text = format!("{PAPER_PAR}\n[hydro]\nenabled = true\ngamma = 1.4\n");
+        let pf = ParFile::parse(&text).unwrap();
+        let (cfg, _) = pf.to_config().unwrap();
+        let h = cfg.hydro.expect("hydro enabled");
+        assert!((h.gamma - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_rejects_wrong_arity() {
+        let pf = ParFile::parse("x = 1.0\ny = 1 2 3\n").unwrap();
+        assert!(pf.pair("x").is_err());
+        assert!(pf.pair("y").is_err());
+    }
+}

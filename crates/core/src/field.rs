@@ -1,0 +1,390 @@
+//! Scalar tile fields with two-deep ghost frames.
+//!
+//! The radiation module stores its unknowns in `v2d_linalg::TileVec`
+//! (two species, one ghost layer — the linear-solver shape); the hydro
+//! module needs plain scalar fields with *two* ghost layers for the
+//! MUSCL reconstruction.  [`Field2`] is that type, with its own halo
+//! pack/unpack of width-2 strips.
+
+use v2d_comm::topology::Dir;
+use v2d_comm::{CartComm, Comm};
+use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+
+/// Ghost width of hydro fields (MUSCL needs 2).
+pub const NG: usize = 2;
+
+/// A scalar field over the local tile with [`NG`] ghost layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2 {
+    n1: usize,
+    n2: usize,
+    data: Vec<f64>,
+}
+
+impl Field2 {
+    /// A zeroed field.
+    pub fn new(n1: usize, n2: usize) -> Self {
+        assert!(n1 >= 1 && n2 >= 1);
+        Field2 { n1, n2, data: vec![0.0; (n1 + 2 * NG) * (n2 + 2 * NG)] }
+    }
+
+    /// Interior extents.
+    pub fn n1(&self) -> usize {
+        self.n1
+    }
+
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.n1 + 2 * NG
+    }
+
+    /// Flat index; interior indices are `0..n`, ghosts reach `−NG..0`
+    /// and `n..n+NG`.
+    #[inline]
+    pub fn idx(&self, i1: isize, i2: isize) -> usize {
+        debug_assert!((-(NG as isize)..=(self.n1 + NG - 1) as isize).contains(&i1));
+        debug_assert!((-(NG as isize)..=(self.n2 + NG - 1) as isize).contains(&i2));
+        (i2 + NG as isize) as usize * self.stride() + (i1 + NG as isize) as usize
+    }
+
+    /// Value at `(i1, i2)`.
+    #[inline]
+    pub fn get(&self, i1: isize, i2: isize) -> f64 {
+        self.data[self.idx(i1, i2)]
+    }
+
+    /// Set value at `(i1, i2)`.
+    #[inline]
+    pub fn set(&mut self, i1: isize, i2: isize, v: f64) {
+        let i = self.idx(i1, i2);
+        self.data[i] = v;
+    }
+
+    /// Fill the interior from a closure over local indices.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize) -> f64) {
+        for i2 in 0..self.n2 {
+            for i1 in 0..self.n1 {
+                self.set(i1 as isize, i2 as isize, f(i1, i2));
+            }
+        }
+    }
+
+    /// Interior values, x1 fastest.
+    pub fn interior_to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n1 * self.n2);
+        for i2 in 0..self.n2 {
+            for i1 in 0..self.n1 {
+                out.push(self.get(i1 as isize, i2 as isize));
+            }
+        }
+        out
+    }
+
+    /// Number of values in one width-NG edge strip.
+    pub fn strip_len(&self, dir: Dir) -> usize {
+        NG * match dir {
+            Dir::West | Dir::East => self.n2,
+            Dir::South | Dir::North => self.n1,
+        }
+    }
+
+    /// Pack the owned strip adjacent to `dir` (the NG columns/rows a
+    /// neighbor needs as its ghosts).
+    pub fn pack_strip(&self, dir: Dir, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.reserve(self.strip_len(dir));
+        match dir {
+            Dir::West => {
+                for g in 0..NG as isize {
+                    for i2 in 0..self.n2 as isize {
+                        buf.push(self.get(g, i2));
+                    }
+                }
+            }
+            Dir::East => {
+                for g in 0..NG as isize {
+                    for i2 in 0..self.n2 as isize {
+                        buf.push(self.get(self.n1 as isize - NG as isize + g, i2));
+                    }
+                }
+            }
+            Dir::South => {
+                for g in 0..NG as isize {
+                    for i1 in 0..self.n1 as isize {
+                        buf.push(self.get(i1, g));
+                    }
+                }
+            }
+            Dir::North => {
+                for g in 0..NG as isize {
+                    for i1 in 0..self.n1 as isize {
+                        buf.push(self.get(i1, self.n2 as isize - NG as isize + g));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unpack a received strip into the ghost layers on side `dir`.
+    pub fn unpack_strip(&mut self, dir: Dir, strip: &[f64]) {
+        assert_eq!(strip.len(), self.strip_len(dir), "halo strip length mismatch");
+        let mut k = 0;
+        match dir {
+            Dir::West => {
+                for g in 0..NG as isize {
+                    for i2 in 0..self.n2 as isize {
+                        self.set(-(NG as isize) + g, i2, strip[k]);
+                        k += 1;
+                    }
+                }
+            }
+            Dir::East => {
+                for g in 0..NG as isize {
+                    for i2 in 0..self.n2 as isize {
+                        self.set(self.n1 as isize + g, i2, strip[k]);
+                        k += 1;
+                    }
+                }
+            }
+            Dir::South => {
+                for g in 0..NG as isize {
+                    for i1 in 0..self.n1 as isize {
+                        self.set(i1, -(NG as isize) + g, strip[k]);
+                        k += 1;
+                    }
+                }
+            }
+            Dir::North => {
+                for g in 0..NG as isize {
+                    for i1 in 0..self.n1 as isize {
+                        self.set(i1, self.n2 as isize + g, strip[k]);
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fill the ghosts on side `dir` by copying the nearest interior
+    /// value outward (zero-gradient / outflow boundary).
+    pub fn outflow_ghost(&mut self, dir: Dir) {
+        match dir {
+            Dir::West => {
+                for i2 in -(NG as isize)..(self.n2 + NG) as isize {
+                    let i2c = i2.clamp(0, self.n2 as isize - 1);
+                    for g in 1..=NG as isize {
+                        let v = self.get(0, i2c);
+                        self.set(-g, i2, v);
+                    }
+                }
+            }
+            Dir::East => {
+                for i2 in -(NG as isize)..(self.n2 + NG) as isize {
+                    let i2c = i2.clamp(0, self.n2 as isize - 1);
+                    for g in 0..NG as isize {
+                        let v = self.get(self.n1 as isize - 1, i2c);
+                        self.set(self.n1 as isize + g, i2, v);
+                    }
+                }
+            }
+            Dir::South => {
+                for i1 in -(NG as isize)..(self.n1 + NG) as isize {
+                    let i1c = i1.clamp(0, self.n1 as isize - 1);
+                    for g in 1..=NG as isize {
+                        let v = self.get(i1c, 0);
+                        self.set(i1, -g, v);
+                    }
+                }
+            }
+            Dir::North => {
+                for i1 in -(NG as isize)..(self.n1 + NG) as isize {
+                    let i1c = i1.clamp(0, self.n1 as isize - 1);
+                    for g in 0..NG as isize {
+                        let v = self.get(i1c, self.n2 as isize - 1);
+                        self.set(i1, self.n2 as isize + g, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fill the ghosts on side `dir` by reflection, optionally negating
+    /// (for the normal velocity component at a reflecting wall).
+    pub fn reflect_ghost(&mut self, dir: Dir, negate: bool) {
+        let sgn = if negate { -1.0 } else { 1.0 };
+        match dir {
+            Dir::West => {
+                for i2 in -(NG as isize)..(self.n2 + NG) as isize {
+                    let i2c = i2.clamp(0, self.n2 as isize - 1);
+                    for g in 1..=NG as isize {
+                        let v = self.get(g - 1, i2c);
+                        self.set(-g, i2, sgn * v);
+                    }
+                }
+            }
+            Dir::East => {
+                for i2 in -(NG as isize)..(self.n2 + NG) as isize {
+                    let i2c = i2.clamp(0, self.n2 as isize - 1);
+                    for g in 0..NG as isize {
+                        let v = self.get(self.n1 as isize - 1 - g, i2c);
+                        self.set(self.n1 as isize + g, i2, sgn * v);
+                    }
+                }
+            }
+            Dir::South => {
+                for i1 in -(NG as isize)..(self.n1 + NG) as isize {
+                    let i1c = i1.clamp(0, self.n1 as isize - 1);
+                    for g in 1..=NG as isize {
+                        let v = self.get(i1c, g - 1);
+                        self.set(i1, -g, sgn * v);
+                    }
+                }
+            }
+            Dir::North => {
+                for i1 in -(NG as isize)..(self.n1 + NG) as isize {
+                    let i1c = i1.clamp(0, self.n1 as isize - 1);
+                    for g in 0..NG as isize {
+                        let v = self.get(i1c, self.n2 as isize - 1 - g);
+                        self.set(i1, self.n2 as isize + g, sgn * v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Halo-exchange a set of scalar fields: width-2 strips to/from each
+/// neighbor (packed together per direction to amortize message latency),
+/// outflow ghosts at physical boundaries.
+pub fn exchange_fields(
+    cart: &CartComm,
+    comm: &Comm,
+    sink: &mut MultiCostSink,
+    fields: &mut [&mut Field2],
+    ws: usize,
+) {
+    let mut send = Vec::new();
+    let mut one = Vec::new();
+    // Post all sends, then receive (see StencilOp::exchange_halos for
+    // why the two-phase structure matters for the virtual clocks).
+    for dir in Dir::ALL {
+        if cart.neighbor(dir).is_some() {
+            send.clear();
+            for f in fields.iter() {
+                f.pack_strip(dir, &mut one);
+                send.extend_from_slice(&one);
+            }
+            sink.charge(&KernelShape::streaming(KernelClass::Pack, send.len(), 0, 1, 1, ws));
+            cart.post(comm, sink, dir, &send);
+        } else {
+            for f in fields.iter_mut() {
+                f.outflow_ghost(dir);
+            }
+        }
+    }
+    for dir in Dir::ALL {
+        if let Some(recv) = cart.collect(comm, sink, dir) {
+            let strip = fields[0].strip_len(dir);
+            assert_eq!(recv.len(), strip * fields.len(), "bundled halo size mismatch");
+            for (fi, f) in fields.iter_mut().enumerate() {
+                f.unpack_strip(dir, &recv[fi * strip..(fi + 1) * strip]);
+            }
+            sink.charge(&KernelShape::streaming(KernelClass::Pack, recv.len(), 0, 1, 1, ws));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2d_comm::{Spmd, TileMap};
+    use v2d_machine::CompilerProfile;
+
+    #[test]
+    fn interior_and_ghost_indexing() {
+        let mut f = Field2::new(4, 3);
+        f.fill_with(|i1, i2| (i2 * 10 + i1) as f64);
+        assert_eq!(f.get(0, 0), 0.0);
+        assert_eq!(f.get(3, 2), 23.0);
+        f.set(-2, -2, 7.0);
+        f.set(5, 4, 9.0);
+        assert_eq!(f.get(-2, -2), 7.0);
+        assert_eq!(f.get(5, 4), 9.0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut a = Field2::new(5, 4);
+        a.fill_with(|i1, i2| (i2 * 100 + i1) as f64);
+        let mut b = Field2::new(5, 4);
+        let mut buf = Vec::new();
+        // a's east strip becomes b's west ghosts in a real exchange;
+        // here we just verify pack→unpack symmetry per side.
+        for dir in Dir::ALL {
+            a.pack_strip(dir, &mut buf);
+            b.unpack_strip(dir, &buf);
+        }
+        // b's west ghosts must hold a's two westmost columns.
+        for i2 in 0..4isize {
+            assert_eq!(b.get(-2, i2), a.get(0, i2));
+            assert_eq!(b.get(-1, i2), a.get(1, i2));
+            assert_eq!(b.get(5, i2), a.get(3, i2));
+            assert_eq!(b.get(6, i2), a.get(4, i2));
+        }
+    }
+
+    #[test]
+    fn outflow_ghosts_copy_edge_values() {
+        let mut f = Field2::new(3, 3);
+        f.fill_with(|i1, i2| (1 + i1 + 10 * i2) as f64);
+        for dir in Dir::ALL {
+            f.outflow_ghost(dir);
+        }
+        assert_eq!(f.get(-1, 1), f.get(0, 1));
+        assert_eq!(f.get(-2, 1), f.get(0, 1));
+        assert_eq!(f.get(3, 0), f.get(2, 0));
+        assert_eq!(f.get(1, -2), f.get(1, 0));
+        // corners take clamped values
+        assert_eq!(f.get(-1, -1), f.get(0, 0));
+    }
+
+    #[test]
+    fn reflect_ghosts_mirror_and_negate() {
+        let mut f = Field2::new(4, 2);
+        f.fill_with(|i1, _| i1 as f64 + 1.0);
+        f.reflect_ghost(Dir::West, true);
+        assert_eq!(f.get(-1, 0), -1.0); // mirror of i1=0
+        assert_eq!(f.get(-2, 0), -2.0); // mirror of i1=1
+        f.reflect_ghost(Dir::East, false);
+        assert_eq!(f.get(4, 1), 4.0); // mirror of i1=3
+        assert_eq!(f.get(5, 1), 3.0); // mirror of i1=2
+    }
+
+    #[test]
+    fn exchange_moves_two_deep_strips_between_ranks() {
+        let map = TileMap::new(8, 4, 2, 1);
+        let outs = Spmd::new(2)
+            .with_profiles(vec![CompilerProfile::fujitsu()])
+            .run(|ctx| {
+                let cart = CartComm::new(&ctx.comm, map);
+                let t = cart.tile();
+                let mut f = Field2::new(t.n1, t.n2);
+                f.fill_with(|i1, i2| ((t.i1_start + i1) * 10 + i2) as f64);
+                exchange_fields(&cart, &ctx.comm, &mut ctx.sink, &mut [&mut f], 0);
+                // Rank 0 owns i1 ∈ 0..4; its east ghosts are global 4,5.
+                // Rank 1 owns 4..8; its west ghosts are global 2,3.
+                (f.get(-2, 1), f.get(-1, 1), f.get(4, 1), f.get(5, 1))
+            });
+        // rank 0: west is physical (outflow of global 0), east from rank 1.
+        assert_eq!(outs[0].2, 41.0);
+        assert_eq!(outs[0].3, 51.0);
+        assert_eq!(outs[0].0, 1.0);
+        // rank 1: west ghosts are global 2,3.
+        assert_eq!(outs[1].0, 21.0);
+        assert_eq!(outs[1].1, 31.0);
+    }
+}

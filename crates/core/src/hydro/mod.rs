@@ -1,0 +1,15 @@
+//! Eulerian hydrodynamics.
+//!
+//! V2D "solves the equations of Eulerian hydrodynamics and multi-species
+//! flux-limited diffusive radiation transport in two spatial dimensions"
+//! (§I-C).  The paper's SVE study runs with hydrodynamics frozen, but the
+//! module is part of the code — and of the multi-physics overhead story —
+//! so it is implemented fully here: a dimensionally split MUSCL–Hancock
+//! scheme with HLL fluxes and a gamma-law equation of state, on the
+//! two-ghost scalar fields of [`crate::field`].
+
+pub mod eos;
+pub mod euler;
+
+pub use eos::GammaLaw;
+pub use euler::{BcKind, HydroBc, HydroState, HydroStepper};

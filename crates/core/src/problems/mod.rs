@@ -1,0 +1,22 @@
+//! Test problems: initial conditions, configurations, and analytic
+//! references.
+//!
+//! * [`gaussian`] — the paper's radiation test: diffusion of a 2-D
+//!   Gaussian pulse on a 200 × 100 grid with two species, 100 timesteps,
+//!   three solves per step (Table I's workload), plus a linear variant
+//!   with a closed-form solution for verification;
+//! * [`shock_tube`] — the Sod problem exercising the hydro module;
+//! * [`equilibrium`] — two-species radiative relaxation with an
+//!   exponential analytic rate, verifying the species coupling;
+//! * [`marshak`] — matter–radiation thermalization with an analytic
+//!   joint equilibrium, verifying the emission/absorption coupling.
+
+pub mod equilibrium;
+pub mod gaussian;
+pub mod marshak;
+pub mod shock_tube;
+
+pub use equilibrium::RadiativeRelaxation;
+pub use gaussian::GaussianPulse;
+pub use marshak::MatterRelaxation;
+pub use shock_tube::SodTube;

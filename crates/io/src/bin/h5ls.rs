@@ -1,0 +1,91 @@
+//! `h5ls` for h5lite files: print the group tree, dataset shapes, and
+//! attributes of a checkpoint — the inspection tool every self-describing
+//! format needs.
+//!
+//! ```text
+//! h5ls <file.h5l> [path]     # list the whole file, or one subtree
+//! h5ls -d <file.h5l> <path>  # dump a dataset's values
+//! ```
+
+use v2d_io::{Dataset, File, Group, Value};
+
+fn print_group(name: &str, g: &Group, indent: usize) {
+    let pad = "  ".repeat(indent);
+    println!("{pad}{name}/");
+    let pad2 = "  ".repeat(indent + 1);
+    for (k, v) in &g.attrs {
+        let v = match v {
+            Value::F64(x) => format!("{x}"),
+            Value::I64(x) => format!("{x}"),
+            Value::Str(s) => format!("{s:?}"),
+        };
+        println!("{pad2}@{k} = {v}");
+    }
+    for (k, d) in &g.datasets {
+        let (ty, shape) = match d {
+            Dataset::F64 { shape, .. } => ("f64", shape),
+            Dataset::I64 { shape, .. } => ("i64", shape),
+        };
+        let dims: Vec<String> = shape.iter().map(|s| s.to_string()).collect();
+        println!("{pad2}{k}  {ty}[{}]", dims.join(" × "));
+    }
+    for (k, sub) in &g.groups {
+        print_group(k, sub, indent + 1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dump, rest) = match args.first().map(String::as_str) {
+        Some("-d") => (true, &args[1..]),
+        _ => (false, &args[..]),
+    };
+    let Some(path) = rest.first() else {
+        eprintln!("usage: h5ls [-d] <file.h5l> [path]");
+        std::process::exit(2);
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("h5ls: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match (dump, rest.get(1)) {
+        (true, Some(dpath)) => match file.dataset(dpath) {
+            Ok(Dataset::F64 { shape, data }) => {
+                println!("# {dpath}: f64{shape:?}");
+                for v in data {
+                    println!("{v}");
+                }
+            }
+            Ok(Dataset::I64 { shape, data }) => {
+                println!("# {dpath}: i64{shape:?}");
+                for v in data {
+                    println!("{v}");
+                }
+            }
+            Err(e) => {
+                eprintln!("h5ls: {e}");
+                std::process::exit(1);
+            }
+        },
+        (true, None) => {
+            eprintln!("h5ls: -d needs a dataset path");
+            std::process::exit(2);
+        }
+        (false, sub) => {
+            let (name, group) = match sub {
+                Some(p) => match file.group(p) {
+                    Ok(g) => (p.as_str(), g),
+                    Err(e) => {
+                        eprintln!("h5ls: {e}");
+                        std::process::exit(1);
+                    }
+                },
+                None => ("", &file.root),
+            };
+            print_group(name, group, 0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # v2d-io — "h5lite", the hierarchical data format substrate
+//!
+//! V2D uses HDF5 with MPI-IO for its checkpoint and output files.  HDF5
+//! is not available here, so this crate implements the slice of it the
+//! code actually needs: a **hierarchical, self-describing, checksummed
+//! binary format** of groups, typed datasets (f64 / i64 arrays with
+//! shapes), and string/scalar attributes, plus a gather-based parallel
+//! writer ([`parallel`]) that assembles a domain-decomposed global field
+//! from per-rank tiles — the same data path HDF5-over-MPI-IO provides on
+//! a real cluster.
+//!
+//! Layout of a file:
+//!
+//! ```text
+//! magic "H5LT" | version u16 | payload length u64 | payload | fnv1a-64 of payload
+//! ```
+//!
+//! The payload is a recursive little-endian encoding of the root group.
+//! Everything is length-prefixed; decoding validates the checksum before
+//! interpreting a single byte of structure.
+
+pub mod format;
+pub mod parallel;
+
+pub use format::{Dataset, File, Group, H5Error, Value};
+pub use parallel::gather_global;

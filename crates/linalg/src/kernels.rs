@@ -1,0 +1,229 @@
+//! The V2D vector kernels over [`TileVec`] interiors.
+//!
+//! Each kernel executes natively (row-wise slice loops that LLVM
+//! auto-vectorizes) and charges its [`KernelShape`] to the rank's
+//! [`MultiCostSink`], so the same call both produces the numerics and
+//! advances all modeled compilers' virtual clocks.  `ws` is the ambient
+//! working set of the enclosing solver loop in bytes — it decides the
+//! memory level operands stream from (see `v2d-machine`'s cost docs).
+//!
+//! Naming follows the paper's Table II: DPROD, DAXPY, DSCAL
+//! (`y ← c − d·y`), DDAXPY (`w ← a·x + b·y + z`).
+
+use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+
+use crate::tilevec::TileVec;
+use crate::NSPEC;
+
+fn charge(sink: &mut MultiCostSink, class: KernelClass, elems: usize, flops_per_elem: usize, reads: usize, writes: usize, ws: usize) {
+    sink.charge(&KernelShape::streaming(class, elems, flops_per_elem, reads, writes, ws));
+}
+
+/// Local part of the dot product `Σ x·y` (the global value needs an
+/// allreduce; V2D gangs several of these partials into one reduction).
+pub fn dprod_local(sink: &mut MultiCostSink, ws: usize, x: &TileVec, y: &TileVec) -> f64 {
+    debug_assert_eq!((x.n1(), x.n2()), (y.n1(), y.n2()));
+    let mut acc = 0.0;
+    for s in 0..NSPEC {
+        for i2 in 0..x.n2() {
+            let xr = x.row(s, i2);
+            let yr = y.row(s, i2);
+            acc += xr.iter().zip(yr).map(|(a, b)| a * b).sum::<f64>();
+        }
+    }
+    charge(sink, KernelClass::DotProd, x.n_owned(), 2, 2, 0, ws);
+    acc
+}
+
+/// Local part of `‖x‖²`.
+pub fn norm2_local(sink: &mut MultiCostSink, ws: usize, x: &TileVec) -> f64 {
+    dprod_local(sink, ws, x, x)
+}
+
+/// `y ← a·x + y`
+pub fn daxpy(sink: &mut MultiCostSink, ws: usize, a: f64, x: &TileVec, y: &mut TileVec) {
+    debug_assert_eq!((x.n1(), x.n2()), (y.n1(), y.n2()));
+    for s in 0..NSPEC {
+        for i2 in 0..x.n2() {
+            let xr = x.row(s, i2);
+            let yr = y.row_mut(s, i2);
+            for (yi, xi) in yr.iter_mut().zip(xr) {
+                *yi += a * xi;
+            }
+        }
+    }
+    charge(sink, KernelClass::Daxpy, x.n_owned(), 2, 2, 1, ws);
+}
+
+/// `y ← c − d·y` (the paper's DSCAL form).
+pub fn dscal(sink: &mut MultiCostSink, ws: usize, c: f64, d: f64, y: &mut TileVec) {
+    for s in 0..NSPEC {
+        for i2 in 0..y.n2() {
+            for yi in y.row_mut(s, i2) {
+                *yi = c - d * *yi;
+            }
+        }
+    }
+    charge(sink, KernelClass::Dscal, y.n_owned(), 2, 1, 1, ws);
+}
+
+/// `w ← a·x + b·y + w` — the in-place form of the paper's DDAXPY
+/// (`w` plays the role of the third operand `z`).
+pub fn ddaxpy(sink: &mut MultiCostSink, ws: usize, a: f64, x: &TileVec, b: f64, y: &TileVec, w: &mut TileVec) {
+    debug_assert_eq!((x.n1(), x.n2()), (w.n1(), w.n2()));
+    debug_assert_eq!((y.n1(), y.n2()), (w.n1(), w.n2()));
+    for s in 0..NSPEC {
+        for i2 in 0..x.n2() {
+            let xr = x.row(s, i2);
+            let yr = y.row(s, i2);
+            let wr = w.row_mut(s, i2);
+            for ((wi, xi), yi) in wr.iter_mut().zip(xr).zip(yr) {
+                *wi += a * xi + b * yi;
+            }
+        }
+    }
+    charge(sink, KernelClass::Ddaxpy, w.n_owned(), 4, 3, 1, ws);
+}
+
+/// BiCGSTAB's search-direction update `p ← r + β·(p − ω·v)`, fused the
+/// way V2D's combined scaling/addition routine does it.
+pub fn p_update(sink: &mut MultiCostSink, ws: usize, beta: f64, omega: f64, r: &TileVec, v: &TileVec, p: &mut TileVec) {
+    debug_assert_eq!((r.n1(), r.n2()), (p.n1(), p.n2()));
+    for s in 0..NSPEC {
+        for i2 in 0..r.n2() {
+            let rr = r.row(s, i2);
+            let vr = v.row(s, i2);
+            let pr = p.row_mut(s, i2);
+            for ((pi, ri), vi) in pr.iter_mut().zip(rr).zip(vr) {
+                *pi = ri + beta * (*pi - omega * vi);
+            }
+        }
+    }
+    charge(sink, KernelClass::Ddaxpy, p.n_owned(), 4, 3, 1, ws);
+}
+
+/// `w ← x − a·y` (residual-style update, e.g. `s = r − α·v`).
+pub fn xmay(sink: &mut MultiCostSink, ws: usize, x: &TileVec, a: f64, y: &TileVec, w: &mut TileVec) {
+    debug_assert_eq!((x.n1(), x.n2()), (w.n1(), w.n2()));
+    for s in 0..NSPEC {
+        for i2 in 0..x.n2() {
+            let xr = x.row(s, i2);
+            let yr = y.row(s, i2);
+            let wr = w.row_mut(s, i2);
+            for ((wi, xi), yi) in wr.iter_mut().zip(xr).zip(yr) {
+                *wi = xi - a * yi;
+            }
+        }
+    }
+    charge(sink, KernelClass::Daxpy, w.n_owned(), 2, 2, 1, ws);
+}
+
+/// Copy `x` into `y` (interior only; ghosts are refreshed by the next
+/// operator application anyway).
+pub fn copy(sink: &mut MultiCostSink, ws: usize, x: &TileVec, y: &mut TileVec) {
+    debug_assert_eq!((x.n1(), x.n2()), (y.n1(), y.n2()));
+    for s in 0..NSPEC {
+        for i2 in 0..x.n2() {
+            let xr = x.row(s, i2);
+            y.row_mut(s, i2).copy_from_slice(xr);
+        }
+    }
+    charge(sink, KernelClass::Other, x.n_owned(), 0, 1, 1, ws);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2d_machine::{CompilerProfile, CostSink, MultiCostSink};
+
+    fn sink() -> MultiCostSink {
+        MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+    }
+
+    fn field(n1: usize, n2: usize, seed: f64) -> TileVec {
+        let mut v = TileVec::new(n1, n2);
+        v.fill_with(|s, i1, i2| ((s * 31 + i1 * 7 + i2 * 13) as f64 * seed).sin());
+        v
+    }
+
+    #[test]
+    fn dprod_matches_flat_oracle() {
+        let x = field(7, 5, 0.3);
+        let y = field(7, 5, 0.7);
+        let mut sk = sink();
+        let got = dprod_local(&mut sk, 0, &x, &y);
+        let expect: f64 = x
+            .interior_to_vec()
+            .iter()
+            .zip(y.interior_to_vec())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((got - expect).abs() < 1e-14);
+        assert!(sk.lanes[0].counters.calls[v2d_machine::KernelClass::DotProd.index()] == 1);
+    }
+
+    #[test]
+    fn daxpy_and_xmay() {
+        let x = field(6, 4, 0.3);
+        let y0 = field(6, 4, 0.9);
+        let mut y = y0.clone();
+        let mut sk = sink();
+        daxpy(&mut sk, 0, 2.5, &x, &mut y);
+        for s in 0..NSPEC {
+            for i2 in 0..4 {
+                for i1 in 0..6isize {
+                    let e = y0.get(s, i1, i2 as isize) + 2.5 * x.get(s, i1, i2 as isize);
+                    assert!((y.get(s, i1, i2 as isize) - e).abs() < 1e-15);
+                }
+            }
+        }
+        let mut w = TileVec::new(6, 4);
+        xmay(&mut sk, 0, &y0, 0.5, &x, &mut w);
+        assert!((w.get(0, 2, 2) - (y0.get(0, 2, 2) - 0.5 * x.get(0, 2, 2))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dscal_is_c_minus_dy() {
+        let mut y = field(5, 5, 0.4);
+        let y0 = y.clone();
+        dscal(&mut sink(), 0, 1.5, 0.25, &mut y);
+        assert!((y.get(1, 3, 2) - (1.5 - 0.25 * y0.get(1, 3, 2))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ddaxpy_accumulates() {
+        let x = field(4, 4, 0.2);
+        let y = field(4, 4, 0.6);
+        let w0 = field(4, 4, 1.1);
+        let mut w = w0.clone();
+        ddaxpy(&mut sink(), 0, 2.0, &x, -1.5, &y, &mut w);
+        let e = w0.get(0, 1, 1) + 2.0 * x.get(0, 1, 1) - 1.5 * y.get(0, 1, 1);
+        assert!((w.get(0, 1, 1) - e).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p_update_formula() {
+        let r = field(4, 3, 0.2);
+        let v = field(4, 3, 0.8);
+        let p0 = field(4, 3, 1.3);
+        let mut p = p0.clone();
+        p_update(&mut sink(), 0, 0.7, 0.3, &r, &v, &mut p);
+        let e = r.get(1, 2, 1) + 0.7 * (p0.get(1, 2, 1) - 0.3 * v.get(1, 2, 1));
+        assert!((p.get(1, 2, 1) - e).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kernels_advance_all_lanes() {
+        let x = field(8, 8, 0.5);
+        let mut y = field(8, 8, 0.25);
+        let mut sk = MultiCostSink::all_compilers();
+        daxpy(&mut sk, 1 << 24, 1.0, &x, &mut y);
+        for lane in &sk.lanes {
+            assert!(lane.clock.now().cycles() > 0);
+        }
+        // HBM-resident working set: the unvectorized lane must be slower.
+        let opt = sk.lanes.iter().find(|l| l.profile.id == v2d_machine::CompilerId::CrayOpt).unwrap();
+        let noopt = sk.lanes.iter().find(|l| l.profile.id == v2d_machine::CompilerId::CrayNoOpt).unwrap();
+        assert!(noopt.clock.now() > opt.clock.now());
+    }
+}

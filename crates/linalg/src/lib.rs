@@ -1,0 +1,38 @@
+//! # v2d-linalg — distributed vectors, V2D's sparse kernels, and solvers
+//!
+//! V2D never stores its sparse matrix: the Krylov solver applies the
+//! finite-difference diffusion operator directly to column vectors that
+//! are "stored as Fortran arrays defined with the same spatial shape as
+//! the 2D grid" (paper, §I-C).  This crate is that layer:
+//!
+//! * [`TileVec`] — a rank-local field over the tile, two radiation species
+//!   per zone, with a one-zone ghost frame for the 5-point stencil;
+//! * [`kernels`] — DPROD / DAXPY / DSCAL / DDAXPY / copy / norm, each
+//!   executing natively and charging its [`v2d_machine::KernelShape`] to
+//!   the rank's cost sinks;
+//! * [`StencilOp`] — the matrix-free pentadiagonal operator with local
+//!   2×2 species coupling (the `x1·x2·2`-unknown system of the paper);
+//! * [`precond`] — Identity / Jacobi / block-Jacobi / SPAI(1)
+//!   preconditioners, the last following the sparse-approximate-inverse
+//!   approach of Swesty, Smolarski & Saylor (2004), the paper's ref [7];
+//! * [`solver`] — BiCGSTAB in classic form and in V2D's *restructured*
+//!   form that gangs inner products into two global reductions per
+//!   iteration, plus CG as the symmetric baseline;
+//! * [`sparsity`] — the assembled sparsity pattern of the never-stored
+//!   matrix, regenerating the paper's Fig. 1.
+
+pub mod kernels;
+pub mod op;
+pub mod precond;
+pub mod solver;
+pub mod sparsity;
+pub mod tilevec;
+
+pub use op::{LinearOp, StencilCoeffs, StencilOp};
+pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner, Spai};
+pub use solver::{bicgstab, cg, gmres, BicgVariant, SolveOpts, SolveStats};
+pub use tilevec::TileVec;
+
+/// Number of radiation species (energy groups) carried per zone — the
+/// "2" in the paper's `x1 × x2 × 2` linear systems.
+pub const NSPEC: usize = 2;

@@ -1,0 +1,236 @@
+//! The sparsity pattern of the (never-stored) global matrix — the
+//! paper's Fig. 1.
+//!
+//! With V2D's dictionary ordering (`row = i1 + n1·i2 + n1·n2·s`), each
+//! species block is pentadiagonal: the main diagonal, two adjacent
+//! diagonals at ±1 (x1 neighbors, absent across grid-row boundaries),
+//! and two outlying diagonals at ±n1 (x2 neighbors) — "the x1 parameter
+//! indicates the distance of the two outlying diagonals from the center
+//! diagonal" (paper, §II-A).  The local species coupling adds two more
+//! diagonals at ±n1·n2, outside the figure's 400×400 upper-left block.
+
+/// Global matrix dimension for an `n1 × n2` grid with `nspec` species.
+pub fn dimension(n1: usize, n2: usize, nspec: usize) -> usize {
+    n1 * n2 * nspec
+}
+
+/// The column indices of the nonzeros in `row`, ascending.
+pub fn row_nonzeros(n1: usize, n2: usize, nspec: usize, row: usize) -> Vec<usize> {
+    let zones = n1 * n2;
+    let n = dimension(n1, n2, nspec);
+    assert!(row < n, "row {row} out of range for dimension {n}");
+    let s = row / zones;
+    let z = row % zones;
+    let (i2, i1) = (z / n1, z % n1);
+    let mut cols = Vec::with_capacity(5 + nspec - 1);
+    // x2 neighbor below
+    if i2 > 0 {
+        cols.push(row - n1);
+    }
+    // x1 neighbor left (same grid row only)
+    if i1 > 0 {
+        cols.push(row - 1);
+    }
+    cols.push(row);
+    if i1 + 1 < n1 {
+        cols.push(row + 1);
+    }
+    if i2 + 1 < n2 {
+        cols.push(row + n1);
+    }
+    // species partners (local coupling)
+    for sp in 0..nspec {
+        if sp != s {
+            cols.push(sp * zones + z);
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+/// All nonzeros `(row, col)` with both indices inside
+/// `[r0, r1) × [c0, c1)` — the window the paper's figure plots
+/// (its Fig. 1 is the `400 × 400` upper-left block of the
+/// `40 000 × 40 000` matrix for `n1 = 200`, `n2 = 100`, 2 species).
+pub fn nonzeros_in_window(
+    n1: usize,
+    n2: usize,
+    nspec: usize,
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for r in rows {
+        for c in row_nonzeros(n1, n2, nspec, r) {
+            if cols.contains(&c) {
+                out.push((r, c));
+            }
+        }
+    }
+    out
+}
+
+/// Total nonzero count of the full matrix.
+pub fn nnz(n1: usize, n2: usize, nspec: usize) -> usize {
+    (0..dimension(n1, n2, nspec))
+        .map(|r| row_nonzeros(n1, n2, nspec, r).len())
+        .sum()
+}
+
+/// Render a window as a portable bitmap (PBM P1) string, one pixel per
+/// matrix entry, black where nonzero — Fig. 1 as an image file.
+pub fn window_to_pbm(
+    n1: usize,
+    n2: usize,
+    nspec: usize,
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+) -> String {
+    let (r0, c0) = (rows.start, cols.start);
+    let h = rows.end - rows.start;
+    let w = cols.end - cols.start;
+    let mut grid = vec![false; h * w];
+    for (r, c) in nonzeros_in_window(n1, n2, nspec, rows, cols) {
+        grid[(r - r0) * w + (c - c0)] = true;
+    }
+    let mut s = String::with_capacity(h * (2 * w + 1) + 32);
+    s.push_str(&format!("P1\n{w} {h}\n"));
+    for row in grid.chunks(w) {
+        for &px in row {
+            s.push(if px { '1' } else { '0' });
+            s.push(' ');
+        }
+        s.pop();
+        s.push('\n');
+    }
+    s
+}
+
+/// Render a window as coarse ASCII art (`#` = any nonzero in the cell),
+/// downsampling to at most `max_side` characters per side — for terminal
+/// inspection alongside the PBM.
+pub fn window_to_ascii(
+    n1: usize,
+    n2: usize,
+    nspec: usize,
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+    max_side: usize,
+) -> String {
+    let (r0, c0) = (rows.start, cols.start);
+    let h = rows.end - rows.start;
+    let w = cols.end - cols.start;
+    let step = (h.max(w)).div_ceil(max_side).max(1);
+    let (ch, cw) = (h.div_ceil(step), w.div_ceil(step));
+    let mut grid = vec![false; ch * cw];
+    for (r, c) in nonzeros_in_window(n1, n2, nspec, rows, cols) {
+        grid[((r - r0) / step) * cw + (c - c0) / step] = true;
+    }
+    let mut s = String::with_capacity(ch * (cw + 1));
+    for row in grid.chunks(cw) {
+        for &px in row {
+            s.push(if px { '#' } else { '.' });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matrix_dimension_is_40000() {
+        assert_eq!(dimension(200, 100, 2), 40_000);
+    }
+
+    #[test]
+    fn interior_row_has_six_nonzeros() {
+        // 5 spatial + 1 species partner.
+        let cols = row_nonzeros(200, 100, 2, 205 + 200 * 3);
+        assert_eq!(cols.len(), 6);
+    }
+
+    #[test]
+    fn corner_row_has_fewer() {
+        // Row 0: no west, no south → diag, east, north, partner.
+        let cols = row_nonzeros(200, 100, 2, 0);
+        assert_eq!(cols, vec![0, 1, 200, 20_000]);
+    }
+
+    #[test]
+    fn bands_sit_at_documented_offsets() {
+        let n1 = 200;
+        let row = 3 * n1 + 7; // interior of species 0
+        let cols = row_nonzeros(n1, 100, 2, row);
+        let offsets: Vec<isize> = cols.iter().map(|&c| c as isize - row as isize).collect();
+        // Diagonal, ±1 adjacent, ±n1 outlying, +n1·n2 species partner.
+        assert_eq!(offsets, vec![-(n1 as isize), -1, 0, 1, n1 as isize, 20_000]);
+    }
+
+    #[test]
+    fn no_wraparound_between_grid_rows() {
+        let n1 = 10;
+        // Last zone of a grid row must not couple to the first zone of
+        // the next (they are not x1 neighbors).
+        let row = n1 - 1; // (i1 = 9, i2 = 0)
+        let cols = row_nonzeros(n1, 5, 1, row);
+        assert!(!cols.contains(&(row + 1)), "wraparound coupling detected");
+        assert!(cols.contains(&(row + n1)));
+    }
+
+    #[test]
+    fn pattern_is_structurally_symmetric() {
+        let (n1, n2, ns) = (7, 5, 2);
+        let n = dimension(n1, n2, ns);
+        let mut set = std::collections::HashSet::new();
+        for r in 0..n {
+            for c in row_nonzeros(n1, n2, ns, r) {
+                set.insert((r, c));
+            }
+        }
+        for &(r, c) in &set {
+            assert!(set.contains(&(c, r)), "({r},{c}) present but ({c},{r}) missing");
+        }
+    }
+
+    #[test]
+    fn window_matches_row_enumeration() {
+        let nz = nonzeros_in_window(200, 100, 2, 0..400, 0..400);
+        // Every entry within the window, diagonal present.
+        assert!(nz.contains(&(0, 0)) && nz.contains(&(399, 399)));
+        assert!(nz.contains(&(200, 0)) && nz.contains(&(0, 200)), "outlying ±n1 bands missing");
+        // Species coupling (offset 20 000) must NOT appear in this block.
+        for &(r, c) in &nz {
+            assert!(r.abs_diff(c) <= 200);
+        }
+    }
+
+    #[test]
+    fn pbm_has_correct_header_and_size() {
+        let pbm = window_to_pbm(20, 10, 2, 0..40, 0..40);
+        let mut lines = pbm.lines();
+        assert_eq!(lines.next(), Some("P1"));
+        assert_eq!(lines.next(), Some("40 40"));
+        assert_eq!(lines.count(), 40);
+    }
+
+    #[test]
+    fn ascii_render_is_bounded() {
+        let art = window_to_ascii(200, 100, 2, 0..400, 0..400, 64);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines.len() <= 64);
+        assert!(lines.iter().all(|l| l.len() <= 64));
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn nnz_counts_match_structure() {
+        // 1 species, 3×3 grid: 9 diag + 12 x1-pairs... enumerate
+        // directly: each interior coupling counted once per direction.
+        let got = nnz(3, 3, 1);
+        // diag 9, ±1: 2 per grid row × 3 rows × 2 dirs = 12, ±n1: 12.
+        assert_eq!(got, 9 + 12 + 12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests of the sparsity enumeration: it must agree with the
+//! densely assembled operator for arbitrary grid shapes — the guarantee
+//! behind Fig. 1.
+
+use proptest::prelude::*;
+use v2d_comm::{CartComm, Spmd, TileMap};
+use v2d_linalg::{op::assemble_dense, sparsity, StencilCoeffs, StencilOp};
+use v2d_machine::CompilerProfile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pattern_matches_assembled_operator(n1 in 2usize..7, n2 in 2usize..6) {
+        let map = TileMap::new(n1, n2, 1, 1);
+        let dense = Spmd::new(1)
+            .with_profiles(vec![CompilerProfile::cray_opt()])
+            .run(move |ctx| {
+                let cart = CartComm::new(&ctx.comm, map);
+                let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                assemble_dense(&mut op, &ctx.comm, &mut ctx.sink)
+            });
+        let a = &dense[0];
+        let dim = sparsity::dimension(n1, n2, 2);
+        prop_assert_eq!(a.len(), dim);
+        for r in 0..dim {
+            let pattern = sparsity::row_nonzeros(n1, n2, 2, r);
+            for c in 0..dim {
+                let structurally_nonzero = pattern.contains(&c);
+                if a[r][c] != 0.0 {
+                    prop_assert!(
+                        structurally_nonzero,
+                        "assembled nonzero at ({r},{c}) outside the declared pattern"
+                    );
+                }
+                // The manufactured operator fills the whole pattern.
+                if structurally_nonzero {
+                    prop_assert!(a[r][c] != 0.0, "pattern entry ({r},{c}) is zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_equals_row_sum(n1 in 1usize..12, n2 in 1usize..12, ns in 1usize..3) {
+        let total: usize = (0..sparsity::dimension(n1, n2, ns))
+            .map(|r| sparsity::row_nonzeros(n1, n2, ns, r).len())
+            .sum();
+        prop_assert_eq!(total, sparsity::nnz(n1, n2, ns));
+    }
+}

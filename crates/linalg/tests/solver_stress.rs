@@ -1,0 +1,181 @@
+//! Stress and robustness tests of the solver stack: near-singular
+//! systems, tight tolerances, tiny tiles, and the documented breakdown
+//! paths.
+
+use v2d_comm::{CartComm, Spmd, TileMap};
+use v2d_linalg::{
+    bicgstab, cg, gmres, BicgVariant, BlockJacobi, Identity, Jacobi, LinearOp, SolveOpts,
+    StencilCoeffs, StencilOp, TileVec, NSPEC,
+};
+use v2d_machine::CompilerProfile;
+
+fn profiles() -> Vec<CompilerProfile> {
+    vec![CompilerProfile::cray_opt()]
+}
+
+fn residual_inf(
+    comm: &v2d_comm::Comm,
+    sink: &mut v2d_machine::MultiCostSink,
+    op: &mut StencilOp,
+    b: &TileVec,
+    x: &TileVec,
+) -> f64 {
+    let (n1, n2) = op.tile_dims();
+    let mut ax = TileVec::new(n1, n2);
+    let mut xc = x.clone();
+    op.apply(comm, sink, &mut xc, &mut ax);
+    ax.interior_to_vec()
+        .iter()
+        .zip(b.interior_to_vec())
+        .map(|(a, w)| (a - w).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn one_by_one_tile_solves() {
+    // The smallest legal problem: a single zone, two coupled unknowns.
+    Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+        let cart = CartComm::new(&ctx.comm, TileMap::new(1, 1, 1, 1));
+        let mut op = StencilOp::new(StencilCoeffs::manufactured(1, 1, 0, 0), cart);
+        let mut b = TileVec::new(1, 1);
+        b.set(0, 0, 0, 2.0);
+        b.set(1, 0, 0, -1.0);
+        let mut x = TileVec::new(1, 1);
+        let mut m = Identity;
+        let st = bicgstab(
+            &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+            &SolveOpts { tol: 1e-13, ..Default::default() },
+        );
+        assert!(st.converged);
+        assert!(residual_inf(&ctx.comm, &mut ctx.sink, &mut op, &b, &x) < 1e-10);
+    });
+}
+
+#[test]
+fn weakly_dominant_system_still_converges() {
+    // Shrink the diagonal margin toward the M-matrix limit: Krylov
+    // iterations grow, convergence must survive.
+    Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+        let (n1, n2) = (12, 10);
+        let cart = CartComm::new(&ctx.comm, TileMap::new(n1, n2, 1, 1));
+        let mut c = StencilCoeffs::manufactured(n1, n2, 0, 0);
+        // Reduce every diagonal toward the off-diagonal sum, keeping a
+        // sliver of dominance.
+        for s in 0..NSPEC {
+            for i2 in 0..n2 as isize {
+                for i1 in 0..n1 as isize {
+                    let off = c.cw.get(s, i1, i2).abs()
+                        + c.ce.get(s, i1, i2).abs()
+                        + c.cs.get(s, i1, i2).abs()
+                        + c.cn.get(s, i1, i2).abs()
+                        + c.cpl.get(s, i1, i2).abs();
+                    c.cc.set(s, i1, i2, off + 0.01);
+                }
+            }
+        }
+        let mut op = StencilOp::new(c, cart);
+        let mut b = TileVec::new(n1, n2);
+        b.fill_with(|s, i1, i2| ((s + i1 + i2) as f64 * 0.37).sin());
+        let mut m = Jacobi::new(&op);
+        let mut x = TileVec::new(n1, n2);
+        let st = bicgstab(
+            &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+            &SolveOpts { tol: 1e-10, max_iters: 5000, ..Default::default() },
+        );
+        assert!(st.converged, "weakly dominant solve failed: {st:?}");
+        assert!(residual_inf(&ctx.comm, &mut ctx.sink, &mut op, &b, &x) < 1e-7);
+    });
+}
+
+#[test]
+fn all_three_solvers_agree_on_one_system() {
+    Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+        let (n1, n2) = (9, 9);
+        let cart = CartComm::new(&ctx.comm, TileMap::new(n1, n2, 1, 1));
+        // Symmetric operator so CG applies too.
+        let make_op = || StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
+        let mut b = TileVec::new(n1, n2);
+        b.fill_with(|s, i1, i2| ((s * 5 + i1 * 3 + i2) as f64 * 0.19).cos());
+        let opts = SolveOpts { tol: 1e-12, ..Default::default() };
+
+        let mut solutions = Vec::new();
+        for which in 0..3 {
+            let mut op = make_op();
+            let mut m = BlockJacobi::new(&op);
+            let mut x = TileVec::new(n1, n2);
+            let st = match which {
+                0 => bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts),
+                1 => cg(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts),
+                _ => gmres(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, 25, &opts),
+            };
+            assert!(st.converged, "solver {which} failed: {st:?}");
+            solutions.push(x.interior_to_vec());
+        }
+        for k in 1..3 {
+            for (a, c) in solutions[0].iter().zip(&solutions[k]) {
+                assert!((a - c).abs() < 1e-8, "solver {k} disagrees: {a} vs {c}");
+            }
+        }
+    });
+}
+
+#[test]
+fn classic_variant_issues_more_reductions_for_identical_answers() {
+    Spmd::new(4).with_profiles(profiles()).run(|ctx| {
+        let (n1, n2) = (16, 16);
+        let map = TileMap::new(n1, n2, 2, 2);
+        let cart = CartComm::new(&ctx.comm, map);
+        let t = cart.tile();
+        let b = {
+            let mut b = TileVec::new(t.n1, t.n2);
+            b.fill_with(|s, i1, i2| {
+                (((t.i1_start + i1) * 2 + (t.i2_start + i2) * 7 + s) as f64 * 0.11).sin()
+            });
+            b
+        };
+        let mut run = |variant| {
+            let mut op = StencilOp::new(
+                StencilCoeffs::manufactured(t.n1, t.n2, t.i1_start, t.i2_start),
+                cart,
+            );
+            let mut m = Identity;
+            let mut x = TileVec::new(t.n1, t.n2);
+            let st = bicgstab(
+                &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                &SolveOpts { tol: 1e-10, variant, ..Default::default() },
+            );
+            assert!(st.converged);
+            (st, x.interior_to_vec())
+        };
+        let (sc, xc) = run(BicgVariant::Classic);
+        let (sg, xg) = run(BicgVariant::Ganged);
+        assert!(
+            sc.reductions as f64 >= 2.0 * sg.reductions as f64 * 0.8,
+            "classic {} vs ganged {} reductions",
+            sc.reductions,
+            sg.reductions
+        );
+        for (a, b) in xc.iter().zip(&xg) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    });
+}
+
+#[test]
+fn max_iters_cap_is_honored() {
+    Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+        let (n1, n2) = (20, 20);
+        let cart = CartComm::new(&ctx.comm, TileMap::new(n1, n2, 1, 1));
+        let mut op = StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
+        let mut b = TileVec::new(n1, n2);
+        b.fill_interior(1.0);
+        let mut m = Identity;
+        let mut x = TileVec::new(n1, n2);
+        let st = bicgstab(
+            &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+            &SolveOpts { tol: 1e-30, max_iters: 3, ..Default::default() },
+        );
+        assert!(!st.converged);
+        assert_eq!(st.iters, 3);
+    });
+}

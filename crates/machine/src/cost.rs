@@ -1,0 +1,499 @@
+//! Roofline-style kernel costing.
+//!
+//! Every linear-algebra or physics kernel in the reproduction executes its
+//! arithmetic natively and then *reports* what it did — a [`KernelShape`]:
+//! how many elements it touched, how many flops it performed, how many
+//! bytes it streamed, and how large the ambient working set of the
+//! surrounding solver loop is.  A [`CostSink`] converts that shape into
+//! simulated cycles under one [`CompilerProfile`]; a [`MultiCostSink`]
+//! does so under all four Table I profiles *simultaneously*, so a single
+//! native run of the Gaussian-pulse problem yields all four columns of the
+//! reproduced table.
+//!
+//! The cost of a kernel under profile `p` on machine `m` is
+//!
+//! ```text
+//! cycles = call_overhead(p)
+//!        + accesses · class_mult · elem_overhead(p, vectorized?)
+//!        + max( flops / flop_rate(p),  bytes / byte_rate(p, residency) )
+//! ```
+//!
+//! where `accesses = bytes_streamed / 8` counts element-array touches and
+//! `class_mult` weights the abstracted matrix-free operator application
+//! (address arithmetic through the multigroup data structure, evaluated
+//! per stencil leg) more heavily than flat vector kernels — see
+//! [`KernelClass::overhead_mult`].  This overhead term, calibrated in
+//! `EXPERIMENTS.md`, is what reproduces the paper's headline finding:
+//! the full multi-physics code is *abstraction-overhead bound*, so SVE
+//! helps it far less than it helps the isolated kernels of Table II.
+//! The remainder is a classical roofline.  The
+//! residency level comes from the *ambient working set*, not the single
+//! kernel's traffic: a DAXPY inside a BiCGSTAB iteration that cycles
+//! through a dozen vectors re-streams its operands from wherever that
+//! whole set lives.  This distinction is precisely what the paper's
+//! Table II driver (tiny, L1-resident working set → large SVE speedup)
+//! versus Table I full code (multi-megabyte working set → modest SVE
+//! speedup) demonstrates.
+
+use crate::clock::{SimClock, SimDuration};
+use crate::model::A64fxModel;
+use crate::profile::{CompilerId, CompilerProfile, ALL_COMPILERS};
+
+/// Broad classification of a kernel, used for per-routine breakdowns
+/// (the paper's §II-E timing analysis) and for deciding vectorizability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelClass {
+    /// Matrix-free application of the finite-difference diffusion operator.
+    MatVec,
+    /// Inner (dot) products, including ganged multi-dot partial sums.
+    DotProd,
+    /// `y ← a·x + y`.
+    Daxpy,
+    /// `y ← c − d·y`.
+    Dscal,
+    /// `w ← a·x + b·y + z`.
+    Ddaxpy,
+    /// Application of the sparse-approximate-inverse preconditioner.
+    Precond,
+    /// Non-vectorizable multi-physics work: opacity updates, coefficient
+    /// assembly, flux-limiter evaluation, boundary conditions, EOS.
+    Physics,
+    /// Buffer packing/unpacking for halo exchange and I/O.
+    Pack,
+    /// Anything else.
+    Other,
+}
+
+/// Number of [`KernelClass`] variants (for dense per-class arrays).
+pub const N_KERNEL_CLASSES: usize = 9;
+
+impl KernelClass {
+    /// Dense index for per-class accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            KernelClass::MatVec => 0,
+            KernelClass::DotProd => 1,
+            KernelClass::Daxpy => 2,
+            KernelClass::Dscal => 3,
+            KernelClass::Ddaxpy => 4,
+            KernelClass::Precond => 5,
+            KernelClass::Physics => 6,
+            KernelClass::Pack => 7,
+            KernelClass::Other => 8,
+        }
+    }
+
+    /// All classes, in dense-index order.
+    pub fn all() -> [KernelClass; N_KERNEL_CLASSES] {
+        [
+            KernelClass::MatVec,
+            KernelClass::DotProd,
+            KernelClass::Daxpy,
+            KernelClass::Dscal,
+            KernelClass::Ddaxpy,
+            KernelClass::Precond,
+            KernelClass::Physics,
+            KernelClass::Pack,
+            KernelClass::Other,
+        ]
+    }
+
+    /// Human-readable routine name (paper's Table II nomenclature where
+    /// applicable).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::MatVec => "MATVEC",
+            KernelClass::DotProd => "DPROD",
+            KernelClass::Daxpy => "DAXPY",
+            KernelClass::Dscal => "DSCAL",
+            KernelClass::Ddaxpy => "DDAXPY",
+            KernelClass::Precond => "PRECOND",
+            KernelClass::Physics => "PHYSICS",
+            KernelClass::Pack => "PACK",
+            KernelClass::Other => "OTHER",
+        }
+    }
+
+    /// Whether a compiler with working SVE codegen vectorizes this class.
+    /// The multi-physics routines (table lookups, branches, transcendental
+    /// flux-limiter evaluations) do not vectorize in any of the studied
+    /// compilers — the root cause of the paper's headline observation.
+    pub fn vectorizable(self) -> bool {
+        !matches!(self, KernelClass::Physics | KernelClass::Other)
+    }
+
+    /// Per-access overhead weight.  The matrix-free operator application
+    /// walks the shaped multigroup arrays with per-leg index arithmetic
+    /// (V2D's abstracted operators), costing several-fold more overhead
+    /// per element-access than the flat BLAS-style kernels; physics
+    /// assembly sits in between.  Calibrated against the paper's §II-E
+    /// routine breakdown (matvec ≈ 78 % of the serial solve, the
+    /// preconditioner ≈ 8 %).
+    pub fn overhead_mult(self) -> f64 {
+        match self {
+            KernelClass::MatVec => 8.0,
+            KernelClass::Physics => 2.0,
+            _ => 1.0,
+        }
+    }
+}
+
+/// What one kernel invocation did, as reported to the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelShape {
+    /// Classification (drives vectorizability and breakdown accounting).
+    pub class: KernelClass,
+    /// Number of array elements processed.
+    pub elems: usize,
+    /// Double-precision floating-point operations performed.
+    pub flops: usize,
+    /// Bytes read from memory (before cache filtering).
+    pub bytes_read: usize,
+    /// Bytes written to memory.
+    pub bytes_written: usize,
+    /// Ambient working set of the enclosing solver loop, in bytes; decides
+    /// the memory level operands are re-streamed from.
+    pub working_set: usize,
+}
+
+impl KernelShape {
+    /// Convenience constructor for a streaming kernel over `elems` f64
+    /// elements with `flops_per_elem` flops, `reads` input arrays and
+    /// `writes` output arrays.
+    pub fn streaming(
+        class: KernelClass,
+        elems: usize,
+        flops_per_elem: usize,
+        reads: usize,
+        writes: usize,
+        working_set: usize,
+    ) -> Self {
+        KernelShape {
+            class,
+            elems,
+            flops: elems * flops_per_elem,
+            bytes_read: elems * 8 * reads,
+            bytes_written: elems * 8 * writes,
+            working_set,
+        }
+    }
+
+    /// Total bytes streamed (reads + writes, with write-allocate counting
+    /// each written line once more as a read, as on real write-back
+    /// caches without streaming stores).
+    pub fn bytes_streamed(&self) -> usize {
+        self.bytes_read + 2 * self.bytes_written
+    }
+}
+
+/// Per-class cycle and operation accounting (feeds `v2d-perf`'s PAPI-like
+/// counters and the §II-E routine breakdown).
+#[derive(Debug, Clone, Default)]
+pub struct KernelCounters {
+    /// Cycles charged per kernel class.
+    pub cycles: [u64; N_KERNEL_CLASSES],
+    /// Invocations per kernel class.
+    pub calls: [u64; N_KERNEL_CLASSES],
+    /// Flops per kernel class.
+    pub flops: [u64; N_KERNEL_CLASSES],
+    /// Bytes streamed per kernel class.
+    pub bytes: [u64; N_KERNEL_CLASSES],
+}
+
+impl KernelCounters {
+    /// Total cycles across all classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total flops across all classes.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Merge another counter set into this one (used when aggregating
+    /// ranks).
+    pub fn merge(&mut self, other: &KernelCounters) {
+        for i in 0..N_KERNEL_CLASSES {
+            self.cycles[i] += other.cycles[i];
+            self.calls[i] += other.calls[i];
+            self.flops[i] += other.flops[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+}
+
+/// Cost accounting for one compiler profile: a virtual clock plus
+/// per-class counters.
+#[derive(Debug, Clone)]
+pub struct CostSink {
+    /// The machine being modeled.
+    pub model: A64fxModel,
+    /// The compiler configuration being modeled.
+    pub profile: CompilerProfile,
+    /// This rank's virtual clock under the profile.
+    pub clock: SimClock,
+    /// Per-class accounting.
+    pub counters: KernelCounters,
+    /// Cycles spent inside communication calls (latency, transfer, and
+    /// wait-for-partner time), for the paper's "significant amount of time
+    /// was taken by MPI calls" observation.
+    pub mpi_cycles: u64,
+}
+
+impl CostSink {
+    /// A fresh sink for `profile` on the Ookami machine model.
+    pub fn new(profile: CompilerProfile) -> Self {
+        CostSink {
+            model: A64fxModel::ookami(),
+            profile,
+            clock: SimClock::new(),
+            counters: KernelCounters::default(),
+            mpi_cycles: 0,
+        }
+    }
+
+    /// Cycles one invocation of `shape` costs under this profile, without
+    /// charging them.
+    pub fn cost_cycles(&self, shape: &KernelShape) -> u64 {
+        cost_cycles(&self.model, &self.profile, shape)
+    }
+
+    /// Charge one kernel invocation: advance the clock and update counters.
+    pub fn charge(&mut self, shape: &KernelShape) {
+        let cycles = self.cost_cycles(shape);
+        let i = shape.class.index();
+        self.counters.cycles[i] += cycles;
+        self.counters.calls[i] += 1;
+        self.counters.flops[i] += shape.flops as u64;
+        self.counters.bytes[i] += shape.bytes_streamed() as u64;
+        self.clock.advance_cycles(cycles);
+    }
+
+    /// Simulated elapsed seconds on this rank so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.clock.now().as_secs(self.model.freq_hz)
+    }
+
+    /// Advance the clock by a duration expressed in seconds (used by the
+    /// communication substrate for MPI costs).
+    pub fn advance_secs(&mut self, secs: f64) {
+        self.clock
+            .advance(SimDuration::from_secs(secs, self.model.freq_hz));
+    }
+
+    /// Advance the clock for a communication operation, accounting the
+    /// time as MPI time.
+    pub fn charge_mpi_secs(&mut self, secs: f64) {
+        let d = SimDuration::from_secs(secs, self.model.freq_hz);
+        self.mpi_cycles += d.cycles();
+        self.clock.advance(d);
+    }
+
+    /// Synchronize with a partner/collective: move the clock forward to
+    /// `t` if later, accounting the wait as MPI time.
+    pub fn wait_until_mpi(&mut self, t: SimDuration) {
+        let now = self.clock.now();
+        if t > now {
+            self.mpi_cycles += (t - now).cycles();
+            self.clock.wait_until(t);
+        }
+    }
+
+    /// Simulated seconds spent in communication so far.
+    pub fn mpi_secs(&self) -> f64 {
+        self.mpi_cycles as f64 / self.model.freq_hz
+    }
+}
+
+/// Pure costing function: cycles for one `shape` under `profile` on
+/// `model`.  See the module docs for the formula.
+pub fn cost_cycles(model: &A64fxModel, profile: &CompilerProfile, shape: &KernelShape) -> u64 {
+    let vectorized = profile.vectorize && shape.class.vectorizable();
+
+    let flop_rate = if vectorized {
+        model.sve_flops_per_cycle * profile.vec_efficiency
+    } else {
+        model.scalar_flops_per_cycle * profile.scalar_efficiency
+    };
+    let compute_cycles = shape.flops as f64 / flop_rate;
+
+    let level = model.residency(shape.working_set);
+    let byte_rate = model.bytes_per_cycle(level) * profile.mem_fraction(level);
+    let memory_cycles = shape.bytes_streamed() as f64 / byte_rate;
+
+    let elem_overhead = if vectorized {
+        profile.elem_overhead_vec
+    } else {
+        profile.elem_overhead_scalar
+    };
+    let accesses = shape.bytes_streamed() as f64 / 8.0;
+
+    let total = profile.call_overhead
+        + accesses * shape.class.overhead_mult() * elem_overhead
+        + compute_cycles.max(memory_cycles);
+    total.ceil() as u64
+}
+
+/// Cost accounting under *all four* Table I compiler profiles at once.
+///
+/// The numerics of a V2D run do not depend on the compiler — only its
+/// timing does — so a single native execution can charge four clocks in
+/// parallel.  This is what lets the Table I harness regenerate the full
+/// 12-topology × 4-compiler grid from 12 runs.
+#[derive(Debug, Clone)]
+pub struct MultiCostSink {
+    /// One sink per Table I column, in [`ALL_COMPILERS`] order.
+    pub lanes: Vec<CostSink>,
+}
+
+impl MultiCostSink {
+    /// Sinks for all four paper profiles.
+    pub fn all_compilers() -> Self {
+        MultiCostSink {
+            lanes: ALL_COMPILERS
+                .iter()
+                .map(|&id| CostSink::new(CompilerProfile::of(id)))
+                .collect(),
+        }
+    }
+
+    /// A sink set with a single profile (cheaper when only one column is
+    /// needed, e.g. in tests).
+    pub fn single(profile: CompilerProfile) -> Self {
+        MultiCostSink {
+            lanes: vec![CostSink::new(profile)],
+        }
+    }
+
+    /// Charge one kernel invocation under every profile.
+    pub fn charge(&mut self, shape: &KernelShape) {
+        for lane in &mut self.lanes {
+            lane.charge(shape);
+        }
+    }
+
+    /// The sink for a given compiler, if present.
+    pub fn lane(&self, id: CompilerId) -> Option<&CostSink> {
+        self.lanes.iter().find(|l| l.profile.id == id)
+    }
+
+    /// Simulated elapsed seconds per lane, in lane order.
+    pub fn elapsed_secs(&self) -> Vec<f64> {
+        self.lanes.iter().map(|l| l.elapsed_secs()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1_shape(class: KernelClass) -> KernelShape {
+        KernelShape::streaming(class, 1000, 2, 2, 1, 24 * 1000)
+    }
+
+    fn hbm_shape(class: KernelClass) -> KernelShape {
+        KernelShape::streaming(class, 1_000_000, 2, 2, 1, 10 * 8 * 1_000_000)
+    }
+
+    #[test]
+    fn full_code_sve_gain_is_modest() {
+        // The calibrated full-application model is *abstraction-overhead
+        // bound*: the SVE build (cray-opt) beats the no-SVE build
+        // (cray-noopt) everywhere, but only by the modest Table I margin
+        // (≈1.45×), not the 3–6× the isolated kernels achieve — that
+        // large cache-resident speedup is demonstrated by the
+        // instruction-level simulator in `v2d-sve`, not this roofline.
+        let m = A64fxModel::ookami();
+        let opt = CompilerProfile::cray_opt();
+        let noopt = CompilerProfile::cray_noopt();
+        for shape in [l1_shape(KernelClass::Daxpy), hbm_shape(KernelClass::MatVec)] {
+            let r = cost_cycles(&m, &opt, &shape) as f64
+                / cost_cycles(&m, &noopt, &shape) as f64;
+            assert!(r < 1.0, "SVE build must win: ratio {r}");
+            assert!(r > 0.5, "full-code SVE gain should be modest, got ratio {r}");
+        }
+    }
+
+    #[test]
+    fn physics_class_never_vectorizes() {
+        let m = A64fxModel::ookami();
+        let opt = CompilerProfile::cray_opt();
+        let shape = l1_shape(KernelClass::Physics);
+        // Same shape classed as vectorizable must be cheaper under an
+        // SVE-enabled profile.
+        let vec_shape = l1_shape(KernelClass::Daxpy);
+        assert!(cost_cycles(&m, &opt, &vec_shape) < cost_cycles(&m, &opt, &shape));
+    }
+
+    #[test]
+    fn cost_is_at_least_call_overhead() {
+        let m = A64fxModel::ookami();
+        let p = CompilerProfile::fujitsu();
+        let empty = KernelShape::streaming(KernelClass::Other, 0, 0, 0, 0, 0);
+        // flops = 0 → compute term 0; elems = 0 → overhead term 0.
+        assert!(cost_cycles(&m, &p, &empty) >= p.call_overhead as u64);
+    }
+
+    #[test]
+    fn charge_accumulates_clock_and_counters() {
+        let mut sink = CostSink::new(CompilerProfile::cray_opt());
+        let shape = l1_shape(KernelClass::MatVec);
+        sink.charge(&shape);
+        sink.charge(&shape);
+        let i = KernelClass::MatVec.index();
+        assert_eq!(sink.counters.calls[i], 2);
+        assert_eq!(sink.counters.flops[i], 2 * shape.flops as u64);
+        assert_eq!(sink.clock.now().cycles(), sink.counters.cycles[i]);
+        assert!(sink.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn multi_sink_charges_all_lanes() {
+        let mut multi = MultiCostSink::all_compilers();
+        multi.charge(&hbm_shape(KernelClass::MatVec));
+        let secs = multi.elapsed_secs();
+        assert_eq!(secs.len(), 4);
+        assert!(secs.iter().all(|&s| s > 0.0));
+        // Serial ordering of Table I: GNU slowest, Cray-opt fastest.
+        let gnu = multi.lane(CompilerId::Gnu).unwrap().elapsed_secs();
+        let cray = multi.lane(CompilerId::CrayOpt).unwrap().elapsed_secs();
+        let noopt = multi.lane(CompilerId::CrayNoOpt).unwrap().elapsed_secs();
+        assert!(gnu > cray);
+        assert!(noopt > cray);
+    }
+
+    #[test]
+    fn bytes_streamed_counts_write_allocate() {
+        let s = KernelShape::streaming(KernelClass::Daxpy, 10, 2, 2, 1, 0);
+        assert_eq!(s.bytes_read, 160);
+        assert_eq!(s.bytes_written, 80);
+        assert_eq!(s.bytes_streamed(), 160 + 2 * 80);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = KernelCounters::default();
+        let mut b = KernelCounters::default();
+        a.cycles[0] = 5;
+        a.calls[0] = 1;
+        b.cycles[0] = 7;
+        b.calls[0] = 2;
+        b.flops[3] = 11;
+        a.merge(&b);
+        assert_eq!(a.cycles[0], 12);
+        assert_eq!(a.calls[0], 3);
+        assert_eq!(a.flops[3], 11);
+        assert_eq!(a.total_cycles(), 12);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; N_KERNEL_CLASSES];
+        for c in KernelClass::all() {
+            assert!(!seen[c.index()], "duplicate index for {:?}", c);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,33 @@
+//! # v2d-machine — A64FX machine model, compiler profiles, and simulated time
+//!
+//! The CLUSTER 2022 study this repository reproduces measured the V2D
+//! radiation-hydrodynamics code on *Ookami*, an HPE Apollo 80 built from
+//! Fujitsu A64FX processors.  That hardware (and the Cray/Fujitsu compiler
+//! toolchains used on it) is not available here, so this crate provides the
+//! synthetic equivalent: a parameterized model of an A64FX-like core and its
+//! memory hierarchy, a set of *compiler profiles* standing in for the four
+//! toolchain configurations of the paper (GNU, Fujitsu, Cray with and
+//! without `-O3`/SVE), and a per-rank virtual clock.
+//!
+//! Everything downstream runs its numerics **natively** — real `f64`
+//! arithmetic, real convergence behaviour — and only *time* is simulated:
+//! kernels report their shape ([`KernelShape`]) to a [`CostSink`], which
+//! converts flops and streamed bytes into cycles on a [`SimClock`] using a
+//! roofline-style cost model.  Communication substrates charge their own
+//! latency/bandwidth costs through [`MpiCostModel`].
+//!
+//! The calibration constants in [`profile`] are chosen so that the *shape*
+//! of the paper's Table I (who wins at which scale, where the
+//! Cray-vs-Fujitsu crossover falls, how much the no-SVE build loses) is
+//! reproduced; see `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured comparison.
+
+pub mod clock;
+pub mod cost;
+pub mod model;
+pub mod profile;
+
+pub use clock::{SimClock, SimDuration};
+pub use cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
+pub use model::{A64fxModel, MemLevel};
+pub use profile::{CompilerId, CompilerProfile, MpiCostModel, ALL_COMPILERS};

@@ -1,0 +1,79 @@
+//! Property tests of the cost model: monotonicity and accounting
+//! linearity — the invariants every calibration rests on.
+
+use proptest::prelude::*;
+use v2d_machine::{cost::cost_cycles, A64fxModel, CompilerProfile, KernelClass, KernelShape, ALL_COMPILERS};
+
+fn shape(elems: usize, flops: usize, reads: usize, ws: usize) -> KernelShape {
+    KernelShape::streaming(KernelClass::Daxpy, elems, flops, reads, 1, ws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn more_work_never_costs_less(
+        elems in 1usize..100_000,
+        flops in 1usize..32,
+        reads in 1usize..12,
+        ws in 1usize..(64 << 20),
+    ) {
+        let m = A64fxModel::ookami();
+        for id in ALL_COMPILERS {
+            let p = CompilerProfile::of(id);
+            let base = cost_cycles(&m, &p, &shape(elems, flops, reads, ws));
+            let more_elems = cost_cycles(&m, &p, &shape(elems + 1, flops, reads, ws));
+            let more_flops = cost_cycles(&m, &p, &shape(elems, flops + 1, reads, ws));
+            let more_reads = cost_cycles(&m, &p, &shape(elems, flops, reads + 1, ws));
+            prop_assert!(more_elems >= base);
+            prop_assert!(more_flops >= base);
+            prop_assert!(more_reads >= base);
+        }
+    }
+
+    #[test]
+    fn deeper_working_sets_never_cost_less(
+        elems in 64usize..50_000,
+        flops in 1usize..16,
+    ) {
+        let m = A64fxModel::ookami();
+        for id in ALL_COMPILERS {
+            let p = CompilerProfile::of(id);
+            let l1 = cost_cycles(&m, &p, &shape(elems, flops, 2, 16 << 10));
+            let l2 = cost_cycles(&m, &p, &shape(elems, flops, 2, 2 << 20));
+            let hbm = cost_cycles(&m, &p, &shape(elems, flops, 2, 64 << 20));
+            prop_assert!(l1 <= l2 && l2 <= hbm, "{id:?}: {l1} / {l2} / {hbm}");
+        }
+    }
+
+    #[test]
+    fn optimized_build_never_loses_to_unoptimized(
+        elems in 1usize..100_000,
+        flops in 1usize..32,
+        ws in 1usize..(64 << 20),
+    ) {
+        let m = A64fxModel::ookami();
+        let opt = CompilerProfile::cray_opt();
+        let noopt = CompilerProfile::cray_noopt();
+        for class in [KernelClass::MatVec, KernelClass::Daxpy, KernelClass::Physics] {
+            let s = KernelShape::streaming(class, elems, flops, 3, 1, ws);
+            prop_assert!(
+                cost_cycles(&m, &opt, &s) <= cost_cycles(&m, &noopt, &s),
+                "{class:?}: optimized build slower"
+            );
+        }
+    }
+
+    #[test]
+    fn collective_cost_is_monotone_in_ranks_and_bytes(
+        ranks_a in 2usize..30,
+        extra in 1usize..30,
+        bytes in 0usize..(1 << 16),
+    ) {
+        for id in ALL_COMPILERS {
+            let mpi = CompilerProfile::of(id).mpi;
+            prop_assert!(mpi.collective_secs(bytes, ranks_a) <= mpi.collective_secs(bytes, ranks_a + extra));
+            prop_assert!(mpi.collective_secs(bytes, ranks_a) <= mpi.collective_secs(bytes + 8, ranks_a));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A tiny assembler: builds instruction sequences with forward-referenced
+//! labels, so kernels read like the assembly a compiler would emit.
+//!
+//! ```
+//! use v2d_sve::{Asm, Instr, X};
+//!
+//! let mut a = Asm::new();
+//! let loop_top = a.new_label();
+//! a.push(Instr::MovXI { d: X(0), imm: 0 });   // i = 0
+//! a.bind(loop_top);
+//! a.push(Instr::AddXI { d: X(0), n: X(0), imm: 1 });
+//! a.blt(X(0), X(1), loop_top);                // while i < x1
+//! let prog = a.finish();
+//! assert_eq!(prog.len(), 3);
+//! ```
+
+use crate::isa::{Instr, X};
+
+/// A forward-referenceable branch label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Instruction-sequence builder with label patching.
+#[derive(Debug, Default)]
+pub struct Asm {
+    prog: Vec<Instr>,
+    /// label id → bound instruction index (usize::MAX while unbound).
+    labels: Vec<usize>,
+    /// (instruction index, label id) pairs awaiting patching.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Create a new, not-yet-bound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(usize::MAX);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the next instruction to be pushed.
+    ///
+    /// # Panics
+    /// If the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert_eq!(self.labels[label.0], usize::MAX, "label bound twice");
+        self.labels[label.0] = self.prog.len();
+    }
+
+    /// Append an instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.prog.push(i);
+    }
+
+    /// Append an unconditional branch to `label`.
+    pub fn b(&mut self, label: Label) {
+        self.fixups.push((self.prog.len(), label.0));
+        self.prog.push(Instr::B { target: usize::MAX });
+    }
+
+    /// Append `branch if x[n] < x[m]` to `label`.
+    pub fn blt(&mut self, n: X, m: X, label: Label) {
+        self.fixups.push((self.prog.len(), label.0));
+        self.prog.push(Instr::BLtX { n, m, target: usize::MAX });
+    }
+
+    /// Append `branch if x[n] ≥ x[m]` to `label`.
+    pub fn bge(&mut self, n: X, m: X, label: Label) {
+        self.fixups.push((self.prog.len(), label.0));
+        self.prog.push(Instr::BGeX { n, m, target: usize::MAX });
+    }
+
+    /// Resolve all labels and return the finished program.
+    ///
+    /// # Panics
+    /// If any referenced label was never bound.
+    pub fn finish(mut self) -> Vec<Instr> {
+        for (at, label) in self.fixups {
+            let target = self.labels[label];
+            assert_ne!(target, usize::MAX, "branch to unbound label at instruction {at}");
+            match &mut self.prog[at] {
+                Instr::B { target: t } | Instr::BLtX { target: t, .. } | Instr::BGeX { target: t, .. } => {
+                    *t = target
+                }
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, X};
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.push(Instr::AddXI { d: X(0), n: X(0), imm: 1 });
+        a.blt(X(0), X(1), top);
+        let p = a.finish();
+        assert_eq!(p[1], Instr::BLtX { n: X(0), m: X(1), target: 0 });
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut a = Asm::new();
+        let done = a.new_label();
+        a.b(done);
+        a.push(Instr::MovXI { d: X(0), imm: 42 });
+        a.bind(done);
+        a.push(Instr::MovXI { d: X(1), imm: 7 });
+        let p = a.finish();
+        assert_eq!(p[0], Instr::B { target: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let nowhere = a.new_label();
+        a.b(nowhere);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

@@ -1,0 +1,191 @@
+//! The simulated instruction set.
+//!
+//! A deliberately small subset of AArch64 + SVE: exactly the instructions
+//! the Cray and Fujitsu compilers emit for V2D's five BiCGSTAB kernels
+//! (streaming loads/stores, predicated FP arithmetic, fused
+//! multiply-accumulate, horizontal reduction, and the scalar loop-control
+//! scaffolding around them).  Each variant documents its semantics; the
+//! interpreter in [`crate::exec`] is the executable specification, and the
+//! per-instruction pipeline characteristics live in [`crate::sched`].
+//!
+//! Register operands use the newtype indices [`X`] (64-bit scalar GPR),
+//! [`D`] (scalar f64), [`Z`] (SVE vector of f64 lanes), and [`P`] (SVE
+//! predicate).
+
+/// Index of a 64-bit general-purpose scalar register (`x0`–`x31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct X(pub u8);
+
+/// Index of a scalar double-precision register (`d0`–`d31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct D(pub u8);
+
+/// Index of an SVE vector register (`z0`–`z31`), holding `VL/64` f64 lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Z(pub u8);
+
+/// Index of an SVE predicate register (`p0`–`p15`), one bool per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct P(pub u8);
+
+/// Branch target: an index into the assembled program.
+pub type Target = usize;
+
+/// One simulated instruction.
+///
+/// Addressing conventions:
+/// * `LdrD`/`StrD` — scalar: address = `x[base] + offset` bytes.
+/// * `LdrDScaled`/`StrDScaled` — scalar: address = `x[base] + 8·x[index]`.
+/// * `Ld1d`/`St1d` — SVE unit-stride: lane `i` at `x[base] + 8·(x[index] + i)`,
+///   predicated (inactive lanes load zero / store nothing).
+/// * `Ld1dGather` — SVE gather: lane `i` at `x[base] + 8·z[idx].lane(i)`
+///   where the index vector holds f64-encoded integers.
+///
+/// Predicated SVE arithmetic merges: inactive lanes keep the destination's
+/// previous contents, as with `/m` forms on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    // ---- scalar integer ----
+    /// `x[d] ← imm`
+    MovXI { d: X, imm: u64 },
+    /// `x[d] ← x[n]`
+    MovX { d: X, n: X },
+    /// `x[d] ← x[n] + imm` (imm may be negative)
+    AddXI { d: X, n: X, imm: i64 },
+    /// `x[d] ← x[n] + x[m]`
+    AddX { d: X, n: X, m: X },
+    /// `x[d] ← x[n] · imm`
+    MulXI { d: X, n: X, imm: i64 },
+
+    // ---- scalar floating point ----
+    /// `d[d] ← imm`
+    FMovDI { d: D, imm: f64 },
+    /// `d[d] ← d[n]`
+    FMovD { d: D, n: D },
+    /// `d[d] ← mem[x[base] + offset]`
+    LdrD { d: D, base: X, offset: i64 },
+    /// `d[d] ← mem[x[base] + 8·x[index]]`
+    LdrDScaled { d: D, base: X, index: X },
+    /// `mem[x[base] + offset] ← d[s]`
+    StrD { s: D, base: X, offset: i64 },
+    /// `mem[x[base] + 8·x[index]] ← d[s]`
+    StrDScaled { s: D, base: X, index: X },
+    /// `d[d] ← d[n] + d[m]`
+    FAddD { d: D, n: D, m: D },
+    /// `d[d] ← d[n] − d[m]`
+    FSubD { d: D, n: D, m: D },
+    /// `d[d] ← d[n] · d[m]`
+    FMulD { d: D, n: D, m: D },
+    /// Fused multiply-add: `d[d] ← d[a] + d[n] · d[m]`
+    FMaddD { d: D, n: D, m: D, a: D },
+    /// `d[d] ← −d[n]`
+    FNegD { d: D, n: D },
+
+    // ---- control flow ----
+    /// Unconditional branch.
+    B { target: Target },
+    /// Branch if `x[n] < x[m]` (unsigned compare, as loop counters are
+    /// element indices).
+    BLtX { n: X, m: X, target: Target },
+    /// Branch if `x[n] ≥ x[m]`.
+    BGeX { n: X, m: X, target: Target },
+
+    // ---- SVE predicates ----
+    /// All lanes active: `p[d] ← true…`
+    PtrueD { d: P },
+    /// While-less-than: lane `i` of `p[d]` active iff `x[n] + i < x[m]`.
+    /// The workhorse of vector-length-agnostic loop control.
+    WhileltD { d: P, n: X, m: X },
+
+    // ---- SVE data movement ----
+    /// Broadcast scalar register: every lane of `z[d] ← d[n]`.
+    DupZD { d: Z, n: D },
+    /// Broadcast immediate: every lane of `z[d] ← imm`.
+    DupZI { d: Z, imm: f64 },
+    /// Vector copy `z[d] ← z[n]`.
+    MovZ { d: Z, n: Z },
+    /// Predicated unit-stride load (see type-level docs for addressing).
+    Ld1d { t: Z, pg: P, base: X, index: X },
+    /// Predicated unit-stride store.
+    St1d { t: Z, pg: P, base: X, index: X },
+    /// Predicated gather load with vector byte-element indices.
+    Ld1dGather { t: Z, pg: P, base: X, idx: Z },
+
+    // ---- SVE floating point (predicated, merging) ----
+    /// `z[d].i ← z[n].i + z[m].i` where `pg.i`
+    FAddZ { d: Z, pg: P, n: Z, m: Z },
+    /// `z[d].i ← z[n].i − z[m].i` where `pg.i`
+    FSubZ { d: Z, pg: P, n: Z, m: Z },
+    /// `z[d].i ← z[n].i · z[m].i` where `pg.i`
+    FMulZ { d: Z, pg: P, n: Z, m: Z },
+    /// Fused multiply-accumulate: `z[da].i ← z[da].i + z[n].i · z[m].i`
+    /// where `pg.i`
+    FMlaZ { da: Z, pg: P, n: Z, m: Z },
+    /// Fused multiply-subtract: `z[da].i ← z[da].i − z[n].i · z[m].i`
+    FMlsZ { da: Z, pg: P, n: Z, m: Z },
+    /// `z[d].i ← −z[n].i` where `pg.i`
+    FNegZ { d: Z, pg: P, n: Z },
+    /// Horizontal reduction: `d[d] ← Σ_i z[n].i` over active lanes.
+    /// Strictly ordered low→high lane, matching the architecture's
+    /// `faddv` sequential semantics (and notoriously slow on A64FX).
+    FaddvD { d: D, pg: P, n: Z },
+
+    // ---- SVE loop counters ----
+    /// `x[d] ← x[d] + lanes` (increment by vector element count).
+    IncdX { d: X },
+    /// `x[d] ← lanes` (read vector element count).
+    CntdX { d: X },
+}
+
+impl Instr {
+    /// True for instructions that read memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Instr::LdrD { .. } | Instr::LdrDScaled { .. } | Instr::Ld1d { .. } | Instr::Ld1dGather { .. }
+        )
+    }
+
+    /// True for instructions that write memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::StrD { .. } | Instr::StrDScaled { .. } | Instr::St1d { .. })
+    }
+
+    /// True for SVE (vector or predicate) instructions.
+    pub fn is_sve(&self) -> bool {
+        matches!(
+            self,
+            Instr::PtrueD { .. }
+                | Instr::WhileltD { .. }
+                | Instr::DupZD { .. }
+                | Instr::DupZI { .. }
+                | Instr::MovZ { .. }
+                | Instr::Ld1d { .. }
+                | Instr::St1d { .. }
+                | Instr::Ld1dGather { .. }
+                | Instr::FAddZ { .. }
+                | Instr::FSubZ { .. }
+                | Instr::FMulZ { .. }
+                | Instr::FMlaZ { .. }
+                | Instr::FMlsZ { .. }
+                | Instr::FNegZ { .. }
+                | Instr::FaddvD { .. }
+                | Instr::IncdX { .. }
+                | Instr::CntdX { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Ld1d { t: Z(0), pg: P(0), base: X(0), index: X(1) }.is_load());
+        assert!(Instr::St1d { t: Z(0), pg: P(0), base: X(0), index: X(1) }.is_store());
+        assert!(!Instr::FAddD { d: D(0), n: D(1), m: D(2) }.is_sve());
+        assert!(Instr::FMlaZ { da: Z(0), pg: P(0), n: Z(1), m: Z(2) }.is_sve());
+        assert!(!Instr::B { target: 0 }.is_load());
+    }
+}

@@ -1,0 +1,180 @@
+//! Scalar (no-SVE) kernel builders.
+//!
+//! These mirror the code an optimizing compiler emits with vectorization
+//! disabled: element loops with scaled-index addressing, and — for the
+//! reduction — four-way unrolling with independent accumulators to break
+//! the 9-cycle FMA dependency chain.  Register conventions are set by the
+//! runners in [`crate::kernels`]:
+//!
+//! * `daxpy`:  x0=&x, x1=&y, x2=n, d0=a
+//! * `dprod`:  x0=&x, x1=&y, x2=n → result in d0
+//! * `dscal`:  x0=&y, x1=n, d0=c, d1=d
+//! * `ddaxpy`: x0=&x, x1=&y, x2=&z, x3=&w, x4=n, d0=a, d1=b
+//! * `matvec`: x0=&dc, x1=&dl1, x2=&du1, x3=&dl2, x4=&du2, x5=&x, x6=&y,
+//!   x7=n, x9=&x[-1], x10=&x[+1], x11=&x[-m], x12=&x[+m]
+
+use crate::asm::Asm;
+use crate::isa::{Instr, D, X};
+
+/// `y[i] ← a·x[i] + y[i]`
+pub fn daxpy() -> Vec<Instr> {
+    let mut a = Asm::new();
+    let done = a.new_label();
+    let top = a.new_label();
+    a.push(Instr::MovXI { d: X(3), imm: 0 });
+    a.bge(X(3), X(2), done);
+    a.bind(top);
+    a.push(Instr::LdrDScaled { d: D(1), base: X(0), index: X(3) });
+    a.push(Instr::LdrDScaled { d: D(2), base: X(1), index: X(3) });
+    a.push(Instr::FMaddD { d: D(3), n: D(1), m: D(0), a: D(2) });
+    a.push(Instr::StrDScaled { s: D(3), base: X(1), index: X(3) });
+    a.push(Instr::AddXI { d: X(3), n: X(3), imm: 1 });
+    a.blt(X(3), X(2), top);
+    a.bind(done);
+    a.finish()
+}
+
+/// `d0 ← Σ x[i]·y[i]`, three-way unrolled with independent accumulators.
+///
+/// Three accumulators is what the interleaving heuristic picks here: each
+/// accumulator carries a 9-cycle FMA recurrence, and the three-element
+/// loop body already saturates the two load pipes (6 loads → 3 cycles),
+/// so wider interleaving buys nothing while burning registers.
+pub fn dprod() -> Vec<Instr> {
+    let mut a = Asm::new();
+    let tail = a.new_label();
+    let tail_top = a.new_label();
+    let sumup = a.new_label();
+    let top = a.new_label();
+
+    a.push(Instr::MovXI { d: X(3), imm: 0 }); // i
+    for r in 0..3u8 {
+        a.push(Instr::FMovDI { d: D(r), imm: 0.0 });
+    }
+    // if n < 3, go straight to the remainder loop
+    a.push(Instr::MovXI { d: X(8), imm: 3 });
+    a.blt(X(2), X(8), tail);
+    a.push(Instr::AddXI { d: X(4), n: X(2), imm: -2 }); // main limit: i+2 < n
+
+    a.bind(top);
+    a.push(Instr::AddXI { d: X(5), n: X(3), imm: 1 });
+    a.push(Instr::AddXI { d: X(6), n: X(3), imm: 2 });
+    a.push(Instr::LdrDScaled { d: D(4), base: X(0), index: X(3) });
+    a.push(Instr::LdrDScaled { d: D(5), base: X(1), index: X(3) });
+    a.push(Instr::FMaddD { d: D(0), n: D(4), m: D(5), a: D(0) });
+    a.push(Instr::LdrDScaled { d: D(6), base: X(0), index: X(5) });
+    a.push(Instr::LdrDScaled { d: D(7), base: X(1), index: X(5) });
+    a.push(Instr::FMaddD { d: D(1), n: D(6), m: D(7), a: D(1) });
+    a.push(Instr::LdrDScaled { d: D(8), base: X(0), index: X(6) });
+    a.push(Instr::LdrDScaled { d: D(9), base: X(1), index: X(6) });
+    a.push(Instr::FMaddD { d: D(2), n: D(8), m: D(9), a: D(2) });
+    a.push(Instr::AddXI { d: X(3), n: X(3), imm: 3 });
+    a.blt(X(3), X(4), top);
+
+    a.bind(tail);
+    a.bge(X(3), X(2), sumup);
+    a.bind(tail_top);
+    a.push(Instr::LdrDScaled { d: D(4), base: X(0), index: X(3) });
+    a.push(Instr::LdrDScaled { d: D(5), base: X(1), index: X(3) });
+    a.push(Instr::FMaddD { d: D(0), n: D(4), m: D(5), a: D(0) });
+    a.push(Instr::AddXI { d: X(3), n: X(3), imm: 1 });
+    a.blt(X(3), X(2), tail_top);
+
+    a.bind(sumup);
+    a.push(Instr::FAddD { d: D(1), n: D(1), m: D(2) });
+    a.push(Instr::FAddD { d: D(0), n: D(0), m: D(1) });
+    a.finish()
+}
+
+/// `y[i] ← c − d·y[i]`
+pub fn dscal() -> Vec<Instr> {
+    let mut a = Asm::new();
+    let done = a.new_label();
+    let top = a.new_label();
+    a.push(Instr::MovXI { d: X(2), imm: 0 });
+    a.push(Instr::FNegD { d: D(2), n: D(1) }); // −d, hoisted
+    a.bge(X(2), X(1), done);
+    a.bind(top);
+    a.push(Instr::LdrDScaled { d: D(3), base: X(0), index: X(2) });
+    a.push(Instr::FMaddD { d: D(4), n: D(2), m: D(3), a: D(0) }); // c + (−d)·y
+    a.push(Instr::StrDScaled { s: D(4), base: X(0), index: X(2) });
+    a.push(Instr::AddXI { d: X(2), n: X(2), imm: 1 });
+    a.blt(X(2), X(1), top);
+    a.bind(done);
+    a.finish()
+}
+
+/// `w[i] ← a·x[i] + b·y[i] + z[i]`
+pub fn ddaxpy() -> Vec<Instr> {
+    let mut a = Asm::new();
+    let done = a.new_label();
+    let top = a.new_label();
+    a.push(Instr::MovXI { d: X(5), imm: 0 });
+    a.bge(X(5), X(4), done);
+    a.bind(top);
+    a.push(Instr::LdrDScaled { d: D(2), base: X(0), index: X(5) });
+    a.push(Instr::LdrDScaled { d: D(3), base: X(1), index: X(5) });
+    a.push(Instr::LdrDScaled { d: D(4), base: X(2), index: X(5) });
+    a.push(Instr::FMaddD { d: D(5), n: D(2), m: D(0), a: D(4) });
+    a.push(Instr::FMaddD { d: D(5), n: D(3), m: D(1), a: D(5) });
+    a.push(Instr::StrDScaled { s: D(5), base: X(3), index: X(5) });
+    a.push(Instr::AddXI { d: X(5), n: X(5), imm: 1 });
+    a.blt(X(5), X(4), top);
+    a.bind(done);
+    a.finish()
+}
+
+/// Pentadiagonal `y ← A·x` using five shifted input streams.
+pub fn matvec() -> Vec<Instr> {
+    let mut a = Asm::new();
+    let done = a.new_label();
+    let top = a.new_label();
+    a.push(Instr::MovXI { d: X(8), imm: 0 });
+    a.bge(X(8), X(7), done);
+    a.bind(top);
+    a.push(Instr::LdrDScaled { d: D(1), base: X(0), index: X(8) }); // dc[i]
+    a.push(Instr::LdrDScaled { d: D(2), base: X(5), index: X(8) }); // x[i]
+    a.push(Instr::FMulD { d: D(0), n: D(1), m: D(2) });
+    a.push(Instr::LdrDScaled { d: D(3), base: X(1), index: X(8) }); // dl1[i]
+    a.push(Instr::LdrDScaled { d: D(4), base: X(9), index: X(8) }); // x[i−1]
+    a.push(Instr::FMaddD { d: D(0), n: D(3), m: D(4), a: D(0) });
+    a.push(Instr::LdrDScaled { d: D(5), base: X(2), index: X(8) }); // du1[i]
+    a.push(Instr::LdrDScaled { d: D(6), base: X(10), index: X(8) }); // x[i+1]
+    a.push(Instr::FMaddD { d: D(0), n: D(5), m: D(6), a: D(0) });
+    a.push(Instr::LdrDScaled { d: D(7), base: X(3), index: X(8) }); // dl2[i]
+    a.push(Instr::LdrDScaled { d: D(8), base: X(11), index: X(8) }); // x[i−m]
+    a.push(Instr::FMaddD { d: D(0), n: D(7), m: D(8), a: D(0) });
+    a.push(Instr::LdrDScaled { d: D(9), base: X(4), index: X(8) }); // du2[i]
+    a.push(Instr::LdrDScaled { d: D(10), base: X(12), index: X(8) }); // x[i+m]
+    a.push(Instr::FMaddD { d: D(0), n: D(9), m: D(10), a: D(0) });
+    a.push(Instr::StrDScaled { s: D(0), base: X(6), index: X(8) });
+    a.push(Instr::AddXI { d: X(8), n: X(8), imm: 1 });
+    a.blt(X(8), X(7), top);
+    a.bind(done);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_nonempty_and_resolved() {
+        for prog in [daxpy(), dprod(), dscal(), ddaxpy(), matvec()] {
+            assert!(!prog.is_empty());
+            for i in &prog {
+                if let Instr::B { target } | Instr::BLtX { target, .. } | Instr::BGeX { target, .. } = i {
+                    // target == prog.len() is legal: fall off the end.
+                    assert!(*target <= prog.len(), "unresolved or out-of-range branch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_sve_instructions_in_scalar_kernels() {
+        for prog in [daxpy(), dprod(), dscal(), ddaxpy(), matvec()] {
+            assert!(prog.iter().all(|i| !i.is_sve()), "scalar kernel contains SVE");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The simulated register file.
+//!
+//! Thirty-two 64-bit scalar GPRs, thirty-two scalar f64 registers,
+//! thirty-two SVE vector registers of `VL/64` f64 lanes, and sixteen
+//! predicate registers of one bool per lane.  Vector length is fixed at
+//! construction (the architecture allows 128–2048 bits in 128-bit
+//! increments; A64FX implements 512).
+
+/// Complete architectural register state at a given vector length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegFile {
+    /// Vector length in bits.
+    vl_bits: u32,
+    /// Scalar GPRs.
+    pub x: [u64; 32],
+    /// Scalar f64 registers.
+    pub d: [f64; 32],
+    /// Vector registers: `z[r][lane]`.
+    pub z: Vec<Vec<f64>>,
+    /// Predicate registers: `p[r][lane]`.
+    pub p: Vec<Vec<bool>>,
+}
+
+impl RegFile {
+    /// A zeroed register file with the given vector length in bits.
+    ///
+    /// # Panics
+    /// If `vl_bits` is not a multiple of 128 in `128..=2048` (the SVE
+    /// architectural constraint).
+    pub fn new(vl_bits: u32) -> Self {
+        assert!(
+            (128..=2048).contains(&vl_bits) && vl_bits.is_multiple_of(128),
+            "illegal SVE vector length {vl_bits} (must be a multiple of 128 in 128..=2048)"
+        );
+        let lanes = (vl_bits / 64) as usize;
+        RegFile {
+            vl_bits,
+            x: [0; 32],
+            d: [0.0; 32],
+            z: vec![vec![0.0; lanes]; 32],
+            p: vec![vec![false; lanes]; 16],
+        }
+    }
+
+    /// Vector length in bits.
+    pub fn vl_bits(&self) -> u32 {
+        self.vl_bits
+    }
+
+    /// Number of f64 lanes per vector register.
+    pub fn lanes(&self) -> usize {
+        (self.vl_bits / 64) as usize
+    }
+
+    /// Number of active lanes in predicate `r`.
+    pub fn active_lanes(&self, r: usize) -> usize {
+        self.p[r].iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_for_legal_vls() {
+        for (vl, lanes) in [(128u32, 2usize), (256, 4), (512, 8), (1024, 16), (2048, 32)] {
+            let rf = RegFile::new(vl);
+            assert_eq!(rf.lanes(), lanes);
+            assert_eq!(rf.z[0].len(), lanes);
+            assert_eq!(rf.p[0].len(), lanes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal SVE vector length")]
+    fn rejects_non_multiple_of_128() {
+        let _ = RegFile::new(192);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal SVE vector length")]
+    fn rejects_too_long() {
+        let _ = RegFile::new(4096);
+    }
+
+    #[test]
+    fn active_lane_count() {
+        let mut rf = RegFile::new(256);
+        rf.p[3] = vec![true, false, true, false];
+        assert_eq!(rf.active_lanes(3), 2);
+    }
+}

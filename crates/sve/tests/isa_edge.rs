@@ -1,0 +1,166 @@
+//! Edge-case semantics of the simulated ISA: all-false predicates, tail
+//! handling at every legal vector length, gather addressing limits, and
+//! accumulator aliasing — the corners an interpreter gets wrong first.
+
+use v2d_machine::MemLevel;
+use v2d_sve::{ExecConfig, Executor, Instr, RegFile, SimMem, D, P, X, Z};
+
+fn exec(vl: u32) -> Executor {
+    Executor::new(ExecConfig::a64fx_l1().with_vl(vl))
+}
+
+#[test]
+fn all_false_predicate_loads_zero_and_stores_nothing() {
+    let mut mem = SimMem::new(512);
+    let src = mem.alloc_f64(&[7.0; 8]);
+    let dst = mem.alloc_f64(&[9.0; 8]);
+    let mut regs = RegFile::new(512);
+    regs.x[0] = src as u64;
+    regs.x[1] = dst as u64;
+    regs.z[0] = vec![5.0; 8];
+    // p0 stays all-false (fresh register file).
+    let prog = vec![
+        Instr::Ld1d { t: Z(0), pg: P(0), base: X(0), index: X(2) },
+        Instr::St1d { t: Z(0), pg: P(0), base: X(1), index: X(2) },
+    ];
+    exec(512).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.z[0], vec![0.0; 8], "inactive lanes must zero on load");
+    assert_eq!(mem.read_f64_slice(dst, 8), vec![9.0; 8], "no lane may store");
+}
+
+#[test]
+fn whilelt_saturates_when_counter_passes_limit() {
+    for vl in [128u32, 512, 2048] {
+        let mut regs = RegFile::new(vl);
+        regs.x[0] = 100;
+        regs.x[1] = 10; // counter already past the limit
+        let prog = vec![Instr::WhileltD { d: P(3), n: X(0), m: X(1) }];
+        let mut mem = SimMem::new(64);
+        exec(vl).run(&prog, &mut regs, &mut mem);
+        assert_eq!(regs.active_lanes(3), 0, "VL {vl}");
+    }
+}
+
+#[test]
+fn fmla_accumulates_in_place_with_aliased_sources() {
+    // z0 += z0 * z0 — aliasing all three operands must read the old
+    // value consistently.
+    let mut regs = RegFile::new(256);
+    regs.p[0] = vec![true; 4];
+    regs.z[0] = vec![2.0, 3.0, -1.0, 0.5];
+    let prog = vec![Instr::FMlaZ { da: Z(0), pg: P(0), n: Z(0), m: Z(0) }];
+    let mut mem = SimMem::new(64);
+    exec(256).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.z[0], vec![6.0, 12.0, 0.0, 0.75]); // x + x·x
+}
+
+#[test]
+fn fmls_subtracts_products() {
+    let mut regs = RegFile::new(256);
+    regs.p[0] = vec![true, true, false, true];
+    regs.z[0] = vec![10.0; 4];
+    regs.z[1] = vec![2.0; 4];
+    regs.z[2] = vec![3.0; 4];
+    let prog = vec![Instr::FMlsZ { da: Z(0), pg: P(0), n: Z(1), m: Z(2) }];
+    let mut mem = SimMem::new(64);
+    exec(256).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.z[0], vec![4.0, 4.0, 10.0, 4.0], "inactive lane must merge");
+}
+
+#[test]
+fn gather_respects_predicate_and_large_indices() {
+    let mut mem = SimMem::new(4096);
+    let base = mem.alloc_f64(&(0..256).map(f64::from).collect::<Vec<_>>());
+    let mut regs = RegFile::new(256);
+    regs.x[0] = base as u64;
+    regs.p[0] = vec![true, false, true, true];
+    regs.z[1] = vec![255.0, 999_999.0, 0.0, 128.0]; // lane 1 inactive: bad index ignored
+    let prog = vec![Instr::Ld1dGather { t: Z(2), pg: P(0), base: X(0), idx: Z(1) }];
+    exec(256).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.z[2], vec![255.0, 0.0, 0.0, 128.0]);
+}
+
+#[test]
+#[should_panic(expected = "gather index")]
+fn gather_rejects_non_integer_indices() {
+    let mut mem = SimMem::new(256);
+    let base = mem.alloc_f64(&[1.0; 8]);
+    let mut regs = RegFile::new(256);
+    regs.x[0] = base as u64;
+    regs.p[0] = vec![true; 4];
+    regs.z[1] = vec![0.5, 0.0, 0.0, 0.0];
+    let prog = vec![Instr::Ld1dGather { t: Z(2), pg: P(0), base: X(0), idx: Z(1) }];
+    exec(256).run(&prog, &mut regs, &mut mem);
+}
+
+#[test]
+fn faddv_on_empty_predicate_is_zero() {
+    let mut regs = RegFile::new(512);
+    regs.z[4] = vec![1.0; 8];
+    regs.d[7] = 42.0;
+    let prog = vec![Instr::FaddvD { d: D(7), pg: P(9), n: Z(4) }];
+    let mut mem = SimMem::new(64);
+    exec(512).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.d[7], 0.0);
+}
+
+#[test]
+fn negative_addxi_wraps_like_hardware() {
+    let mut regs = RegFile::new(128);
+    regs.x[1] = 5;
+    let prog = vec![Instr::AddXI { d: X(0), n: X(1), imm: -3 }];
+    let mut mem = SimMem::new(64);
+    exec(128).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.x[0], 2);
+}
+
+#[test]
+fn level_config_does_not_change_results() {
+    // Residency affects only timing, never semantics.
+    let run_at = |level: MemLevel| {
+        let mut mem = SimMem::new(512);
+        let a = mem.alloc_f64(&[1.5, 2.5, 3.5, 4.5]);
+        let mut regs = RegFile::new(256);
+        regs.x[0] = a as u64;
+        regs.p[0] = vec![true; 4];
+        let prog = vec![
+            Instr::Ld1d { t: Z(0), pg: P(0), base: X(0), index: X(1) },
+            Instr::FAddZ { d: Z(1), pg: P(0), n: Z(0), m: Z(0) },
+        ];
+        Executor::new(ExecConfig::a64fx_l1().with_vl(256).with_level(level))
+            .run(&prog, &mut regs, &mut mem);
+        regs.z[1].clone()
+    };
+    assert_eq!(run_at(MemLevel::L1), run_at(MemLevel::Hbm));
+}
+
+#[test]
+fn mulxi_and_movx_semantics() {
+    let mut regs = RegFile::new(128);
+    regs.x[2] = 7;
+    let prog = vec![
+        Instr::MulXI { d: X(3), n: X(2), imm: 6 },
+        Instr::MovX { d: X(4), n: X(3) },
+        Instr::AddX { d: X(5), n: X(3), m: X(4) },
+    ];
+    let mut mem = SimMem::new(64);
+    exec(128).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.x[3], 42);
+    assert_eq!(regs.x[5], 84);
+}
+
+#[test]
+fn dup_and_mov_vector_forms() {
+    let mut regs = RegFile::new(256);
+    regs.d[1] = 2.5;
+    let prog = vec![
+        Instr::DupZD { d: Z(0), n: D(1) },
+        Instr::DupZI { d: Z(1), imm: -0.5 },
+        Instr::MovZ { d: Z(2), n: Z(0) },
+    ];
+    let mut mem = SimMem::new(64);
+    exec(256).run(&prog, &mut regs, &mut mem);
+    assert_eq!(regs.z[0], vec![2.5; 4]);
+    assert_eq!(regs.z[1], vec![-0.5; 4]);
+    assert_eq!(regs.z[2], vec![2.5; 4]);
+}

@@ -1,0 +1,78 @@
+//! Property tests of the simulated core: determinism, pipeline-model
+//! sanity bounds, and disassembler coverage under random inputs.
+
+use proptest::prelude::*;
+use v2d_sve::kernels::{run_daxpy, run_dprod, Variant};
+use v2d_sve::{disassemble, ExecConfig};
+use v2d_machine::MemLevel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn execution_is_deterministic(n in 1usize..300, vl in prop_oneof![Just(128u32), Just(512), Just(2048)]) {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y = x.clone();
+        let cfg = ExecConfig::a64fx_l1().with_vl(vl);
+        let (r1, s1) = run_daxpy(1.25, &x, &y, Variant::Sve, &cfg);
+        let (r2, s2) = run_daxpy(1.25, &x, &y, Variant::Sve, &cfg);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn cycles_respect_fetch_and_unit_bounds(n in 1usize..400) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+        let y = x.clone();
+        for variant in [Variant::Scalar, Variant::Sve] {
+            let (_, stats) = run_daxpy(0.5, &x, &y, variant, &ExecConfig::a64fx_l1());
+            // Fetch width 4: cannot finish faster than instrs/4.
+            prop_assert!(stats.cycles >= stats.instrs.div_ceil(4),
+                "{variant:?}: {} cycles for {} instrs", stats.cycles, stats.instrs);
+            // No unit can be busy longer than pipes × total cycles.
+            for (u, &busy) in stats.unit_busy.iter().enumerate() {
+                prop_assert!(busy <= 2 * stats.cycles, "unit {u} busy {busy} of {}", stats.cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_memory_never_speeds_a_kernel_up(n in 8usize..200) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.3).collect();
+        let y = x.clone();
+        for variant in [Variant::Scalar, Variant::Sve] {
+            let mut last = 0u64;
+            for level in [MemLevel::L1, MemLevel::L2, MemLevel::Hbm] {
+                let (_, stats) =
+                    run_dprod(&x, &y, variant, &ExecConfig::a64fx_l1().with_level(level));
+                prop_assert!(stats.cycles >= last, "{variant:?} faster at {level:?}");
+                last = stats.cycles;
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting_matches_the_workload(n in 1usize..300) {
+        // DAXPY reads x and y once, writes y once: exactly 16n read
+        // bytes and 8n written, whatever the vector length.
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y = x.clone();
+        for vl in [128u32, 512, 2048] {
+            let (_, stats) = run_daxpy(2.0, &x, &y, Variant::Sve, &ExecConfig::a64fx_l1().with_vl(vl));
+            prop_assert_eq!(stats.bytes_read, 16 * n as u64);
+            prop_assert_eq!(stats.bytes_written, 8 * n as u64);
+            // And exactly 2n flops.
+            prop_assert_eq!(stats.flops, 2 * n as u64);
+        }
+    }
+}
+
+#[test]
+fn disassembly_round_trips_program_length() {
+    use v2d_sve::kernels::{scalar, sve_code};
+    for prog in [scalar::dprod(), sve_code::dprod(), scalar::matvec(), sve_code::matvec()] {
+        let text = disassemble(&prog);
+        let body_lines = text.lines().filter(|l| !l.trim_start().starts_with(".L")).count();
+        assert_eq!(body_lines, prog.len());
+    }
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from the regenerated outputs.
+
+Reads table1_output.txt, table2_output.txt, breakdown_output.txt and the
+ablation_*.txt files at the repository root and substitutes the
+__PLACEHOLDER__ markers.  Rerun after regenerating any experiment.
+"""
+import re
+import pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = (root / "EXPERIMENTS.md").read_text()
+
+
+def slurp(name):
+    return (root / name).read_text()
+
+
+# ---- Table I ----
+t1 = slurp("table1_output.txt")
+table_lines = []
+grab = False
+for line in t1.splitlines():
+    if line.startswith("TABLE I"):
+        grab = True
+    if grab:
+        if line.startswith("compiler lane order"):
+            break
+        table_lines.append(line)
+# Render as a fenced block (the aligned text is clearer than markdown pipes).
+table1_block = "```text\n" + "\n".join(l for l in table_lines if l.strip()) + "\n```"
+exp = exp.replace("__TABLE1__", table1_block)
+
+# serial ratios from the first data row
+row1 = next(l for l in table_lines if l.strip().startswith("1 "))
+vals = [float(v) for v in re.findall(r"(\d+\.\d+) \(", row1)]
+gnu, fuj, cray, noopt = vals
+exp = exp.replace("__R_GNU__", f"{gnu / cray:.2f}")
+exp = exp.replace("__R_NOOPT__", f"{noopt / cray:.2f}")
+exp = exp.replace("__R_FUJ__", f"{fuj / cray:.2f}")
+
+# ---- breakdown ----
+b = slurp("breakdown_output.txt")
+sections = b.split("§II-E BREAKDOWN")
+serial, par = sections[1], sections[2]
+
+
+def field(text, name):
+    m = re.search(rf"{name}\s+([\d.]+) s", text)
+    return float(m.group(1))
+
+
+tot = field(serial, "total")
+mv = field(serial, "matvec")
+pc = field(serial, "preconditioning")
+sites = re.search(r"BiCGSTAB sites\s+([\d.]+)% / ([\d.]+)% / ([\d.]+)%", serial)
+exp = exp.replace("__B_TOTAL__", f"{tot:.1f} s")
+exp = exp.replace("__B_MATVEC__", f"{mv:.1f} s ({100 * mv / tot:.0f} %)")
+exp = exp.replace("__B_PRECOND__", f"{pc:.1f} s")
+exp = exp.replace(
+    "__B_SITES__",
+    f"{sites.group(1)} % / {sites.group(2)} % / {sites.group(3)} %",
+)
+tot20 = field(par, "total")
+mv20 = field(par, "matvec")
+pc20 = field(par, "preconditioning")
+mpi20 = field(par, "MPI")
+exp = exp.replace("__B20_MATVEC__", f"{mv20:.1f} s of {tot20:.1f} s")
+exp = exp.replace("__B20_PRECOND__", f"{pc20:.2f} s")
+exp = exp.replace("__B20_MPI__", f"{mpi20:.1f} s ({100 * mpi20 / tot20:.0f} % of the run)")
+
+# ---- Table II ----
+t2 = slurp("table2_output.txt")
+t2_lines = [l for l in t2.splitlines() if l and not l.startswith("per-repetition")]
+cut = next(i for i, l in enumerate(t2_lines) if l.startswith("Routine"))
+end = next(i for i, l in enumerate(t2_lines) if l.startswith("DDAXPY")) + 1
+table2_block = "```text\n" + "\n".join(t2_lines[: end]) + "\n```"
+exp = exp.replace("__TABLE2__", table2_block)
+
+# ---- ablation one-liners ----
+vl = slurp("ablation_vl.txt")
+gains = re.findall(r"2048/512 gain: ([\d.]+)", vl)
+exp = exp.replace(
+    "__A_VL__",
+    f"doubling twice more (512→2048 bit) buys only {min(gains)}–{max(gains)}× "
+    "on these kernels — loop overhead and dependency chains cap the win.",
+)
+res = slurp("ablation_residency.txt")
+ratios = re.findall(r"(\d\.\d+)\s*$", res, re.M)
+exp = exp.replace(
+    "__A_RES__",
+    f"ratio {ratios[0]} while L1-resident, {ratios[-1]} once HBM-bound — "
+    "the Table II vs Table I gap in one sweep.",
+)
+g = slurp("ablation_ganged.txt")
+savings = re.findall(r"([+-][\d.]+)%", g)
+exp = exp.replace(
+    "__A_GANGED__",
+    f"but the ganged form saves {savings[-1].lstrip('+')} % of Cray-opt time at 50 ranks "
+    "(and ~2.5× fewer global reductions).",
+)
+p = slurp("ablation_precond.txt")
+rows = re.findall(r"(none|jacobi|block-jacobi SPAI\(0\)|stencil SPAI\(1\))\s+(\d+)\s+([\d.]+)\s+([\d.]+)", p)
+summary = ", ".join(f"{name.split()[0]} {ips}/solve" for name, _, ips, _ in rows)
+exp = exp.replace("__A_PRECOND__", summary + " (iterations; simulated times in ablation_precond.txt).")
+s = slurp("ablation_solvers.txt")
+solver_rows = re.findall(r"(bicgstab-\w+|gmres\(\d+\))\s+(\d+)\s+(\d+)", s)
+summary = "; ".join(f"{n}: {i} iters, {r} reductions" for n, i, r in solver_rows)
+exp = exp.replace("__A_SOLVERS__", summary + ".")
+
+(root / "EXPERIMENTS.md").write_text(exp)
+left = re.findall(r"__[A-Z0-9_]+__", exp)
+print("filled; remaining placeholders:", left)

@@ -1,0 +1,69 @@
+//! End-to-end tests of the `v2d` command-line driver: parameter deck in,
+//! simulation out, checkpoint on disk.
+
+use std::process::Command;
+
+fn v2d() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_v2d"))
+}
+
+#[test]
+fn print_paper_emits_a_parseable_deck() {
+    let out = v2d().arg("--print-paper").output().expect("run v2d");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(text.contains("[grid]") && text.contains("n1 = 200"));
+    // The printed deck must round-trip through the parser.
+    let pf = v2d::core::config_file::ParFile::parse(&text).expect("parse");
+    let (cfg, _) = pf.to_config().expect("config");
+    assert_eq!(cfg.n_steps, 100);
+}
+
+#[test]
+fn runs_a_small_deck_and_writes_a_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("v2d_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let deck = dir.join("small.par");
+    std::fs::write(
+        &deck,
+        "[grid]\nn1 = 24\nn2 = 12\nx1 = 0.0 2.0\nx2 = 0.0 1.0\n\
+         [run]\ndt = 0.01\nn_steps = 2\nnprx1 = 2\nnprx2 = 1\n\
+         [radiation]\nkappa_a = 0.02 0.04\nkappa_s = 2.0 3.0\nkappa_x = 0.01\n",
+    )
+    .expect("write deck");
+
+    let out = v2d().arg(&deck).current_dir(&dir).output().expect("run v2d");
+    assert!(
+        out.status.success(),
+        "v2d failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("solves: 6"), "unexpected output:\n{text}");
+    assert!(text.contains("Cray (opt)"));
+
+    // The checkpoint must exist and decode.
+    let ck = v2d::io::File::open(dir.join("v2d_final.h5l")).expect("checkpoint readable");
+    let erad = ck.dataset("radiation/erad").expect("erad present");
+    assert_eq!(erad.shape(), &[2, 12, 24]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_deck_reports_error_and_nonzero_exit() {
+    let dir = std::env::temp_dir().join(format!("v2d_cli_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let deck = dir.join("bad.par");
+    std::fs::write(&deck, "[grid]\nn1 = 24\n# n2 missing\n").expect("write");
+    let out = v2d().arg(&deck).output().expect("run v2d");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("grid.n2"), "unhelpful error: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = v2d().arg("/nonexistent/deck.par").output().expect("run v2d");
+    assert!(!out.status.success());
+}
