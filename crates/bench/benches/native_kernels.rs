@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use v2d_comm::{CartComm, Spmd, TileMap};
 use v2d_linalg::{kernels, LinearOp, StencilCoeffs, StencilOp, TileVec};
-use v2d_machine::{CompilerProfile, CostSink, MultiCostSink};
+use v2d_machine::{CompilerProfile, CostSink, ExecCtx, MultiCostSink};
 
 fn sink() -> MultiCostSink {
     MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
@@ -28,16 +28,16 @@ fn bench_vector_kernels(c: &mut Criterion) {
         let elems = (2 * n1 * n2) as u64;
         group.throughput(Throughput::Elements(elems));
         group.bench_with_input(BenchmarkId::new("dprod", n1 * n2), &(), |b, ()| {
-            b.iter(|| kernels::dprod_local(&mut sk, 0, &x, &y))
+            b.iter(|| kernels::dprod_local(&mut ExecCtx::new(&mut sk), &x, &y))
         });
         group.bench_with_input(BenchmarkId::new("daxpy", n1 * n2), &(), |b, ()| {
-            b.iter(|| kernels::daxpy(&mut sk, 0, 1.0000001, &x, &mut w))
+            b.iter(|| kernels::daxpy(&mut ExecCtx::new(&mut sk), 1.0000001, &x, &mut w))
         });
         group.bench_with_input(BenchmarkId::new("ddaxpy", n1 * n2), &(), |b, ()| {
-            b.iter(|| kernels::ddaxpy(&mut sk, 0, 0.9999, &x, 1.0001, &y, &mut w))
+            b.iter(|| kernels::ddaxpy(&mut ExecCtx::new(&mut sk), 0.9999, &x, 1.0001, &y, &mut w))
         });
         group.bench_with_input(BenchmarkId::new("dscal", n1 * n2), &(), |b, ()| {
-            b.iter(|| kernels::dscal(&mut sk, 0, 1.0, 0.9999999, &mut w))
+            b.iter(|| kernels::dscal(&mut ExecCtx::new(&mut sk), 1.0, 0.9999999, &mut w))
         });
     }
     group.finish();
@@ -52,16 +52,14 @@ fn bench_stencil_apply(c: &mut Criterion) {
             // Spmd::run takes a Fn closure; hand the bencher through a
             // mutex so the single rank can drive the iterations.
             let cell = std::sync::Mutex::new(b);
-            Spmd::new(1)
-                .with_profiles(vec![CompilerProfile::cray_opt()])
-                .run(|ctx| {
-                    let cart = CartComm::new(&ctx.comm, map);
-                    let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-                    let (mut x, _, mut y) = fields(n1, n2);
-                    cell.lock().expect("single rank").iter(|| {
-                        op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut y);
-                    });
+            Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+                let cart = CartComm::new(&ctx.comm, map);
+                let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                let (mut x, _, mut y) = fields(n1, n2);
+                cell.lock().expect("single rank").iter(|| {
+                    op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut y);
                 });
+            });
         });
     }
     group.finish();

@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use v2d_comm::{CartComm, Spmd, TileMap};
 use v2d_linalg::{
-    bicgstab, BicgVariant, BlockJacobi, Identity, Jacobi, SolveOpts, Spai, StencilCoeffs,
-    StencilOp, TileVec,
+    bicgstab, BicgVariant, BlockJacobi, Identity, Jacobi, SolveOpts, SolverWorkspace, Spai,
+    StencilCoeffs, StencilOp, TileVec,
 };
-use v2d_machine::CompilerProfile;
+use v2d_machine::{CompilerProfile, ExecCtx};
 
 fn bench_bicgstab(c: &mut Criterion) {
     let (n1, n2) = (64, 48);
@@ -17,30 +17,29 @@ fn bench_bicgstab(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("variant", label), |b| {
             let map = TileMap::new(n1, n2, 1, 1);
             let cell = std::sync::Mutex::new(b);
-            Spmd::new(1)
-                .with_profiles(vec![CompilerProfile::cray_opt()])
-                .run(|ctx| {
-                    let cart = CartComm::new(&ctx.comm, map);
-                    let mut rhs = TileVec::new(n1, n2);
-                    rhs.fill_with(|s, i1, i2| ((s + i1 + i2) as f64 * 0.13).sin() + 0.3);
-                    cell.lock().expect("single rank").iter(|| {
-                        let mut op =
-                            StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-                        let mut m = Identity;
-                        let mut x = TileVec::new(n1, n2);
-                        let stats = bicgstab(
-                            &ctx.comm,
-                            &mut ctx.sink,
-                            &mut op,
-                            &mut m,
-                            &rhs,
-                            &mut x,
-                            &SolveOpts { tol: 1e-9, variant, ..Default::default() },
-                        );
-                        assert!(stats.converged);
-                        stats.iters
-                    });
+            Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+                let cart = CartComm::new(&ctx.comm, map);
+                let mut rhs = TileVec::new(n1, n2);
+                rhs.fill_with(|s, i1, i2| ((s + i1 + i2) as f64 * 0.13).sin() + 0.3);
+                let mut wks = SolverWorkspace::new(n1, n2);
+                cell.lock().expect("single rank").iter(|| {
+                    let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                    let mut m = Identity;
+                    let mut x = TileVec::new(n1, n2);
+                    let stats = bicgstab(
+                        &ctx.comm,
+                        &mut ExecCtx::new(&mut ctx.sink),
+                        &mut op,
+                        &mut m,
+                        &rhs,
+                        &mut x,
+                        &mut wks,
+                        &SolveOpts { tol: 1e-9, variant, ..Default::default() },
+                    );
+                    assert!(stats.converged);
+                    stats.iters
                 });
+            });
         });
     }
     group.finish();
@@ -54,40 +53,47 @@ fn bench_preconditioners(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("precond", name), |b| {
             let map = TileMap::new(n1, n2, 1, 1);
             let cell = std::sync::Mutex::new(b);
-            Spmd::new(1)
-                .with_profiles(vec![CompilerProfile::cray_opt()])
-                .run(|ctx| {
-                    let cart = CartComm::new(&ctx.comm, map);
-                    let mut rhs = TileVec::new(n1, n2);
-                    rhs.fill_with(|s, i1, i2| ((s + i1 + i2) as f64 * 0.13).sin() + 0.3);
-                    cell.lock().expect("single rank").iter(|| {
-                        let mut op =
-                            StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-                        let mut x = TileVec::new(n1, n2);
-                        let opts = SolveOpts { tol: 1e-9, ..Default::default() };
-                        let stats = match name {
-                            "identity" => {
-                                let mut m = Identity;
-                                bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, &opts)
-                            }
-                            "jacobi" => {
-                                let mut m = Jacobi::new(&op);
-                                bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, &opts)
-                            }
-                            "block" => {
-                                let mut m = BlockJacobi::new(&op);
-                                bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, &opts)
-                            }
-                            _ => {
-                                op.exchange_coeff_halos(&ctx.comm, &mut ctx.sink);
-                                let mut m = Spai::new(&op, &ctx.comm, &mut ctx.sink);
-                                bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, &opts)
-                            }
-                        };
-                        assert!(stats.converged);
-                        stats.iters
-                    });
+            Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+                let cart = CartComm::new(&ctx.comm, map);
+                let mut rhs = TileVec::new(n1, n2);
+                rhs.fill_with(|s, i1, i2| ((s + i1 + i2) as f64 * 0.13).sin() + 0.3);
+                let mut wks = SolverWorkspace::new(n1, n2);
+                cell.lock().expect("single rank").iter(|| {
+                    let mut cx = ExecCtx::new(&mut ctx.sink);
+                    let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                    let mut x = TileVec::new(n1, n2);
+                    let opts = SolveOpts { tol: 1e-9, ..Default::default() };
+                    let stats = match name {
+                        "identity" => {
+                            let mut m = Identity;
+                            bicgstab(
+                                &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
+                            )
+                        }
+                        "jacobi" => {
+                            let mut m = Jacobi::new(&op);
+                            bicgstab(
+                                &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
+                            )
+                        }
+                        "block" => {
+                            let mut m = BlockJacobi::new(&op);
+                            bicgstab(
+                                &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
+                            )
+                        }
+                        _ => {
+                            op.exchange_coeff_halos(&ctx.comm, &mut cx);
+                            let mut m = Spai::new(&op, &ctx.comm, &mut cx);
+                            bicgstab(
+                                &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
+                            )
+                        }
+                    };
+                    assert!(stats.converged);
+                    stats.iters
                 });
+            });
         });
     }
     group.finish();

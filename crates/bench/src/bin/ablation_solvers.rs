@@ -12,8 +12,8 @@ use v2d_comm::{CartComm, Spmd, TileMap};
 use v2d_core::grid::LocalGrid;
 use v2d_core::problems::GaussianPulse;
 use v2d_core::rad::coeffs::{assemble_system, MatterState};
-use v2d_linalg::{bicgstab, gmres, BicgVariant, BlockJacobi, SolveOpts, TileVec};
-use v2d_machine::CompilerId;
+use v2d_linalg::{bicgstab, gmres, BicgVariant, BlockJacobi, SolveOpts, SolverWorkspace, TileVec};
+use v2d_machine::{CompilerId, ExecCtx};
 
 fn main() {
     let (n1, n2) = (200, 100);
@@ -37,9 +37,10 @@ fn main() {
                     + (-((x - cx).powi(2) + (y - cy).powi(2)) / (pulse.sigma * pulse.sigma)).exp()
             });
             let src = TileVec::new(n1, n2);
+            let mut cx = ExecCtx::new(&mut ctx.sink);
             let (mut op, rhs) = assemble_system(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut cx,
                 &cart,
                 &grid,
                 cfg.limiter,
@@ -53,19 +54,26 @@ fn main() {
             );
             let mut m = BlockJacobi::new(&op);
             let mut x = TileVec::new(n1, n2);
+            let mut wks = SolverWorkspace::new(n1, n2);
             let opts = SolveOpts { tol: 1e-9, ..Default::default() };
             let stats = match which {
                 "bicgstab-classic" => bicgstab(
-                    &ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x,
+                    &ctx.comm,
+                    &mut cx,
+                    &mut op,
+                    &mut m,
+                    &rhs,
+                    &mut x,
+                    &mut wks,
                     &SolveOpts { variant: BicgVariant::Classic, ..opts },
                 ),
                 "bicgstab-ganged" => {
-                    bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, &opts)
+                    bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts)
                 }
                 "gmres(30)" => {
-                    gmres(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, 30, &opts)
+                    gmres(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, 30, &opts)
                 }
-                _ => gmres(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &rhs, &mut x, 10, &opts),
+                _ => gmres(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, 10, &opts),
             };
             assert!(stats.converged, "{which} failed: {stats:?}");
             let t = |id: CompilerId| {

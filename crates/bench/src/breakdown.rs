@@ -72,18 +72,12 @@ pub fn run(cfg: &V2dConfig, nx1: usize, nx2: usize) -> Breakdown {
             lane.counters.cycles[KernelClass::MatVec.index()] as f64 / freq,
             lane.counters.cycles[KernelClass::Precond.index()] as f64 / freq,
             lane.mpi_secs(),
-            [
-                site("bicgstab_predictor"),
-                site("bicgstab_corrector"),
-                site("bicgstab_coupling"),
-            ],
+            [site("bicgstab_predictor"), site("bicgstab_corrector"), site("bicgstab_coupling")],
             v2d_perf::class_breakdown(lane),
             sim.profiler_report(&ctx.sink),
         )
     });
-    let max = |f: &dyn Fn(&RankMeasurement) -> f64| {
-        outs.iter().map(f).fold(0.0f64, f64::max)
-    };
+    let max = |f: &dyn Fn(&RankMeasurement) -> f64| outs.iter().map(f).fold(0.0f64, f64::max);
     Breakdown {
         np,
         total: max(&|o| o.0),

@@ -68,13 +68,7 @@ pub fn run_topology(cfg: &V2dConfig, nx1: usize, nx2: usize) -> Row {
         }
     }
     let (_, iters, solves) = &outs[0];
-    Row {
-        np,
-        nx1,
-        nx2,
-        secs,
-        iters_per_solve: *iters as f64 / *solves as f64,
-    }
+    Row { np, nx1, nx2, secs, iters_per_solve: *iters as f64 / *solves as f64 }
 }
 
 /// Run the full table.  `progress` is called after each topology.
@@ -93,7 +87,10 @@ pub fn run_full(cfg: &V2dConfig, mut progress: impl FnMut(&Row)) -> Vec<Row> {
 pub fn format(rows: &[Row]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I — TIMES BY COMPILER (simulated seconds; paper values in parentheses)");
+    let _ = writeln!(
+        out,
+        "TABLE I — TIMES BY COMPILER (simulated seconds; paper values in parentheses)"
+    );
     let _ = writeln!(
         out,
         "{:>4} {:>4} {:>4} | {:>18} {:>18} {:>18} {:>18}",

@@ -56,10 +56,7 @@ pub fn run_routine_pair(routine: Routine, n: usize, reps: usize, vl_bits: u32) -
 
 /// Run the whole table at the A64FX's 512-bit vector length.
 pub fn run_full() -> Vec<Row> {
-    Routine::ALL
-        .iter()
-        .map(|&r| run_routine_pair(r, N_EQUATIONS, REPS, 512))
-        .collect()
+    Routine::ALL.iter().map(|&r| run_routine_pair(r, N_EQUATIONS, REPS, 512)).collect()
 }
 
 /// Format the reproduced table next to the paper's values.
@@ -78,9 +75,7 @@ pub fn format(rows: &[Row]) -> String {
         "Routine", "No-SVE", "SVE", "SVE/No-SVE", "paper ratio"
     );
     for row in rows {
-        let paper = crate::paper::TABLE2
-            .iter()
-            .find(|(name, _, _)| *name == row.routine.name());
+        let paper = crate::paper::TABLE2.iter().find(|(name, _, _)| *name == row.routine.name());
         let pr = paper.map(|(_, a, b)| b / a);
         let _ = writeln!(
             out,

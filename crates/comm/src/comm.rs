@@ -1,10 +1,9 @@
 //! Point-to-point messaging and data-carrying collectives.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use v2d_machine::{MultiCostSink, SimDuration};
+use v2d_machine::{CostLanes, MultiCostSink, SimDuration};
 
 /// Reduction operators for collectives.  Sums are evaluated in rank order,
 /// so results are bitwise deterministic for a fixed topology.
@@ -53,12 +52,7 @@ struct CollRound {
 
 impl CollRound {
     fn new(n: usize) -> Self {
-        CollRound {
-            contrib: (0..n).map(|_| None).collect(),
-            deposited: 0,
-            result: None,
-            left: 0,
-        }
+        CollRound { contrib: (0..n).map(|_| None).collect(), deposited: 0, result: None, left: 0 }
     }
 }
 
@@ -73,7 +67,10 @@ enum CollKind {
 pub(crate) struct Shared {
     n_ranks: usize,
     /// `mailboxes[dst][src]` receives messages from `src` to `dst`.
-    mailboxes: Vec<Vec<Receiver<Message>>>,
+    /// (`mpsc::Receiver` is `Send` but not `Sync`, and `Shared` is held
+    /// behind an `Arc` across rank threads — the mutex makes each
+    /// mailbox shareable; only its owning rank ever locks it.)
+    mailboxes: Vec<Vec<Mutex<Receiver<Message>>>>,
     /// `senders[src][dst]` sends from `src` to `dst`.
     senders: Vec<Vec<Sender<Message>>>,
     coll: Mutex<CollRound>,
@@ -83,8 +80,10 @@ pub(crate) struct Shared {
 /// A rank's handle to the communicator (analogous to `MPI_COMM_WORLD`).
 ///
 /// All methods that move data also advance the virtual clocks in the
-/// caller's [`MultiCostSink`]; every rank must call collectives in the
-/// same order with the same lane profiles (the usual MPI contract).
+/// caller's [`MultiCostSink`] (or the sink inside their
+/// `v2d_machine::ExecCtx` — anything implementing [`CostLanes`]); every
+/// rank must call collectives in the same order with the same lane
+/// profiles (the usual MPI contract).
 pub struct Comm {
     rank: usize,
     shared: Arc<Shared>,
@@ -93,14 +92,15 @@ pub struct Comm {
 impl Comm {
     pub(crate) fn create(n_ranks: usize) -> Vec<Comm> {
         let mut senders: Vec<Vec<Sender<Message>>> = (0..n_ranks).map(|_| Vec::new()).collect();
-        let mut mailboxes: Vec<Vec<Receiver<Message>>> = (0..n_ranks).map(|_| Vec::new()).collect();
+        let mut mailboxes: Vec<Vec<Mutex<Receiver<Message>>>> =
+            (0..n_ranks).map(|_| Vec::new()).collect();
         // One channel per ordered (src, dst) pair; src-major iteration
         // leaves each mailboxes[dst] row ordered by src.
         for tx_row in senders.iter_mut() {
             for boxes in mailboxes.iter_mut() {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 tx_row.push(tx);
-                boxes.push(rx);
+                boxes.push(Mutex::new(rx));
             }
         }
         let shared = Arc::new(Shared {
@@ -110,9 +110,7 @@ impl Comm {
             coll: Mutex::new(CollRound::new(n_ranks)),
             coll_cv: Condvar::new(),
         });
-        (0..n_ranks)
-            .map(|rank| Comm { rank, shared: Arc::clone(&shared) })
-            .collect()
+        (0..n_ranks).map(|rank| Comm { rank, shared: Arc::clone(&shared) }).collect()
     }
 
     /// This rank's id in `0..n_ranks()`.
@@ -128,7 +126,8 @@ impl Comm {
     /// Send `data` to `dst` with `tag`.  Non-blocking (buffered): the
     /// sender's clocks advance only by the per-message software overhead;
     /// transfer time is charged on the receiving side.
-    pub fn send(&self, sink: &mut MultiCostSink, dst: usize, tag: u32, data: &[f64]) {
+    pub fn send(&self, sink: &mut impl CostLanes, dst: usize, tag: u32, data: &[f64]) {
+        let sink: &mut MultiCostSink = sink.cost_lanes();
         assert!(dst < self.n_ranks(), "send to nonexistent rank {dst}");
         assert_ne!(dst, self.rank, "self-sends are not supported (use local copies)");
         // Per-lane send overhead: half the latency (the classic
@@ -139,9 +138,7 @@ impl Comm {
             send_clocks.push(lane.clock.now());
         }
         let msg = Message { tag, data: data.to_vec(), send_clocks };
-        self.shared.senders[self.rank][dst]
-            .send(msg)
-            .expect("receiver hung up — rank panicked?");
+        self.shared.senders[self.rank][dst].send(msg).expect("receiver hung up — rank panicked?");
     }
 
     /// Receive the next message from `src`; its tag must equal `tag`
@@ -149,9 +146,12 @@ impl Comm {
     ///
     /// The receiver's clock per lane becomes
     /// `max(own, sender_send_time + latency + bytes/bandwidth)`.
-    pub fn recv(&self, sink: &mut MultiCostSink, src: usize, tag: u32) -> Vec<f64> {
+    pub fn recv(&self, sink: &mut impl CostLanes, src: usize, tag: u32) -> Vec<f64> {
+        let sink: &mut MultiCostSink = sink.cost_lanes();
         assert!(src < self.n_ranks(), "recv from nonexistent rank {src}");
         let msg = self.shared.mailboxes[self.rank][src]
+            .lock()
+            .expect("mailbox poisoned — rank panicked?")
             .recv()
             .expect("sender hung up — rank panicked?");
         assert_eq!(
@@ -177,7 +177,7 @@ impl Comm {
     /// safe against deadlock because sends are buffered).
     pub fn sendrecv(
         &self,
-        sink: &mut MultiCostSink,
+        sink: &mut impl CostLanes,
         partner: usize,
         tag: u32,
         data: &[f64],
@@ -200,10 +200,10 @@ impl Comm {
             });
         }
         let clocks: Vec<SimDuration> = sink.lanes.iter().map(|l| l.clock.now()).collect();
-        let mut round = self.shared.coll.lock();
+        let mut round = self.shared.coll.lock().expect("collective state poisoned");
         // Wait for the previous round to fully drain before depositing.
         while round.result.is_some() {
-            self.shared.coll_cv.wait(&mut round);
+            round = self.shared.coll_cv.wait(round).expect("collective state poisoned");
         }
         assert!(
             round.contrib[self.rank].is_none(),
@@ -252,7 +252,7 @@ impl Comm {
             self.shared.coll_cv.notify_all();
         } else {
             while round.result.is_none() {
-                self.shared.coll_cv.wait(&mut round);
+                round = self.shared.coll_cv.wait(round).expect("collective state poisoned");
             }
         }
         let (payload, sync) = round.result.as_ref().expect("result just set");
@@ -282,13 +282,13 @@ impl Comm {
     /// Element-wise allreduce; every rank gets the reduced vector.
     /// Gang several inner products into one call to reduce reduction
     /// count — V2D's restructured BiCGSTAB does exactly this.
-    pub fn allreduce(&self, sink: &mut MultiCostSink, op: ReduceOp, vals: &mut [f64]) {
-        let out = self.collective(sink, CollKind::Reduce(op), vals.to_vec());
+    pub fn allreduce(&self, sink: &mut impl CostLanes, op: ReduceOp, vals: &mut [f64]) {
+        let out = self.collective(sink.cost_lanes(), CollKind::Reduce(op), vals.to_vec());
         vals.copy_from_slice(&out);
     }
 
     /// Sum-allreduce of a single scalar.
-    pub fn allreduce_scalar(&self, sink: &mut MultiCostSink, op: ReduceOp, v: f64) -> f64 {
+    pub fn allreduce_scalar(&self, sink: &mut impl CostLanes, op: ReduceOp, v: f64) -> f64 {
         let mut buf = [v];
         self.allreduce(sink, op, &mut buf);
         buf[0]
@@ -296,20 +296,20 @@ impl Comm {
 
     /// Concatenate every rank's contribution in rank order (allgather
     /// with per-rank variable lengths).
-    pub fn allgatherv(&self, sink: &mut MultiCostSink, data: &[f64]) -> Vec<f64> {
-        self.collective(sink, CollKind::Concat, data.to_vec()).as_ref().clone()
+    pub fn allgatherv(&self, sink: &mut impl CostLanes, data: &[f64]) -> Vec<f64> {
+        self.collective(sink.cost_lanes(), CollKind::Concat, data.to_vec()).as_ref().clone()
     }
 
     /// Broadcast `data` from `root` (other ranks pass anything, usually
     /// an empty slice — lengths need not match).
-    pub fn broadcast(&self, sink: &mut MultiCostSink, root: usize, data: &[f64]) -> Vec<f64> {
+    pub fn broadcast(&self, sink: &mut impl CostLanes, root: usize, data: &[f64]) -> Vec<f64> {
         assert!(root < self.n_ranks());
-        self.collective(sink, CollKind::TakeRoot(root), data.to_vec()).as_ref().clone()
+        self.collective(sink.cost_lanes(), CollKind::TakeRoot(root), data.to_vec()).as_ref().clone()
     }
 
     /// Synchronize all ranks (and their virtual clocks).
-    pub fn barrier(&self, sink: &mut MultiCostSink) {
-        self.collective(sink, CollKind::Reduce(ReduceOp::Sum), Vec::new());
+    pub fn barrier(&self, sink: &mut impl CostLanes) {
+        self.collective(sink.cost_lanes(), CollKind::Reduce(ReduceOp::Sum), Vec::new());
     }
 }
 

@@ -6,7 +6,7 @@
 //! This module provides the tile arithmetic (block distribution with
 //! remainder spread) and neighbor/halo-exchange plumbing over [`Comm`].
 
-use v2d_machine::MultiCostSink;
+use v2d_machine::CostLanes;
 
 use crate::comm::Comm;
 
@@ -56,10 +56,7 @@ impl TileMap {
     /// A new map; every rank must own at least one zone in each direction.
     pub fn new(n1: usize, n2: usize, np1: usize, np2: usize) -> Self {
         assert!(np1 >= 1 && np2 >= 1, "topology must be at least 1×1");
-        assert!(
-            np1 <= n1 && np2 <= n2,
-            "topology {np1}×{np2} too fine for grid {n1}×{n2}"
-        );
+        assert!(np1 <= n1 && np2 <= n2, "topology {np1}×{np2} too fine for grid {n1}×{n2}");
         TileMap { n1, n2, np1, np2 }
     }
 
@@ -228,7 +225,7 @@ impl CartComm {
     pub fn exchange(
         &self,
         comm: &Comm,
-        sink: &mut MultiCostSink,
+        sink: &mut impl CostLanes,
         dir: Dir,
         data: &[f64],
     ) -> Option<Vec<f64>> {
@@ -241,7 +238,7 @@ impl CartComm {
     /// Post (nonblocking-send) a strip toward `dir`; returns false at a
     /// domain boundary.  Pair every `post` with a later
     /// [`CartComm::collect`] for the same direction.
-    pub fn post(&self, comm: &Comm, sink: &mut MultiCostSink, dir: Dir, data: &[f64]) -> bool {
+    pub fn post(&self, comm: &Comm, sink: &mut impl CostLanes, dir: Dir, data: &[f64]) -> bool {
         match self.neighbor(dir) {
             Some(partner) => {
                 comm.send(sink, partner, dir.tag(), data);
@@ -253,7 +250,7 @@ impl CartComm {
 
     /// Receive the strip the `dir` neighbor posted toward us (it posted
     /// in the opposite direction), or `None` at a domain boundary.
-    pub fn collect(&self, comm: &Comm, sink: &mut MultiCostSink, dir: Dir) -> Option<Vec<f64>> {
+    pub fn collect(&self, comm: &Comm, sink: &mut impl CostLanes, dir: Dir) -> Option<Vec<f64>> {
         let partner = self.neighbor(dir)?;
         Some(comm.recv(sink, partner, dir.opposite().tag()))
     }
@@ -284,7 +281,20 @@ mod tests {
     #[test]
     fn paper_topologies_have_exact_tiles() {
         // Every Table I topology divides 200 × 100 evenly.
-        for (np1, np2) in [(1, 1), (10, 1), (20, 1), (10, 2), (5, 4), (25, 1), (40, 1), (20, 2), (10, 4), (50, 1), (25, 2), (10, 5)] {
+        for (np1, np2) in [
+            (1, 1),
+            (10, 1),
+            (20, 1),
+            (10, 2),
+            (5, 4),
+            (25, 1),
+            (40, 1),
+            (20, 2),
+            (10, 4),
+            (50, 1),
+            (25, 2),
+            (10, 5),
+        ] {
             let map = TileMap::new(200, 100, np1, np2);
             let t0 = map.tile(0);
             for r in 0..map.n_ranks() {
@@ -327,12 +337,10 @@ mod tests {
     #[test]
     fn neighbors_are_symmetric() {
         let map = TileMap::new(12, 12, 3, 4);
-        let outs = Spmd::new(12)
-            .with_profiles(vec![CompilerProfile::fujitsu()])
-            .run(|ctx| {
-                let cart = CartComm::new(&ctx.comm, map);
-                Dir::ALL.map(|d| cart.neighbor(d))
-            });
+        let outs = Spmd::new(12).with_profiles(vec![CompilerProfile::fujitsu()]).run(|ctx| {
+            let cart = CartComm::new(&ctx.comm, map);
+            Dir::ALL.map(|d| cart.neighbor(d))
+        });
         for (r, ns) in outs.iter().enumerate() {
             for (di, n) in ns.iter().enumerate() {
                 if let Some(n) = n {
@@ -357,18 +365,16 @@ mod tests {
         // 4 ranks in a 2×2 topology over an 8×8 grid; each rank sends its
         // rank id replicated along the strip and checks what it receives.
         let map = TileMap::new(8, 8, 2, 2);
-        let outs = Spmd::new(4)
-            .with_profiles(vec![CompilerProfile::fujitsu()])
-            .run(|ctx| {
-                let cart = CartComm::new(&ctx.comm, map);
-                let me = ctx.rank() as f64;
-                let mut got = Vec::new();
-                for dir in Dir::ALL {
-                    let strip = vec![me; 4];
-                    got.push(cart.exchange(&ctx.comm, &mut ctx.sink, dir, &strip).map(|v| v[0]));
-                }
-                got
-            });
+        let outs = Spmd::new(4).with_profiles(vec![CompilerProfile::fujitsu()]).run(|ctx| {
+            let cart = CartComm::new(&ctx.comm, map);
+            let me = ctx.rank() as f64;
+            let mut got = Vec::new();
+            for dir in Dir::ALL {
+                let strip = vec![me; 4];
+                got.push(cart.exchange(&ctx.comm, &mut ctx.sink, dir, &strip).map(|v| v[0]));
+            }
+            got
+        });
         // rank layout: 0=(0,0) 1=(1,0) 2=(0,1) 3=(1,1); order W,E,S,N.
         assert_eq!(outs[0], vec![None, Some(1.0), None, Some(2.0)]);
         assert_eq!(outs[1], vec![Some(0.0), None, None, Some(3.0)]);

@@ -5,7 +5,7 @@
 //! than this host has cores, which is fine: time is *simulated*, so rank
 //! threads only need to make progress, not run simultaneously.
 
-use v2d_machine::{CompilerProfile, MultiCostSink};
+use v2d_machine::{CompilerProfile, ExecCtx, MultiCostSink};
 
 use crate::comm::Comm;
 
@@ -26,6 +26,12 @@ impl RankCtx {
     /// Total number of ranks.
     pub fn n_ranks(&self) -> usize {
         self.comm.n_ranks()
+    }
+
+    /// An execution context over this rank's cost lanes — the form the
+    /// kernel/solver layer takes its charging state in.
+    pub fn exec(&mut self) -> ExecCtx<'_> {
+        ExecCtx::new(&mut self.sink)
     }
 }
 
@@ -78,10 +84,7 @@ impl Spmd {
                     body(&mut ctx)
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
         })
     }
 }
@@ -141,9 +144,7 @@ mod tests {
                 if (ctx.rank() + round) % 3 == 0 {
                     std::thread::yield_now();
                 }
-                let v = ctx
-                    .comm
-                    .allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, (round + 1) as f64);
+                let v = ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, (round + 1) as f64);
                 total += v;
             }
             total
@@ -274,9 +275,9 @@ mod tests {
     #[test]
     fn more_ranks_than_host_cores() {
         // 64 rank threads on any host: progress, correctness.
-        let outs = Spmd::new(64).with_profiles(single_profile()).run(|ctx| {
-            ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, 1.0)
-        });
+        let outs = Spmd::new(64)
+            .with_profiles(single_profile())
+            .run(|ctx| ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Sum, 1.0));
         for o in outs {
             assert_eq!(o, 64.0);
         }

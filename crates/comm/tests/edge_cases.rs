@@ -2,8 +2,8 @@
 //! degenerate topologies, misuse detection, and MPI-contract violations
 //! that must fail loudly rather than deadlock silently.
 
-use v2d_comm::{CartComm, ReduceOp, Spmd, TileMap};
 use v2d_comm::topology::Dir;
+use v2d_comm::{CartComm, ReduceOp, Spmd, TileMap};
 use v2d_machine::CompilerProfile;
 
 fn one_profile() -> Vec<CompilerProfile> {
@@ -75,21 +75,19 @@ fn broadcast_from_every_root() {
 fn p2p_interleaved_tags_stay_ordered_per_source() {
     // Two sources send interleaved streams to one sink; per-source
     // ordering must hold even though global arrival order is arbitrary.
-    let outs = Spmd::new(3).with_profiles(one_profile()).run(|ctx| {
-        match ctx.rank() {
-            0 => {
-                let mut got = Vec::new();
-                for k in 0..20u32 {
-                    got.push(ctx.comm.recv(&mut ctx.sink, 1 + (k % 2) as usize, k / 2)[0]);
-                }
-                got
+    let outs = Spmd::new(3).with_profiles(one_profile()).run(|ctx| match ctx.rank() {
+        0 => {
+            let mut got = Vec::new();
+            for k in 0..20u32 {
+                got.push(ctx.comm.recv(&mut ctx.sink, 1 + (k % 2) as usize, k / 2)[0]);
             }
-            r => {
-                for k in 0..10u32 {
-                    ctx.comm.send(&mut ctx.sink, 0, k, &[(r as u32 * 100 + k) as f64]);
-                }
-                Vec::new()
+            got
+        }
+        r => {
+            for k in 0..10u32 {
+                ctx.comm.send(&mut ctx.sink, 0, k, &[(r as u32 * 100 + k) as f64]);
             }
+            Vec::new()
         }
     });
     let got = &outs[0];

@@ -31,12 +31,7 @@ fn gather_field(
 ) -> Vec<f64> {
     let g = sim.grid();
     // Header: tile extents, then payload.
-    let mut msg = vec![
-        g.i1_start as f64,
-        g.n1 as f64,
-        g.i2_start as f64,
-        g.n2 as f64,
-    ];
+    let mut msg = vec![g.i1_start as f64, g.n1 as f64, g.i2_start as f64, g.n2 as f64];
     sink.charge(&KernelShape::streaming(KernelClass::Pack, values.len(), 0, 1, 1, 0));
     msg.extend_from_slice(&values);
     let all = comm.allgatherv(sink, &msg);
@@ -75,18 +70,10 @@ pub fn write_checkpoint(comm: &Comm, sink: &mut MultiCostSink, sim: &V2dSim) -> 
     f.set_attr("code", Value::Str("V2D-rust".into()));
 
     let erad = gather_field(comm, sink, sim, NSPEC, sim.erad().interior_to_vec());
-    f.write_dataset(
-        "radiation/erad",
-        Dataset::f64(vec![NSPEC, gn2, gn1], erad),
-    );
+    f.write_dataset("radiation/erad", Dataset::f64(vec![NSPEC, gn2, gn1], erad));
 
     if let Some(h) = sim.hydro() {
-        for (name, field) in [
-            ("rho", &h.rho),
-            ("m1", &h.m1),
-            ("m2", &h.m2),
-            ("etot", &h.etot),
-        ] {
+        for (name, field) in [("rho", &h.rho), ("m1", &h.m1), ("m2", &h.m2), ("etot", &h.etot)] {
             let global = gather_field(comm, sink, sim, 1, field.interior_to_vec());
             f.write_dataset(&format!("hydro/{name}"), Dataset::f64(vec![gn2, gn1], global));
         }
@@ -129,9 +116,7 @@ pub fn restore_checkpoint(sim: &mut V2dSim, file: &File) {
         .to_vec();
     {
         let (i1s, i2s) = (g.i1_start, g.i2_start);
-        sim.erad_mut().fill_with(|s, i1, i2| {
-            erad[s * gn1 * gn2 + (i2s + i2) * gn1 + (i1s + i1)]
-        });
+        sim.erad_mut().fill_with(|s, i1, i2| erad[s * gn1 * gn2 + (i2s + i2) * gn1 + (i1s + i1)]);
     }
 
     if sim.hydro().is_some() {
@@ -153,11 +138,7 @@ pub fn restore_checkpoint(sim: &mut V2dSim, file: &File) {
             };
             for i2 in 0..ln2 {
                 for i1 in 0..ln1 {
-                    field.set(
-                        i1 as isize,
-                        i2 as isize,
-                        data[(i2s + i2) * gn1 + (i1s + i1)],
-                    );
+                    field.set(i1 as isize, i2 as isize, data[(i2s + i2) * gn1 + (i1s + i1)]);
                 }
             }
         }

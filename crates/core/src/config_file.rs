@@ -153,7 +153,10 @@ impl ParFile {
             msg: "expected two values".into(),
         })?;
         if it.next().is_some() {
-            return Err(ParError::Invalid { key: key.to_string(), msg: "expected exactly two values".into() });
+            return Err(ParError::Invalid {
+                key: key.to_string(),
+                msg: "expected exactly two values".into(),
+            });
         }
         Ok((self.parse_val(key, a)?, self.parse_val(key, b)?))
     }
@@ -192,11 +195,8 @@ impl ParFile {
         let ka = self.pair("radiation.kappa_a")?;
         let ks = self.pair("radiation.kappa_s")?;
         let kx: f64 = self.scalar_or("radiation.kappa_x", 0.0)?;
-        let opacity = OpacityModel::Constant {
-            kappa_a: [ka.0, ka.1],
-            kappa_s: [ks.0, ks.1],
-            kappa_x: kx,
-        };
+        let opacity =
+            OpacityModel::Constant { kappa_a: [ka.0, ka.1], kappa_s: [ks.0, ks.1], kappa_x: kx };
         let precond = match self.get("radiation.precond").unwrap_or("block-jacobi") {
             "none" => PrecondKind::None,
             "jacobi" => PrecondKind::Jacobi,
@@ -352,10 +352,7 @@ mod tests {
 
     #[test]
     fn duplicates_rejected() {
-        assert!(matches!(
-            ParFile::parse("a = 1\na = 2\n"),
-            Err(ParError::Syntax { line: 2, .. })
-        ));
+        assert!(matches!(ParFile::parse("a = 1\na = 2\n"), Err(ParError::Syntax { line: 2, .. })));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use v2d_comm::topology::Dir;
 use v2d_comm::{CartComm, Comm};
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass};
 
 /// Ghost width of hydro fields (MUSCL needs 2).
 pub const NG: usize = 2;
@@ -259,14 +259,9 @@ impl Field2 {
 
 /// Halo-exchange a set of scalar fields: width-2 strips to/from each
 /// neighbor (packed together per direction to amortize message latency),
-/// outflow ghosts at physical boundaries.
-pub fn exchange_fields(
-    cart: &CartComm,
-    comm: &Comm,
-    sink: &mut MultiCostSink,
-    fields: &mut [&mut Field2],
-    ws: usize,
-) {
+/// outflow ghosts at physical boundaries.  Pack/unpack charges use the
+/// context's ambient working set; callers scope it around the call.
+pub fn exchange_fields(cart: &CartComm, comm: &Comm, cx: &mut ExecCtx, fields: &mut [&mut Field2]) {
     let mut send = Vec::new();
     let mut one = Vec::new();
     // Post all sends, then receive (see StencilOp::exchange_halos for
@@ -278,8 +273,8 @@ pub fn exchange_fields(
                 f.pack_strip(dir, &mut one);
                 send.extend_from_slice(&one);
             }
-            sink.charge(&KernelShape::streaming(KernelClass::Pack, send.len(), 0, 1, 1, ws));
-            cart.post(comm, sink, dir, &send);
+            cx.charge_streaming(KernelClass::Pack, send.len(), 0, 1, 1);
+            cart.post(comm, cx, dir, &send);
         } else {
             for f in fields.iter_mut() {
                 f.outflow_ghost(dir);
@@ -287,13 +282,13 @@ pub fn exchange_fields(
         }
     }
     for dir in Dir::ALL {
-        if let Some(recv) = cart.collect(comm, sink, dir) {
+        if let Some(recv) = cart.collect(comm, cx, dir) {
             let strip = fields[0].strip_len(dir);
             assert_eq!(recv.len(), strip * fields.len(), "bundled halo size mismatch");
             for (fi, f) in fields.iter_mut().enumerate() {
                 f.unpack_strip(dir, &recv[fi * strip..(fi + 1) * strip]);
             }
-            sink.charge(&KernelShape::streaming(KernelClass::Pack, recv.len(), 0, 1, 1, ws));
+            cx.charge_streaming(KernelClass::Pack, recv.len(), 0, 1, 1);
         }
     }
 }
@@ -367,18 +362,16 @@ mod tests {
     #[test]
     fn exchange_moves_two_deep_strips_between_ranks() {
         let map = TileMap::new(8, 4, 2, 1);
-        let outs = Spmd::new(2)
-            .with_profiles(vec![CompilerProfile::fujitsu()])
-            .run(|ctx| {
-                let cart = CartComm::new(&ctx.comm, map);
-                let t = cart.tile();
-                let mut f = Field2::new(t.n1, t.n2);
-                f.fill_with(|i1, i2| ((t.i1_start + i1) * 10 + i2) as f64);
-                exchange_fields(&cart, &ctx.comm, &mut ctx.sink, &mut [&mut f], 0);
-                // Rank 0 owns i1 ∈ 0..4; its east ghosts are global 4,5.
-                // Rank 1 owns 4..8; its west ghosts are global 2,3.
-                (f.get(-2, 1), f.get(-1, 1), f.get(4, 1), f.get(5, 1))
-            });
+        let outs = Spmd::new(2).with_profiles(vec![CompilerProfile::fujitsu()]).run(|ctx| {
+            let cart = CartComm::new(&ctx.comm, map);
+            let t = cart.tile();
+            let mut f = Field2::new(t.n1, t.n2);
+            f.fill_with(|i1, i2| ((t.i1_start + i1) * 10 + i2) as f64);
+            exchange_fields(&cart, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut [&mut f]);
+            // Rank 0 owns i1 ∈ 0..4; its east ghosts are global 4,5.
+            // Rank 1 owns 4..8; its west ghosts are global 2,3.
+            (f.get(-2, 1), f.get(-1, 1), f.get(4, 1), f.get(5, 1))
+        });
         // rank 0: west is physical (outflow of global 0), east from rank 1.
         assert_eq!(outs[0].2, 41.0);
         assert_eq!(outs[0].3, 51.0);

@@ -47,15 +47,7 @@ impl Grid2 {
         if geometry != Geometry::Cartesian {
             assert!(x1.0 >= 0.0, "radial coordinate cannot be negative");
         }
-        Grid2 {
-            n1,
-            n2,
-            x1min: x1.0,
-            x1max: x1.1,
-            x2min: x2.0,
-            x2max: x2.1,
-            geometry,
-        }
+        Grid2 { n1, n2, x1min: x1.0, x1max: x1.1, x2min: x2.0, x2max: x2.1, geometry }
     }
 
     /// Zone width in x1.
@@ -218,13 +210,8 @@ mod tests {
 
     #[test]
     fn spherical_volumes_sum_to_shell() {
-        let g = Grid2::new(
-            40,
-            20,
-            (0.5, 1.0),
-            (0.0, std::f64::consts::PI),
-            Geometry::SphericalRTheta,
-        );
+        let g =
+            Grid2::new(40, 20, (0.5, 1.0), (0.0, std::f64::consts::PI), Geometry::SphericalRTheta);
         let total: f64 = (0..40).map(|i| (0..20).map(|j| g.volume(i, j)).sum::<f64>()).sum();
         // Per radian in φ: (r₁³−r₀³)/3 · (cos0 − cosπ) = (0.875)/3·2
         let expect = (1.0f64.powi(3) - 0.5f64.powi(3)) / 3.0 * 2.0;
@@ -249,10 +236,7 @@ mod tests {
     #[test]
     fn local_grid_maps_coordinates() {
         let g = Grid2::new(16, 8, (0.0, 16.0), (0.0, 8.0), Geometry::Cartesian);
-        let lg = LocalGrid::new(
-            g,
-            v2d_comm::Tile { i1_start: 8, n1: 8, i2_start: 4, n2: 4 },
-        );
+        let lg = LocalGrid::new(g, v2d_comm::Tile { i1_start: 8, n1: 8, i2_start: 4, n2: 4 });
         assert_eq!(lg.to_global(0, 0), (8, 4));
         let (x, y) = lg.center(0, 0);
         assert!((x - 8.5).abs() < 1e-15 && (y - 4.5).abs() < 1e-15);

@@ -12,7 +12,7 @@
 
 use v2d_comm::topology::Dir;
 use v2d_comm::{CartComm, Comm};
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass, KernelShape};
 
 use crate::field::{exchange_fields, Field2};
 use crate::grid::{Geometry, LocalGrid};
@@ -130,17 +130,13 @@ impl HydroState {
     /// reflecting wall the fields mirror and the wall-normal momentum
     /// flips sign, so the HLL flux through the wall face vanishes and
     /// mass/energy are conserved exactly.
-    pub fn exchange_halos(
-        &mut self,
-        cart: &CartComm,
-        comm: &Comm,
-        sink: &mut MultiCostSink,
-        bc: &HydroBc,
-    ) {
+    pub fn exchange_halos(&mut self, cart: &CartComm, comm: &Comm, cx: &mut ExecCtx, bc: &HydroBc) {
         let ws = 4 * 8 * (self.rho.n1() + 4) * (self.rho.n2() + 4);
         {
+            let old_ws = cx.set_ws(ws);
             let HydroState { rho, m1, m2, etot } = self;
-            exchange_fields(cart, comm, sink, &mut [rho, m1, m2, etot], ws);
+            exchange_fields(cart, comm, cx, &mut [rho, m1, m2, etot]);
+            cx.set_ws(old_ws);
         }
         // exchange_fields applied outflow at physical edges; overwrite
         // the reflecting sides.
@@ -181,21 +177,11 @@ fn hll_flux(eos: &GammaLaw, left: Prim, right: Prim, normal: usize) -> [f64; 4] 
     let flux_of = |w: &Prim, un: f64, ut: f64| -> [f64; 4] {
         let eint = w.p / (eos.gamma - 1.0);
         let e = eint + 0.5 * w.rho * (un * un + ut * ut);
-        [
-            w.rho * un,
-            w.rho * un * un + w.p,
-            w.rho * un * ut,
-            (e + w.p) * un,
-        ]
+        [w.rho * un, w.rho * un * un + w.p, w.rho * un * ut, (e + w.p) * un]
     };
     let cons_of = |w: &Prim, un: f64, ut: f64| -> [f64; 4] {
         let eint = w.p / (eos.gamma - 1.0);
-        [
-            w.rho,
-            w.rho * un,
-            w.rho * ut,
-            eint + 0.5 * w.rho * (un * un + ut * ut),
-        ]
+        [w.rho, w.rho * un, w.rho * ut, eint + 0.5 * w.rho * (un * un + ut * ut)]
     };
 
     let fl = flux_of(&left, ul_n, ul_t);
@@ -242,7 +228,7 @@ impl HydroStepper {
     pub fn max_dt(
         &self,
         comm: &Comm,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         grid: &LocalGrid,
         state: &HydroState,
     ) -> f64 {
@@ -252,12 +238,10 @@ impl HydroStepper {
             for i1 in 0..grid.n1 as isize {
                 let w = self.eos.to_prim(state.cons(i1, i2));
                 let c = self.eos.sound_speed(&w);
-                max_speed = max_speed
-                    .max((w.u1.abs() + c) / dx1)
-                    .max((w.u2.abs() + c) / dx2);
+                max_speed = max_speed.max((w.u1.abs() + c) / dx1).max((w.u2.abs() + c) / dx2);
             }
         }
-        sink.charge(&KernelShape::streaming(
+        cx.charge(&KernelShape::streaming(
             KernelClass::Physics,
             grid.n1 * grid.n2,
             12,
@@ -265,8 +249,7 @@ impl HydroStepper {
             0,
             4 * 8 * grid.n1 * grid.n2,
         ));
-        let global =
-            comm.allreduce_scalar(sink, v2d_comm::ReduceOp::Max, max_speed);
+        let global = comm.allreduce_scalar(cx, v2d_comm::ReduceOp::Max, max_speed);
         assert!(global > 0.0, "static flow has no CFL limit — choose dt directly");
         self.cfl / global
     }
@@ -276,7 +259,7 @@ impl HydroStepper {
     pub fn step(
         &self,
         comm: &Comm,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         cart: &CartComm,
         grid: &LocalGrid,
         state: &mut HydroState,
@@ -287,8 +270,8 @@ impl HydroStepper {
             Geometry::Cartesian,
             "hydrodynamics is implemented for Cartesian geometry"
         );
-        self.sweep(comm, sink, cart, grid, state, dt, 0);
-        self.sweep(comm, sink, cart, grid, state, dt, 1);
+        self.sweep(comm, cx, cart, grid, state, dt, 0);
+        self.sweep(comm, cx, cart, grid, state, dt, 1);
     }
 
     /// One directional sweep (`dir` 0 = x1, 1 = x2).
@@ -296,14 +279,14 @@ impl HydroStepper {
     fn sweep(
         &self,
         comm: &Comm,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         cart: &CartComm,
         grid: &LocalGrid,
         state: &mut HydroState,
         dt: f64,
         dir: usize,
     ) {
-        state.exchange_halos(cart, comm, sink, &self.bc);
+        state.exchange_halos(cart, comm, cx, &self.bc);
         let (n1, n2) = (grid.n1 as isize, grid.n2 as isize);
         let dx = if dir == 0 { grid.global.dx1() } else { grid.global.dx2() };
         let lam = dt / dx;
@@ -360,7 +343,7 @@ impl HydroStepper {
             }
         }
         // Riemann solves: branchy scalar physics in every compiler model.
-        sink.charge(&KernelShape::streaming(
+        cx.charge(&KernelShape::streaming(
             KernelClass::Physics,
             (n1 * n2) as usize,
             90,
@@ -427,7 +410,14 @@ mod tests {
             let before = st.clone();
             let stepper = HydroStepper::new(eos(), 0.4);
             for _ in 0..5 {
-                stepper.step(&ctx.comm, &mut ctx.sink, &cart, &grid, &mut st, 1e-3);
+                stepper.step(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &cart,
+                    &grid,
+                    &mut st,
+                    1e-3,
+                );
             }
             for i2 in 0..8isize {
                 for i1 in 0..12isize {
@@ -461,16 +451,20 @@ mod tests {
             let mut t = 0.0;
             while t < 0.1 {
                 let dt = stepper
-                    .max_dt(&ctx.comm, &mut ctx.sink, &grid, &st)
+                    .max_dt(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &grid, &st)
                     .min(0.1 - t);
-                stepper.step(&ctx.comm, &mut ctx.sink, &cart, &grid, &mut st, dt);
+                stepper.step(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &cart,
+                    &grid,
+                    &mut st,
+                    dt,
+                );
                 t += dt;
             }
             let mass1 = st.total_mass_local();
-            assert!(
-                ((mass1 - mass0) / mass0).abs() < 1e-12,
-                "mass drifted: {mass0} → {mass1}"
-            );
+            assert!(((mass1 - mass0) / mass0).abs() < 1e-12, "mass drifted: {mass0} → {mass1}");
             // Post-shock plateau: density between the two initial states
             // somewhere right of center; flow moves right.
             let rho_mid = st.rho.get(60, 1);
@@ -499,8 +493,17 @@ mod tests {
             let stepper = HydroStepper::new(eos(), 0.4);
             let mut t = 0.0;
             while t < 0.4 {
-                let dt = stepper.max_dt(&ctx.comm, &mut ctx.sink, &grid, &st).min(0.4 - t);
-                stepper.step(&ctx.comm, &mut ctx.sink, &cart, &grid, &mut st, dt);
+                let dt = stepper
+                    .max_dt(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &grid, &st)
+                    .min(0.4 - t);
+                stepper.step(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &cart,
+                    &grid,
+                    &mut st,
+                    dt,
+                );
                 t += dt;
             }
             // Peak should have moved from x=0.3 to ≈0.5.
@@ -541,15 +544,23 @@ mod tests {
                     p: 1.0,
                 }
             });
-            let stepper =
-                HydroStepper::new(eos(), 0.4).with_bc(HydroBc::closed_box());
+            let stepper = HydroStepper::new(eos(), 0.4).with_bc(HydroBc::closed_box());
             let mass0 = st.total_mass_local();
             let mom = |st: &HydroState| st.m1.interior_to_vec().iter().sum::<f64>();
             assert!(mom(&st) > 0.0);
             let mut t = 0.0;
             while t < 0.6 {
-                let dt = stepper.max_dt(&ctx.comm, &mut ctx.sink, &grid, &st).min(0.6 - t);
-                stepper.step(&ctx.comm, &mut ctx.sink, &cart, &grid, &mut st, dt);
+                let dt = stepper
+                    .max_dt(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &grid, &st)
+                    .min(0.6 - t);
+                stepper.step(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &cart,
+                    &grid,
+                    &mut st,
+                    dt,
+                );
                 t += dt;
             }
             let mass1 = st.total_mass_local();
@@ -557,11 +568,7 @@ mod tests {
                 ((mass1 - mass0) / mass0).abs() < 1e-12,
                 "closed box leaked mass: {mass0} → {mass1}"
             );
-            assert!(
-                mom(&st) < 0.0,
-                "flow did not reflect off the wall: net m1 = {}",
-                mom(&st)
-            );
+            assert!(mom(&st) < 0.0, "flow did not reflect off the wall: net m1 = {}", mom(&st));
         });
     }
 
@@ -590,7 +597,14 @@ mod tests {
                 });
                 let stepper = HydroStepper::new(eos(), 0.4);
                 for _ in 0..4 {
-                    stepper.step(&ctx.comm, &mut ctx.sink, &cart, &grid, &mut st, 2e-3);
+                    stepper.step(
+                        &ctx.comm,
+                        &mut ExecCtx::new(&mut ctx.sink),
+                        &cart,
+                        &grid,
+                        &mut st,
+                        2e-3,
+                    );
                 }
                 let mut out = Vec::new();
                 for i2 in 0..t.n2 {

@@ -25,11 +25,7 @@ pub enum OpacityModel {
     /// Kramers-like power law: `κ_a = κ₀ · ρ · T^(−3.5)`, `κ_s = κ₁ · ρ`,
     /// evaluated from the hydro state — the nonlinear multi-physics
     /// setting.
-    PowerLaw {
-        kappa0: [f64; 2],
-        kappa1: [f64; 2],
-        kappa_x0: f64,
-    },
+    PowerLaw { kappa0: [f64; 2], kappa1: [f64; 2], kappa_x0: f64 },
 }
 
 /// Evaluated opacities at one zone.
@@ -48,11 +44,7 @@ impl OpacityModel {
     /// diffusion approximation holds, with mild absorption so the system
     /// is not singular at large `dt`).
     pub fn test_problem() -> Self {
-        OpacityModel::Constant {
-            kappa_a: [0.02, 0.04],
-            kappa_s: [2.0, 3.0],
-            kappa_x: 0.01,
-        }
+        OpacityModel::Constant { kappa_a: [0.02, 0.04], kappa_s: [2.0, 3.0], kappa_x: 0.01 }
     }
 
     /// Evaluate at a zone with density `rho` and temperature `temp`.
@@ -93,11 +85,7 @@ mod tests {
 
     #[test]
     fn power_law_scales_with_density_and_temperature() {
-        let m = OpacityModel::PowerLaw {
-            kappa0: [1.0, 2.0],
-            kappa1: [0.5, 0.5],
-            kappa_x0: 0.1,
-        };
+        let m = OpacityModel::PowerLaw { kappa0: [1.0, 2.0], kappa1: [0.5, 0.5], kappa_x0: 0.1 };
         let lo = m.eval(1.0, 2.0);
         let hi = m.eval(2.0, 2.0);
         assert!((hi.kappa_a[0] / lo.kappa_a[0] - 2.0).abs() < 1e-14);

@@ -74,22 +74,17 @@ mod tests {
         // Small dt so the backward-Euler rate error stays below the
         // assertion tolerance.
         let cfg = prob.config(8, 8, 0.01, 50);
-        Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let map = TileMap::new(8, 8, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                prob.init(&mut sim);
-                sim.run(&ctx.comm, &mut ctx.sink);
-                let got = sim.erad().get(0, 4, 4) - sim.erad().get(1, 4, 4);
-                let want = prob.analytic_difference(1.0, sim.time());
-                assert!(
-                    (got - want).abs() < 0.02 * prob.e0,
-                    "ΔE = {got}, analytic {want}"
-                );
-                // The sum is conserved exactly by the exchange operator.
-                let sum = sim.erad().get(0, 4, 4) + sim.erad().get(1, 4, 4);
-                assert!((sum - 3.0).abs() < 1e-9, "sum drifted: {sum}");
-            });
+        Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let map = TileMap::new(8, 8, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            prob.init(&mut sim);
+            sim.run(&ctx.comm, &mut ctx.sink);
+            let got = sim.erad().get(0, 4, 4) - sim.erad().get(1, 4, 4);
+            let want = prob.analytic_difference(1.0, sim.time());
+            assert!((got - want).abs() < 0.02 * prob.e0, "ΔE = {got}, analytic {want}");
+            // The sum is conserved exactly by the exchange operator.
+            let sum = sim.erad().get(0, 4, 4) + sim.erad().get(1, 4, 4);
+            assert!((sum - 3.0).abs() < 1e-9, "sum drifted: {sum}");
+        });
     }
 }

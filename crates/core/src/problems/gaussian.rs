@@ -40,12 +40,7 @@ pub struct GaussianPulse {
 impl GaussianPulse {
     /// The standard pulse: centered, σ = 10 zones of the paper grid.
     pub fn standard() -> Self {
-        GaussianPulse {
-            amplitude: 1.0,
-            sigma: 0.1,
-            center: (1.0, 0.5),
-            background: 1e-4,
-        }
+        GaussianPulse { amplitude: 1.0, sigma: 0.1, center: (1.0, 0.5), background: 1e-4 }
     }
 
     /// The paper's Table I configuration: 200 × 100 zones, 2 species,
@@ -92,11 +87,8 @@ impl GaussianPulse {
     pub fn linear_config(n1: usize, n2: usize, n_steps: usize) -> V2dConfig {
         let mut cfg = Self::scaled_config(n1, n2, n_steps);
         cfg.limiter = Limiter::None;
-        cfg.opacity = OpacityModel::Constant {
-            kappa_a: [0.0, 0.0],
-            kappa_s: [2.0, 2.0],
-            kappa_x: 0.0,
-        };
+        cfg.opacity =
+            OpacityModel::Constant { kappa_a: [0.0, 0.0], kappa_s: [2.0, 2.0], kappa_x: 0.0 };
         cfg
     }
 
@@ -162,51 +154,43 @@ mod tests {
         // overrides the stiff study timestep with a gentle one.
         cfg.dt = 0.00125;
         let pulse = GaussianPulse { sigma: 0.1, ..GaussianPulse::standard() };
-        let errs = Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let map = TileMap::new(n1, n2, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                pulse.init(&mut sim);
-                sim.run(&ctx.comm, &mut ctx.sink);
-                let d = GaussianPulse::linear_diffusion_coefficient(&cfg);
-                let t = sim.time();
-                let grid = *sim.grid();
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for i2 in 0..n2 {
-                    for i1 in 0..n1 {
-                        let (x, y) = grid.center(i1, i2);
-                        let want = pulse.analytic(d, x, y, t);
-                        let got = sim.erad().get(0, i1 as isize, i2 as isize);
-                        num += (got - want).powi(2);
-                        den += want.powi(2);
-                    }
+        let errs = Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let map = TileMap::new(n1, n2, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            pulse.init(&mut sim);
+            sim.run(&ctx.comm, &mut ctx.sink);
+            let d = GaussianPulse::linear_diffusion_coefficient(&cfg);
+            let t = sim.time();
+            let grid = *sim.grid();
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i2 in 0..n2 {
+                for i1 in 0..n1 {
+                    let (x, y) = grid.center(i1, i2);
+                    let want = pulse.analytic(d, x, y, t);
+                    let got = sim.erad().get(0, i1 as isize, i2 as isize);
+                    num += (got - want).powi(2);
+                    den += want.powi(2);
                 }
-                (num / den).sqrt()
-            });
-        assert!(
-            errs[0] < 0.05,
-            "relative L2 error vs analytic solution too large: {}",
-            errs[0]
-        );
+            }
+            (num / den).sqrt()
+        });
+        assert!(errs[0] < 0.05, "relative L2 error vs analytic solution too large: {}", errs[0]);
     }
 
     #[test]
     fn both_species_initialized_identically() {
         let cfg = GaussianPulse::linear_config(16, 8, 1);
-        Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let map = TileMap::new(16, 8, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                GaussianPulse::standard().init(&mut sim);
-                for i2 in 0..8isize {
-                    for i1 in 0..16isize {
-                        assert_eq!(sim.erad().get(0, i1, i2), sim.erad().get(1, i1, i2));
-                    }
+        Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let map = TileMap::new(16, 8, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            GaussianPulse::standard().init(&mut sim);
+            for i2 in 0..8isize {
+                for i1 in 0..16isize {
+                    assert_eq!(sim.erad().get(0, i1, i2), sim.erad().get(1, i1, i2));
                 }
-            });
+            }
+        });
     }
 
     #[test]

@@ -67,9 +67,7 @@ impl MatterRelaxation {
         let e0 = self.e0;
         sim.erad_mut().fill_with(|s, _, _| e0[s]);
         let t0 = self.t0;
-        sim.temperature_mut()
-            .expect("coupling must be enabled")
-            .fill_with(|_, _| t0);
+        sim.temperature_mut().expect("coupling must be enabled").fill_with(|_, _| t0);
     }
 
     /// The equilibrium temperature: solves
@@ -112,39 +110,37 @@ mod tests {
         // Small dt keeps the first-order splitting error in the energy
         // budget below the assertion tolerance.
         let cfg = p.config(8, 8, 0.02, 300);
-        Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let map = TileMap::new(8, 8, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                p.init(&mut sim);
-                let total0 = p.coupling.cv * p.t0 + p.e0.iter().sum::<f64>();
-                sim.run(&ctx.comm, &mut ctx.sink);
+        Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let map = TileMap::new(8, 8, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            p.init(&mut sim);
+            let total0 = p.coupling.cv * p.t0 + p.e0.iter().sum::<f64>();
+            sim.run(&ctx.comm, &mut ctx.sink);
 
-                let t = sim.temperature().unwrap().get(4, 4);
-                let e0 = sim.erad().get(0, 4, 4);
-                let e1 = sim.erad().get(1, 4, 4);
-                let t_eq = p.equilibrium_temperature();
+            let t = sim.temperature().unwrap().get(4, 4);
+            let e0 = sim.erad().get(0, 4, 4);
+            let e1 = sim.erad().get(1, 4, 4);
+            let t_eq = p.equilibrium_temperature();
+            assert!(
+                (t - t_eq).abs() < 0.02 * t_eq,
+                "gas did not thermalize: T = {t}, expected {t_eq}"
+            );
+            // Radiation must sit on the Planck curve per species.
+            for (s, e) in [e0, e1].into_iter().enumerate() {
+                let want = p.coupling.emission(s, t);
                 assert!(
-                    (t - t_eq).abs() < 0.02 * t_eq,
-                    "gas did not thermalize: T = {t}, expected {t_eq}"
+                    (e - want).abs() < 0.03 * want,
+                    "species {s} off the emission curve: {e} vs {want}"
                 );
-                // Radiation must sit on the Planck curve per species.
-                for (s, e) in [e0, e1].into_iter().enumerate() {
-                    let want = p.coupling.emission(s, t);
-                    assert!(
-                        (e - want).abs() < 0.03 * want,
-                        "species {s} off the emission curve: {e} vs {want}"
-                    );
-                }
-                // Total (gas + radiation) energy conserved up to the tiny
-                // boundary diffusion loss.
-                let total1 = p.coupling.cv * t + e0 + e1;
-                assert!(
-                    ((total1 - total0) / total0).abs() < 0.015,
-                    "energy budget broken: {total0} → {total1}"
-                );
-            });
+            }
+            // Total (gas + radiation) energy conserved up to the tiny
+            // boundary diffusion loss.
+            let total1 = p.coupling.cv * t + e0 + e1;
+            assert!(
+                ((total1 - total0) / total0).abs() < 0.015,
+                "energy budget broken: {total0} → {total1}"
+            );
+        });
     }
 
     #[test]
@@ -156,20 +152,18 @@ mod tests {
             coupling: MatterCoupling::new(2.0, 0.5, [0.7, 0.3]),
         };
         let cfg = p.config(6, 6, 0.05, 150);
-        Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let map = TileMap::new(6, 6, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                p.init(&mut sim);
-                sim.run(&ctx.comm, &mut ctx.sink);
-                let t = sim.temperature().unwrap().get(3, 3);
-                assert!(t < p.t0, "gas should cool while radiating: T = {t}");
-                let e0 = sim.erad().get(0, 3, 3);
-                let e1 = sim.erad().get(1, 3, 3);
-                assert!(e0 > 1e-3 && e1 > 1e-3, "radiation field did not heat: {e0}, {e1}");
-                // Uneven split: species 0 receives more.
-                assert!(e0 > e1, "split ordering violated: {e0} vs {e1}");
-            });
+        Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let map = TileMap::new(6, 6, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            p.init(&mut sim);
+            sim.run(&ctx.comm, &mut ctx.sink);
+            let t = sim.temperature().unwrap().get(3, 3);
+            assert!(t < p.t0, "gas should cool while radiating: T = {t}");
+            let e0 = sim.erad().get(0, 3, 3);
+            let e1 = sim.erad().get(1, 3, 3);
+            assert!(e0 > 1e-3 && e1 > 1e-3, "radiation field did not heat: {e0}, {e1}");
+            // Uneven split: species 0 receives more.
+            assert!(e0 > e1, "split ordering violated: {e0} vs {e1}");
+        });
     }
 }

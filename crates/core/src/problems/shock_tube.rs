@@ -81,28 +81,25 @@ mod tests {
     fn coupled_sod_run_develops_a_shock() {
         let (n1, n2) = (64, 4);
         let cfg = SodTube::config(n1, n2, 10, 2e-3);
-        Spmd::new(2)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let map = TileMap::new(n1, n2, 2, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                SodTube::standard().init(&mut sim);
-                let agg = sim.run(&ctx.comm, &mut ctx.sink);
-                assert_eq!(agg.steps, 10);
-                // Gas is moving somewhere on this rank's tile or the
-                // other's; check the local max velocity via the fields.
-                let grid = *sim.grid();
-                let st = sim.hydro().unwrap();
-                let mut max_u = 0.0f64;
-                for i2 in 0..grid.n2 as isize {
-                    for i1 in 0..grid.n1 as isize {
-                        max_u = max_u.max((st.m1.get(i1, i2) / st.rho.get(i1, i2)).abs());
-                    }
+        Spmd::new(2).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let map = TileMap::new(n1, n2, 2, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            SodTube::standard().init(&mut sim);
+            let agg = sim.run(&ctx.comm, &mut ctx.sink);
+            assert_eq!(agg.steps, 10);
+            // Gas is moving somewhere on this rank's tile or the
+            // other's; check the local max velocity via the fields.
+            let grid = *sim.grid();
+            let st = sim.hydro().unwrap();
+            let mut max_u = 0.0f64;
+            for i2 in 0..grid.n2 as isize {
+                for i1 in 0..grid.n1 as isize {
+                    max_u = max_u.max((st.m1.get(i1, i2) / st.rho.get(i1, i2)).abs());
                 }
-                let global_max =
-                    ctx.comm
-                        .allreduce_scalar(&mut ctx.sink, v2d_comm::ReduceOp::Max, max_u);
-                assert!(global_max > 0.2, "no flow developed: {global_max}");
-            });
+            }
+            let global_max =
+                ctx.comm.allreduce_scalar(&mut ctx.sink, v2d_comm::ReduceOp::Max, max_u);
+            assert!(global_max > 0.2, "no flow developed: {global_max}");
+        });
     }
 }

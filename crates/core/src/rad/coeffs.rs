@@ -27,7 +27,7 @@
 
 use v2d_comm::{CartComm, Comm};
 use v2d_linalg::{StencilCoeffs, StencilOp, TileVec, NSPEC};
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass, KernelShape};
 
 use crate::field::Field2;
 use crate::grid::LocalGrid;
@@ -69,7 +69,7 @@ const E_FLOOR: f64 = 1e-30;
 #[allow(clippy::too_many_arguments)]
 pub fn assemble_system(
     comm: &Comm,
-    sink: &mut MultiCostSink,
+    cx: &mut ExecCtx,
     cart: &CartComm,
     grid: &LocalGrid,
     limiter: Limiter,
@@ -88,7 +88,9 @@ pub fn assemble_system(
     // Fresh ghosts for the face-gradient evaluation.
     let mut buf = Vec::new();
     let ws = 16 * lin_state.bytes();
-    StencilOp::exchange_halos(cart, comm, sink, lin_state, &mut buf, ws);
+    let old_ws = cx.set_ws(ws);
+    StencilOp::exchange_halos(cart, comm, cx, lin_state, &mut buf);
+    cx.set_ws(old_ws);
 
     let mut c = StencilCoeffs::new(n1, n2);
     let mut rhs = TileVec::new(n1, n2);
@@ -176,14 +178,7 @@ pub fn assemble_system(
 
     // Multi-physics assembly cost: limiter transcendentals, opacity
     // evaluation, metric factors — scalar work in every compiler model.
-    sink.charge(&KernelShape::streaming(
-        KernelClass::Physics,
-        n1 * n2 * NSPEC,
-        60,
-        4,
-        7,
-        ws,
-    ));
+    cx.charge(&KernelShape::streaming(KernelClass::Physics, n1 * n2 * NSPEC, 60, 4, 7, ws));
 
     (StencilOp::new(c, *cart), rhs)
 }
@@ -218,7 +213,7 @@ mod tests {
             let src = TileVec::new(8, 6);
             let (op, _rhs) = assemble_system(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::new(&mut ctx.sink),
                 &cart,
                 &grid,
                 Limiter::LevermorePomraning,
@@ -268,7 +263,7 @@ mod tests {
             let (kappa_a, kappa_x, dt, c_l) = ([0.1, 0.2], 0.05, 0.3, 1.0);
             let (mut op, _rhs) = assemble_system(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::new(&mut ctx.sink),
                 &cart,
                 &grid,
                 Limiter::None,
@@ -283,14 +278,10 @@ mod tests {
             let mut x = TileVec::new(10, 10);
             x.fill_interior(2.0);
             let mut y = TileVec::new(10, 10);
-            op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut y);
+            op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut y);
             // Interior zone (5,5), species 0.
             let expect = (1.0 + dt * c_l * (kappa_a[0] + kappa_x)) * 2.0 - dt * c_l * kappa_x * 2.0;
-            assert!(
-                (y.get(0, 5, 5) - expect).abs() < 1e-12,
-                "{} vs {expect}",
-                y.get(0, 5, 5)
-            );
+            assert!((y.get(0, 5, 5) - expect).abs() < 1e-12, "{} vs {expect}", y.get(0, 5, 5));
         });
     }
 
@@ -306,7 +297,7 @@ mod tests {
             src.fill_interior(10.0);
             let (_op, rhs) = assemble_system(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::new(&mut ctx.sink),
                 &cart,
                 &grid,
                 Limiter::None,
@@ -334,7 +325,7 @@ mod tests {
             let before = ctx.sink.lanes[0].counters.calls[KernelClass::Physics.index()];
             let _ = assemble_system(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::new(&mut ctx.sink),
                 &cart,
                 &grid,
                 Limiter::Wilson,
@@ -371,7 +362,7 @@ mod tests {
                 let src = TileVec::new(t.n1, t.n2);
                 let (mut op, _rhs) = assemble_system(
                     &ctx.comm,
-                    &mut ctx.sink,
+                    &mut ExecCtx::new(&mut ctx.sink),
                     &cart,
                     &grid,
                     Limiter::LevermorePomraning,
@@ -385,7 +376,7 @@ mod tests {
                 );
                 let mut x = e.clone();
                 let mut y = TileVec::new(t.n1, t.n2);
-                op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut y);
+                op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut y);
                 let mut out = Vec::new();
                 for s in 0..NSPEC {
                     for i2 in 0..t.n2 {

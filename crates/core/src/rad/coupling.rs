@@ -23,7 +23,7 @@
 //! monotone in `T¹`, so Newton from `T⁰` converges quadratically.
 
 use v2d_linalg::{TileVec, NSPEC};
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass, KernelShape};
 
 use crate::field::Field2;
 use crate::opacity::ZoneOpacity;
@@ -62,7 +62,7 @@ impl MatterCoupling {
     /// as fixed — one leg of the operator splitting).
     pub fn emission_source(
         &self,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         c_light: f64,
         opacity_at: &dyn Fn(usize, usize) -> ZoneOpacity,
         temp: &Field2,
@@ -78,7 +78,7 @@ impl MatterCoupling {
                 }
             }
         }
-        sink.charge(&KernelShape::streaming(
+        cx.charge(&KernelShape::streaming(
             KernelClass::Physics,
             n1 * n2 * NSPEC,
             10,
@@ -97,7 +97,7 @@ impl MatterCoupling {
     /// unphysical inputs).
     pub fn update_temperature(
         &self,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         c_light: f64,
         dt: f64,
         opacity_at: &dyn Fn(usize, usize) -> ZoneOpacity,
@@ -115,9 +115,8 @@ impl MatterCoupling {
                 let absorbed: f64 = (0..NSPEC)
                     .map(|s| c_light * op.kappa_a[s] * erad.get(s, i1 as isize, i2 as isize))
                     .sum();
-                let kap_b: f64 = (0..NSPEC)
-                    .map(|s| c_light * op.kappa_a[s] * self.split[s] * self.a_rad)
-                    .sum();
+                let kap_b: f64 =
+                    (0..NSPEC).map(|s| c_light * op.kappa_a[s] * self.split[s] * self.a_rad).sum();
                 // F is increasing and convex for T > 0, and the root lies
                 // below max(T0, (absorbed/kapB)^¼); starting Newton from
                 // that upper bound makes the iteration monotone
@@ -144,7 +143,7 @@ impl MatterCoupling {
                 temp.set(i1 as isize, i2 as isize, t);
             }
         }
-        sink.charge(&KernelShape::streaming(
+        cx.charge(&KernelShape::streaming(
             KernelClass::Physics,
             n1 * n2,
             120,
@@ -166,7 +165,7 @@ impl MatterCoupling {
 mod tests {
     use super::*;
     use crate::opacity::OpacityModel;
-    use v2d_machine::{CompilerProfile, CostSink};
+    use v2d_machine::{CompilerProfile, CostSink, MultiCostSink};
 
     fn sink() -> MultiCostSink {
         MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
@@ -194,7 +193,7 @@ mod tests {
             let _ = (i1, i2);
             model.eval(1.0, 1.0)
         };
-        cp.emission_source(&mut sk, 1.0, &at, &temp, &mut src);
+        cp.emission_source(&mut ExecCtx::new(&mut sk), 1.0, &at, &temp, &mut src);
         // zone (1,0): T = 2 → B_0 = 0.25·2·16 = 8; source = c·κ_a·B = 4.
         assert!((src.get(0, 1, 0) - 0.5 * 8.0).abs() < 1e-12);
         assert!((src.get(1, 1, 0) - 0.5 * 24.0).abs() < 1e-12);
@@ -212,7 +211,7 @@ mod tests {
         erad.fill_interior(8.0); // ΣE = 16 → T_eq = 2 since a(T⁴)=16
         let model = opac();
         let at = move |_: usize, _: usize| model.eval(1.0, 1.0);
-        cp.update_temperature(&mut sk, 1.0, 1e9, &at, &erad, &mut temp);
+        cp.update_temperature(&mut ExecCtx::new(&mut sk), 1.0, 1e9, &at, &erad, &mut temp);
         let t = temp.get(0, 0);
         assert!((t - 2.0).abs() < 1e-6, "stiff limit should hit a·T⁴ = ΣE: T = {t}");
     }
@@ -230,7 +229,7 @@ mod tests {
         let model = opac();
         let at = move |_: usize, _: usize| model.eval(1.0, 1.0);
         let dt = 1e-6;
-        cp.update_temperature(&mut sk, 1.0, dt, &at, &erad, &mut temp);
+        cp.update_temperature(&mut ExecCtx::new(&mut sk), 1.0, dt, &at, &erad, &mut temp);
         // rate = Σ cκ(E − 0.5·T⁴) = 2·0.5·(3 − 0.5) = 2.5; ΔT = dt·rate/cv.
         let want = 1.0 + dt * 2.5 / 2.0;
         let got = temp.get(1, 1);
@@ -251,7 +250,7 @@ mod tests {
         let model = opac();
         let at = move |_: usize, _: usize| model.eval(1.0, 1.0);
         let dt = 0.37;
-        cp.update_temperature(&mut sk, 1.0, dt, &at, &erad, &mut temp);
+        cp.update_temperature(&mut ExecCtx::new(&mut sk), 1.0, dt, &at, &erad, &mut temp);
         for i2 in 0..3isize {
             for i1 in 0..3isize {
                 let t1 = temp.get(i1, i2);
@@ -259,8 +258,7 @@ mod tests {
                 let op = model.eval(1.0, 1.0);
                 let rhs: f64 = (0..NSPEC)
                     .map(|s| {
-                        op.kappa_a[s]
-                            * (erad.get(s, i1, i2) - cp.split[s] * cp.a_rad * t1.powi(4))
+                        op.kappa_a[s] * (erad.get(s, i1, i2) - cp.split[s] * cp.a_rad * t1.powi(4))
                     })
                     .sum();
                 assert!(
@@ -281,7 +279,8 @@ mod tests {
         erad.fill_interior(1e6);
         let model = opac();
         let at = move |_: usize, _: usize| model.eval(1.0, 1.0);
-        let iters = cp.update_temperature(&mut sk, 1.0, 100.0, &at, &erad, &mut temp);
+        let iters =
+            cp.update_temperature(&mut ExecCtx::new(&mut sk), 1.0, 100.0, &at, &erad, &mut temp);
         let t = temp.get(0, 0);
         assert!(t > 1.0 && t.is_finite(), "T = {t}");
         assert!(iters < 50);

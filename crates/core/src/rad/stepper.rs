@@ -23,10 +23,9 @@
 
 use v2d_comm::{CartComm, Comm};
 use v2d_linalg::{
-    bicgstab, BlockJacobi, Identity, Jacobi, SolveOpts, SolveStats, Spai, TileVec,
+    bicgstab, BlockJacobi, Identity, Jacobi, SolveOpts, SolveStats, SolverWorkspace, Spai, TileVec,
 };
-use v2d_machine::MultiCostSink;
-use v2d_perf::Profiler;
+use v2d_machine::ExecCtx;
 
 use crate::grid::LocalGrid;
 use crate::limiter::Limiter;
@@ -62,25 +61,59 @@ pub struct RadStepper {
     pub solve: SolveOpts,
 }
 
+/// Scratch the radiation stepper reuses across timesteps: the Krylov
+/// solvers' [`SolverWorkspace`] plus the stepper's own stage fields.
+/// One per rank, owned by the simulation — after the first step at a
+/// given tile shape, stepping performs no `TileVec` allocations outside
+/// system assembly.
+#[derive(Debug)]
+pub struct RadWorkspace {
+    pub solver: SolverWorkspace,
+    e_stage: TileVec,
+    lin_state: TileVec,
+}
+
+impl RadWorkspace {
+    /// A workspace for an `n1 × n2` tile.
+    pub fn new(n1: usize, n2: usize) -> Self {
+        RadWorkspace {
+            solver: SolverWorkspace::new(n1, n2),
+            e_stage: TileVec::new(n1, n2),
+            lin_state: TileVec::new(n1, n2),
+        }
+    }
+
+    /// Reshape if the tile shape changed (allocation-free when it has
+    /// not).
+    pub fn ensure(&mut self, n1: usize, n2: usize) {
+        self.solver.ensure(n1, n2);
+        if (self.e_stage.n1(), self.e_stage.n2()) != (n1, n2) {
+            self.e_stage = TileVec::new(n1, n2);
+            self.lin_state = TileVec::new(n1, n2);
+        }
+    }
+}
+
 impl RadStepper {
     /// Advance `erad` by one timestep `dt`; `source` is the emission
-    /// term.  Optionally records the three BiCGSTAB call sites in a
-    /// TAU-style profiler (lane 0), as the paper did with Arm MAP.
+    /// term.  The three BiCGSTAB call sites are recorded in the
+    /// context's profiler scope (when one is attached), as the paper did
+    /// with Arm MAP; all scratch comes from `wks`.
     #[allow(clippy::too_many_arguments)]
     pub fn step(
         &self,
         comm: &Comm,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         cart: &CartComm,
         grid: &LocalGrid,
         matter: &MatterState,
         dt: f64,
         erad: &mut TileVec,
         source: &TileVec,
-        mut profiler: Option<&mut Profiler>,
+        wks: &mut RadWorkspace,
     ) -> RadStepStats {
         let (n1, n2) = (grid.n1, grid.n2);
-        let mut e_stage = TileVec::new(n1, n2);
+        wks.ensure(n1, n2);
         let mut stats = Vec::with_capacity(3);
 
         // Three full-step sweeps re-linearized at the latest iterate.
@@ -90,12 +123,12 @@ impl RadStepper {
         // The state the coefficients are evaluated at; starts at Eⁿ.
         // The right-hand side always carries Eⁿ (full steps from the
         // beginning-of-step data; only the linearization improves).
-        let mut lin_state = erad.clone();
+        wks.lin_state.copy_from(erad);
 
         for stage in 0..3 {
             let (mut op, rhs) = assemble_system(
                 comm,
-                sink,
+                cx,
                 cart,
                 grid,
                 self.limiter,
@@ -103,7 +136,7 @@ impl RadStepper {
                 matter,
                 self.c_light,
                 stage_dt[stage],
-                &mut lin_state,
+                &mut wks.lin_state,
                 erad,
                 source,
             );
@@ -112,45 +145,40 @@ impl RadStepper {
             // stage — V2D solves each of its three systems cold, which
             // is why the paper's Arm MAP analysis shows the three
             // BiCGSTAB call sites at nearly equal thirds of the runtime.
-            e_stage.copy_from(erad);
+            wks.e_stage.copy_from(erad);
 
-            if let Some(p) = profiler.as_deref_mut() {
-                p.enter(&sink.lanes[0], stage_name[stage]);
-            }
+            cx.enter(stage_name[stage]);
+            let e_stage = &mut wks.e_stage;
+            let swks = &mut wks.solver;
             let st = match self.precond {
                 PrecondKind::None => {
                     let mut m = Identity;
-                    bicgstab(comm, sink, &mut op, &mut m, &rhs, &mut e_stage, &self.solve)
+                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
                 PrecondKind::Jacobi => {
                     let mut m = Jacobi::new(&op);
-                    bicgstab(comm, sink, &mut op, &mut m, &rhs, &mut e_stage, &self.solve)
+                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
                 PrecondKind::BlockJacobi => {
                     let mut m = BlockJacobi::new(&op);
-                    bicgstab(comm, sink, &mut op, &mut m, &rhs, &mut e_stage, &self.solve)
+                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
                 PrecondKind::Spai => {
-                    op.exchange_coeff_halos(comm, sink);
-                    let mut m = Spai::new(&op, comm, sink);
-                    bicgstab(comm, sink, &mut op, &mut m, &rhs, &mut e_stage, &self.solve)
+                    op.exchange_coeff_halos(comm, cx);
+                    let mut m = Spai::new(&op, comm, cx);
+                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
             };
-            if let Some(p) = profiler.as_deref_mut() {
-                p.exit(&sink.lanes[0], stage_name[stage]);
-            }
-            assert!(
-                st.converged,
-                "radiation solve stage {stage} failed to converge: {st:?}"
-            );
+            cx.exit(stage_name[stage]);
+            assert!(st.converged, "radiation solve stage {stage} failed to converge: {st:?}");
             stats.push(st);
 
             // Re-linearize the coefficients around the stage solution;
             // the rhs keeps carrying Eⁿ.
-            lin_state.copy_from(&e_stage);
+            wks.lin_state.copy_from(&wks.e_stage);
         }
 
-        erad.copy_from(&e_stage);
+        erad.copy_from(&wks.e_stage);
         RadStepStats { stages: [stats[0], stats[1], stats[2]] }
     }
 }
@@ -163,6 +191,7 @@ mod tests {
     use v2d_comm::{Spmd, TileMap};
     use v2d_linalg::NSPEC;
     use v2d_machine::CompilerProfile;
+    use v2d_perf::Profiler;
 
     fn profiles() -> Vec<CompilerProfile> {
         vec![CompilerProfile::cray_opt()]
@@ -196,16 +225,17 @@ mod tests {
                 (-((x - 0.5).powi(2) + (y - 0.375).powi(2)) / 0.01).exp()
             });
             let src = TileVec::new(n1, n2);
+            let mut wks = RadWorkspace::new(n1, n2);
             let st = stepper(PrecondKind::BlockJacobi).step(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::new(&mut ctx.sink),
                 &cart,
                 &grid,
                 &MatterState::Uniform,
                 0.003,
                 &mut e,
                 &src,
-                None,
+                &mut wks,
             );
             assert!(st.all_converged());
             // The first solve always iterates; later stages may converge
@@ -234,18 +264,19 @@ mod tests {
             let vol = g.volume(0, 0);
             let total0: f64 = e.interior_to_vec().iter().sum::<f64>() * vol;
             let src = TileVec::new(n1, n2);
+            let mut wks = RadWorkspace::new(n1, n2);
             let s = stepper(PrecondKind::Jacobi);
             for _ in 0..5 {
                 let st = s.step(
                     &ctx.comm,
-                    &mut ctx.sink,
+                    &mut ExecCtx::new(&mut ctx.sink),
                     &cart,
                     &grid,
                     &MatterState::Uniform,
                     1e-3,
                     &mut e,
                     &src,
-                    None,
+                    &mut wks,
                 );
                 assert!(st.all_converged());
             }
@@ -282,25 +313,23 @@ mod tests {
                 ..stepper(PrecondKind::Jacobi)
             };
             let before: f64 = e.interior_to_vec().iter().sum();
+            let mut wks = RadWorkspace::new(n1, n2);
             s.step(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::new(&mut ctx.sink),
                 &cart,
                 &grid,
                 &MatterState::Uniform,
                 0.1,
                 &mut e,
                 &src,
-                None,
+                &mut wks,
             );
             let after: f64 = e.interior_to_vec().iter().sum();
             assert!(after < before, "absorption did not remove energy");
             // Backward Euler of dE/dt = −κc E: E₁ = E₀/(1 + κ c dt).
             let expect = before / (1.0 + 0.5 * 0.1);
-            assert!(
-                ((after - expect) / expect).abs() < 1e-3,
-                "decay {after} far from {expect}"
-            );
+            assert!(((after - expect) / expect).abs() < 1e-3, "decay {after} far from {expect}");
         });
     }
 
@@ -324,25 +353,23 @@ mod tests {
                 },
                 ..stepper(PrecondKind::BlockJacobi)
             };
+            let mut wks = RadWorkspace::new(n1, n2);
             for _ in 0..30 {
                 s.step(
                     &ctx.comm,
-                    &mut ctx.sink,
+                    &mut ExecCtx::new(&mut ctx.sink),
                     &cart,
                     &grid,
                     &MatterState::Uniform,
                     0.2,
                     &mut e,
                     &src,
-                    None,
+                    &mut wks,
                 );
             }
             let e0 = e.get(0, 5, 5);
             let e1 = e.get(1, 5, 5);
-            assert!(
-                (e0 - e1).abs() < 0.05,
-                "species did not equilibrate: {e0} vs {e1}"
-            );
+            assert!((e0 - e1).abs() < 0.05, "species did not equilibrate: {e0} vs {e1}");
             // Exchange conserves the species sum.
             assert!((e0 + e1 - 2.5).abs() < 1e-6, "exchange lost energy: {}", e0 + e1);
         });
@@ -360,16 +387,17 @@ mod tests {
             e.fill_interior(1.0);
             let src = TileVec::new(n1, n2);
             let mut prof = Profiler::new();
+            let mut wks = RadWorkspace::new(n1, n2);
             stepper(PrecondKind::Jacobi).step(
                 &ctx.comm,
-                &mut ctx.sink,
+                &mut ExecCtx::with_profiler(&mut ctx.sink, &mut prof),
                 &cart,
                 &grid,
                 &MatterState::Uniform,
                 0.01,
                 &mut e,
                 &src,
-                Some(&mut prof),
+                &mut wks,
             );
             for name in ["bicgstab_predictor", "bicgstab_corrector", "bicgstab_coupling"] {
                 assert_eq!(prof.routine(name).expect(name).calls, 1);
@@ -397,17 +425,18 @@ mod tests {
                     limiter: Limiter::LevermorePomraning,
                     ..stepper(PrecondKind::Jacobi)
                 };
+                let mut wks = RadWorkspace::new(t.n1, t.n2);
                 for _ in 0..3 {
                     s.step(
                         &ctx.comm,
-                        &mut ctx.sink,
+                        &mut ExecCtx::new(&mut ctx.sink),
                         &cart,
                         &grid,
                         &MatterState::Uniform,
                         2e-3,
                         &mut e,
                         &src,
-                        None,
+                        &mut wks,
                     );
                 }
                 let mut out = Vec::new();
@@ -430,10 +459,7 @@ mod tests {
         let single = run(1, 1);
         let multi = run(2, 2);
         for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
-            assert!(
-                (a - b).abs() < 1e-7 * (1.0 + a.abs()),
-                "field differs at {i}: {a} vs {b}"
-            );
+            assert!((a - b).abs() < 1e-7 * (1.0 + a.abs()), "field differs at {i}: {a} vs {b}");
         }
     }
 }

@@ -9,17 +9,17 @@
 
 use v2d_comm::{CartComm, Comm, ReduceOp, TileMap};
 use v2d_linalg::{SolveOpts, TileVec};
-use v2d_machine::MultiCostSink;
+use v2d_machine::{ExecCtx, MultiCostSink};
 use v2d_perf::Profiler;
 
+use crate::field::Field2;
 use crate::grid::{Grid2, LocalGrid};
 use crate::hydro::{GammaLaw, HydroState, HydroStepper};
 use crate::limiter::Limiter;
 use crate::opacity::OpacityModel;
-use crate::field::Field2;
 use crate::rad::coeffs::MatterState;
 use crate::rad::coupling::MatterCoupling;
-use crate::rad::stepper::{RadStepStats, RadStepper};
+use crate::rad::stepper::{RadStepStats, RadStepper, RadWorkspace};
 
 /// Which preconditioner the radiation solves use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +98,9 @@ pub struct V2dSim {
     temp: Option<Field2>,
     time: f64,
     istep: usize,
+    /// Reusable solver + stepper scratch (one per rank; reused across
+    /// all solves of the run).
+    wks: RadWorkspace,
     /// TAU-style profiler over compiler lane 0.
     pub profiler: Profiler,
 }
@@ -137,6 +140,7 @@ impl V2dSim {
             temp,
             time: 0.0,
             istep: 0,
+            wks: RadWorkspace::new(tile.n1, tile.n2),
             profiler: Profiler::new(),
         }
     }
@@ -207,34 +211,37 @@ impl V2dSim {
         self.istep = istep;
     }
 
-    /// Advance one timestep.
+    /// Advance one timestep.  The public surface stays `(comm, sink)`;
+    /// internally one [`ExecCtx`] carrying the simulation's profiler is
+    /// threaded through the whole chain.
     pub fn step(&mut self, comm: &Comm, sink: &mut MultiCostSink) -> StepStats {
+        let mut cx = ExecCtx::with_profiler(sink, &mut self.profiler);
         let dt = self.cfg.dt;
         let mut hydro_dt = None;
         if let Some((stepper, state)) = &mut self.hydro {
-            self.profiler.enter(&sink.lanes[0], "hydro");
+            cx.enter("hydro");
             // Subcycle the explicit hydro to its CFL limit within dt.
             let mut advanced = 0.0;
             while advanced < dt {
-                let hdt = stepper.max_dt(comm, sink, &self.grid, state).min(dt - advanced);
-                stepper.step(comm, sink, &self.cart, &self.grid, state, hdt);
+                let hdt = stepper.max_dt(comm, &mut cx, &self.grid, state).min(dt - advanced);
+                stepper.step(comm, &mut cx, &self.cart, &self.grid, state, hdt);
                 advanced += hdt;
             }
             hydro_dt = Some(advanced);
-            self.profiler.exit(&sink.lanes[0], "hydro");
+            cx.exit("hydro");
         }
 
         // Matter emission enters the radiation solve as its source term,
         // evaluated at the beginning-of-step temperature (operator split).
         if let (Some(cp), Some(temp)) = (&self.cfg.coupling, &self.temp) {
-            self.profiler.enter(&sink.lanes[0], "matter_emission");
+            cx.enter("matter_emission");
             let opacity = self.cfg.opacity;
             let at = move |i1: usize, i2: usize| {
                 let _ = (i1, i2);
                 opacity.eval(1.0, 1.0)
             };
-            cp.emission_source(sink, self.cfg.c_light, &at, temp, &mut self.source);
-            self.profiler.exit(&sink.lanes[0], "matter_emission");
+            cp.emission_source(&mut cx, self.cfg.c_light, &at, temp, &mut self.source);
+            cx.exit("matter_emission");
         }
 
         let rad_stepper = RadStepper {
@@ -244,7 +251,7 @@ impl V2dSim {
             precond: self.cfg.precond,
             solve: self.cfg.solve,
         };
-        self.profiler.enter(&sink.lanes[0], "radiation");
+        cx.enter("radiation");
         // Hydro provides the matter background when enabled.  The
         // temperature proxy fields are derived on the fly.
         let rad = if let Some((stepper, state)) = &self.hydro {
@@ -261,41 +268,41 @@ impl V2dSim {
             let matter = MatterState::Fields { rho: &rho, temp: &temp };
             rad_stepper.step(
                 comm,
-                sink,
+                &mut cx,
                 &self.cart,
                 &self.grid,
                 &matter,
                 dt,
                 &mut self.erad,
                 &self.source,
-                Some(&mut self.profiler),
+                &mut self.wks,
             )
         } else {
             rad_stepper.step(
                 comm,
-                sink,
+                &mut cx,
                 &self.cart,
                 &self.grid,
                 &MatterState::Uniform,
                 dt,
                 &mut self.erad,
                 &self.source,
-                Some(&mut self.profiler),
+                &mut self.wks,
             )
         };
-        self.profiler.exit(&sink.lanes[0], "radiation");
+        cx.exit("radiation");
 
         // Close the exchange: implicit gas-temperature update against
         // the freshly solved radiation field.
         if let (Some(cp), Some(temp)) = (&self.cfg.coupling, &mut self.temp) {
-            self.profiler.enter(&sink.lanes[0], "matter_update");
+            cx.enter("matter_update");
             let opacity = self.cfg.opacity;
             let at = move |i1: usize, i2: usize| {
                 let _ = (i1, i2);
                 opacity.eval(1.0, 1.0)
             };
-            cp.update_temperature(sink, self.cfg.c_light, dt, &at, &self.erad, temp);
-            self.profiler.exit(&sink.lanes[0], "matter_update");
+            cp.update_temperature(&mut cx, self.cfg.c_light, dt, &at, &self.erad, temp);
+            cx.exit("matter_update");
         }
 
         self.time += dt;
@@ -361,74 +368,64 @@ mod tests {
 
     #[test]
     fn run_performs_three_solves_per_step() {
-        Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let cfg = small_cfg();
-                let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                sim.erad_mut().fill_with(|_, i1, i2| {
-                    1.0 + ((i1 + i2) as f64 * 0.3).sin().powi(2)
-                });
-                let agg = sim.run(&ctx.comm, &mut ctx.sink);
-                assert_eq!(agg.steps, 3);
-                assert_eq!(agg.total_solves, 9);
-                assert!(agg.total_iters >= 9);
-                assert!((sim.time() - 3e-3).abs() < 1e-15);
-                assert_eq!(sim.istep(), 3);
-            });
+        Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let cfg = small_cfg();
+            let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            sim.erad_mut().fill_with(|_, i1, i2| 1.0 + ((i1 + i2) as f64 * 0.3).sin().powi(2));
+            let agg = sim.run(&ctx.comm, &mut ctx.sink);
+            assert_eq!(agg.steps, 3);
+            assert_eq!(agg.total_solves, 9);
+            assert!(agg.total_iters >= 9);
+            assert!((sim.time() - 3e-3).abs() < 1e-15);
+            assert_eq!(sim.istep(), 3);
+        });
     }
 
     #[test]
     fn profiler_splits_radiation_into_three_sites() {
-        Spmd::new(1)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let cfg = small_cfg();
-                let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 1, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                sim.erad_mut().fill_interior(1.0);
-                sim.step(&ctx.comm, &mut ctx.sink);
-                let report = sim.profiler_report(&ctx.sink);
-                for site in ["bicgstab_predictor", "bicgstab_corrector", "bicgstab_coupling"] {
-                    assert!(report.contains(site), "missing {site} in:\n{report}");
-                }
-                let rad = sim.profiler.routine("radiation").unwrap();
-                let pred = sim.profiler.routine("bicgstab_predictor").unwrap();
-                assert!(rad.inclusive > pred.inclusive);
-            });
+        Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let cfg = small_cfg();
+            let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            sim.erad_mut().fill_interior(1.0);
+            sim.step(&ctx.comm, &mut ctx.sink);
+            let report = sim.profiler_report(&ctx.sink);
+            for site in ["bicgstab_predictor", "bicgstab_corrector", "bicgstab_coupling"] {
+                assert!(report.contains(site), "missing {site} in:\n{report}");
+            }
+            let rad = sim.profiler.routine("radiation").unwrap();
+            let pred = sim.profiler.routine("bicgstab_predictor").unwrap();
+            assert!(rad.inclusive > pred.inclusive);
+        });
     }
 
     #[test]
     fn coupled_hydro_radiation_runs() {
-        Spmd::new(2)
-            .with_profiles(vec![CompilerProfile::fujitsu()])
-            .run(|ctx| {
-                let mut cfg = small_cfg();
-                cfg.hydro =
-                    Some(HydroConfig { gamma: 1.4, cfl: 0.4, bc: crate::hydro::HydroBc::outflow() });
-                cfg.n_steps = 2;
-                let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 2, 1);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                sim.erad_mut().fill_interior(0.5);
-                let st = sim.step(&ctx.comm, &mut ctx.sink);
-                assert!(st.rad.all_converged());
-                assert!(st.hydro_dt.is_some());
-                assert!((st.hydro_dt.unwrap() - cfg.dt).abs() < 1e-12);
-            });
+        Spmd::new(2).with_profiles(vec![CompilerProfile::fujitsu()]).run(|ctx| {
+            let mut cfg = small_cfg();
+            cfg.hydro =
+                Some(HydroConfig { gamma: 1.4, cfl: 0.4, bc: crate::hydro::HydroBc::outflow() });
+            cfg.n_steps = 2;
+            let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 2, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            sim.erad_mut().fill_interior(0.5);
+            let st = sim.step(&ctx.comm, &mut ctx.sink);
+            assert!(st.rad.all_converged());
+            assert!(st.hydro_dt.is_some());
+            assert!((st.hydro_dt.unwrap() - cfg.dt).abs() < 1e-12);
+        });
     }
 
     #[test]
     fn energy_accounting_is_collective_and_consistent() {
-        let totals = Spmd::new(4)
-            .with_profiles(vec![CompilerProfile::cray_opt()])
-            .run(|ctx| {
-                let cfg = small_cfg();
-                let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 2, 2);
-                let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-                sim.erad_mut().fill_interior(2.0);
-                sim.total_radiation_energy(&ctx.comm, &mut ctx.sink)
-            });
+        let totals = Spmd::new(4).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+            let cfg = small_cfg();
+            let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 2, 2);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            sim.erad_mut().fill_interior(2.0);
+            sim.total_radiation_energy(&ctx.comm, &mut ctx.sink)
+        });
         // Every rank sees the same global total: 2 species × area × 2.0.
         let expect = 2.0 * 2.0 * (1.2 * 1.0);
         for t in totals {

@@ -14,11 +14,7 @@ fn config(grid: Grid2, dt: f64, n_steps: usize) -> V2dConfig {
     V2dConfig {
         grid,
         limiter: Limiter::None,
-        opacity: OpacityModel::Constant {
-            kappa_a: [0.0, 0.0],
-            kappa_s: [3.0, 3.0],
-            kappa_x: 0.0,
-        },
+        opacity: OpacityModel::Constant { kappa_a: [0.0, 0.0], kappa_s: [3.0, 3.0], kappa_x: 0.0 },
         c_light: 1.0,
         dt,
         n_steps,
@@ -53,10 +49,7 @@ fn cylindrical_diffusion_conserves_volume_integrated_energy() {
         let e1 = sim.total_radiation_energy(&ctx.comm, &mut ctx.sink);
         // Pulse sits near the axis, far from the outer Dirichlet edge:
         // the r-weighted fluxes must cancel interior-to-interior.
-        assert!(
-            ((e1 - e0) / e0).abs() < 1e-3,
-            "cylindrical energy drifted: {e0} → {e1}"
-        );
+        assert!(((e1 - e0) / e0).abs() < 1e-3, "cylindrical energy drifted: {e0} → {e1}");
         // And the field must have actually diffused.
         assert!(sim.erad().get(0, 0, (nz / 2 - g.i2_start) as isize) < 1.0 + 1e-3);
     });
@@ -87,10 +80,7 @@ fn spherical_uniform_field_stays_uniform() {
         for i2 in 4..nth - 4 {
             for i1 in 4..nr - 4 {
                 let v = sim.erad().get(0, i1 as isize, i2 as isize);
-                assert!(
-                    (v - 2.0).abs() < 1e-6,
-                    "spurious geometric flux at ({i1},{i2}): {v}"
-                );
+                assert!((v - 2.0).abs() < 1e-6, "spurious geometric flux at ({i1},{i2}): {v}");
             }
         }
     });
@@ -113,19 +103,18 @@ fn cylindrical_axis_pulse_stays_axisymmetric_in_z_mirror() {
         });
         sim.run(&ctx.comm, &mut ctx.sink);
         // Gather the global field and compare z-mirrored zones.
-        let mut payload = vec![
-            g.i1_start as f64,
-            g.n1 as f64,
-            g.i2_start as f64,
-            g.n2 as f64,
-        ];
+        let mut payload = vec![g.i1_start as f64, g.n1 as f64, g.i2_start as f64, g.n2 as f64];
         payload.extend(sim.erad().interior_to_vec());
         let all = ctx.comm.allgatherv(&mut ctx.sink, &payload);
         let mut global = vec![0.0; 2 * nr * nz];
         let mut at = 0;
         while at < all.len() {
-            let (i1s, n1, i2s, n2) =
-                (all[at] as usize, all[at + 1] as usize, all[at + 2] as usize, all[at + 3] as usize);
+            let (i1s, n1, i2s, n2) = (
+                all[at] as usize,
+                all[at + 1] as usize,
+                all[at + 2] as usize,
+                all[at + 3] as usize,
+            );
             let mut k = at + 4;
             for s in 0..2 {
                 for i2 in 0..n2 {

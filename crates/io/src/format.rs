@@ -458,10 +458,7 @@ mod tests {
         let g = File::from_bytes(&f.to_bytes()).expect("roundtrip");
         assert_eq!(f, g);
         assert_eq!(g.attr("run/timestep").unwrap(), &Value::I64(42));
-        assert_eq!(
-            g.dataset("run/radiation/erad").unwrap().as_f64().unwrap()[4],
-            5.0
-        );
+        assert_eq!(g.dataset("run/radiation/erad").unwrap().as_f64().unwrap()[4], 5.0);
     }
 
     #[test]

@@ -101,10 +101,7 @@ mod tests {
         for s in 0..2 {
             for i2 in 0..4 {
                 for i1 in 0..4 {
-                    assert_eq!(
-                        g[s * 16 + i2 * 4 + i1],
-                        (s * 10_000 + i2 * 100 + i1) as f64
-                    );
+                    assert_eq!(g[s * 16 + i2 * 4 + i1], (s * 10_000 + i2 * 100 + i1) as f64);
                 }
             }
         }

@@ -1,134 +1,132 @@
 //! The V2D vector kernels over [`TileVec`] interiors.
 //!
-//! Each kernel executes natively (row-wise slice loops that LLVM
-//! auto-vectorizes) and charges its [`KernelShape`] to the rank's
-//! [`MultiCostSink`], so the same call both produces the numerics and
-//! advances all modeled compilers' virtual clocks.  `ws` is the ambient
-//! working set of the enclosing solver loop in bytes — it decides the
-//! memory level operands stream from (see `v2d-machine`'s cost docs).
+//! Each kernel executes natively — the row-wise slice loops live in
+//! [`crate::backend::native`], shared with the [`crate::backend`]
+//! dispatch surface so there is one implementation of each operation —
+//! and charges its [`v2d_machine::KernelShape`] through the
+//! [`ExecCtx`], so the same call both produces the numerics and
+//! advances all modeled compilers' virtual clocks.  Memory residency of
+//! the streaming charge comes from the context's *ambient* working set
+//! ([`ExecCtx::ws`]), which the enclosing solver scopes once instead of
+//! every call site threading a `ws` argument.
 //!
 //! Naming follows the paper's Table II: DPROD, DAXPY, DSCAL
 //! (`y ← c − d·y`), DDAXPY (`w ← a·x + b·y + z`).
 
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass};
 
+use crate::backend::native;
 use crate::tilevec::TileVec;
 use crate::NSPEC;
 
-fn charge(sink: &mut MultiCostSink, class: KernelClass, elems: usize, flops_per_elem: usize, reads: usize, writes: usize, ws: usize) {
-    sink.charge(&KernelShape::streaming(class, elems, flops_per_elem, reads, writes, ws));
-}
-
 /// Local part of the dot product `Σ x·y` (the global value needs an
 /// allreduce; V2D gangs several of these partials into one reduction).
-pub fn dprod_local(sink: &mut MultiCostSink, ws: usize, x: &TileVec, y: &TileVec) -> f64 {
+pub fn dprod_local(cx: &mut ExecCtx, x: &TileVec, y: &TileVec) -> f64 {
     debug_assert_eq!((x.n1(), x.n2()), (y.n1(), y.n2()));
     let mut acc = 0.0;
     for s in 0..NSPEC {
         for i2 in 0..x.n2() {
-            let xr = x.row(s, i2);
-            let yr = y.row(s, i2);
-            acc += xr.iter().zip(yr).map(|(a, b)| a * b).sum::<f64>();
+            acc += native::dprod(x.row(s, i2), y.row(s, i2));
         }
     }
-    charge(sink, KernelClass::DotProd, x.n_owned(), 2, 2, 0, ws);
+    cx.charge_streaming(KernelClass::DotProd, x.n_owned(), 2, 2, 0);
     acc
 }
 
 /// Local part of `‖x‖²`.
-pub fn norm2_local(sink: &mut MultiCostSink, ws: usize, x: &TileVec) -> f64 {
-    dprod_local(sink, ws, x, x)
+pub fn norm2_local(cx: &mut ExecCtx, x: &TileVec) -> f64 {
+    dprod_local(cx, x, x)
 }
 
 /// `y ← a·x + y`
-pub fn daxpy(sink: &mut MultiCostSink, ws: usize, a: f64, x: &TileVec, y: &mut TileVec) {
+pub fn daxpy(cx: &mut ExecCtx, a: f64, x: &TileVec, y: &mut TileVec) {
     debug_assert_eq!((x.n1(), x.n2()), (y.n1(), y.n2()));
     for s in 0..NSPEC {
         for i2 in 0..x.n2() {
-            let xr = x.row(s, i2);
-            let yr = y.row_mut(s, i2);
-            for (yi, xi) in yr.iter_mut().zip(xr) {
-                *yi += a * xi;
-            }
+            native::daxpy(a, x.row(s, i2), y.row_mut(s, i2));
         }
     }
-    charge(sink, KernelClass::Daxpy, x.n_owned(), 2, 2, 1, ws);
+    cx.charge_streaming(KernelClass::Daxpy, x.n_owned(), 2, 2, 1);
 }
 
 /// `y ← c − d·y` (the paper's DSCAL form).
-pub fn dscal(sink: &mut MultiCostSink, ws: usize, c: f64, d: f64, y: &mut TileVec) {
+pub fn dscal(cx: &mut ExecCtx, c: f64, d: f64, y: &mut TileVec) {
     for s in 0..NSPEC {
         for i2 in 0..y.n2() {
-            for yi in y.row_mut(s, i2) {
-                *yi = c - d * *yi;
-            }
+            native::dscal(c, d, y.row_mut(s, i2));
         }
     }
-    charge(sink, KernelClass::Dscal, y.n_owned(), 2, 1, 1, ws);
+    cx.charge_streaming(KernelClass::Dscal, y.n_owned(), 2, 1, 1);
 }
 
 /// `w ← a·x + b·y + w` — the in-place form of the paper's DDAXPY
 /// (`w` plays the role of the third operand `z`).
-pub fn ddaxpy(sink: &mut MultiCostSink, ws: usize, a: f64, x: &TileVec, b: f64, y: &TileVec, w: &mut TileVec) {
+pub fn ddaxpy(cx: &mut ExecCtx, a: f64, x: &TileVec, b: f64, y: &TileVec, w: &mut TileVec) {
     debug_assert_eq!((x.n1(), x.n2()), (w.n1(), w.n2()));
     debug_assert_eq!((y.n1(), y.n2()), (w.n1(), w.n2()));
     for s in 0..NSPEC {
         for i2 in 0..x.n2() {
-            let xr = x.row(s, i2);
-            let yr = y.row(s, i2);
-            let wr = w.row_mut(s, i2);
-            for ((wi, xi), yi) in wr.iter_mut().zip(xr).zip(yr) {
-                *wi += a * xi + b * yi;
-            }
+            native::ddaxpy_acc(a, x.row(s, i2), b, y.row(s, i2), w.row_mut(s, i2));
         }
     }
-    charge(sink, KernelClass::Ddaxpy, w.n_owned(), 4, 3, 1, ws);
+    cx.charge_streaming(KernelClass::Ddaxpy, w.n_owned(), 4, 3, 1);
 }
 
 /// BiCGSTAB's search-direction update `p ← r + β·(p − ω·v)`, fused the
 /// way V2D's combined scaling/addition routine does it.
-pub fn p_update(sink: &mut MultiCostSink, ws: usize, beta: f64, omega: f64, r: &TileVec, v: &TileVec, p: &mut TileVec) {
+pub fn p_update(
+    cx: &mut ExecCtx,
+    beta: f64,
+    omega: f64,
+    r: &TileVec,
+    v: &TileVec,
+    p: &mut TileVec,
+) {
     debug_assert_eq!((r.n1(), r.n2()), (p.n1(), p.n2()));
     for s in 0..NSPEC {
         for i2 in 0..r.n2() {
-            let rr = r.row(s, i2);
-            let vr = v.row(s, i2);
-            let pr = p.row_mut(s, i2);
-            for ((pi, ri), vi) in pr.iter_mut().zip(rr).zip(vr) {
-                *pi = ri + beta * (*pi - omega * vi);
-            }
+            native::p_update(beta, omega, r.row(s, i2), v.row(s, i2), p.row_mut(s, i2));
         }
     }
-    charge(sink, KernelClass::Ddaxpy, p.n_owned(), 4, 3, 1, ws);
+    cx.charge_streaming(KernelClass::Ddaxpy, p.n_owned(), 4, 3, 1);
 }
 
 /// `w ← x − a·y` (residual-style update, e.g. `s = r − α·v`).
-pub fn xmay(sink: &mut MultiCostSink, ws: usize, x: &TileVec, a: f64, y: &TileVec, w: &mut TileVec) {
+pub fn xmay(cx: &mut ExecCtx, x: &TileVec, a: f64, y: &TileVec, w: &mut TileVec) {
     debug_assert_eq!((x.n1(), x.n2()), (w.n1(), w.n2()));
     for s in 0..NSPEC {
         for i2 in 0..x.n2() {
-            let xr = x.row(s, i2);
-            let yr = y.row(s, i2);
-            let wr = w.row_mut(s, i2);
-            for ((wi, xi), yi) in wr.iter_mut().zip(xr).zip(yr) {
-                *wi = xi - a * yi;
-            }
+            native::xmay(a, x.row(s, i2), y.row(s, i2), w.row_mut(s, i2));
         }
     }
-    charge(sink, KernelClass::Daxpy, w.n_owned(), 2, 2, 1, ws);
+    cx.charge_streaming(KernelClass::Daxpy, w.n_owned(), 2, 2, 1);
+}
+
+/// `r ← b − r` in place: the residual finisher.  `r` arrives holding
+/// `A·x` and leaves holding `b − A·x`, so the solvers need no residual
+/// scratch copy (the `r.clone()` this replaces was never charged, so
+/// the simulated cost — one fused streaming pass, same as [`xmay`] —
+/// is unchanged).
+pub fn residual_into(cx: &mut ExecCtx, b: &TileVec, r: &mut TileVec) {
+    debug_assert_eq!((b.n1(), b.n2()), (r.n1(), r.n2()));
+    for s in 0..NSPEC {
+        for i2 in 0..b.n2() {
+            native::residual(b.row(s, i2), r.row_mut(s, i2));
+        }
+    }
+    cx.charge_streaming(KernelClass::Daxpy, r.n_owned(), 2, 2, 1);
 }
 
 /// Copy `x` into `y` (interior only; ghosts are refreshed by the next
 /// operator application anyway).
-pub fn copy(sink: &mut MultiCostSink, ws: usize, x: &TileVec, y: &mut TileVec) {
+pub fn copy(cx: &mut ExecCtx, x: &TileVec, y: &mut TileVec) {
     debug_assert_eq!((x.n1(), x.n2()), (y.n1(), y.n2()));
     for s in 0..NSPEC {
         for i2 in 0..x.n2() {
-            let xr = x.row(s, i2);
-            y.row_mut(s, i2).copy_from_slice(xr);
+            y.row_mut(s, i2).copy_from_slice(x.row(s, i2));
         }
     }
-    charge(sink, KernelClass::Other, x.n_owned(), 0, 1, 1, ws);
+    cx.charge_streaming(KernelClass::Other, x.n_owned(), 0, 1, 1);
 }
 
 #[cfg(test)]
@@ -151,13 +149,10 @@ mod tests {
         let x = field(7, 5, 0.3);
         let y = field(7, 5, 0.7);
         let mut sk = sink();
-        let got = dprod_local(&mut sk, 0, &x, &y);
-        let expect: f64 = x
-            .interior_to_vec()
-            .iter()
-            .zip(y.interior_to_vec())
-            .map(|(a, b)| a * b)
-            .sum();
+        let mut cx = ExecCtx::new(&mut sk);
+        let got = dprod_local(&mut cx, &x, &y);
+        let expect: f64 =
+            x.interior_to_vec().iter().zip(y.interior_to_vec()).map(|(a, b)| a * b).sum();
         assert!((got - expect).abs() < 1e-14);
         assert!(sk.lanes[0].counters.calls[v2d_machine::KernelClass::DotProd.index()] == 1);
     }
@@ -168,7 +163,8 @@ mod tests {
         let y0 = field(6, 4, 0.9);
         let mut y = y0.clone();
         let mut sk = sink();
-        daxpy(&mut sk, 0, 2.5, &x, &mut y);
+        let mut cx = ExecCtx::new(&mut sk);
+        daxpy(&mut cx, 2.5, &x, &mut y);
         for s in 0..NSPEC {
             for i2 in 0..4 {
                 for i1 in 0..6isize {
@@ -178,15 +174,33 @@ mod tests {
             }
         }
         let mut w = TileVec::new(6, 4);
-        xmay(&mut sk, 0, &y0, 0.5, &x, &mut w);
+        xmay(&mut cx, &y0, 0.5, &x, &mut w);
         assert!((w.get(0, 2, 2) - (y0.get(0, 2, 2) - 0.5 * x.get(0, 2, 2))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn residual_into_matches_xmay() {
+        let b = field(6, 5, 0.4);
+        let ax = field(6, 5, 0.8);
+        let mut sk = sink();
+        let mut cx = ExecCtx::new(&mut sk);
+        // Reference: w ← b − 1·ax via the out-of-place kernel.
+        let mut w = TileVec::new(6, 5);
+        xmay(&mut cx, &b, 1.0, &ax, &mut w);
+        // In place: r starts as A·x, ends as b − A·x.
+        let mut r = ax.clone();
+        residual_into(&mut cx, &b, &mut r);
+        assert_eq!(r.interior_to_vec(), w.interior_to_vec());
+        // Both charge the same Daxpy shape (two calls recorded).
+        assert_eq!(sk.lanes[0].counters.calls[KernelClass::Daxpy.index()], 2);
     }
 
     #[test]
     fn dscal_is_c_minus_dy() {
         let mut y = field(5, 5, 0.4);
         let y0 = y.clone();
-        dscal(&mut sink(), 0, 1.5, 0.25, &mut y);
+        let mut sk = sink();
+        dscal(&mut ExecCtx::new(&mut sk), 1.5, 0.25, &mut y);
         assert!((y.get(1, 3, 2) - (1.5 - 0.25 * y0.get(1, 3, 2))).abs() < 1e-15);
     }
 
@@ -196,7 +210,8 @@ mod tests {
         let y = field(4, 4, 0.6);
         let w0 = field(4, 4, 1.1);
         let mut w = w0.clone();
-        ddaxpy(&mut sink(), 0, 2.0, &x, -1.5, &y, &mut w);
+        let mut sk = sink();
+        ddaxpy(&mut ExecCtx::new(&mut sk), 2.0, &x, -1.5, &y, &mut w);
         let e = w0.get(0, 1, 1) + 2.0 * x.get(0, 1, 1) - 1.5 * y.get(0, 1, 1);
         assert!((w.get(0, 1, 1) - e).abs() < 1e-15);
     }
@@ -207,7 +222,8 @@ mod tests {
         let v = field(4, 3, 0.8);
         let p0 = field(4, 3, 1.3);
         let mut p = p0.clone();
-        p_update(&mut sink(), 0, 0.7, 0.3, &r, &v, &mut p);
+        let mut sk = sink();
+        p_update(&mut ExecCtx::new(&mut sk), 0.7, 0.3, &r, &v, &mut p);
         let e = r.get(1, 2, 1) + 0.7 * (p0.get(1, 2, 1) - 0.3 * v.get(1, 2, 1));
         assert!((p.get(1, 2, 1) - e).abs() < 1e-15);
     }
@@ -217,13 +233,17 @@ mod tests {
         let x = field(8, 8, 0.5);
         let mut y = field(8, 8, 0.25);
         let mut sk = MultiCostSink::all_compilers();
-        daxpy(&mut sk, 1 << 24, 1.0, &x, &mut y);
+        let mut cx = ExecCtx::new(&mut sk);
+        cx.set_ws(1 << 24);
+        daxpy(&mut cx, 1.0, &x, &mut y);
         for lane in &sk.lanes {
             assert!(lane.clock.now().cycles() > 0);
         }
         // HBM-resident working set: the unvectorized lane must be slower.
-        let opt = sk.lanes.iter().find(|l| l.profile.id == v2d_machine::CompilerId::CrayOpt).unwrap();
-        let noopt = sk.lanes.iter().find(|l| l.profile.id == v2d_machine::CompilerId::CrayNoOpt).unwrap();
+        let opt =
+            sk.lanes.iter().find(|l| l.profile.id == v2d_machine::CompilerId::CrayOpt).unwrap();
+        let noopt =
+            sk.lanes.iter().find(|l| l.profile.id == v2d_machine::CompilerId::CrayNoOpt).unwrap();
         assert!(noopt.clock.now() > opt.clock.now());
     }
 }

@@ -18,20 +18,35 @@
 //! * [`solver`] — BiCGSTAB in classic form and in V2D's *restructured*
 //!   form that gangs inner products into two global reductions per
 //!   iteration, plus CG as the symmetric baseline;
+//! * [`workspace`] — the reusable [`SolverWorkspace`] all three solvers
+//!   draw their tile-shaped scratch from, making warm solves
+//!   allocation-free;
+//! * [`backend`] — the [`KernelBackend`] dispatch surface unifying the
+//!   native loops with the `v2d-sve` instruction-level simulator
+//!   (scalar and SVE codegen at any legal vector length);
 //! * [`sparsity`] — the assembled sparsity pattern of the never-stored
 //!   matrix, regenerating the paper's Fig. 1.
+//!
+//! Every kernel, operator, preconditioner, and solver entry point takes
+//! a [`v2d_machine::ExecCtx`] — the execution context bundling the cost
+//! lanes and the ambient working-set size — instead of ad-hoc
+//! `(sink, ws)` pairs.
 
+pub mod backend;
 pub mod kernels;
 pub mod op;
 pub mod precond;
 pub mod solver;
 pub mod sparsity;
 pub mod tilevec;
+pub mod workspace;
 
+pub use backend::{all_backends, KernelBackend, Native, SimScalar, SimSve};
 pub use op::{LinearOp, StencilCoeffs, StencilOp};
 pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner, Spai};
 pub use solver::{bicgstab, cg, gmres, BicgVariant, SolveOpts, SolveStats};
-pub use tilevec::TileVec;
+pub use tilevec::{tilevec_alloc_count, TileVec};
+pub use workspace::SolverWorkspace;
 
 /// Number of radiation species (energy groups) carried per zone — the
 /// "2" in the paper's `x1 × x2 × 2` linear systems.

@@ -14,7 +14,7 @@
 
 use v2d_comm::topology::Dir;
 use v2d_comm::{CartComm, Comm};
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass};
 
 use crate::tilevec::TileVec;
 use crate::NSPEC;
@@ -122,8 +122,9 @@ impl StencilCoeffs {
 /// A matrix-free linear operator on tile fields.
 pub trait LinearOp {
     /// `y ← A·x`.  `x` is mutable because its ghost frame is refreshed by
-    /// halo exchange.
-    fn apply(&mut self, comm: &Comm, sink: &mut MultiCostSink, x: &mut TileVec, y: &mut TileVec);
+    /// halo exchange.  Cost is charged through `cx` at the operator's
+    /// own working set (the ambient one is scoped and restored).
+    fn apply(&mut self, comm: &Comm, cx: &mut ExecCtx, x: &mut TileVec, y: &mut TileVec);
 
     /// Local tile extents `(n1, n2)`.
     fn tile_dims(&self) -> (usize, usize);
@@ -167,14 +168,14 @@ impl StencilOp {
     }
 
     /// Refresh the ghost frame of `field`: halo exchange with neighbors,
-    /// zeros at physical boundaries.  Charges packing work and MPI time.
+    /// zeros at physical boundaries.  Charges packing work (at the
+    /// context's ambient working set) and MPI time.
     pub fn exchange_halos(
         cart: &CartComm,
         comm: &Comm,
-        sink: &mut MultiCostSink,
+        cx: &mut ExecCtx,
         field: &mut TileVec,
         buf: &mut Vec<f64>,
-        ws: usize,
     ) {
         // Post every direction first (nonblocking sends), then receive:
         // the virtual clocks of the receives then overlap instead of
@@ -183,30 +184,16 @@ impl StencilOp {
         for dir in Dir::ALL {
             if cart.neighbor(dir).is_some() {
                 field.pack_edge(dir, buf);
-                sink.charge(&KernelShape::streaming(
-                    KernelClass::Pack,
-                    buf.len(),
-                    0,
-                    1,
-                    1,
-                    ws,
-                ));
-                cart.post(comm, sink, dir, buf);
+                cx.charge_streaming(KernelClass::Pack, buf.len(), 0, 1, 1);
+                cart.post(comm, cx, dir, buf);
             } else {
                 field.zero_ghost(dir);
             }
         }
         for dir in Dir::ALL {
-            if let Some(recv) = cart.collect(comm, sink, dir) {
+            if let Some(recv) = cart.collect(comm, cx, dir) {
                 field.unpack_ghost(dir, &recv);
-                sink.charge(&KernelShape::streaming(
-                    KernelClass::Pack,
-                    recv.len(),
-                    0,
-                    1,
-                    1,
-                    ws,
-                ));
+                cx.charge_streaming(KernelClass::Pack, recv.len(), 0, 1, 1);
             }
         }
     }
@@ -214,8 +201,8 @@ impl StencilOp {
     /// Fill the ghost frames of the five spatial coefficient fields from
     /// the neighboring ranks (needed once, before constructing an SPAI
     /// preconditioner).
-    pub fn exchange_coeff_halos(&mut self, comm: &Comm, sink: &mut MultiCostSink) {
-        let ws = self.ws_hint;
+    pub fn exchange_coeff_halos(&mut self, comm: &Comm, cx: &mut ExecCtx) {
+        let old_ws = cx.set_ws(self.ws_hint);
         let mut buf = std::mem::take(&mut self.buf);
         for field in [
             &mut self.coeffs.cc,
@@ -225,20 +212,25 @@ impl StencilOp {
             &mut self.coeffs.cn,
             &mut self.coeffs.cpl,
         ] {
-            Self::exchange_halos(&self.cart, comm, sink, field, &mut buf, ws);
+            Self::exchange_halos(&self.cart, comm, cx, field, &mut buf);
         }
         self.buf = buf;
+        cx.set_ws(old_ws);
     }
 }
 
 impl LinearOp for StencilOp {
-    fn apply(&mut self, comm: &Comm, sink: &mut MultiCostSink, x: &mut TileVec, y: &mut TileVec) {
+    fn apply(&mut self, comm: &Comm, cx: &mut ExecCtx, x: &mut TileVec, y: &mut TileVec) {
         let (n1, n2) = self.tile_dims();
         debug_assert_eq!((x.n1(), x.n2()), (n1, n2));
         debug_assert_eq!((y.n1(), y.n2()), (n1, n2));
 
+        // The operator knows its own working set; scope it so charges
+        // here classify residency correctly whatever the caller's
+        // ambient state, then restore.
+        let old_ws = cx.set_ws(self.ws_hint);
         let mut buf = std::mem::take(&mut self.buf);
-        Self::exchange_halos(&self.cart, comm, sink, x, &mut buf, self.ws_hint);
+        Self::exchange_halos(&self.cart, comm, cx, x, &mut buf);
         self.buf = buf;
 
         let c = &self.coeffs;
@@ -271,14 +263,8 @@ impl LinearOp for StencilOp {
         // 6 multiplies + 5 adds per unknown; streams x (with stencil
         // reuse ≈ 1.5 passes), five coefficient fields, the coupling
         // field (shared between species: ½ per unknown) and y.
-        sink.charge(&KernelShape::streaming(
-            KernelClass::MatVec,
-            y.n_owned(),
-            11,
-            8,
-            1,
-            self.ws_hint,
-        ));
+        cx.charge_streaming(KernelClass::MatVec, y.n_owned(), 11, 8, 1);
+        cx.set_ws(old_ws);
     }
 
     fn tile_dims(&self) -> (usize, usize) {
@@ -295,11 +281,7 @@ impl LinearOp for StencilOp {
 /// Row/column indices use the global dictionary ordering
 /// `i1 + n1·i2 + (n1·n2)·s` restricted to the local tile (callers use it
 /// on single-rank communicators).
-pub fn assemble_dense(
-    op: &mut dyn LinearOp,
-    comm: &Comm,
-    sink: &mut MultiCostSink,
-) -> Vec<Vec<f64>> {
+pub fn assemble_dense(op: &mut dyn LinearOp, comm: &Comm, cx: &mut ExecCtx) -> Vec<Vec<f64>> {
     let (n1, n2) = op.tile_dims();
     let n = n1 * n2 * NSPEC;
     let mut a = vec![vec![0.0; n]; n];
@@ -311,7 +293,7 @@ pub fn assemble_dense(
         let (s, rest) = (j / (n1 * n2), j % (n1 * n2));
         let (i2, i1) = (rest / n1, rest % n1);
         e.set(s, i1 as isize, i2 as isize, 1.0);
-        op.apply(comm, sink, &mut e, &mut y);
+        op.apply(comm, cx, &mut e, &mut y);
         let col = y.interior_to_vec();
         for (i, &v) in col.iter().enumerate() {
             a[i][j] = v;
@@ -332,7 +314,12 @@ mod tests {
 
     /// Apply the manufactured operator on a 1-rank and a multi-rank
     /// decomposition; the global result must agree.
-    fn global_apply(n1: usize, n2: usize, np1: usize, np2: usize) -> Vec<(usize, usize, usize, f64)> {
+    fn global_apply(
+        n1: usize,
+        n2: usize,
+        np1: usize,
+        np2: usize,
+    ) -> Vec<(usize, usize, usize, f64)> {
         let map = TileMap::new(n1, n2, np1, np2);
         let outs = Spmd::new(np1 * np2).with_profiles(single_profiles()).run(|ctx| {
             let cart = CartComm::new(&ctx.comm, map);
@@ -345,7 +332,7 @@ mod tests {
                 ((g1 * 3 + g2 * 7 + s * 11) as f64 * 0.1).sin()
             });
             let mut y = TileVec::new(t.n1, t.n2);
-            op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut y);
+            op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut y);
             let mut out = Vec::new();
             for s in 0..NSPEC {
                 for i2 in 0..t.n2 {
@@ -396,7 +383,7 @@ mod tests {
             let cart = CartComm::new(&ctx.comm, map);
             let coeffs = StencilCoeffs::manufactured(n1, n2, 0, 0);
             let mut op = StencilOp::new(coeffs, cart);
-            assemble_dense(&mut op, &ctx.comm, &mut ctx.sink)
+            assemble_dense(&mut op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink))
         });
         let a = &rows[0];
         let n = n1 * n2;
@@ -430,7 +417,7 @@ mod tests {
         let rows = Spmd::new(1).with_profiles(single_profiles()).run(|ctx| {
             let cart = CartComm::new(&ctx.comm, map);
             let mut op = StencilOp::new(StencilCoeffs::manufactured(4, 3, 0, 0), cart);
-            assemble_dense(&mut op, &ctx.comm, &mut ctx.sink)
+            assemble_dense(&mut op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink))
         });
         let a = &rows[0];
         let asym = (0..a.len())
@@ -448,7 +435,7 @@ mod tests {
             let mut x = TileVec::new(8, 8);
             x.fill_interior(1.0);
             let mut y = TileVec::new(8, 8);
-            op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut y);
+            op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut y);
             let c = &ctx.sink.lanes[0].counters;
             assert_eq!(c.calls[KernelClass::MatVec.index()], 1);
             // Single rank: no neighbors, so no packing either.

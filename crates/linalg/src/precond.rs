@@ -20,7 +20,7 @@
 //! §II-E routine breakdown.
 
 use v2d_comm::{CartComm, Comm};
-use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
+use v2d_machine::{ExecCtx, KernelClass, KernelShape};
 
 use crate::op::{LinearOp, StencilCoeffs, StencilOp};
 use crate::tilevec::TileVec;
@@ -30,7 +30,7 @@ use crate::NSPEC;
 pub trait Preconditioner {
     /// `z ← M·r`.  `r` is mutable because pattern-bearing preconditioners
     /// refresh its ghost frame.
-    fn apply(&mut self, comm: &Comm, sink: &mut MultiCostSink, r: &mut TileVec, z: &mut TileVec);
+    fn apply(&mut self, comm: &Comm, cx: &mut ExecCtx, r: &mut TileVec, z: &mut TileVec);
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
@@ -40,8 +40,12 @@ pub trait Preconditioner {
 pub struct Identity;
 
 impl Preconditioner for Identity {
-    fn apply(&mut self, _comm: &Comm, sink: &mut MultiCostSink, r: &mut TileVec, z: &mut TileVec) {
-        crate::kernels::copy(sink, 0, r, z);
+    fn apply(&mut self, _comm: &Comm, cx: &mut ExecCtx, r: &mut TileVec, z: &mut TileVec) {
+        // A bare copy has no working set of its own: charge L1-resident
+        // whatever the ambient solver state.
+        let old_ws = cx.set_ws(0);
+        crate::kernels::copy(cx, r, z);
+        cx.set_ws(old_ws);
     }
 
     fn name(&self) -> &'static str {
@@ -70,7 +74,7 @@ impl Jacobi {
 }
 
 impl Preconditioner for Jacobi {
-    fn apply(&mut self, _comm: &Comm, sink: &mut MultiCostSink, r: &mut TileVec, z: &mut TileVec) {
+    fn apply(&mut self, _comm: &Comm, cx: &mut ExecCtx, r: &mut TileVec, z: &mut TileVec) {
         for s in 0..NSPEC {
             for i2 in 0..r.n2() {
                 let rr = r.row(s, i2);
@@ -81,7 +85,7 @@ impl Preconditioner for Jacobi {
                 }
             }
         }
-        sink.charge(&KernelShape::streaming(KernelClass::Precond, r.n_owned(), 1, 2, 1, self.ws));
+        cx.charge(&KernelShape::streaming(KernelClass::Precond, r.n_owned(), 1, 2, 1, self.ws));
     }
 
     fn name(&self) -> &'static str {
@@ -123,10 +127,7 @@ impl BlockJacobi {
                 let c = op.coeffs.cpl.get(1, i1 as isize, i2 as isize);
                 let d = op.coeffs.cc.get(1, i1 as isize, i2 as isize);
                 let det = a * d - b * c;
-                assert!(
-                    det.abs() > 1e-300,
-                    "singular species block at ({i1},{i2}): det = {det}"
-                );
+                assert!(det.abs() > 1e-300, "singular species block at ({i1},{i2}): det = {det}");
                 let k = i2 * n1 + i1;
                 p.m00[k] = d / det;
                 p.m01[k] = -b / det;
@@ -139,7 +140,7 @@ impl BlockJacobi {
 }
 
 impl Preconditioner for BlockJacobi {
-    fn apply(&mut self, _comm: &Comm, sink: &mut MultiCostSink, r: &mut TileVec, z: &mut TileVec) {
+    fn apply(&mut self, _comm: &Comm, cx: &mut ExecCtx, r: &mut TileVec, z: &mut TileVec) {
         let n1 = self.n1;
         for i2 in 0..r.n2() {
             // Split z's species rows via interior row API (two separate
@@ -152,7 +153,7 @@ impl Preconditioner for BlockJacobi {
                 z.set(1, i1 as isize, i2 as isize, self.m10[k] * r0 + self.m11[k] * r1);
             }
         }
-        sink.charge(&KernelShape::streaming(KernelClass::Precond, r.n_owned(), 3, 3, 1, self.ws));
+        cx.charge(&KernelShape::streaming(KernelClass::Precond, r.n_owned(), 3, 3, 1, self.ws));
     }
 
     fn name(&self) -> &'static str {
@@ -191,7 +192,7 @@ impl Spai {
     /// `(g1, g2)` come from the topology; the global grid extent bounds
     /// which pattern entries exist (rows outside the domain have no
     /// columns).
-    pub fn new(op: &StencilOp, comm: &Comm, sink: &mut MultiCostSink) -> Self {
+    pub fn new(op: &StencilOp, comm: &Comm, cx: &mut ExecCtx) -> Self {
         let cart = *op.cart();
         let tile = cart.tile();
         let (n1, n2) = op.coeffs.dims();
@@ -295,7 +296,7 @@ impl Spai {
         // Construction cost: per row, assembling the ≤6×6 normal
         // equations (~36 stencil-overlap dot terms) and an LU solve —
         // a few hundred flops streaming the coefficient fields.
-        sink.charge(&KernelShape::streaming(
+        cx.charge(&KernelShape::streaming(
             KernelClass::Precond,
             n1 * n2 * NSPEC,
             320,
@@ -314,10 +315,11 @@ impl Spai {
 }
 
 impl Preconditioner for Spai {
-    fn apply(&mut self, comm: &Comm, sink: &mut MultiCostSink, r: &mut TileVec, z: &mut TileVec) {
+    fn apply(&mut self, comm: &Comm, cx: &mut ExecCtx, r: &mut TileVec, z: &mut TileVec) {
         let (n1, n2) = self.m.dims();
+        let old_ws = cx.set_ws(self.ws);
         let mut buf = std::mem::take(&mut self.buf);
-        StencilOp::exchange_halos(&self.cart, comm, sink, r, &mut buf, self.ws);
+        StencilOp::exchange_halos(&self.cart, comm, cx, r, &mut buf);
         self.buf = buf;
         let c = &self.m;
         for s in 0..NSPEC {
@@ -344,7 +346,8 @@ impl Preconditioner for Spai {
                 }
             }
         }
-        sink.charge(&KernelShape::streaming(KernelClass::Precond, z.n_owned(), 11, 8, 1, self.ws));
+        cx.charge_streaming(KernelClass::Precond, z.n_owned(), 11, 8, 1);
+        cx.set_ws(old_ws);
     }
 
     fn name(&self) -> &'static str {
@@ -393,7 +396,7 @@ mod tests {
     use super::*;
     use crate::op::assemble_dense;
     use v2d_comm::{Spmd, TileMap};
-    use v2d_machine::CompilerProfile;
+    use v2d_machine::{CompilerProfile, ExecCtx};
 
     fn profiles() -> Vec<CompilerProfile> {
         vec![CompilerProfile::cray_opt()]
@@ -423,7 +426,7 @@ mod tests {
             let mut r = TileVec::new(6, 5);
             r.fill_with(|s, i1, i2| (1 + s + i1 + i2) as f64);
             let mut z = TileVec::new(6, 5);
-            p.apply(&ctx.comm, &mut ctx.sink, &mut r, &mut z);
+            p.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut r, &mut z);
             let d = op.coeffs.cc.get(1, 2, 3);
             assert!((z.get(1, 2, 3) - r.get(1, 2, 3) / d).abs() < 1e-15);
         });
@@ -439,7 +442,7 @@ mod tests {
             let mut r = TileVec::new(4, 4);
             r.fill_with(|s, i1, i2| ((s + 2 * i1 + 3 * i2) as f64 * 0.37).cos());
             let mut z = TileVec::new(4, 4);
-            p.apply(&ctx.comm, &mut ctx.sink, &mut r, &mut z);
+            p.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut r, &mut z);
             // Check D·z = r where D is the 2×2 block.
             for i2 in 0..4isize {
                 for i1 in 0..4isize {
@@ -477,10 +480,10 @@ mod tests {
         Spmd::new(1).with_profiles(profiles()).run(|ctx| {
             let cart = CartComm::new(&ctx.comm, map);
             let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-            let a = assemble_dense(&mut op, &ctx.comm, &mut ctx.sink);
+            let a = assemble_dense(&mut op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
             let n = a.len();
 
-            let mut spai = Spai::new(&op, &ctx.comm, &mut ctx.sink);
+            let mut spai = Spai::new(&op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
             let mut jac = Jacobi::new(&op);
 
             // Dense M·A for both preconditioners, by applying M to A's
@@ -496,7 +499,7 @@ mod tests {
                         let (i2, i1) = (rest / n1, rest % n1);
                         col.set(s, i1 as isize, i2 as isize, row[j]);
                     }
-                    p.apply(&ctx.comm, &mut ctx.sink, &mut col, &mut out);
+                    p.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut col, &mut out);
                     for (i, v) in out.interior_to_vec().into_iter().enumerate() {
                         ma[i][j] = v;
                     }
@@ -525,8 +528,8 @@ mod tests {
             Spmd::new(1).with_profiles(profiles()).run(|ctx| {
                 let cart = CartComm::new(&ctx.comm, map);
                 let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-                op.exchange_coeff_halos(&ctx.comm, &mut ctx.sink);
-                let spai = Spai::new(&op, &ctx.comm, &mut ctx.sink);
+                op.exchange_coeff_halos(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
+                let spai = Spai::new(&op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
                 spai.coeffs().cc.interior_to_vec()
             })
         };
@@ -538,8 +541,8 @@ mod tests {
                 StencilCoeffs::manufactured(t.n1, t.n2, t.i1_start, t.i2_start),
                 cart,
             );
-            op.exchange_coeff_halos(&ctx.comm, &mut ctx.sink);
-            let spai = Spai::new(&op, &ctx.comm, &mut ctx.sink);
+            op.exchange_coeff_halos(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
+            let spai = Spai::new(&op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
             let mut out = Vec::new();
             for s in 0..NSPEC {
                 for i2 in 0..t.n2 {

@@ -16,14 +16,21 @@
 //! The [`BicgVariant::Classic`] form issues five separate reductions per
 //! iteration; both produce the same iterates up to floating-point
 //! reassociation, which the test suite verifies.
+//!
+//! All three solvers draw their tile-shaped scratch from a caller-owned
+//! [`SolverWorkspace`] and compute the initial residual in place
+//! ([`kernels::residual_into`]), so a warm solve performs **zero**
+//! `TileVec` heap allocations — see the `workspace_alloc` integration
+//! test and the `ablation_alloc` bench.
 
 use v2d_comm::{Comm, ReduceOp};
-use v2d_machine::MultiCostSink;
+use v2d_machine::ExecCtx;
 
 use crate::kernels;
 use crate::op::LinearOp;
 use crate::precond::Preconditioner;
 use crate::tilevec::TileVec;
+use crate::workspace::SolverWorkspace;
 
 /// Which BiCGSTAB reduction structure to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,46 +73,57 @@ pub struct SolveStats {
 }
 
 /// Helper: one global sum of a slice of ganged partial inner products.
-fn reduce(comm: &Comm, sink: &mut MultiCostSink, partials: &mut [f64], count: &mut usize) {
-    comm.allreduce(sink, ReduceOp::Sum, partials);
+fn reduce(comm: &Comm, cx: &mut ExecCtx, partials: &mut [f64], count: &mut usize) {
+    comm.allreduce(cx, ReduceOp::Sum, partials);
     *count += 1;
 }
 
 /// Preconditioned BiCGSTAB: solve `A x = b`, starting from the `x`
-/// passed in, overwriting it with the solution.
+/// passed in, overwriting it with the solution.  Scratch comes from
+/// `wks`; the ambient working set of `cx` is scoped to the operator's
+/// for the duration of the solve.
+#[allow(clippy::too_many_arguments)] // mirrors the cg/gmres signature
 pub fn bicgstab<A: LinearOp, M: Preconditioner>(
     comm: &Comm,
-    sink: &mut MultiCostSink,
+    cx: &mut ExecCtx,
     a: &mut A,
     m: &mut M,
     b: &TileVec,
     x: &mut TileVec,
+    wks: &mut SolverWorkspace,
     opts: &SolveOpts,
 ) -> SolveStats {
     let (n1, n2) = a.tile_dims();
-    let ws = a.working_set();
+    wks.ensure(n1, n2);
+    let old_ws = cx.set_ws(a.working_set());
+    let stats = bicgstab_inner(comm, cx, a, m, b, x, wks, opts);
+    cx.set_ws(old_ws);
+    stats
+}
+
+#[allow(clippy::too_many_arguments)] // the public signature, minus sugar
+fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
+    comm: &Comm,
+    cx: &mut ExecCtx,
+    a: &mut A,
+    m: &mut M,
+    b: &TileVec,
+    x: &mut TileVec,
+    wks: &mut SolverWorkspace,
+    opts: &SolveOpts,
+) -> SolveStats {
     let mut reductions = 0usize;
+    // Disjoint borrows of the workspace's scratch suite.
+    let SolverWorkspace { r, rhat, p, v, s, t, phat, shat, .. } = wks;
 
-    let mut r = TileVec::new(n1, n2);
-    let mut rhat = TileVec::new(n1, n2);
-    let mut p = TileVec::new(n1, n2);
-    let mut v = TileVec::new(n1, n2);
-    let mut s = TileVec::new(n1, n2);
-    let mut t = TileVec::new(n1, n2);
-    let mut phat = TileVec::new(n1, n2);
-    let mut shat = TileVec::new(n1, n2);
-
-    // r = b − A·x
-    a.apply(comm, sink, x, &mut r);
-    kernels::xmay(sink, ws, b, 1.0, &r.clone(), &mut r);
-    rhat.copy_from(&r);
+    // r = b − A·x, computed in place: r holds A·x, then b − A·x.
+    a.apply(comm, cx, x, r);
+    kernels::residual_into(cx, b, r);
+    rhat.copy_from(r);
 
     // Initial gang: {‖r‖², ‖b‖²}.
-    let mut gang = [
-        kernels::norm2_local(sink, ws, &r),
-        kernels::norm2_local(sink, ws, b),
-    ];
-    reduce(comm, sink, &mut gang, &mut reductions);
+    let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
+    reduce(comm, cx, &mut gang, &mut reductions);
     let bnorm = gang[1].sqrt();
     if bnorm == 0.0 {
         // Homogeneous system: the solution is x = 0.
@@ -128,54 +146,69 @@ pub fn bicgstab<A: LinearOp, M: Preconditioner>(
             // The classic form recomputes ρ = ⟨r̂, r⟩ with its own
             // reduction; the ganged form derived it algebraically from
             // last iteration's five-way gang.
-            let mut g = [kernels::dprod_local(sink, ws, &rhat, &r)];
-            reduce(comm, sink, &mut g, &mut reductions);
+            let mut g = [kernels::dprod_local(cx, rhat, r)];
+            reduce(comm, cx, &mut g, &mut reductions);
             rho = g[0];
         }
         if rho.abs() < tiny || omega.abs() < tiny {
-            return SolveStats { iters: iter - 1, converged: false, relres: rr.sqrt() / bnorm, reductions };
+            return SolveStats {
+                iters: iter - 1,
+                converged: false,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+            };
         }
         if iter == 1 {
-            p.copy_from(&r);
+            p.copy_from(r);
         } else {
             let beta = (rho / rho_prev) * (alpha / omega);
-            kernels::p_update(sink, ws, beta, omega, &r, &v, &mut p);
+            kernels::p_update(cx, beta, omega, r, v, p);
         }
 
-        m.apply(comm, sink, &mut p, &mut phat);
-        a.apply(comm, sink, &mut phat, &mut v);
-        let mut g = [kernels::dprod_local(sink, ws, &rhat, &v)];
-        reduce(comm, sink, &mut g, &mut reductions);
+        m.apply(comm, cx, p, phat);
+        a.apply(comm, cx, phat, v);
+        let mut g = [kernels::dprod_local(cx, rhat, v)];
+        reduce(comm, cx, &mut g, &mut reductions);
         let rv = g[0];
         if rv.abs() < tiny {
-            return SolveStats { iters: iter, converged: false, relres: rr.sqrt() / bnorm, reductions };
+            return SolveStats {
+                iters: iter,
+                converged: false,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+            };
         }
         alpha = rho / rv;
-        kernels::xmay(sink, ws, &r, alpha, &v, &mut s); // s = r − α·v
+        kernels::xmay(cx, r, alpha, v, s); // s = r − α·v
 
-        m.apply(comm, sink, &mut s, &mut shat);
-        a.apply(comm, sink, &mut shat, &mut t);
+        m.apply(comm, cx, s, shat);
+        a.apply(comm, cx, shat, t);
 
         let (ts, tt, rho_next);
         match opts.variant {
             BicgVariant::Ganged => {
                 // One five-way gang closes the iteration.
                 let mut g = [
-                    kernels::dprod_local(sink, ws, &t, &s),
-                    kernels::norm2_local(sink, ws, &t),
-                    kernels::norm2_local(sink, ws, &s),
-                    kernels::dprod_local(sink, ws, &rhat, &s),
-                    kernels::dprod_local(sink, ws, &rhat, &t),
+                    kernels::dprod_local(cx, t, s),
+                    kernels::norm2_local(cx, t),
+                    kernels::norm2_local(cx, s),
+                    kernels::dprod_local(cx, rhat, s),
+                    kernels::dprod_local(cx, rhat, t),
                 ];
-                reduce(comm, sink, &mut g, &mut reductions);
+                reduce(comm, cx, &mut g, &mut reductions);
                 let [g_ts, g_tt, g_ss, g_rs, g_rt] = g;
                 ts = g_ts;
                 tt = g_tt;
                 if tt < tiny {
                     // t ≈ 0: converged iff s ≈ 0.
-                    kernels::daxpy(sink, ws, alpha, &phat, x);
+                    kernels::daxpy(cx, alpha, phat, x);
                     let conv = g_ss.sqrt() <= opts.tol * bnorm;
-                    return SolveStats { iters: iter, converged: conv, relres: g_ss.sqrt() / bnorm, reductions };
+                    return SolveStats {
+                        iters: iter,
+                        converged: conv,
+                        relres: g_ss.sqrt() / bnorm,
+                        reductions,
+                    };
                 }
                 omega = ts / tt;
                 // ‖r‖² and next ρ follow algebraically — no extra
@@ -184,18 +217,23 @@ pub fn bicgstab<A: LinearOp, M: Preconditioner>(
                 rho_next = g_rs - omega * g_rt;
             }
             BicgVariant::Classic => {
-                let mut g1 = [kernels::dprod_local(sink, ws, &t, &s)];
-                reduce(comm, sink, &mut g1, &mut reductions);
-                let mut g2 = [kernels::norm2_local(sink, ws, &t)];
-                reduce(comm, sink, &mut g2, &mut reductions);
+                let mut g1 = [kernels::dprod_local(cx, t, s)];
+                reduce(comm, cx, &mut g1, &mut reductions);
+                let mut g2 = [kernels::norm2_local(cx, t)];
+                reduce(comm, cx, &mut g2, &mut reductions);
                 ts = g1[0];
                 tt = g2[0];
                 if tt < tiny {
-                    kernels::daxpy(sink, ws, alpha, &phat, x);
-                    let mut g3 = [kernels::norm2_local(sink, ws, &s)];
-                    reduce(comm, sink, &mut g3, &mut reductions);
+                    kernels::daxpy(cx, alpha, phat, x);
+                    let mut g3 = [kernels::norm2_local(cx, s)];
+                    reduce(comm, cx, &mut g3, &mut reductions);
                     let conv = g3[0].sqrt() <= opts.tol * bnorm;
-                    return SolveStats { iters: iter, converged: conv, relres: g3[0].sqrt() / bnorm, reductions };
+                    return SolveStats {
+                        iters: iter,
+                        converged: conv,
+                        relres: g3[0].sqrt() / bnorm,
+                        reductions,
+                    };
                 }
                 omega = ts / tt;
                 rho_next = f64::NAN; // recomputed at the next loop top
@@ -203,17 +241,22 @@ pub fn bicgstab<A: LinearOp, M: Preconditioner>(
         }
 
         // x ← x + α·p̂ + ω·ŝ  (V2D's combined scaling/addition routine)
-        kernels::ddaxpy(sink, ws, alpha, &phat, omega, &shat, x);
+        kernels::ddaxpy(cx, alpha, phat, omega, shat, x);
         // r ← s − ω·t
-        kernels::xmay(sink, ws, &s, omega, &t, &mut r);
+        kernels::xmay(cx, s, omega, t, r);
 
         if opts.variant == BicgVariant::Classic {
-            let mut g = [kernels::norm2_local(sink, ws, &r)];
-            reduce(comm, sink, &mut g, &mut reductions);
+            let mut g = [kernels::norm2_local(cx, r)];
+            reduce(comm, cx, &mut g, &mut reductions);
             rr = g[0];
         }
         if rr.sqrt() <= opts.tol * bnorm {
-            return SolveStats { iters: iter, converged: true, relres: rr.sqrt() / bnorm, reductions };
+            return SolveStats {
+                iters: iter,
+                converged: true,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+            };
         }
         rho_prev = rho;
         rho = rho_next;
@@ -224,29 +267,46 @@ pub fn bicgstab<A: LinearOp, M: Preconditioner>(
 /// Preconditioned conjugate gradient for symmetric positive-definite
 /// systems — the method BiCGSTAB extends (paper §II-A); used as the
 /// baseline in the preconditioner ablation.
+#[allow(clippy::too_many_arguments)] // mirrors the bicgstab/gmres signature
 pub fn cg<A: LinearOp, M: Preconditioner>(
     comm: &Comm,
-    sink: &mut MultiCostSink,
+    cx: &mut ExecCtx,
     a: &mut A,
     m: &mut M,
     b: &TileVec,
     x: &mut TileVec,
+    wks: &mut SolverWorkspace,
     opts: &SolveOpts,
 ) -> SolveStats {
     let (n1, n2) = a.tile_dims();
-    let ws = a.working_set();
+    wks.ensure(n1, n2);
+    let old_ws = cx.set_ws(a.working_set());
+    let stats = cg_inner(comm, cx, a, m, b, x, wks, opts);
+    cx.set_ws(old_ws);
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cg_inner<A: LinearOp, M: Preconditioner>(
+    comm: &Comm,
+    cx: &mut ExecCtx,
+    a: &mut A,
+    m: &mut M,
+    b: &TileVec,
+    x: &mut TileVec,
+    wks: &mut SolverWorkspace,
+    opts: &SolveOpts,
+) -> SolveStats {
     let mut reductions = 0usize;
+    // CG's suite aliases the BiCGSTAB field names: z lives in `rhat`,
+    // A·p in `v`.
+    let SolverWorkspace { r, rhat: z, p, v: ap, .. } = wks;
 
-    let mut r = TileVec::new(n1, n2);
-    let mut z = TileVec::new(n1, n2);
-    let mut p = TileVec::new(n1, n2);
-    let mut ap = TileVec::new(n1, n2);
+    a.apply(comm, cx, x, r);
+    kernels::residual_into(cx, b, r);
 
-    a.apply(comm, sink, x, &mut r);
-    kernels::xmay(sink, ws, b, 1.0, &r.clone(), &mut r);
-
-    let mut gang = [kernels::norm2_local(sink, ws, &r), kernels::norm2_local(sink, ws, b)];
-    reduce(comm, sink, &mut gang, &mut reductions);
+    let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
+    reduce(comm, cx, &mut gang, &mut reductions);
     let bnorm = gang[1].sqrt();
     if bnorm == 0.0 {
         x.zero();
@@ -257,39 +317,46 @@ pub fn cg<A: LinearOp, M: Preconditioner>(
         return SolveStats { iters: 0, converged: true, relres: rr.sqrt() / bnorm, reductions };
     }
 
-    m.apply(comm, sink, &mut r, &mut z);
-    p.copy_from(&z);
-    let mut gang = [kernels::dprod_local(sink, ws, &r, &z)];
-    reduce(comm, sink, &mut gang, &mut reductions);
+    m.apply(comm, cx, r, z);
+    p.copy_from(z);
+    let mut gang = [kernels::dprod_local(cx, r, z)];
+    reduce(comm, cx, &mut gang, &mut reductions);
     let mut rz = gang[0];
 
     for iter in 1..=opts.max_iters {
-        a.apply(comm, sink, &mut p, &mut ap);
-        let mut gang = [kernels::dprod_local(sink, ws, &p, &ap)];
-        reduce(comm, sink, &mut gang, &mut reductions);
+        a.apply(comm, cx, p, ap);
+        let mut gang = [kernels::dprod_local(cx, p, ap)];
+        reduce(comm, cx, &mut gang, &mut reductions);
         let pap = gang[0];
         if pap.abs() < 1e-290 {
-            return SolveStats { iters: iter, converged: false, relres: rr.sqrt() / bnorm, reductions };
+            return SolveStats {
+                iters: iter,
+                converged: false,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+            };
         }
         let alpha = rz / pap;
-        kernels::daxpy(sink, ws, alpha, &p, x);
-        kernels::daxpy(sink, ws, -alpha, &ap, &mut r);
-        m.apply(comm, sink, &mut r, &mut z);
+        kernels::daxpy(cx, alpha, p, x);
+        kernels::daxpy(cx, -alpha, ap, r);
+        m.apply(comm, cx, r, z);
         // Gang {⟨r,z⟩, ⟨r,r⟩} into one reduction.
-        let mut gang = [
-            kernels::dprod_local(sink, ws, &r, &z),
-            kernels::norm2_local(sink, ws, &r),
-        ];
-        reduce(comm, sink, &mut gang, &mut reductions);
+        let mut gang = [kernels::dprod_local(cx, r, z), kernels::norm2_local(cx, r)];
+        reduce(comm, cx, &mut gang, &mut reductions);
         let rz_new = gang[0];
         rr = gang[1];
         if rr.sqrt() <= opts.tol * bnorm {
-            return SolveStats { iters: iter, converged: true, relres: rr.sqrt() / bnorm, reductions };
+            return SolveStats {
+                iters: iter,
+                converged: true,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+            };
         }
         let beta = rz_new / rz;
         rz = rz_new;
         // p = z + β·p
-        kernels::p_update(sink, ws, beta, 0.0, &z, &ap, &mut p);
+        kernels::p_update(cx, beta, 0.0, z, ap, p);
     }
     SolveStats { iters: opts.max_iters, converged: false, relres: rr.sqrt() / bnorm, reductions }
 }
@@ -302,29 +369,53 @@ pub fn cg<A: LinearOp, M: Preconditioner>(
 /// modified Gram–Schmidt, costing one global reduction *per basis
 /// vector* — the communication-hungry behaviour that made the ganged
 /// BiCGSTAB attractive for V2D.  The solver tracks the residual norm
-/// through Givens rotations and restarts every `m` steps.
+/// through Givens rotations and restarts every `m` steps.  The Arnoldi
+/// basis draws from the workspace's vector pool, so restarts and
+/// repeated solves reuse the same storage.
 #[allow(clippy::too_many_arguments)] // mirrors the bicgstab/cg signature + restart length
 pub fn gmres<A: LinearOp, M: Preconditioner>(
     comm: &Comm,
-    sink: &mut MultiCostSink,
+    cx: &mut ExecCtx,
     a: &mut A,
     m: &mut M,
     b: &TileVec,
     x: &mut TileVec,
+    wks: &mut SolverWorkspace,
     restart: usize,
     opts: &SolveOpts,
 ) -> SolveStats {
     assert!(restart >= 1, "GMRES restart length must be ≥ 1");
     let (n1, n2) = a.tile_dims();
-    let ws = a.working_set();
+    wks.ensure(n1, n2);
+    wks.ensure_basis(restart + 1);
+    let old_ws = cx.set_ws(a.working_set());
+    let stats = gmres_inner(comm, cx, a, m, b, x, wks, restart, opts);
+    cx.set_ws(old_ws);
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gmres_inner<A: LinearOp, M: Preconditioner>(
+    comm: &Comm,
+    cx: &mut ExecCtx,
+    a: &mut A,
+    m: &mut M,
+    b: &TileVec,
+    x: &mut TileVec,
+    wks: &mut SolverWorkspace,
+    restart: usize,
+    opts: &SolveOpts,
+) -> SolveStats {
     let mut reductions = 0usize;
+    // GMRES aliases: w ↦ `s`, M⁻¹-image ↦ `shat`, solution update
+    // accumulator ↦ `t`, Arnoldi basis ↦ the `basis` pool.
+    let SolverWorkspace { r, s: w, t: update, shat: zhat, basis, .. } = wks;
 
-    let mut r = TileVec::new(n1, n2);
-    a.apply(comm, sink, x, &mut r);
-    kernels::xmay(sink, ws, b, 1.0, &r.clone(), &mut r);
+    a.apply(comm, cx, x, r);
+    kernels::residual_into(cx, b, r);
 
-    let mut gang = [kernels::norm2_local(sink, ws, &r), kernels::norm2_local(sink, ws, b)];
-    reduce(comm, sink, &mut gang, &mut reductions);
+    let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
+    reduce(comm, cx, &mut gang, &mut reductions);
     let bnorm = gang[1].sqrt();
     if bnorm == 0.0 {
         x.zero();
@@ -335,10 +426,7 @@ pub fn gmres<A: LinearOp, M: Preconditioner>(
         return SolveStats { iters: 0, converged: true, relres: beta / bnorm, reductions };
     }
 
-    // Arnoldi basis and Hessenberg storage, reused across restarts.
-    let mut basis: Vec<TileVec> = Vec::with_capacity(restart + 1);
-    let mut w = TileVec::new(n1, n2);
-    let mut zhat = TileVec::new(n1, n2);
+    // Hessenberg and rotation storage (small host vectors).
     let mut h = vec![vec![0.0f64; restart]; restart + 1];
     let mut cs = vec![0.0f64; restart];
     let mut sn = vec![0.0f64; restart];
@@ -349,11 +437,9 @@ pub fn gmres<A: LinearOp, M: Preconditioner>(
 
     for _outer in 0..max_outer {
         // v0 = r / β
-        basis.clear();
-        let mut v0 = TileVec::new(n1, n2);
-        kernels::copy(sink, ws, &r, &mut v0);
-        kernels::dscal(sink, ws, 0.0, -1.0 / beta, &mut v0); // v0 = r/β via c − d·y
-        basis.push(v0);
+        kernels::copy(cx, r, &mut basis[0]);
+        kernels::dscal(cx, 0.0, -1.0 / beta, &mut basis[0]); // v0 = r/β via c − d·y
+        let mut nb = 1; // valid basis vectors
         for gi in g.iter_mut() {
             *gi = 0.0;
         }
@@ -368,20 +454,21 @@ pub fn gmres<A: LinearOp, M: Preconditioner>(
             total_iters += 1;
             k_used = k + 1;
 
-            // w = A·M⁻¹·v_k
-            let mut vk = basis[k].clone();
-            m.apply(comm, sink, &mut vk, &mut zhat);
-            a.apply(comm, sink, &mut zhat, &mut w);
+            // w = A·M⁻¹·v_k (the preconditioner may refresh v_k's ghost
+            // frame; its interior — all the basis arithmetic reads — is
+            // untouched).
+            m.apply(comm, cx, &mut basis[k], zhat);
+            a.apply(comm, cx, zhat, w);
 
             // Modified Gram–Schmidt: one reduction per basis vector.
-            for (j, vj) in basis.iter().enumerate() {
-                let mut dot = [kernels::dprod_local(sink, ws, &w, vj)];
-                reduce(comm, sink, &mut dot, &mut reductions);
+            for (j, vj) in basis.iter().take(nb).enumerate() {
+                let mut dot = [kernels::dprod_local(cx, w, vj)];
+                reduce(comm, cx, &mut dot, &mut reductions);
                 h[j][k] = dot[0];
-                kernels::daxpy(sink, ws, -dot[0], vj, &mut w);
+                kernels::daxpy(cx, -dot[0], vj, w);
             }
-            let mut nrm = [kernels::norm2_local(sink, ws, &w)];
-            reduce(comm, sink, &mut nrm, &mut reductions);
+            let mut nrm = [kernels::norm2_local(cx, w)];
+            reduce(comm, cx, &mut nrm, &mut reductions);
             let hk1 = nrm[0].sqrt();
             h[k + 1][k] = hk1;
 
@@ -407,10 +494,12 @@ pub fn gmres<A: LinearOp, M: Preconditioner>(
 
             let relres = g[k + 1].abs() / bnorm;
             if hk1 >= 1e-290 {
-                let mut vk1 = TileVec::new(n1, n2);
-                kernels::copy(sink, ws, &w, &mut vk1);
-                kernels::dscal(sink, ws, 0.0, -1.0 / hk1, &mut vk1);
-                basis.push(vk1);
+                let (head, tail) = basis.split_at_mut(k + 1);
+                let vk1 = &mut tail[0];
+                kernels::copy(cx, w, vk1);
+                kernels::dscal(cx, 0.0, -1.0 / hk1, vk1);
+                let _ = head;
+                nb = k + 2;
             }
             if relres <= opts.tol || hk1 < 1e-290 {
                 converged = true;
@@ -428,19 +517,20 @@ pub fn gmres<A: LinearOp, M: Preconditioner>(
                 }
                 y[i] = v / h[i][i];
             }
-            let mut update = TileVec::new(n1, n2);
+            // The accumulator is pooled scratch: zero it before use.
+            update.zero();
             for (j, &yj) in y.iter().enumerate() {
-                kernels::daxpy(sink, ws, yj, &basis[j], &mut update);
+                kernels::daxpy(cx, yj, &basis[j], update);
             }
-            m.apply(comm, sink, &mut update, &mut zhat);
-            kernels::daxpy(sink, ws, 1.0, &zhat, x);
+            m.apply(comm, cx, update, zhat);
+            kernels::daxpy(cx, 1.0, zhat, x);
         }
 
         // True residual for the restart (and the convergence report).
-        a.apply(comm, sink, x, &mut r);
-        kernels::xmay(sink, ws, b, 1.0, &r.clone(), &mut r);
-        let mut nrm = [kernels::norm2_local(sink, ws, &r)];
-        reduce(comm, sink, &mut nrm, &mut reductions);
+        a.apply(comm, cx, x, r);
+        kernels::residual_into(cx, b, r);
+        let mut nrm = [kernels::norm2_local(cx, r)];
+        reduce(comm, cx, &mut nrm, &mut reductions);
         beta = nrm[0].sqrt();
         if converged || beta <= opts.tol * bnorm {
             return SolveStats {
@@ -474,7 +564,8 @@ mod tests {
     fn lu_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         let n = b.len();
         for col in 0..n {
-            let piv = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs())).unwrap();
+            let piv =
+                (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs())).unwrap();
             a.swap(col, piv);
             b.swap(col, piv);
             for row in col + 1..n {
@@ -511,14 +602,21 @@ mod tests {
         Spmd::new(1).with_profiles(profiles()).run(|ctx| {
             let cart = CartComm::new(&ctx.comm, map);
             let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-            let a = assemble_dense(&mut op, &ctx.comm, &mut ctx.sink);
+            let a = assemble_dense(&mut op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
             let b = rhs_field(n1, n2, 0, 0);
             let expect = lu_solve(a, b.interior_to_vec());
 
             let mut x = TileVec::new(n1, n2);
             let mut m = Identity;
+            let mut wks = SolverWorkspace::new(n1, n2);
             let stats = bicgstab(
-                &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op,
+                &mut m,
+                &b,
+                &mut x,
+                &mut wks,
                 &SolveOpts { tol: 1e-12, ..Default::default() },
             );
             assert!(stats.converged, "did not converge: {stats:?}");
@@ -539,8 +637,15 @@ mod tests {
                 let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
                 let mut m = Identity;
                 let mut x = TileVec::new(n1, n2);
+                let mut wks = SolverWorkspace::new(n1, n2);
                 let stats = bicgstab(
-                    &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &mut op,
+                    &mut m,
+                    &b,
+                    &mut x,
+                    &mut wks,
                     &SolveOpts { tol: 1e-11, variant, ..Default::default() },
                 );
                 (x.interior_to_vec(), stats)
@@ -563,6 +668,92 @@ mod tests {
     }
 
     #[test]
+    fn dirty_workspace_reproduces_fresh_iterates_bitwise() {
+        // Workspace reuse must be invisible: a solve into a workspace
+        // dirtied by a *different* previous solve must produce the same
+        // bits (solution and stats) as one into a fresh workspace.
+        let (n1, n2) = (12, 9);
+        let map = TileMap::new(n1, n2, 1, 1);
+        Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+            let cart = CartComm::new(&ctx.comm, map);
+            let b = rhs_field(n1, n2, 0, 0);
+            let opts = SolveOpts { tol: 1e-11, ..Default::default() };
+
+            let solve_bicg = |wks: &mut SolverWorkspace, ctx: &mut v2d_comm::RankCtx| {
+                let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                let mut m = Identity;
+                let mut x = TileVec::new(n1, n2);
+                let stats = bicgstab(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &mut op,
+                    &mut m,
+                    &b,
+                    &mut x,
+                    wks,
+                    &opts,
+                );
+                (x.interior_to_vec(), stats)
+            };
+            let solve_cg = |wks: &mut SolverWorkspace, ctx: &mut v2d_comm::RankCtx| {
+                let mut op = StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
+                let mut m = Jacobi::new(&op);
+                let mut x = TileVec::new(n1, n2);
+                let stats = cg(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &mut op,
+                    &mut m,
+                    &b,
+                    &mut x,
+                    wks,
+                    &opts,
+                );
+                (x.interior_to_vec(), stats)
+            };
+            let solve_gmres = |wks: &mut SolverWorkspace, ctx: &mut v2d_comm::RankCtx| {
+                let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
+                let mut m = Identity;
+                let mut x = TileVec::new(n1, n2);
+                let stats = gmres(
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &mut op,
+                    &mut m,
+                    &b,
+                    &mut x,
+                    wks,
+                    7,
+                    &opts,
+                );
+                (x.interior_to_vec(), stats)
+            };
+
+            // Fresh-workspace references.
+            let (x_bi, s_bi) = solve_bicg(&mut SolverWorkspace::new(n1, n2), ctx);
+            let (x_cg, s_cg) = solve_cg(&mut SolverWorkspace::new(n1, n2), ctx);
+            let (x_gm, s_gm) = solve_gmres(&mut SolverWorkspace::new(n1, n2), ctx);
+            assert!(s_bi.converged && s_cg.converged && s_gm.converged);
+
+            // One shared workspace, dirtied by each solver in turn and
+            // handed to the next — every result must be bit-identical
+            // to its fresh-workspace reference.
+            let mut wks = SolverWorkspace::new(n1, n2);
+            for _round in 0..2 {
+                let (x2, s2) = solve_gmres(&mut wks, ctx);
+                assert_eq!(s2, s_gm);
+                assert!(x2.iter().zip(&x_gm).all(|(a, b)| a.to_bits() == b.to_bits()));
+                let (x2, s2) = solve_bicg(&mut wks, ctx);
+                assert_eq!(s2, s_bi);
+                assert!(x2.iter().zip(&x_bi).all(|(a, b)| a.to_bits() == b.to_bits()));
+                let (x2, s2) = solve_cg(&mut wks, ctx);
+                assert_eq!(s2, s_cg);
+                assert!(x2.iter().zip(&x_cg).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        });
+    }
+
+    #[test]
     fn multirank_solution_matches_single_rank() {
         let (n1, n2) = (16, 12);
         let solve_with = |np1: usize, np2: usize| {
@@ -574,12 +765,19 @@ mod tests {
                     StencilCoeffs::manufactured(t.n1, t.n2, t.i1_start, t.i2_start),
                     cart,
                 );
-                op.exchange_coeff_halos(&ctx.comm, &mut ctx.sink);
-                let mut m = Spai::new(&op, &ctx.comm, &mut ctx.sink);
+                op.exchange_coeff_halos(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
+                let mut m = Spai::new(&op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
                 let b = rhs_field(t.n1, t.n2, t.i1_start, t.i2_start);
                 let mut x = TileVec::new(t.n1, t.n2);
+                let mut wks = SolverWorkspace::new(t.n1, t.n2);
                 let stats = bicgstab(
-                    &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &mut op,
+                    &mut m,
+                    &b,
+                    &mut x,
+                    &mut wks,
                     &SolveOpts { tol: 1e-11, ..Default::default() },
                 );
                 assert!(stats.converged);
@@ -622,24 +820,61 @@ mod tests {
             let iters_with = |name: &str, ctx: &mut v2d_comm::RankCtx| -> usize {
                 let cart = CartComm::new(&ctx.comm, map);
                 let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-                op.exchange_coeff_halos(&ctx.comm, &mut ctx.sink);
+                op.exchange_coeff_halos(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
                 let mut x = TileVec::new(n1, n2);
+                let mut wks = SolverWorkspace::new(n1, n2);
                 let stats = match name {
                     "identity" => {
                         let mut m = Identity;
-                        bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts)
+                        bicgstab(
+                            &ctx.comm,
+                            &mut ExecCtx::new(&mut ctx.sink),
+                            &mut op,
+                            &mut m,
+                            &b,
+                            &mut x,
+                            &mut wks,
+                            &opts,
+                        )
                     }
                     "jacobi" => {
                         let mut m = Jacobi::new(&op);
-                        bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts)
+                        bicgstab(
+                            &ctx.comm,
+                            &mut ExecCtx::new(&mut ctx.sink),
+                            &mut op,
+                            &mut m,
+                            &b,
+                            &mut x,
+                            &mut wks,
+                            &opts,
+                        )
                     }
                     "block" => {
                         let mut m = BlockJacobi::new(&op);
-                        bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts)
+                        bicgstab(
+                            &ctx.comm,
+                            &mut ExecCtx::new(&mut ctx.sink),
+                            &mut op,
+                            &mut m,
+                            &b,
+                            &mut x,
+                            &mut wks,
+                            &opts,
+                        )
                     }
                     _ => {
-                        let mut m = Spai::new(&op, &ctx.comm, &mut ctx.sink);
-                        bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts)
+                        let mut m = Spai::new(&op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
+                        bicgstab(
+                            &ctx.comm,
+                            &mut ExecCtx::new(&mut ctx.sink),
+                            &mut op,
+                            &mut m,
+                            &b,
+                            &mut x,
+                            &mut wks,
+                            &opts,
+                        )
                     }
                 };
                 assert!(stats.converged, "{name} failed to converge");
@@ -647,10 +882,7 @@ mod tests {
             };
             let none = iters_with("identity", ctx);
             let spai = iters_with("spai", ctx);
-            assert!(
-                spai < none,
-                "SPAI ({spai} iters) should beat no preconditioning ({none})"
-            );
+            assert!(spai < none, "SPAI ({spai} iters) should beat no preconditioning ({none})");
             // The cheap ones must at least not hurt badly.
             assert!(iters_with("jacobi", ctx) <= none + 2);
             assert!(iters_with("block", ctx) <= none + 2);
@@ -665,16 +897,35 @@ mod tests {
             let b = rhs_field(n1, n2, 0, 0);
             let opts = SolveOpts { tol: 1e-11, ..Default::default() };
             let cart = CartComm::new(&ctx.comm, map);
+            let mut wks = SolverWorkspace::new(n1, n2);
             let mut op = StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
             let mut m = Jacobi::new(&op);
             let mut x_cg = TileVec::new(n1, n2);
-            let s_cg = cg(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x_cg, &opts);
+            let s_cg = cg(
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op,
+                &mut m,
+                &b,
+                &mut x_cg,
+                &mut wks,
+                &opts,
+            );
             assert!(s_cg.converged, "CG failed: {s_cg:?}");
 
             let mut op2 = StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
             let mut m2 = Jacobi::new(&op2);
             let mut x_bi = TileVec::new(n1, n2);
-            let s_bi = bicgstab(&ctx.comm, &mut ctx.sink, &mut op2, &mut m2, &b, &mut x_bi, &opts);
+            let s_bi = bicgstab(
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op2,
+                &mut m2,
+                &b,
+                &mut x_bi,
+                &mut wks,
+                &opts,
+            );
             assert!(s_bi.converged);
             for (a, c) in x_cg.interior_to_vec().iter().zip(x_bi.interior_to_vec()) {
                 assert!((a - c).abs() < 1e-7, "CG {a} vs BiCGSTAB {c}");
@@ -690,17 +941,37 @@ mod tests {
             let cart = CartComm::new(&ctx.comm, map);
             let b = rhs_field(n1, n2, 0, 0);
             let opts = SolveOpts { tol: 1e-11, ..Default::default() };
+            let mut wks = SolverWorkspace::new(n1, n2);
 
             let mut op1 = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
             let mut m1 = Identity;
             let mut x_bi = TileVec::new(n1, n2);
-            let s_bi = bicgstab(&ctx.comm, &mut ctx.sink, &mut op1, &mut m1, &b, &mut x_bi, &opts);
+            let s_bi = bicgstab(
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op1,
+                &mut m1,
+                &b,
+                &mut x_bi,
+                &mut wks,
+                &opts,
+            );
             assert!(s_bi.converged);
 
             let mut op2 = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
             let mut m2 = Identity;
             let mut x_gm = TileVec::new(n1, n2);
-            let s_gm = gmres(&ctx.comm, &mut ctx.sink, &mut op2, &mut m2, &b, &mut x_gm, 30, &opts);
+            let s_gm = gmres(
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op2,
+                &mut m2,
+                &b,
+                &mut x_gm,
+                &mut wks,
+                30,
+                &opts,
+            );
             assert!(s_gm.converged, "GMRES failed: {s_gm:?}");
             for (a, c) in x_bi.interior_to_vec().iter().zip(x_gm.interior_to_vec()) {
                 assert!((a - c).abs() < 1e-7, "BiCGSTAB {a} vs GMRES {c}");
@@ -726,15 +997,23 @@ mod tests {
             let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
             let mut m = Jacobi::new(&op);
             let mut x = TileVec::new(n1, n2);
+            let mut wks = SolverWorkspace::new(n1, n2);
             // Tiny restart length forces several outer cycles.
             let stats = gmres(
-                &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, 5,
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op,
+                &mut m,
+                &b,
+                &mut x,
+                &mut wks,
+                5,
                 &SolveOpts { tol: 1e-10, max_iters: 500, ..Default::default() },
             );
             assert!(stats.converged, "restarted GMRES failed: {stats:?}");
             // Verify against a direct residual.
             let mut ax = TileVec::new(n1, n2);
-            op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut ax);
+            op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut ax);
             for (g, w) in ax.interior_to_vec().iter().zip(b.interior_to_vec()) {
                 assert!((g - w).abs() < 1e-6);
             }
@@ -756,8 +1035,16 @@ mod tests {
                 let mut m = Identity;
                 let b = rhs_field(t.n1, t.n2, t.i1_start, t.i2_start);
                 let mut x = TileVec::new(t.n1, t.n2);
+                let mut wks = SolverWorkspace::new(t.n1, t.n2);
                 let stats = gmres(
-                    &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, 20,
+                    &ctx.comm,
+                    &mut ExecCtx::new(&mut ctx.sink),
+                    &mut op,
+                    &mut m,
+                    &b,
+                    &mut x,
+                    &mut wks,
+                    20,
                     &SolveOpts { tol: 1e-11, ..Default::default() },
                 );
                 assert!(stats.converged);
@@ -795,8 +1082,15 @@ mod tests {
             let mut x = TileVec::new(5, 5);
             x.fill_interior(3.0); // nonzero initial guess
             let mut m = Identity;
+            let mut wks = SolverWorkspace::new(5, 5);
             let stats = bicgstab(
-                &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op,
+                &mut m,
+                &b,
+                &mut x,
+                &mut wks,
                 &SolveOpts::default(),
             );
             assert!(stats.converged);
@@ -812,14 +1106,21 @@ mod tests {
         Spmd::new(1).with_profiles(profiles()).run(|ctx| {
             let cart = CartComm::new(&ctx.comm, map);
             let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-            let a = assemble_dense(&mut op, &ctx.comm, &mut ctx.sink);
+            let a = assemble_dense(&mut op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
             let b = rhs_field(n1, n2, 0, 0);
             let expect = lu_solve(a, b.interior_to_vec());
             let mut x = TileVec::new(n1, n2);
             x.fill_with(|s, i1, i2| (s + i1 + i2) as f64 * 0.1);
             let mut m = Identity;
+            let mut wks = SolverWorkspace::new(n1, n2);
             let stats = bicgstab(
-                &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op,
+                &mut m,
+                &b,
+                &mut x,
+                &mut wks,
                 &SolveOpts { tol: 1e-12, ..Default::default() },
             );
             assert!(stats.converged);

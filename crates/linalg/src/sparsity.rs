@@ -72,9 +72,7 @@ pub fn nonzeros_in_window(
 
 /// Total nonzero count of the full matrix.
 pub fn nnz(n1: usize, n2: usize, nspec: usize) -> usize {
-    (0..dimension(n1, n2, nspec))
-        .map(|r| row_nonzeros(n1, n2, nspec, r).len())
-        .sum()
+    (0..dimension(n1, n2, nspec)).map(|r| row_nonzeros(n1, n2, nspec, r).len()).sum()
 }
 
 /// Render a window as a portable bitmap (PBM P1) string, one pixel per

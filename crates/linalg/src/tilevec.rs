@@ -11,11 +11,26 @@
 //! zeros at the physical domain boundary (the radiation test problem's
 //! Dirichlet condition); they are never owned data.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::NSPEC;
 use v2d_comm::topology::Dir;
 
+/// Process-wide count of `TileVec` heap allocations (`new` + `clone`).
+/// The solver layer is supposed to be allocation-free after its
+/// [`crate::workspace::SolverWorkspace`] warms up; the
+/// `ablation_alloc` bench and the workspace tests read this counter to
+/// prove it.
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of `TileVec` allocations since process start.  Monotonic;
+/// diff two readings to count the allocations of a code region.
+pub fn tilevec_alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
 /// A two-species field on the local tile with a one-zone ghost frame.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct TileVec {
     n1: usize,
     n2: usize,
@@ -23,10 +38,18 @@ pub struct TileVec {
     data: Vec<f64>,
 }
 
+impl Clone for TileVec {
+    fn clone(&self) -> Self {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        TileVec { n1: self.n1, n2: self.n2, data: self.data.clone() }
+    }
+}
+
 impl TileVec {
     /// A zeroed field over an `n1 × n2` tile.
     pub fn new(n1: usize, n2: usize) -> Self {
         assert!(n1 >= 1 && n2 >= 1, "tile must be at least 1×1");
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         TileVec { n1, n2, data: vec![0.0; NSPEC * (n1 + 2) * (n2 + 2)] }
     }
 
@@ -339,10 +362,20 @@ mod tests {
     fn interior_to_vec_is_dictionary_ordered() {
         let mut v = TileVec::new(2, 2);
         v.fill_with(|s, i1, i2| (s * 100 + i2 * 10 + i1) as f64);
-        assert_eq!(
-            v.interior_to_vec(),
-            vec![0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
-        );
+        assert_eq!(v.interior_to_vec(), vec![0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn alloc_counter_counts_new_and_clone() {
+        // Other tests allocate concurrently (the counter is process
+        // wide), so only a lower bound is exact here; the single-test
+        // `workspace_alloc` integration binary asserts equality.
+        let before = tilevec_alloc_count();
+        let v = TileVec::new(3, 3);
+        let _w = v.clone();
+        let mut u = TileVec::new(3, 3);
+        u.copy_from(&v); // copies reuse storage: not an allocation
+        assert!(tilevec_alloc_count() - before >= 3);
     }
 
     #[test]

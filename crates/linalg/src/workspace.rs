@@ -1,0 +1,113 @@
+//! Reusable solver scratch storage.
+//!
+//! Every Krylov solve needs a suite of tile-shaped scratch vectors
+//! (BiCGSTAB keeps eight live, GMRES an Arnoldi basis on top).  The
+//! seed implementation allocated them inside each solver call — dozens
+//! of heap allocations per radiation step, every step.  A
+//! [`SolverWorkspace`] owns that storage instead: the simulation
+//! allocates one per rank, hands it to every solve, and after the first
+//! solve at a given tile shape **no further `TileVec` allocations
+//! happen in any solver loop** (asserted by the `workspace_alloc`
+//! integration test and measured by the `ablation_alloc` bench via
+//! [`crate::tilevec::tilevec_alloc_count`]).
+//!
+//! Reuse is bitwise safe: each solver fully overwrites the interiors it
+//! reads, ghost frames are either refreshed by halo exchange before use
+//! or never read, and the one accumulator GMRES relies on being zeroed
+//! (`update`) is re-zeroed explicitly.  The `workspace_reuse` tests
+//! assert dirty-workspace solves reproduce fresh-workspace iterates
+//! bit for bit.
+
+use crate::tilevec::TileVec;
+
+/// Scratch vectors shared by BiCGSTAB, CG, and GMRES.
+///
+/// Field names follow BiCGSTAB; CG and GMRES alias them (CG's `z` is
+/// `rhat`, its `ap` is `v`; GMRES's `w` is `s`, its `zhat` is `shat`,
+/// its solution update accumulator is `t`, and its Arnoldi basis draws
+/// from the `basis` pool).
+#[derive(Debug)]
+pub struct SolverWorkspace {
+    dims: (usize, usize),
+    pub(crate) r: TileVec,
+    pub(crate) rhat: TileVec,
+    pub(crate) p: TileVec,
+    pub(crate) v: TileVec,
+    pub(crate) s: TileVec,
+    pub(crate) t: TileVec,
+    pub(crate) phat: TileVec,
+    pub(crate) shat: TileVec,
+    /// Arnoldi basis pool; grows to `restart + 1` vectors on the first
+    /// GMRES solve and is reused afterwards.
+    pub(crate) basis: Vec<TileVec>,
+}
+
+impl SolverWorkspace {
+    /// A workspace for solves on an `n1 × n2` tile.
+    pub fn new(n1: usize, n2: usize) -> Self {
+        SolverWorkspace {
+            dims: (n1, n2),
+            r: TileVec::new(n1, n2),
+            rhat: TileVec::new(n1, n2),
+            p: TileVec::new(n1, n2),
+            v: TileVec::new(n1, n2),
+            s: TileVec::new(n1, n2),
+            t: TileVec::new(n1, n2),
+            phat: TileVec::new(n1, n2),
+            shat: TileVec::new(n1, n2),
+            basis: Vec::new(),
+        }
+    }
+
+    /// The tile shape this workspace currently serves.
+    pub fn dims(&self) -> (usize, usize) {
+        self.dims
+    }
+
+    /// Reshape for an `n1 × n2` tile.  A no-op (and allocation-free)
+    /// when the shape already matches — the steady-state path; solvers
+    /// call this on entry so a workspace can migrate between problems.
+    pub fn ensure(&mut self, n1: usize, n2: usize) {
+        if self.dims == (n1, n2) {
+            return;
+        }
+        *self = SolverWorkspace::new(n1, n2);
+    }
+
+    /// Grow the Arnoldi basis pool to at least `n` vectors.
+    pub(crate) fn ensure_basis(&mut self, n: usize) {
+        let (n1, n2) = self.dims;
+        while self.basis.len() < n {
+            self.basis.push(TileVec::new(n1, n2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Allocation-count assertions live in the single-test
+    // `workspace_alloc` integration binary: the counter is process
+    // wide, so exact diffs are only meaningful with no concurrent
+    // tests allocating.
+
+    #[test]
+    fn ensure_reshapes_on_mismatch() {
+        let mut w = SolverWorkspace::new(6, 5);
+        w.ensure(4, 9);
+        assert_eq!(w.dims(), (4, 9));
+        assert_eq!((w.r.n1(), w.r.n2()), (4, 9));
+        w.ensure(4, 9);
+        assert_eq!(w.dims(), (4, 9));
+    }
+
+    #[test]
+    fn basis_pool_grows_to_requested_size() {
+        let mut w = SolverWorkspace::new(3, 3);
+        w.ensure_basis(5);
+        assert_eq!(w.basis.len(), 5);
+        w.ensure_basis(2);
+        assert_eq!(w.basis.len(), 5);
+    }
+}

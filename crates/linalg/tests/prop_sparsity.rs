@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use v2d_comm::{CartComm, Spmd, TileMap};
 use v2d_linalg::{op::assemble_dense, sparsity, StencilCoeffs, StencilOp};
-use v2d_machine::CompilerProfile;
+use v2d_machine::{CompilerProfile, ExecCtx};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -19,7 +19,7 @@ proptest! {
             .run(move |ctx| {
                 let cart = CartComm::new(&ctx.comm, map);
                 let mut op = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
-                assemble_dense(&mut op, &ctx.comm, &mut ctx.sink)
+                assemble_dense(&mut op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink))
             });
         let a = &dense[0];
         let dim = sparsity::dimension(n1, n2, 2);

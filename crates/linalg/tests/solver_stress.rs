@@ -5,9 +5,9 @@
 use v2d_comm::{CartComm, Spmd, TileMap};
 use v2d_linalg::{
     bicgstab, cg, gmres, BicgVariant, BlockJacobi, Identity, Jacobi, LinearOp, SolveOpts,
-    StencilCoeffs, StencilOp, TileVec, NSPEC,
+    SolverWorkspace, StencilCoeffs, StencilOp, TileVec, NSPEC,
 };
-use v2d_machine::CompilerProfile;
+use v2d_machine::{CompilerProfile, ExecCtx};
 
 fn profiles() -> Vec<CompilerProfile> {
     vec![CompilerProfile::cray_opt()]
@@ -23,7 +23,7 @@ fn residual_inf(
     let (n1, n2) = op.tile_dims();
     let mut ax = TileVec::new(n1, n2);
     let mut xc = x.clone();
-    op.apply(comm, sink, &mut xc, &mut ax);
+    op.apply(comm, &mut ExecCtx::new(sink), &mut xc, &mut ax);
     ax.interior_to_vec()
         .iter()
         .zip(b.interior_to_vec())
@@ -42,8 +42,15 @@ fn one_by_one_tile_solves() {
         b.set(1, 0, 0, -1.0);
         let mut x = TileVec::new(1, 1);
         let mut m = Identity;
+        let mut wks = SolverWorkspace::new(1, 1);
         let st = bicgstab(
-            &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+            &ctx.comm,
+            &mut ExecCtx::new(&mut ctx.sink),
+            &mut op,
+            &mut m,
+            &b,
+            &mut x,
+            &mut wks,
             &SolveOpts { tol: 1e-13, ..Default::default() },
         );
         assert!(st.converged);
@@ -78,8 +85,15 @@ fn weakly_dominant_system_still_converges() {
         b.fill_with(|s, i1, i2| ((s + i1 + i2) as f64 * 0.37).sin());
         let mut m = Jacobi::new(&op);
         let mut x = TileVec::new(n1, n2);
+        let mut wks = SolverWorkspace::new(n1, n2);
         let st = bicgstab(
-            &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+            &ctx.comm,
+            &mut ExecCtx::new(&mut ctx.sink),
+            &mut op,
+            &mut m,
+            &b,
+            &mut x,
+            &mut wks,
             &SolveOpts { tol: 1e-10, max_iters: 5000, ..Default::default() },
         );
         assert!(st.converged, "weakly dominant solve failed: {st:?}");
@@ -99,14 +113,16 @@ fn all_three_solvers_agree_on_one_system() {
         let opts = SolveOpts { tol: 1e-12, ..Default::default() };
 
         let mut solutions = Vec::new();
+        let mut wks = SolverWorkspace::new(n1, n2);
         for which in 0..3 {
             let mut op = make_op();
             let mut m = BlockJacobi::new(&op);
             let mut x = TileVec::new(n1, n2);
+            let mut cx = ExecCtx::new(&mut ctx.sink);
             let st = match which {
-                0 => bicgstab(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts),
-                1 => cg(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, &opts),
-                _ => gmres(&ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x, 25, &opts),
+                0 => bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, &opts),
+                1 => cg(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, &opts),
+                _ => gmres(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, 25, &opts),
             };
             assert!(st.converged, "solver {which} failed: {st:?}");
             solutions.push(x.interior_to_vec());
@@ -140,8 +156,15 @@ fn classic_variant_issues_more_reductions_for_identical_answers() {
             );
             let mut m = Identity;
             let mut x = TileVec::new(t.n1, t.n2);
+            let mut wks = SolverWorkspace::new(t.n1, t.n2);
             let st = bicgstab(
-                &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                &ctx.comm,
+                &mut ExecCtx::new(&mut ctx.sink),
+                &mut op,
+                &mut m,
+                &b,
+                &mut x,
+                &mut wks,
                 &SolveOpts { tol: 1e-10, variant, ..Default::default() },
             );
             assert!(st.converged);
@@ -171,8 +194,15 @@ fn max_iters_cap_is_honored() {
         b.fill_interior(1.0);
         let mut m = Identity;
         let mut x = TileVec::new(n1, n2);
+        let mut wks = SolverWorkspace::new(n1, n2);
         let st = bicgstab(
-            &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+            &ctx.comm,
+            &mut ExecCtx::new(&mut ctx.sink),
+            &mut op,
+            &mut m,
+            &b,
+            &mut x,
+            &mut wks,
             &SolveOpts { tol: 1e-30, max_iters: 3, ..Default::default() },
         );
         assert!(!st.converged);

@@ -1,0 +1,66 @@
+//! Allocation accounting for the reusable [`SolverWorkspace`]: once a
+//! workspace is warm, re-solving allocates **zero** `TileVec`s — the
+//! solver iteration loops run entirely out of the workspace.
+//!
+//! The TileVec allocation counter is a process-wide atomic, so this
+//! file holds exactly ONE `#[test]` — a second concurrent test would
+//! race the counter and make the exact-equality assertions flaky.  The
+//! looser `>=` sanity checks live in the tilevec unit tests; the strict
+//! zero-delta contract lives here.
+
+use v2d_comm::{CartComm, Spmd, TileMap};
+use v2d_linalg::{
+    bicgstab, cg, gmres, tilevec_alloc_count, BlockJacobi, SolveOpts, SolverWorkspace,
+    StencilCoeffs, StencilOp, TileVec,
+};
+use v2d_machine::{CompilerProfile, ExecCtx};
+
+#[test]
+fn warm_workspace_solves_allocate_zero_tilevecs() {
+    let (n1, n2) = (24, 20);
+    let map = TileMap::new(n1, n2, 1, 1);
+    let deltas = Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(move |ctx| {
+        let cart = CartComm::new(&ctx.comm, map);
+        // Symmetric operator so CG is applicable alongside the others.
+        let mut op = StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
+        let mut m = BlockJacobi::new(&op);
+        let mut b = TileVec::new(n1, n2);
+        b.fill_with(|s, i1, i2| ((s * 3 + i1 + i2 * 2) as f64 * 0.23).sin() + 0.1);
+        let mut x = TileVec::new(n1, n2);
+        let mut wks = SolverWorkspace::new(n1, n2);
+        let opts = SolveOpts { tol: 1e-10, ..Default::default() };
+        let restart = 20;
+
+        let mut solve = |which: usize, x: &mut TileVec, wks: &mut SolverWorkspace| {
+            x.fill_interior(0.0);
+            let cx = &mut ExecCtx::new(&mut ctx.sink);
+            let st = match which {
+                0 => bicgstab(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, &opts),
+                1 => cg(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, &opts),
+                _ => gmres(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, restart, &opts),
+            };
+            assert!(st.converged, "solver {which} failed: {st:?}");
+        };
+
+        let mut deltas = Vec::new();
+        for which in 0..3 {
+            // Warm-up: first use may grow the workspace (GMRES
+            // allocates its Krylov basis here, for instance).
+            solve(which, &mut x, &mut wks);
+            // Warm re-solves: the iteration loops must not touch
+            // the allocator at all.
+            let before = tilevec_alloc_count();
+            solve(which, &mut x, &mut wks);
+            solve(which, &mut x, &mut wks);
+            deltas.push((which, tilevec_alloc_count() - before));
+        }
+        deltas
+    });
+    for (which, delta) in &deltas[0] {
+        let name = ["bicgstab", "cg", "gmres"][*which];
+        assert_eq!(
+            *delta, 0,
+            "{name} (solver {which}) allocated {delta} TileVecs on a warm workspace"
+        );
+    }
+}

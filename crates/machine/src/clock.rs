@@ -33,9 +33,7 @@ impl SimDuration {
     #[inline]
     pub fn from_secs(secs: f64, freq_hz: f64) -> Self {
         assert!(secs >= 0.0 && secs.is_finite(), "negative or non-finite duration");
-        SimDuration {
-            cycles: (secs * freq_hz).ceil() as u64,
-        }
+        SimDuration { cycles: (secs * freq_hz).ceil() as u64 }
     }
 
     /// Number of core cycles in this duration.
@@ -53,9 +51,7 @@ impl SimDuration {
     /// Saturating sum of two durations.
     #[inline]
     pub const fn saturating_add(self, other: SimDuration) -> SimDuration {
-        SimDuration {
-            cycles: self.cycles.saturating_add(other.cycles),
-        }
+        SimDuration { cycles: self.cycles.saturating_add(other.cycles) }
     }
 }
 
@@ -63,9 +59,7 @@ impl core::ops::Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration {
-            cycles: self.cycles + rhs.cycles,
-        }
+        SimDuration { cycles: self.cycles + rhs.cycles }
     }
 }
 
@@ -80,9 +74,7 @@ impl core::ops::Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration {
-            cycles: self.cycles.checked_sub(rhs.cycles).expect("SimDuration underflow"),
-        }
+        SimDuration { cycles: self.cycles.checked_sub(rhs.cycles).expect("SimDuration underflow") }
     }
 }
 
@@ -106,9 +98,7 @@ pub struct SimClock {
 impl SimClock {
     /// A clock at time zero.
     pub const fn new() -> Self {
-        SimClock {
-            now: SimDuration::ZERO,
-        }
+        SimClock { now: SimDuration::ZERO }
     }
 
     /// Current simulated time since the clock's epoch.

@@ -278,8 +278,7 @@ impl CostSink {
     /// Advance the clock by a duration expressed in seconds (used by the
     /// communication substrate for MPI costs).
     pub fn advance_secs(&mut self, secs: f64) {
-        self.clock
-            .advance(SimDuration::from_secs(secs, self.model.freq_hz));
+        self.clock.advance(SimDuration::from_secs(secs, self.model.freq_hz));
     }
 
     /// Advance the clock for a communication operation, accounting the
@@ -322,11 +321,8 @@ pub fn cost_cycles(model: &A64fxModel, profile: &CompilerProfile, shape: &Kernel
     let byte_rate = model.bytes_per_cycle(level) * profile.mem_fraction(level);
     let memory_cycles = shape.bytes_streamed() as f64 / byte_rate;
 
-    let elem_overhead = if vectorized {
-        profile.elem_overhead_vec
-    } else {
-        profile.elem_overhead_scalar
-    };
+    let elem_overhead =
+        if vectorized { profile.elem_overhead_vec } else { profile.elem_overhead_scalar };
     let accesses = shape.bytes_streamed() as f64 / 8.0;
 
     let total = profile.call_overhead
@@ -351,19 +347,14 @@ impl MultiCostSink {
     /// Sinks for all four paper profiles.
     pub fn all_compilers() -> Self {
         MultiCostSink {
-            lanes: ALL_COMPILERS
-                .iter()
-                .map(|&id| CostSink::new(CompilerProfile::of(id)))
-                .collect(),
+            lanes: ALL_COMPILERS.iter().map(|&id| CostSink::new(CompilerProfile::of(id))).collect(),
         }
     }
 
     /// A sink set with a single profile (cheaper when only one column is
     /// needed, e.g. in tests).
     pub fn single(profile: CompilerProfile) -> Self {
-        MultiCostSink {
-            lanes: vec![CostSink::new(profile)],
-        }
+        MultiCostSink { lanes: vec![CostSink::new(profile)] }
     }
 
     /// Charge one kernel invocation under every profile.
@@ -408,8 +399,7 @@ mod tests {
         let opt = CompilerProfile::cray_opt();
         let noopt = CompilerProfile::cray_noopt();
         for shape in [l1_shape(KernelClass::Daxpy), hbm_shape(KernelClass::MatVec)] {
-            let r = cost_cycles(&m, &opt, &shape) as f64
-                / cost_cycles(&m, &noopt, &shape) as f64;
+            let r = cost_cycles(&m, &opt, &shape) as f64 / cost_cycles(&m, &noopt, &shape) as f64;
             assert!(r < 1.0, "SVE build must win: ratio {r}");
             assert!(r > 0.5, "full-code SVE gain should be modest, got ratio {r}");
         }

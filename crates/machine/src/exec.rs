@@ -1,0 +1,183 @@
+//! The execution context threaded through every kernel, solver, and
+//! collective.
+//!
+//! Before this module existed, each linear-algebra kernel took an
+//! ad-hoc `(&mut MultiCostSink, ws: usize)` pair and every call site
+//! had to remember which working-set size to thread where; profiling
+//! hooks were a third, separately-threaded parameter.  [`ExecCtx`]
+//! bundles all three concerns — cost lanes, ambient working set, and an
+//! optional profiler scope — so cost-charging, residency
+//! classification, and instrumentation happen in exactly one place.
+//!
+//! The [`CostLanes`] trait lets the communication layer accept either a
+//! bare [`MultiCostSink`] (drivers, tests) or a full [`ExecCtx`]
+//! (kernels, solvers) without duplicating its API.
+
+use crate::cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
+
+/// Anything that can surface the per-compiler cost lanes.  Collectives
+/// and other cost-charging plumbing accept `&mut impl CostLanes`, so
+/// both raw sinks and execution contexts flow through the same API.
+pub trait CostLanes {
+    fn cost_lanes(&mut self) -> &mut MultiCostSink;
+}
+
+impl CostLanes for MultiCostSink {
+    fn cost_lanes(&mut self) -> &mut MultiCostSink {
+        self
+    }
+}
+
+impl CostLanes for ExecCtx<'_> {
+    fn cost_lanes(&mut self) -> &mut MultiCostSink {
+        self.sink
+    }
+}
+
+/// A TAU-style enter/exit instrumentation scope.  `v2d-perf`'s
+/// `Profiler` implements this; the trait lives here so `ExecCtx` can
+/// carry a profiler without a dependency cycle (perf depends on
+/// machine, not vice versa).
+pub trait ProfilerScope {
+    fn enter(&mut self, lane: &CostSink, name: &str);
+    fn exit(&mut self, lane: &CostSink, name: &str);
+}
+
+/// The ambient execution state of a kernel/solver call chain: the
+/// per-compiler cost lanes, the working-set size that decides memory
+/// residency for streaming charges, and an optional profiler scope.
+pub struct ExecCtx<'a> {
+    sink: &'a mut MultiCostSink,
+    ws: usize,
+    profiler: Option<&'a mut dyn ProfilerScope>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context over `sink` with no profiler and a zero (L1-resident)
+    /// ambient working set.
+    pub fn new(sink: &'a mut MultiCostSink) -> Self {
+        ExecCtx { sink, ws: 0, profiler: None }
+    }
+
+    /// A context that also records enter/exit scopes in `profiler`.
+    pub fn with_profiler(sink: &'a mut MultiCostSink, profiler: &'a mut dyn ProfilerScope) -> Self {
+        ExecCtx { sink, ws: 0, profiler: Some(profiler) }
+    }
+
+    /// The ambient working-set size in bytes (what streaming kernels
+    /// report for residency classification).
+    pub fn ws(&self) -> usize {
+        self.ws
+    }
+
+    /// Set the ambient working set, returning the previous value so
+    /// callers can scope it (`let old = cx.set_ws(n); ...; cx.set_ws(old)`).
+    pub fn set_ws(&mut self, ws: usize) -> usize {
+        std::mem::replace(&mut self.ws, ws)
+    }
+
+    /// The underlying cost lanes.
+    pub fn sink(&mut self) -> &mut MultiCostSink {
+        self.sink
+    }
+
+    /// Read-only view of the cost lanes.
+    pub fn sink_ref(&self) -> &MultiCostSink {
+        self.sink
+    }
+
+    /// Charge an explicit kernel shape to every lane.
+    pub fn charge(&mut self, shape: &KernelShape) {
+        self.sink.charge(shape);
+    }
+
+    /// Charge a streaming kernel at the *ambient* working set — the
+    /// common case for the vector kernels inside a solver.
+    pub fn charge_streaming(
+        &mut self,
+        class: KernelClass,
+        elems: usize,
+        flops_per_elem: usize,
+        reads: usize,
+        writes: usize,
+    ) {
+        let shape = KernelShape::streaming(class, elems, flops_per_elem, reads, writes, self.ws);
+        self.sink.charge(&shape);
+    }
+
+    /// Enter a named profiler scope (lane 0's clock, as the paper's Arm
+    /// MAP ran on the real machine).  No-op without a profiler.
+    pub fn enter(&mut self, name: &str) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.enter(&self.sink.lanes[0], name);
+        }
+    }
+
+    /// Exit a named profiler scope.  No-op without a profiler.
+    pub fn exit(&mut self, name: &str) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.exit(&self.sink.lanes[0], name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CompilerProfile;
+
+    fn sink() -> MultiCostSink {
+        MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+    }
+
+    #[test]
+    fn ambient_ws_scopes_and_restores() {
+        let mut sk = sink();
+        let mut cx = ExecCtx::new(&mut sk);
+        assert_eq!(cx.ws(), 0);
+        let old = cx.set_ws(1 << 20);
+        assert_eq!(old, 0);
+        assert_eq!(cx.ws(), 1 << 20);
+        cx.set_ws(old);
+        assert_eq!(cx.ws(), 0);
+    }
+
+    #[test]
+    fn charge_streaming_uses_ambient_ws() {
+        // Same shape charged at a large ambient working set must cost at
+        // least as much as at an L1-resident one.
+        let mut sk_small = sink();
+        let mut cx = ExecCtx::new(&mut sk_small);
+        cx.charge_streaming(KernelClass::Daxpy, 10_000, 2, 2, 1);
+        let small = cx.sink_ref().lanes[0].clock.now();
+
+        let mut sk_big = sink();
+        let mut cx = ExecCtx::new(&mut sk_big);
+        cx.set_ws(1 << 30);
+        cx.charge_streaming(KernelClass::Daxpy, 10_000, 2, 2, 1);
+        let big = cx.sink_ref().lanes[0].clock.now();
+        assert!(big >= small);
+    }
+
+    struct Recorder(Vec<String>);
+    impl ProfilerScope for Recorder {
+        fn enter(&mut self, _lane: &CostSink, name: &str) {
+            self.0.push(format!("+{name}"));
+        }
+        fn exit(&mut self, _lane: &CostSink, name: &str) {
+            self.0.push(format!("-{name}"));
+        }
+    }
+
+    #[test]
+    fn profiler_scopes_are_forwarded() {
+        let mut sk = sink();
+        let mut rec = Recorder(Vec::new());
+        {
+            let mut cx = ExecCtx::with_profiler(&mut sk, &mut rec);
+            cx.enter("solve");
+            cx.exit("solve");
+        }
+        assert_eq!(rec.0, ["+solve", "-solve"]);
+    }
+}

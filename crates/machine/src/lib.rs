@@ -24,10 +24,12 @@
 
 pub mod clock;
 pub mod cost;
+pub mod exec;
 pub mod model;
 pub mod profile;
 
 pub use clock::{SimClock, SimDuration};
 pub use cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
+pub use exec::{CostLanes, ExecCtx, ProfilerScope};
 pub use model::{A64fxModel, MemLevel};
 pub use profile::{CompilerId, CompilerProfile, MpiCostModel, ALL_COMPILERS};

@@ -262,12 +262,8 @@ impl CompilerProfile {
 }
 
 /// The four Table I compiler configurations, in the paper's column order.
-pub const ALL_COMPILERS: [CompilerId; 4] = [
-    CompilerId::Gnu,
-    CompilerId::Fujitsu,
-    CompilerId::CrayOpt,
-    CompilerId::CrayNoOpt,
-];
+pub const ALL_COMPILERS: [CompilerId; 4] =
+    [CompilerId::Gnu, CompilerId::Fujitsu, CompilerId::CrayOpt, CompilerId::CrayNoOpt];
 
 #[cfg(test)]
 mod tests {
@@ -291,7 +287,9 @@ mod tests {
     #[test]
     fn cray_opt_has_best_codegen() {
         let cray = CompilerProfile::cray_opt();
-        for other in [CompilerProfile::gnu(), CompilerProfile::fujitsu(), CompilerProfile::cray_noopt()] {
+        for other in
+            [CompilerProfile::gnu(), CompilerProfile::fujitsu(), CompilerProfile::cray_noopt()]
+        {
             assert!(cray.vec_efficiency >= other.vec_efficiency);
             assert!(cray.scalar_efficiency >= other.scalar_efficiency);
         }

@@ -2,7 +2,9 @@
 //! linearity — the invariants every calibration rests on.
 
 use proptest::prelude::*;
-use v2d_machine::{cost::cost_cycles, A64fxModel, CompilerProfile, KernelClass, KernelShape, ALL_COMPILERS};
+use v2d_machine::{
+    cost::cost_cycles, A64fxModel, CompilerProfile, KernelClass, KernelShape, ALL_COMPILERS,
+};
 
 fn shape(elems: usize, flops: usize, reads: usize, ws: usize) -> KernelShape {
     KernelShape::streaming(KernelClass::Daxpy, elems, flops, reads, 1, ws)

@@ -48,10 +48,7 @@ impl PerfStat {
     /// Finish and report.
     pub fn stop(self, lane: &CostSink) -> PerfReport {
         let d = lane.clock.now() - self.start;
-        PerfReport {
-            duration_time: d.as_secs(lane.model.freq_hz),
-            cpu_cycles: d.cycles(),
-        }
+        PerfReport { duration_time: d.as_secs(lane.model.freq_hz), cpu_cycles: d.cycles() }
     }
 }
 
@@ -209,12 +206,13 @@ pub fn cluster_report(lanes: &[&CostSink]) -> String {
         total / lanes.len() as f64,
         total
     );
-    let wall = lanes
-        .iter()
-        .map(|l| l.elapsed_secs())
-        .fold(0.0f64, f64::max);
-    let _ = writeln!(out, "
-job wall time (slowest rank): {wall:.3} s over {} ranks", lanes.len());
+    let wall = lanes.iter().map(|l| l.elapsed_secs()).fold(0.0f64, f64::max);
+    let _ = writeln!(
+        out,
+        "
+job wall time (slowest rank): {wall:.3} s over {} ranks",
+        lanes.len()
+    );
     out
 }
 
@@ -310,6 +308,19 @@ impl Profiler {
             );
         }
         out
+    }
+}
+
+/// Lets a [`v2d_machine::ExecCtx`] carry this profiler, so solvers and
+/// steppers record their scopes through the execution context instead of
+/// threading a separate profiler parameter down the call chain.
+impl v2d_machine::ProfilerScope for Profiler {
+    fn enter(&mut self, lane: &CostSink, name: &str) {
+        Profiler::enter(self, lane, name);
+    }
+
+    fn exit(&mut self, lane: &CostSink, name: &str) {
+        Profiler::exit(self, lane, name);
     }
 }
 

@@ -83,9 +83,9 @@ impl Asm {
             let target = self.labels[label];
             assert_ne!(target, usize::MAX, "branch to unbound label at instruction {at}");
             match &mut self.prog[at] {
-                Instr::B { target: t } | Instr::BLtX { target: t, .. } | Instr::BGeX { target: t, .. } => {
-                    *t = target
-                }
+                Instr::B { target: t }
+                | Instr::BLtX { target: t, .. }
+                | Instr::BGeX { target: t, .. } => *t = target,
                 other => unreachable!("fixup on non-branch {other:?}"),
             }
         }

@@ -44,18 +44,15 @@ pub fn format_instr(i: &Instr) -> String {
         DupZD { d, n } => format!("mov     z{}.d, d{}", d.0, n.0),
         DupZI { d, imm } => format!("fdup    z{}.d, #{}", d.0, imm),
         MovZ { d, n } => format!("mov     z{}.d, z{}.d", d.0, n.0),
-        Ld1d { t, pg, base, index } => format!(
-            "ld1d    {{z{}.d}}, p{}/z, [x{}, x{}, lsl #3]",
-            t.0, pg.0, base.0, index.0
-        ),
-        St1d { t, pg, base, index } => format!(
-            "st1d    {{z{}.d}}, p{}, [x{}, x{}, lsl #3]",
-            t.0, pg.0, base.0, index.0
-        ),
-        Ld1dGather { t, pg, base, idx } => format!(
-            "ld1d    {{z{}.d}}, p{}/z, [x{}, z{}.d, lsl #3]",
-            t.0, pg.0, base.0, idx.0
-        ),
+        Ld1d { t, pg, base, index } => {
+            format!("ld1d    {{z{}.d}}, p{}/z, [x{}, x{}, lsl #3]", t.0, pg.0, base.0, index.0)
+        }
+        St1d { t, pg, base, index } => {
+            format!("st1d    {{z{}.d}}, p{}, [x{}, x{}, lsl #3]", t.0, pg.0, base.0, index.0)
+        }
+        Ld1dGather { t, pg, base, idx } => {
+            format!("ld1d    {{z{}.d}}, p{}/z, [x{}, z{}.d, lsl #3]", t.0, pg.0, base.0, idx.0)
+        }
         FAddZ { d, pg, n, m } => {
             format!("fadd    z{}.d, p{}/z, z{}.d, z{}.d", d.0, pg.0, n.0, m.0)
         }

@@ -14,8 +14,8 @@
 //! completion time over the whole dynamic instruction stream.
 
 use crate::isa::Instr;
-use crate::reg::RegFile;
 use crate::mem::SimMem;
+use crate::reg::RegFile;
 use crate::sched::SchedModel;
 use v2d_machine::MemLevel;
 
@@ -109,12 +109,20 @@ pub struct ExecStats {
 impl ExecStats {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 { 0.0 } else { self.instrs as f64 / self.cycles as f64 }
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
     }
 
     /// Flops per cycle.
     pub fn flops_per_cycle(&self) -> f64 {
-        if self.cycles == 0 { 0.0 } else { self.flops as f64 / self.cycles as f64 }
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
     }
 
     /// Seconds at clock frequency `freq_hz`.
@@ -508,11 +516,8 @@ impl Executor {
             Ld1d { t, pg, base, index } => {
                 let b = r.x[base.0 as usize] as usize + 8 * r.x[index.0 as usize] as usize;
                 for i in 0..lanes {
-                    r.z[t.0 as usize][i] = if r.p[pg.0 as usize][i] {
-                        mem.load_f64(b + 8 * i)
-                    } else {
-                        0.0
-                    };
+                    r.z[t.0 as usize][i] =
+                        if r.p[pg.0 as usize][i] { mem.load_f64(b + 8 * i) } else { 0.0 };
                 }
             }
             St1d { t, pg, base, index } => {
@@ -569,8 +574,8 @@ impl Executor {
             FMlaZ { da, pg, n, m } => {
                 for i in 0..lanes {
                     if r.p[pg.0 as usize][i] {
-                        r.z[da.0 as usize][i] =
-                            r.z[n.0 as usize][i].mul_add(r.z[m.0 as usize][i], r.z[da.0 as usize][i]);
+                        r.z[da.0 as usize][i] = r.z[n.0 as usize][i]
+                            .mul_add(r.z[m.0 as usize][i], r.z[da.0 as usize][i]);
                     }
                 }
             }

@@ -142,7 +142,10 @@ impl Instr {
     pub fn is_load(&self) -> bool {
         matches!(
             self,
-            Instr::LdrD { .. } | Instr::LdrDScaled { .. } | Instr::Ld1d { .. } | Instr::Ld1dGather { .. }
+            Instr::LdrD { .. }
+                | Instr::LdrDScaled { .. }
+                | Instr::Ld1d { .. }
+                | Instr::Ld1dGather { .. }
         )
     }
 

@@ -23,9 +23,9 @@ pub mod scalar;
 pub mod sve_code;
 
 use crate::exec::{ExecConfig, ExecStats, Executor};
+use crate::isa::{D, X};
 use crate::mem::SimMem;
 use crate::reg::RegFile;
-use crate::isa::{D, X};
 
 /// Which implementation of a kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,11 +158,7 @@ pub mod oracle {
 
     /// `w ← a·x + b·y + z`
     pub fn ddaxpy(a: f64, b: f64, x: &[f64], y: &[f64], z: &[f64]) -> Vec<f64> {
-        x.iter()
-            .zip(y)
-            .zip(z)
-            .map(|((xi, yi), zi)| a * xi + b * yi + zi)
-            .collect()
+        x.iter().zip(y).zip(z).map(|((xi, yi), zi)| a * xi + b * yi + zi).collect()
     }
 }
 
@@ -171,7 +167,12 @@ fn executor(cfg: &ExecConfig) -> (Executor, RegFile) {
 }
 
 /// Run MATVEC (`y = A·x`) on the simulated core; returns `y` and stats.
-pub fn run_matvec(sys: &BandedSystem, x: &[f64], variant: Variant, cfg: &ExecConfig) -> (Vec<f64>, ExecStats) {
+pub fn run_matvec(
+    sys: &BandedSystem,
+    x: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+) -> (Vec<f64>, ExecStats) {
     assert_eq!(x.len(), sys.n);
     let n = sys.n;
     let m = sys.m;
@@ -230,7 +231,13 @@ pub fn run_dprod(x: &[f64], y: &[f64], variant: Variant, cfg: &ExecConfig) -> (f
 }
 
 /// Run DAXPY (`y ← a·x + y`); returns the updated `y` and stats.
-pub fn run_daxpy(a: f64, x: &[f64], y: &[f64], variant: Variant, cfg: &ExecConfig) -> (Vec<f64>, ExecStats) {
+pub fn run_daxpy(
+    a: f64,
+    x: &[f64],
+    y: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+) -> (Vec<f64>, ExecStats) {
     assert_eq!(x.len(), y.len());
     let n = x.len();
     let mut mem = SimMem::new(8 * 2 * n + 4096);
@@ -250,7 +257,13 @@ pub fn run_daxpy(a: f64, x: &[f64], y: &[f64], variant: Variant, cfg: &ExecConfi
 }
 
 /// Run DSCAL (`y ← c − d·y`); returns the updated `y` and stats.
-pub fn run_dscal(c: f64, d: f64, y: &[f64], variant: Variant, cfg: &ExecConfig) -> (Vec<f64>, ExecStats) {
+pub fn run_dscal(
+    c: f64,
+    d: f64,
+    y: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+) -> (Vec<f64>, ExecStats) {
     let n = y.len();
     let mut mem = SimMem::new(8 * n + 4096);
     let yb = mem.alloc_f64(y);

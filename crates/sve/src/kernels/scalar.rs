@@ -163,7 +163,10 @@ mod tests {
         for prog in [daxpy(), dprod(), dscal(), ddaxpy(), matvec()] {
             assert!(!prog.is_empty());
             for i in &prog {
-                if let Instr::B { target } | Instr::BLtX { target, .. } | Instr::BGeX { target, .. } = i {
+                if let Instr::B { target }
+                | Instr::BLtX { target, .. }
+                | Instr::BGeX { target, .. } = i
+                {
                     // target == prog.len() is legal: fall off the end.
                     assert!(*target <= prog.len(), "unresolved or out-of-range branch");
                 }

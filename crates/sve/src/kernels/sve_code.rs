@@ -152,10 +152,7 @@ mod tests {
 
     #[test]
     fn dprod_reduces_horizontally_exactly_once() {
-        let n = dprod()
-            .iter()
-            .filter(|i| matches!(i, Instr::FaddvD { .. }))
-            .count();
+        let n = dprod().iter().filter(|i| matches!(i, Instr::FaddvD { .. })).count();
         assert_eq!(n, 1, "per-iteration faddv would forfeit the SVE win");
     }
 

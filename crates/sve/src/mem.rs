@@ -17,10 +17,7 @@ pub struct SimMem {
 impl SimMem {
     /// A memory of `capacity` bytes, zero-initialized.
     pub fn new(capacity: usize) -> Self {
-        SimMem {
-            bytes: vec![0; capacity],
-            brk: 0,
-        }
+        SimMem { bytes: vec![0; capacity], brk: 0 }
     }
 
     /// Total capacity in bytes.
@@ -36,7 +33,11 @@ impl SimMem {
     pub fn alloc_f64(&mut self, init: &[f64]) -> usize {
         let base = (self.brk + 7) & !7;
         let end = base + 8 * init.len();
-        assert!(end <= self.bytes.len(), "simulated memory exhausted: need {end} of {}", self.bytes.len());
+        assert!(
+            end <= self.bytes.len(),
+            "simulated memory exhausted: need {end} of {}",
+            self.bytes.len()
+        );
         self.brk = end;
         for (i, &v) in init.iter().enumerate() {
             self.store_f64(base + 8 * i, v);
@@ -48,7 +49,11 @@ impl SimMem {
     pub fn alloc_f64_zeroed(&mut self, len: usize) -> usize {
         let base = (self.brk + 7) & !7;
         let end = base + 8 * len;
-        assert!(end <= self.bytes.len(), "simulated memory exhausted: need {end} of {}", self.bytes.len());
+        assert!(
+            end <= self.bytes.len(),
+            "simulated memory exhausted: need {end} of {}",
+            self.bytes.len()
+        );
         self.brk = end;
         self.bytes[base..end].fill(0);
         base
@@ -61,9 +66,7 @@ impl SimMem {
     #[inline]
     pub fn load_f64(&self, addr: usize) -> f64 {
         assert!(addr.is_multiple_of(8), "unaligned f64 load at {addr:#x}");
-        let b: [u8; 8] = self.bytes[addr..addr + 8]
-            .try_into()
-            .expect("f64 load out of bounds");
+        let b: [u8; 8] = self.bytes[addr..addr + 8].try_into().expect("f64 load out of bounds");
         f64::from_le_bytes(b)
     }
 

@@ -147,13 +147,7 @@ impl SchedModel {
     }
 
     fn store_props(&self, bytes: u64, _level: MemLevel) -> InstrProps {
-        InstrProps {
-            unit: Unit::Ls,
-            latency: 1,
-            occupancy: 1,
-            mem_bytes: bytes,
-            flops: 0,
-        }
+        InstrProps { unit: Unit::Ls, latency: 1, occupancy: 1, mem_bytes: bytes, flops: 0 }
     }
 
     /// Issue properties of one dynamic instruction, given the current
@@ -183,13 +177,9 @@ impl SchedModel {
             LdrD { .. } | LdrDScaled { .. } => self.load_props(false, 8, level, 0),
             StrD { .. } | StrDScaled { .. } => self.store_props(8, level),
 
-            B { .. } | BLtX { .. } | BGeX { .. } => InstrProps {
-                unit: Unit::Br,
-                latency: 1,
-                occupancy: 1,
-                mem_bytes: 0,
-                flops: 0,
-            },
+            B { .. } | BLtX { .. } | BGeX { .. } => {
+                InstrProps { unit: Unit::Br, latency: 1, occupancy: 1, mem_bytes: 0, flops: 0 }
+            }
 
             PtrueD { .. } => InstrProps {
                 unit: Unit::Pred,
@@ -262,7 +252,9 @@ mod tests {
         let m = SchedModel::a64fx();
         let g = Instr::Ld1dGather { t: Z(0), pg: P(0), base: X(0), idx: Z(1) };
         let u = Instr::Ld1d { t: Z(0), pg: P(0), base: X(0), index: X(1) };
-        assert!(m.props(&g, 8, 8, MemLevel::L1).occupancy > m.props(&u, 8, 8, MemLevel::L1).occupancy);
+        assert!(
+            m.props(&g, 8, 8, MemLevel::L1).occupancy > m.props(&u, 8, 8, MemLevel::L1).occupancy
+        );
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! sanity bounds, and disassembler coverage under random inputs.
 
 use proptest::prelude::*;
+use v2d_machine::MemLevel;
 use v2d_sve::kernels::{run_daxpy, run_dprod, Variant};
 use v2d_sve::{disassemble, ExecConfig};
-use v2d_machine::MemLevel;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

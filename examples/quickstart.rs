@@ -37,8 +37,10 @@ fn main() {
     });
 
     let (agg, e0, e1, times, profile) = &results[0];
-    println!("solves: {} ({} BiCGSTAB iterations, {} global reductions)",
-        agg.total_solves, agg.total_iters, agg.total_reductions);
+    println!(
+        "solves: {} ({} BiCGSTAB iterations, {} global reductions)",
+        agg.total_solves, agg.total_iters, agg.total_reductions
+    );
     println!("radiation energy: {e0:.6} → {e1:.6} (absorption + boundary losses)\n");
 
     println!("simulated wall time on the modeled A64FX (4 ranks):");

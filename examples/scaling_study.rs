@@ -46,9 +46,8 @@ fn main() {
                 .unwrap_or(0.0);
             (t(CompilerId::Gnu), t(CompilerId::Fujitsu), t(CompilerId::CrayOpt), mpi)
         });
-        let fold = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
-            outs.iter().map(f).fold(0.0f64, f64::max)
-        };
+        type RankTimes = (f64, f64, f64, f64);
+        let fold = |f: &dyn Fn(&RankTimes) -> f64| outs.iter().map(f).fold(0.0f64, f64::max);
         println!(
             "{:>4} {:>6}×{:<2} | {:>10.2} {:>10.2} {:>10.2} | {:>10.2}",
             np,

@@ -42,10 +42,7 @@ fn main() {
         rows
     });
 
-    println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>12}",
-        "time", "T_gas", "E_0", "E_1", "total energy"
-    );
+    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "time", "T_gas", "E_0", "E_1", "total energy");
     for (t, tg, e0, e1) in &history[0] {
         println!(
             "{t:>8.2} {tg:>10.6} {e0:>10.6} {e1:>10.6} {:>12.6}",
@@ -53,10 +50,7 @@ fn main() {
         );
     }
     let (_, tg, ..) = history[0].last().unwrap();
-    println!(
-        "\nfinal T = {tg:.6} vs analytic {t_eq:.6} ({:+.3}%)",
-        100.0 * (tg - t_eq) / t_eq
-    );
+    println!("\nfinal T = {tg:.6} vs analytic {t_eq:.6} ({:+.3}%)", 100.0 * (tg - t_eq) / t_eq);
     println!("total energy column is conserved: the exchange only moves energy");
     println!("between the gas and the two radiation species.");
 }

@@ -1,0 +1,139 @@
+//! Property test for the `KernelBackend` dispatch surface: the native
+//! slice loops, the simulated scalar codegen, and the simulated SVE
+//! codegen at every legal vector length must all agree with a plain
+//! f64 oracle on the five Table II kernels, for arbitrary inputs.
+//!
+//! This is the acceptance guarantee behind routing every kernel through
+//! one dispatch surface: whichever backend executes a kernel, the
+//! architectural results are the same numbers.
+
+use proptest::prelude::*;
+
+use v2d::linalg::backend::native;
+use v2d::linalg::{all_backends, KernelBackend, SimSve};
+use v2d::sve::kernels::BandedSystem;
+
+fn vl_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(128u32), Just(256), Just(512), Just(1024), Just(2048)]
+}
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, n..n + 1)
+}
+
+/// `|got − want|` within a mixed absolute/relative tolerance.  The
+/// simulator's FMA contraction can differ from the oracle's separate
+/// multiply+add in the last bits, so exact equality is not the contract
+/// — agreement to ~1e-9 relative is.
+fn close(got: f64, want: f64, tol: f64) -> bool {
+    (got - want).abs() <= tol * (1.0 + want.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_backends_agree_with_oracle(
+        n in 1usize..160,
+        a in -8.0f64..8.0,
+        b in -8.0f64..8.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mk = |k: u64| -> Vec<f64> {
+            (0..n).map(|i| (((i as u64 * 2654435761 + seed + k) % 2000) as f64 / 100.0) - 10.0).collect()
+        };
+        let (x, y, z) = (mk(1), mk(2), mk(3));
+
+        let want_dot = native::dprod(&x, &y);
+        let mut want_axpy = y.clone();
+        native::daxpy(a, &x, &mut want_axpy);
+        let mut want_scal = y.clone();
+        native::dscal(a, b, &mut want_scal);
+        let mut want_dd = vec![0.0; n];
+        native::ddaxpy(a, b, &x, &y, &z, &mut want_dd);
+
+        for mut be in all_backends() {
+            let name = be.name();
+            prop_assert!(
+                close(be.dprod(&x, &y), want_dot, 1e-9),
+                "{name} dprod: {} vs {want_dot}", be.dprod(&x, &y)
+            );
+            let mut out = vec![0.0; n];
+            be.daxpy(a, &x, &y, &mut out);
+            for (g, w) in out.iter().zip(&want_axpy) {
+                prop_assert!(close(*g, *w, 1e-12), "{name} daxpy: {g} vs {w}");
+            }
+            be.dscal(a, b, &y, &mut out);
+            for (g, w) in out.iter().zip(&want_scal) {
+                prop_assert!(close(*g, *w, 1e-12), "{name} dscal: {g} vs {w}");
+            }
+            be.ddaxpy(a, b, &x, &y, &z, &mut out);
+            for (g, w) in out.iter().zip(&want_dd) {
+                prop_assert!(close(*g, *w, 1e-12), "{name} ddaxpy: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sve_backend_agrees_at_arbitrary_vector_length(
+        n in 1usize..140,
+        vl in vl_strategy(),
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        x in vec_strategy(140),
+        y in vec_strategy(140),
+        z in vec_strategy(140),
+    ) {
+        let (x, y, z) = (&x[..n], &y[..n], &z[..n]);
+        let mut be = SimSve::new(vl);
+
+        prop_assert!(close(be.dprod(x, y), native::dprod(x, y), 1e-9), "vl{vl} dprod");
+
+        let mut want = y.to_vec();
+        native::daxpy(a, x, &mut want);
+        let mut out = vec![0.0; n];
+        be.daxpy(a, x, y, &mut out);
+        for (g, w) in out.iter().zip(&want) {
+            prop_assert!(close(*g, *w, 1e-12), "vl{vl} daxpy: {g} vs {w}");
+        }
+
+        let mut want = y.to_vec();
+        native::dscal(a, b, &mut want);
+        be.dscal(a, b, y, &mut out);
+        for (g, w) in out.iter().zip(&want) {
+            prop_assert!(close(*g, *w, 1e-12), "vl{vl} dscal: {g} vs {w}");
+        }
+
+        let mut want = vec![0.0; n];
+        native::ddaxpy(a, b, x, y, z, &mut want);
+        be.ddaxpy(a, b, x, y, z, &mut out);
+        for (g, w) in out.iter().zip(&want) {
+            prop_assert!(close(*g, *w, 1e-12), "vl{vl} ddaxpy: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matvec_agrees_across_backends_and_vls(
+        n in 4usize..100,
+        m_frac in 0.05f64..0.9,
+        vl in vl_strategy(),
+    ) {
+        let m = ((n as f64 * m_frac) as usize).clamp(1, n - 1);
+        let sys = BandedSystem::test_system(n, m);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin() + 0.4).collect();
+        let want = sys.matvec_reference(&x);
+        let mut out = vec![0.0; n];
+        for mut be in all_backends() {
+            let name = be.name();
+            be.matvec(&sys, &x, &mut out);
+            for (g, w) in out.iter().zip(&want) {
+                prop_assert!(close(*g, *w, 1e-11), "{name} matvec: {g} vs {w}");
+            }
+        }
+        let mut be = SimSve::new(vl);
+        be.matvec(&sys, &x, &mut out);
+        for (g, w) in out.iter().zip(&want) {
+            prop_assert!(close(*g, *w, 1e-11), "vl{vl} matvec: {g} vs {w}");
+        }
+    }
+}

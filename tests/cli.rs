@@ -33,11 +33,7 @@ fn runs_a_small_deck_and_writes_a_checkpoint() {
     .expect("write deck");
 
     let out = v2d().arg(&deck).current_dir(&dir).output().expect("run v2d");
-    assert!(
-        out.status.success(),
-        "v2d failed:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "v2d failed:\n{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("solves: 6"), "unexpected output:\n{text}");
     assert!(text.contains("Cray (opt)"));

@@ -61,11 +61,7 @@ fn simulated_times_are_deterministic_across_runs() {
             let mut sim = V2dSim::new(cfg, &ctx.comm, map);
             GaussianPulse::standard().init(&mut sim);
             sim.run(&ctx.comm, &mut ctx.sink);
-            ctx.sink
-                .lanes
-                .iter()
-                .map(|l| l.clock.now().cycles())
-                .collect::<Vec<u64>>()
+            ctx.sink.lanes.iter().map(|l| l.clock.now().cycles()).collect::<Vec<u64>>()
         })
     };
     assert_eq!(run(), run(), "virtual clocks must not depend on host scheduling");
@@ -80,14 +76,14 @@ fn compiler_ordering_holds_serially_on_small_problems() {
         GaussianPulse::standard().init(&mut sim);
         sim.run(&ctx.comm, &mut ctx.sink);
         let t = |id: CompilerId| {
-            ctx.sink
-                .lanes
-                .iter()
-                .find(|l| l.profile.id == id)
-                .expect("lane")
-                .elapsed_secs()
+            ctx.sink.lanes.iter().find(|l| l.profile.id == id).expect("lane").elapsed_secs()
         };
-        (t(CompilerId::Gnu), t(CompilerId::Fujitsu), t(CompilerId::CrayOpt), t(CompilerId::CrayNoOpt))
+        (
+            t(CompilerId::Gnu),
+            t(CompilerId::Fujitsu),
+            t(CompilerId::CrayOpt),
+            t(CompilerId::CrayNoOpt),
+        )
     });
     let (gnu, fuj, cray, noopt) = times[0];
     assert!(gnu > fuj, "GNU {gnu} should be slowest (Fujitsu {fuj})");
@@ -170,10 +166,7 @@ fn checkpoint_roundtrips_through_disk_and_topologies() {
 
     assert_eq!(reference.len(), restored.len());
     for (i, (a, b)) in reference.iter().zip(&restored).enumerate() {
-        assert!(
-            (a - b).abs() < 1e-7 * (1.0 + a.abs()),
-            "restored run diverged at {i}: {a} vs {b}"
-        );
+        assert!((a - b).abs() < 1e-7 * (1.0 + a.abs()), "restored run diverged at {i}: {a} vs {b}");
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -208,8 +201,7 @@ fn species_relaxation_and_global_reductions_agree_across_ranks() {
         sim.run(&ctx.comm, &mut ctx.sink);
         let total = sim.total_radiation_energy(&ctx.comm, &mut ctx.sink);
         let local_diff = sim.erad().get(0, 2, 2) - sim.erad().get(1, 2, 2);
-        let global_max_diff =
-            ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Max, local_diff);
+        let global_max_diff = ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Max, local_diff);
         (total, global_max_diff)
     });
     let want = prob.analytic_difference(1.0, 0.4);

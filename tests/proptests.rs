@@ -8,10 +8,10 @@ use proptest::prelude::*;
 
 use v2d::comm::{CartComm, ReduceOp, Spmd, TileMap};
 use v2d::linalg::{
-    bicgstab, kernels, BicgVariant, Identity, LinearOp, SolveOpts, StencilCoeffs, StencilOp,
-    TileVec,
+    bicgstab, kernels, BicgVariant, Identity, LinearOp, SolveOpts, SolverWorkspace, StencilCoeffs,
+    StencilOp, TileVec,
 };
-use v2d::machine::{CompilerProfile, CostSink, MultiCostSink};
+use v2d::machine::{CompilerProfile, CostSink, ExecCtx, MultiCostSink};
 use v2d::sve::kernels::{
     oracle, run_daxpy, run_ddaxpy, run_dprod, run_dscal, run_matvec, BandedSystem, Variant,
 };
@@ -129,14 +129,14 @@ proptest! {
         let y = mk(2.3);
         let mut w = mk(3.7);
         let w0 = w.clone();
-        kernels::ddaxpy(&mut sk, 0, a, &x, b, &y, &mut w);
+        kernels::ddaxpy(&mut ExecCtx::new(&mut sk), a, &x, b, &y, &mut w);
         let (xf, yf, w0f, wf) =
             (x.interior_to_vec(), y.interior_to_vec(), w0.interior_to_vec(), w.interior_to_vec());
         for i in 0..wf.len() {
             let want = w0f[i] + a * xf[i] + b * yf[i];
             prop_assert!((wf[i] - want).abs() < 1e-12 * (1.0 + want.abs()));
         }
-        let dot = kernels::dprod_local(&mut sk, 0, &x, &y);
+        let dot = kernels::dprod_local(&mut ExecCtx::new(&mut sk), &x, &y);
         let want: f64 = xf.iter().zip(&yf).map(|(p, q)| p * q).sum();
         prop_assert!((dot - want).abs() < 1e-10 * (1.0 + want.abs()));
     }
@@ -158,13 +158,15 @@ proptest! {
                 b.fill_with(|s, i1, i2| ((s + i1 * 2 + i2 * 5 + seed) as f64 * 0.21).sin());
                 let mut x = TileVec::new(n1, n2);
                 let mut m = Identity;
+                let mut wks = SolverWorkspace::new(n1, n2);
                 let stats = bicgstab(
-                    &ctx.comm, &mut ctx.sink, &mut op, &mut m, &b, &mut x,
+                    &ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut op, &mut m, &b, &mut x,
+                    &mut wks,
                     &SolveOpts { tol: 1e-10, variant: BicgVariant::Ganged, ..Default::default() },
                 );
                 // Verify the residual directly.
                 let mut ax = TileVec::new(n1, n2);
-                op.apply(&ctx.comm, &mut ctx.sink, &mut x, &mut ax);
+                op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut ax);
                 let mut worst: f64 = 0.0;
                 for (g, w) in ax.interior_to_vec().iter().zip(b.interior_to_vec()) {
                     worst = worst.max((g - w).abs());

@@ -1,0 +1,198 @@
+//! A dependency-free stand-in for the subset of `criterion` this
+//! workspace uses, so `cargo bench` works fully offline.
+//!
+//! Each benchmark warms up briefly, then runs timed batches until a
+//! small time budget is spent, and prints mean wall time per iteration
+//! (plus throughput when declared).  No statistics machinery, no HTML
+//! reports — just honest timings on stderr-free stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one iteration, echoed as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs closures and accumulates timing.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { iters_done: 0, elapsed: Duration::ZERO, budget }
+    }
+
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let mut batch = 1u64;
+        while self.elapsed < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        (self.iters_done > 0).then(|| self.elapsed / self.iters_done.max(1) as u32)
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.budget = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let Some(mean) = b.mean() else {
+            println!("{}/{:<28} (no iterations)", self.name, id.label);
+            return;
+        };
+        let per_iter = mean.as_secs_f64();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>10.1} Melem/s", n as f64 / per_iter / 1e6),
+            Throughput::Bytes(n) => {
+                format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+            }
+        });
+        println!(
+            "{}/{:<28} {:>12.3} µs/iter ({} iters){}",
+            self.name,
+            id.label,
+            per_iter * 1e6,
+            b.iters_done,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small per-benchmark budget: keeps whole-suite `cargo bench`
+        // runs fast while still averaging over many iterations.
+        Criterion { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
