@@ -5,7 +5,10 @@
 //! residual) on entry — per *solve*, inside the time-step loop.  With
 //! the simulation-owned workspace those allocations happen once; warm
 //! solves run allocation-free.  This ablation counts actual `TileVec`
-//! heap allocations both ways on a repeated radiation solve.
+//! heap allocations both ways on a repeated radiation solve, then counts
+//! message-payload allocations across a repeated two-rank halo exchange —
+//! `Comm::recv_into` recycles transport buffers through the group pool,
+//! so warm exchange rounds never touch the heap.
 //!
 //! Usage: `ablation_alloc [solves]` (default 50).
 
@@ -90,4 +93,52 @@ fn main() {
     println!("\nThe reused workspace pays its allocations once (warm solves hit the");
     println!("allocator zero times); fresh-per-solve pays the full scratch set and");
     println!("the initial-residual clone every time the stepper calls the solver.");
+
+    // --- message buffers: pooled transport vs per-exchange allocation ---
+    let rounds = solves.max(2);
+    let strip = 2 * (n1 + 4); // a width-2 bundled halo strip on the long edge
+    println!("\nMessage-payload allocations across {rounds} two-rank halo exchange rounds");
+    println!("(strip of {strip} f64 each way per round)\n");
+    println!("{:<18} {:>12} {:>16}", "receive path", "allocations", "per round");
+    for pooled in [false, true] {
+        let outs = Spmd::new(2).run(move |ctx| {
+            let partner = 1 - ctx.rank();
+            let data = vec![0.5; strip];
+            let mut recv_buf = Vec::new();
+            if pooled {
+                // One warm-up round stocks the pool, as the first
+                // time step of a production run would.
+                ctx.comm.send(&mut ctx.sink, partner, 7, &data);
+                ctx.comm.recv_into(&mut ctx.sink, partner, 7, &mut recv_buf);
+            }
+            // Double barrier around the snapshot: the first drains any
+            // warm-up allocations group-wide, the second keeps every
+            // rank from sending until all snapshots are taken.
+            ctx.comm.barrier(&mut ctx.sink);
+            let t0 = v2d_comm::msg_buf_alloc_count();
+            ctx.comm.barrier(&mut ctx.sink);
+            for _ in 0..rounds {
+                ctx.comm.send(&mut ctx.sink, partner, 7, &data);
+                if pooled {
+                    ctx.comm.recv_into(&mut ctx.sink, partner, 7, &mut recv_buf);
+                } else {
+                    let _dropped = ctx.comm.recv(&mut ctx.sink, partner, 7);
+                }
+            }
+            // The counter is group-global; after the closing barrier no
+            // rank allocates again, so every rank reads the same total.
+            ctx.comm.barrier(&mut ctx.sink);
+            v2d_comm::msg_buf_alloc_count() - t0
+        });
+        let total = outs[0];
+        println!(
+            "{:<18} {:>12} {:>16.1}",
+            if pooled { "recv_into" } else { "recv (owned)" },
+            total,
+            total as f64 / rounds as f64
+        );
+    }
+    println!("\nrecv_into returns each transport buffer to the group pool, so the");
+    println!("next send reuses it; plain recv hands the buffer to the caller and");
+    println!("every subsequent send must allocate a fresh one.");
 }

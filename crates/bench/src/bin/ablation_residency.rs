@@ -5,6 +5,7 @@
 //! set is L1-resident; the full V2D working set spills to L2/HBM where
 //! the kernels are bandwidth-bound and vector width stops mattering.
 
+use v2d_bench::par::par_map;
 use v2d_machine::A64fxModel;
 use v2d_sve::kernels::{run_routine, Routine, Variant};
 use v2d_sve::ExecConfig;
@@ -16,13 +17,19 @@ fn main() {
         "{:>9} {:>10} {:>7} {:>14} {:>12} {:>8}",
         "n", "bytes", "level", "scalar cyc", "SVE cyc", "ratio"
     );
-    for n in [500usize, 1_500, 3_000, 12_000, 60_000, 250_000] {
+    // Rows are independent (and the large-n ones dominate): fan them out
+    // over scoped workers, print in size order.
+    let sizes = [500usize, 1_500, 3_000, 12_000, 60_000, 250_000];
+    let rows = par_map(&sizes, |&n| {
         // The driver streams ~8 arrays for MATVEC.
         let bytes = 8 * 8 * n;
         let level = model.residency(bytes);
         let cfg = ExecConfig::a64fx_l1().with_level(level);
         let s = run_routine(Routine::Matvec, n, Variant::Scalar, &cfg);
         let v = run_routine(Routine::Matvec, n, Variant::Sve, &cfg);
+        (n, bytes, level, s, v)
+    });
+    for (n, bytes, level, s, v) in rows {
         println!(
             "{:>9} {:>10} {:>7} {:>14} {:>12} {:>8.3}",
             n,

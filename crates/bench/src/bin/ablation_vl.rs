@@ -7,22 +7,29 @@
 //! kernels scale until loop overhead or the tail dominates, and the
 //! scalar baseline is flat by construction.
 
+use v2d_bench::par::par_map;
 use v2d_bench::table2::run_routine_pair;
 use v2d_sve::kernels::Routine;
 
+const VLS: [u32; 5] = [128, 256, 512, 1024, 2048];
+
 fn main() {
     let n = 1000;
+    // Every (routine, VL) cell is independent: evaluate the whole grid
+    // with the scoped-thread fan-out, then print rows in table order.
+    let grid: Vec<(Routine, u32)> =
+        Routine::ALL.iter().flat_map(|&r| VLS.iter().map(move |&vl| (r, vl))).collect();
+    let rows = par_map(&grid, |&(r, vl)| run_routine_pair(r, n, 1, vl));
     println!("SVE vector-length sweep, n = {n} (simulated cycles per repetition)\n");
     print!("{:<8} {:>10}", "routine", "scalar");
-    for vl in [128u32, 256, 512, 1024, 2048] {
+    for vl in VLS {
         print!(" {:>9}", format!("VL{vl}"));
     }
     println!("   (512-bit = A64FX)");
-    for r in Routine::ALL {
+    for (ri, r) in Routine::ALL.into_iter().enumerate() {
         let mut cells = Vec::new();
         let mut scalar = 0.0;
-        for vl in [128u32, 256, 512, 1024, 2048] {
-            let row = run_routine_pair(r, n, 1, vl);
+        for row in &rows[ri * VLS.len()..(ri + 1) * VLS.len()] {
             scalar = row.no_sve;
             cells.push(row.sve);
         }

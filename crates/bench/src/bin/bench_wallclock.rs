@@ -1,0 +1,98 @@
+//! Wall-clock benchmark of the experiment sweeps themselves.
+//!
+//! Times the Table II kernel sweep and the Fig. 1 renders two ways:
+//!
+//! * **before** — the legacy path: per-invocation assembly + the
+//!   step-interpreter, cells evaluated serially;
+//! * **after**  — the PR 2 path: cached pre-decoded programs + parallel
+//!   cell fan-out.
+//!
+//! Both paths must produce *bit-identical* artifacts (asserted here —
+//! this harness doubles as an end-to-end equivalence check), so the
+//! speedup is pure overhead removal, not a model change.  Results are
+//! written as JSON (default `BENCH_PR2.json`), establishing the repo's
+//! perf trajectory.
+//!
+//! Usage: `bench_wallclock [--quick] [--out PATH]`
+//! `--quick` runs one round instead of best-of-3 (used by the CI smoke
+//! step, which asserts only that the harness runs).
+
+use std::time::Instant;
+use v2d_bench::{fig1, table2};
+use v2d_sve::kernels::ExecMode;
+
+struct Timed<T> {
+    secs: f64,
+    value: T,
+}
+
+/// Best-of-`rounds` wall time; the value of the last round is returned
+/// (all rounds produce identical values — the workloads are pure).
+fn best_of<T>(rounds: usize, mut work: impl FnMut() -> T) -> Timed<T> {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let v = work();
+        best = best.min(t0.elapsed().as_secs_f64());
+        value = Some(v);
+    }
+    Timed { secs: best, value: value.expect("at least one round") }
+}
+
+fn fig1_serial() -> fig1::Artifacts {
+    fig1::Artifacts { stats: fig1::stats(), ascii: fig1::ascii(100), pbm: fig1::pbm() }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_PR2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+    let rounds = if quick { 1 } else { 3 };
+    let workers = v2d_bench::par::workers_for(usize::MAX);
+
+    eprintln!("timing table2 sweep (interpreted, serial) …");
+    let t2_before = best_of(rounds, || table2::run_full_with(ExecMode::Interpreted, false));
+    eprintln!("timing table2 sweep (decoded, parallel) …");
+    let t2_after = best_of(rounds, || table2::run_full_with(ExecMode::Decoded, true));
+    assert_eq!(
+        t2_before.value, t2_after.value,
+        "modeled Table II rows must be bit-identical across execution paths"
+    );
+
+    eprintln!("timing fig1 renders (serial) …");
+    let f1_before = best_of(rounds, fig1_serial);
+    eprintln!("timing fig1 renders (parallel) …");
+    let f1_after = best_of(rounds, || fig1::artifacts(100));
+    assert_eq!(
+        f1_before.value, f1_after.value,
+        "Fig. 1 artifacts must be bit-identical across render paths"
+    );
+
+    let before = t2_before.secs + f1_before.secs;
+    let after = t2_after.secs + f1_after.secs;
+    let speedup = before / after;
+
+    let json = format!(
+        "{{\n  \"bench\": \"table2+fig1 sweep wall clock\",\n  \"workers\": {workers},\n  \"rounds\": {rounds},\n  \"table2\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"fig1\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"total\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}\n}}\n",
+        t2_before.secs,
+        t2_after.secs,
+        t2_before.secs / t2_after.secs,
+        f1_before.secs,
+        f1_after.secs,
+        f1_before.secs / f1_after.secs,
+        before,
+        after,
+        speedup,
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    print!("{json}");
+    eprintln!("written to {out}");
+}

@@ -7,8 +7,9 @@ use v2d_bench::fig1;
 
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "fig1_sparsity.pbm".into());
-    std::fs::write(&out, fig1::pbm()).expect("write PBM");
-    println!("{}", fig1::stats());
-    println!("{}", fig1::ascii(100));
+    let art = fig1::artifacts(100);
+    std::fs::write(&out, &art.pbm).expect("write PBM");
+    println!("{}", art.stats);
+    println!("{}", art.ascii);
     println!("bitmap written to {out}");
 }

@@ -25,6 +25,31 @@ pub fn ascii(side: usize) -> String {
     sparsity::window_to_ascii(N1, N2, NSPEC, 0..WINDOW, 0..WINDOW, side)
 }
 
+/// Everything the Fig. 1 harness emits, computed in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifacts {
+    pub stats: String,
+    pub ascii: String,
+    pub pbm: String,
+}
+
+/// Compute the three Fig. 1 artifacts, fanning the independent renders
+/// out over scoped worker threads.  Each render is a pure function of
+/// the grid parameters, so the result is identical to calling
+/// [`stats`]/[`ascii`]/[`pbm`] serially.
+pub fn artifacts(ascii_side: usize) -> Artifacts {
+    std::thread::scope(|scope| {
+        let pbm_t = scope.spawn(pbm);
+        let ascii_t = scope.spawn(move || ascii(ascii_side));
+        let stats = stats();
+        Artifacts {
+            stats,
+            ascii: ascii_t.join().expect("ascii render panicked"),
+            pbm: pbm_t.join().expect("pbm render panicked"),
+        }
+    })
+}
+
 /// Descriptive statistics printed alongside the figure.
 pub fn stats() -> String {
     let dim = sparsity::dimension(N1, N2, NSPEC);

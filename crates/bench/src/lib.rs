@@ -10,10 +10,12 @@
 //! * [`fig1`] — the sparsity-pattern figure;
 //! * [`breakdown`] — the in-text §II-E routine/ MPI timing analysis;
 //! * [`paper`] — the published reference numbers, printed side-by-side
-//!   with the reproduction.
+//!   with the reproduction;
+//! * [`par`] — scoped-thread fan-out used by the sweep harnesses.
 
 pub mod breakdown;
 pub mod fig1;
 pub mod paper;
+pub mod par;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,77 @@
+//! Minimal scoped-thread fan-out for embarrassingly parallel sweep cells.
+//!
+//! The experiment harnesses (Table II, the VL/residency ablations) each
+//! evaluate a grid of independent simulator cells; this maps over them
+//! with `std::thread::scope` — no dependencies, no unsafe — and returns
+//! results in input order, so the printed tables are deterministic no
+//! matter how the cells were scheduled.
+
+use std::num::NonZeroUsize;
+
+/// Number of workers a sweep of `n` cells should use: the machine's
+/// available parallelism, capped at the cell count.
+pub fn workers_for(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    hw.min(n).max(1)
+}
+
+/// Apply `f` to every item, fanning out over scoped worker threads, and
+/// return the results in input order.
+///
+/// Work is dealt round-robin (worker `w` takes items `w, w+k, w+2k, …`),
+/// which balances grids whose cost grows along one axis.  With a single
+/// available core (or a single item) this degenerates to a plain serial
+/// map with no threads spawned.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                items
+                    .iter()
+                    .enumerate()
+                    .skip(w)
+                    .step_by(workers)
+                    .map(|(i, item)| (i, f(item)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every cell computed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = par_map(&items, |&i| i * i);
+        assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+        assert_eq!(workers_for(0), 1);
+    }
+}

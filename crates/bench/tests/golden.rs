@@ -1,0 +1,93 @@
+//! Golden-output tests: the experiment binaries must reproduce the
+//! checked-in reference outputs byte-for-byte on their stable lines.
+//!
+//! The references at the repo root were captured through `cargo run`,
+//! so they carry cargo noise (`Compiling` / `Finished` / `Running`)
+//! that the comparison strips from both sides.  `fig1` additionally
+//! prints the bitmap's absolute path, which is machine-specific.
+//!
+//! `table1` and `breakdown` run their full 100-step configurations —
+//! minutes each — so their goldens are `#[ignore]`d; run them with
+//! `cargo test -p v2d-bench --release -- --ignored` before a release.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Lines that depend on the capture environment, not the model: cargo
+/// noise and machine-specific paths, plus the stderr progress lines
+/// (`running …` / `… done: …`) that the reference captures merged into
+/// their stream — `Command::output` reads stdout alone.
+fn is_noise(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("Compiling")
+        || t.starts_with("Finished")
+        || t.starts_with("Running")
+        || t.starts_with("bitmap written to")
+        || t.starts_with("running ")
+        || t.contains(") done: ")
+}
+
+fn stable_lines(text: &str) -> Vec<&str> {
+    text.lines().filter(|l| !is_noise(l)).collect()
+}
+
+fn assert_matches_golden(bin: &str, args: &[&str], golden: &str) {
+    let out = Command::new(bin).args(args).output().expect("binary should launch");
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("output should be UTF-8");
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(golden);
+    let reference = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden_path.display()));
+    let got = stable_lines(&stdout);
+    let want = stable_lines(&reference);
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{golden}: line count differs ({} vs {})",
+        got.len(),
+        want.len()
+    );
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g, w, "{golden}: first divergence at stable line {}", i + 1);
+    }
+}
+
+#[test]
+fn table2_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table2"), &[], "table2_output.txt");
+}
+
+#[test]
+fn fig1_matches_golden() {
+    let pbm = std::env::temp_dir().join("v2d_golden_fig1.pbm");
+    let pbm = pbm.to_str().expect("temp path should be UTF-8");
+    assert_matches_golden(env!("CARGO_BIN_EXE_fig1"), &[pbm], "fig1_output.txt");
+    let _ = std::fs::remove_file(pbm);
+}
+
+#[test]
+fn ablation_vl_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_ablation_vl"), &[], "ablation_vl.txt");
+}
+
+#[test]
+fn ablation_residency_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_ablation_residency"), &[], "ablation_residency.txt");
+}
+
+#[test]
+#[ignore = "full 100-step run, minutes of wall clock"]
+fn table1_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table1"), &[], "table1_output.txt");
+}
+
+#[test]
+#[ignore = "full 100-step run, minutes of wall clock"]
+fn breakdown_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_breakdown"), &[], "breakdown_output.txt");
+}

@@ -1,9 +1,25 @@
 //! Point-to-point messaging and data-carrying collectives.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
 use v2d_machine::{CostLanes, MultiCostSink, SimDuration};
+
+/// Process-wide count of fresh message-payload allocations.  The pooled
+/// send/[`Comm::recv_into`] path recycles payload buffers through the
+/// group's free list, so a warm halo-exchange loop should hold this
+/// constant; `ablation_alloc` and the `halo_alloc` test assert it.
+static MSG_BUF_ALLOC: AtomicU64 = AtomicU64::new(0);
+
+/// How many message payload buffers have been freshly allocated.
+pub fn msg_buf_alloc_count() -> u64 {
+    MSG_BUF_ALLOC.load(Ordering::Relaxed)
+}
+
+/// Upper bound on pooled payload buffers per rank group (beyond this,
+/// returned buffers are simply dropped).
+const POOL_CAP: usize = 64;
 
 /// Reduction operators for collectives.  Sums are evaluated in rank order,
 /// so results are bitwise deterministic for a fixed topology.
@@ -75,6 +91,32 @@ pub(crate) struct Shared {
     senders: Vec<Vec<Sender<Message>>>,
     coll: Mutex<CollRound>,
     coll_cv: Condvar,
+    /// Free list of payload buffers, recycled between sends and
+    /// [`Comm::recv_into`] across the whole rank group.
+    pool: Mutex<Vec<Vec<f64>>>,
+}
+
+impl Shared {
+    /// An empty buffer with capacity ≥ `len`, reused from the pool when
+    /// possible (a fresh allocation is counted in [`msg_buf_alloc_count`]).
+    fn take_buf(&self, len: usize) -> Vec<f64> {
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        if let Some(i) = pool.iter().position(|b| b.capacity() >= len) {
+            return pool.swap_remove(i);
+        }
+        drop(pool);
+        MSG_BUF_ALLOC.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(len)
+    }
+
+    /// Return a spent payload buffer to the pool.
+    fn return_buf(&self, mut buf: Vec<f64>) {
+        buf.clear();
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
 }
 
 /// A rank's handle to the communicator (analogous to `MPI_COMM_WORLD`).
@@ -109,6 +151,7 @@ impl Comm {
             senders,
             coll: Mutex::new(CollRound::new(n_ranks)),
             coll_cv: Condvar::new(),
+            pool: Mutex::new(Vec::new()),
         });
         (0..n_ranks).map(|rank| Comm { rank, shared: Arc::clone(&shared) }).collect()
     }
@@ -137,7 +180,9 @@ impl Comm {
             lane.charge_mpi_secs(0.5 * lane.profile.mpi.p2p_latency);
             send_clocks.push(lane.clock.now());
         }
-        let msg = Message { tag, data: data.to_vec(), send_clocks };
+        let mut payload = self.shared.take_buf(data.len());
+        payload.extend_from_slice(data);
+        let msg = Message { tag, data: payload, send_clocks };
         self.shared.senders[self.rank][dst].send(msg).expect("receiver hung up — rank panicked?");
     }
 
@@ -146,8 +191,25 @@ impl Comm {
     ///
     /// The receiver's clock per lane becomes
     /// `max(own, sender_send_time + latency + bytes/bandwidth)`.
+    ///
+    /// The returned vector leaves the group's buffer pool for good; hot
+    /// loops should prefer [`Comm::recv_into`], which recycles it.
     pub fn recv(&self, sink: &mut impl CostLanes, src: usize, tag: u32) -> Vec<f64> {
-        let sink: &mut MultiCostSink = sink.cost_lanes();
+        self.recv_msg(sink.cost_lanes(), src, tag).data
+    }
+
+    /// Allocation-free receive: the payload is copied into `out`
+    /// (cleared first) and the transport buffer goes back to the pool,
+    /// so a steady-state exchange loop performs no heap allocation.
+    /// Timing charges are identical to [`Comm::recv`].
+    pub fn recv_into(&self, sink: &mut impl CostLanes, src: usize, tag: u32, out: &mut Vec<f64>) {
+        let msg = self.recv_msg(sink.cost_lanes(), src, tag);
+        out.clear();
+        out.extend_from_slice(&msg.data);
+        self.shared.return_buf(msg.data);
+    }
+
+    fn recv_msg(&self, sink: &mut MultiCostSink, src: usize, tag: u32) -> Message {
         assert!(src < self.n_ranks(), "recv from nonexistent rank {src}");
         let msg = self.shared.mailboxes[self.rank][src]
             .lock()
@@ -170,7 +232,7 @@ impl Comm {
             let arrival = sent.saturating_add(SimDuration::from_secs(transfer, lane.model.freq_hz));
             lane.wait_until_mpi(arrival);
         }
-        msg.data
+        msg
     }
 
     /// Combined send+receive with a partner (the halo-exchange workhorse;

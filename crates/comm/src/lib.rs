@@ -27,6 +27,6 @@ pub mod comm;
 pub mod topology;
 pub mod universe;
 
-pub use comm::{Comm, ReduceOp};
+pub use comm::{msg_buf_alloc_count, Comm, ReduceOp};
 pub use topology::{CartComm, Tile, TileMap};
 pub use universe::{RankCtx, Spmd};

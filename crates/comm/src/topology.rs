@@ -254,6 +254,26 @@ impl CartComm {
         let partner = self.neighbor(dir)?;
         Some(comm.recv(sink, partner, dir.opposite().tag()))
     }
+
+    /// Allocation-free [`CartComm::collect`]: the strip is received into
+    /// `out` via [`Comm::recv_into`] (cleared first) and the transport
+    /// buffer is recycled.  Returns false at a domain boundary, in which
+    /// case `out` is untouched.
+    pub fn collect_into(
+        &self,
+        comm: &Comm,
+        sink: &mut impl CostLanes,
+        dir: Dir,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        match self.neighbor(dir) {
+            Some(partner) => {
+                comm.recv_into(sink, partner, dir.opposite().tag(), out);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,46 @@
+//! Warm halo-exchange rounds through [`Comm::recv_into`] are
+//! allocation-free: each received transport buffer goes back to the
+//! group pool and the next send reuses it.
+//!
+//! The message-buffer counter is process-global, so this file contains
+//! exactly ONE test — a second test in the same binary would race the
+//! counter snapshots.
+
+use v2d_comm::{msg_buf_alloc_count, Spmd};
+
+#[test]
+fn warm_recv_into_rounds_never_allocate() {
+    let rounds = 25;
+    let strip = 128;
+    let outs = Spmd::new(2).run(move |ctx| {
+        let partner = 1 - ctx.rank();
+        let data: Vec<f64> = (0..strip).map(|i| ctx.rank() as f64 + i as f64 * 0.5).collect();
+        let mut recv_buf = Vec::new();
+
+        // One warm-up round stocks the pool, as the first time step of a
+        // production run would.
+        ctx.comm.send(&mut ctx.sink, partner, 3, &data);
+        ctx.comm.recv_into(&mut ctx.sink, partner, 3, &mut recv_buf);
+
+        // Double barrier around the snapshot: the first drains the
+        // warm-up allocations group-wide, the second keeps every rank
+        // from sending again until all snapshots are taken.
+        ctx.comm.barrier(&mut ctx.sink);
+        let t0 = msg_buf_alloc_count();
+        ctx.comm.barrier(&mut ctx.sink);
+        for _ in 0..rounds {
+            ctx.comm.send(&mut ctx.sink, partner, 3, &data);
+            ctx.comm.recv_into(&mut ctx.sink, partner, 3, &mut recv_buf);
+            assert_eq!(recv_buf.len(), strip);
+            assert_eq!(recv_buf[0], partner as f64);
+            assert_eq!(recv_buf[strip - 1], partner as f64 + (strip - 1) as f64 * 0.5);
+        }
+        // All counter reads happen strictly after the closing barrier,
+        // when no rank will allocate again.
+        ctx.comm.barrier(&mut ctx.sink);
+        msg_buf_alloc_count() - t0
+    });
+    for (rank, delta) in outs.into_iter().enumerate() {
+        assert_eq!(delta, 0, "rank {rank}: warm exchange rounds must not allocate");
+    }
+}

@@ -281,14 +281,17 @@ pub fn exchange_fields(cart: &CartComm, comm: &Comm, cx: &mut ExecCtx, fields: &
             }
         }
     }
+    // `send` is idle once every direction is posted; receive through it
+    // so the steady-state time-step loop performs no per-exchange
+    // allocation (the transport buffer is recycled by `collect_into`).
     for dir in Dir::ALL {
-        if let Some(recv) = cart.collect(comm, cx, dir) {
+        if cart.collect_into(comm, cx, dir, &mut send) {
             let strip = fields[0].strip_len(dir);
-            assert_eq!(recv.len(), strip * fields.len(), "bundled halo size mismatch");
+            assert_eq!(send.len(), strip * fields.len(), "bundled halo size mismatch");
             for (fi, f) in fields.iter_mut().enumerate() {
-                f.unpack_strip(dir, &recv[fi * strip..(fi + 1) * strip]);
+                f.unpack_strip(dir, &send[fi * strip..(fi + 1) * strip]);
             }
-            cx.charge_streaming(KernelClass::Pack, recv.len(), 0, 1, 1);
+            cx.charge_streaming(KernelClass::Pack, send.len(), 0, 1, 1);
         }
     }
 }

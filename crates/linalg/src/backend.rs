@@ -14,6 +14,13 @@
 //! `tests/backend_agreement.rs` does exactly that for arbitrary inputs
 //! and vector lengths.
 //!
+//! The simulator backends run the kernels through `v2d_sve::kernels`'
+//! default (pre-decoded) execution mode: the program is assembled and
+//! lowered once per (kernel, VL, residency) and reused from the
+//! `v2d_sve::cache` program cache, so repeated backend invocations — a
+//! BiCGSTAB iteration loop, a property-test sweep — do no per-call
+//! assembly or decode work while producing bit-identical cycle counts.
+//!
 //! The [`native`] submodule holds the flat-slice routines themselves;
 //! the `TileVec` kernels in [`crate::kernels`] run their row loops
 //! through the same functions, so there is exactly one native

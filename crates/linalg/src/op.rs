@@ -190,10 +190,13 @@ impl StencilOp {
                 field.zero_ghost(dir);
             }
         }
+        // `buf` is free again once every direction is posted; receive
+        // through it (`collect_into` recycles the transport buffer) so a
+        // steady-state exchange loop allocates nothing.
         for dir in Dir::ALL {
-            if let Some(recv) = cart.collect(comm, cx, dir) {
-                field.unpack_ghost(dir, &recv);
-                cx.charge_streaming(KernelClass::Pack, recv.len(), 0, 1, 1);
+            if cart.collect_into(comm, cx, dir, buf) {
+                field.unpack_ghost(dir, buf);
+                cx.charge_streaming(KernelClass::Pack, buf.len(), 0, 1, 1);
             }
         }
     }

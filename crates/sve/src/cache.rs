@@ -1,0 +1,160 @@
+//! Program cache: assembled + pre-decoded kernel programs, reused across
+//! invocations.
+//!
+//! The kernel builders in [`crate::kernels`] are shape-agnostic — problem
+//! sizes arrive in registers, not in the instruction stream — so a cached
+//! program is keyed by (routine/variant name, vector length, residency
+//! level).  The pipeline model has floating-point fields and therefore no
+//! total `Hash`/`Eq`; instead a hit additionally *verifies*
+//! `SchedModel` equality via `PartialEq` and rebuilds in place on
+//! mismatch, so an exotic sweep over scheduler parameters is correct
+//! (it just doesn't cache across them).
+//!
+//! The cache is thread-local (sweep workers each warm their own — decoded
+//! programs are a few KiB) with a small LRU bound.  Global counters let
+//! tests assert the warm path does zero assembly and zero decode work.
+
+use crate::decode::DecodedProgram;
+use crate::exec::ExecConfig;
+use crate::isa::Instr;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use v2d_machine::MemLevel;
+
+/// Maximum cached programs per thread: 10 kernel programs × a handful of
+/// (VL, level) points fit comfortably; an unbounded sweep evicts LRU.
+const CAPACITY: usize = 64;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static ASSEMBLES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cache-hit count.
+pub fn cache_hit_count() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
+/// Process-wide cache-miss count (includes sched-mismatch rebuilds).
+pub fn cache_miss_count() -> u64 {
+    MISSES.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of kernel program assemblies.  Builders call
+/// [`note_assembled`]; warm cache hits never reach them.
+pub fn assemble_count() -> u64 {
+    ASSEMBLES.load(Ordering::Relaxed)
+}
+
+/// Record one program assembly.  Called by the kernel builders so both
+/// cache misses and direct interpreter runs are counted.
+pub fn note_assembled() {
+    ASSEMBLES.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Entry {
+    name: &'static str,
+    vl_bits: u32,
+    level: MemLevel,
+    program: Rc<DecodedProgram>,
+    /// Monotone use stamp for LRU eviction.
+    stamp: u64,
+}
+
+struct ProgramCache {
+    entries: Vec<Entry>,
+    clock: u64,
+}
+
+thread_local! {
+    static CACHE: RefCell<ProgramCache> =
+        const { RefCell::new(ProgramCache { entries: Vec::new(), clock: 0 }) };
+}
+
+/// Fetch the decoded program for `name` under `cfg`, building (and
+/// decoding) it with `build` only on a miss.
+///
+/// `name` must uniquely identify the instruction sequence `build` would
+/// produce (e.g. `"matvec/sve"`); the vector length and residency level
+/// come from `cfg`.  A key hit whose cached pipeline model differs from
+/// `cfg.sched` is treated as a miss and replaced.
+pub fn cached_program(
+    name: &'static str,
+    cfg: &ExecConfig,
+    build: impl FnOnce() -> Vec<Instr>,
+) -> Rc<DecodedProgram> {
+    CACHE.with(|cell| {
+        let cache = &mut *cell.borrow_mut();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        if let Some(e) = cache
+            .entries
+            .iter_mut()
+            .find(|e| e.name == name && e.vl_bits == cfg.vl_bits && e.level == cfg.level)
+        {
+            if e.program.sched() == &cfg.sched {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                e.stamp = stamp;
+                return Rc::clone(&e.program);
+            }
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            e.program = Rc::new(DecodedProgram::decode(&build(), cfg));
+            e.stamp = stamp;
+            return Rc::clone(&e.program);
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let program = Rc::new(DecodedProgram::decode(&build(), cfg));
+        if cache.entries.len() >= CAPACITY {
+            let oldest = cache
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty at capacity");
+            cache.entries.swap_remove(oldest);
+        }
+        cache.entries.push(Entry {
+            name,
+            vl_bits: cfg.vl_bits,
+            level: cfg.level,
+            program: Rc::clone(&program),
+            stamp,
+        });
+        program
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, X};
+
+    fn tiny() -> Vec<Instr> {
+        vec![Instr::MovXI { d: X(0), imm: 7 }]
+    }
+
+    #[test]
+    fn hit_reuses_and_respects_config_and_capacity() {
+        let l1 = ExecConfig::a64fx_l1();
+        let a = cached_program("test/tiny", &l1, tiny);
+        let b = cached_program("test/tiny", &l1, || unreachable!("must hit"));
+        assert!(Rc::ptr_eq(&a, &b));
+        // Different VL is a different program.
+        let wide = cached_program("test/tiny", &l1.clone().with_vl(2048), tiny);
+        assert!(!Rc::ptr_eq(&a, &wide));
+        // A sched mismatch on a key hit rebuilds rather than serving
+        // a program decoded against the wrong pipeline model.
+        let mut odd = l1.clone();
+        odd.sched.fetch_width = 8;
+        let rebuilt = cached_program("test/tiny", &odd, tiny);
+        assert!(!Rc::ptr_eq(&a, &rebuilt));
+        assert_eq!(rebuilt.sched().fetch_width, 8);
+        // Eviction keeps the cache bounded and the survivors usable.
+        for vl in (0..CAPACITY as u32 + 8).map(|i| 128 * (i + 1)) {
+            let _ = cached_program("test/churn", &l1.clone().with_vl(vl), tiny);
+        }
+        let again = cached_program("test/tiny", &l1, tiny);
+        assert!(again.matches(&l1));
+    }
+}

@@ -1,0 +1,561 @@
+//! Pre-decoded trace execution: the fast path of the simulated core.
+//!
+//! [`Executor::run`] re-derives everything about an instruction — its
+//! dependency slots, its pipeline properties, its mnemonic — from the
+//! `Instr` enum on every *dynamic* execution, so a kernel loop pays the
+//! full decode cost once per iteration.  [`DecodedProgram`] lowers a
+//! program once into a dense micro-op array with pre-resolved flat
+//! register indices, the governing-predicate slot, unit class / latency /
+//! occupancy from the [`SchedModel`], per-op flop/byte *rules* (the only
+//! pieces of the timing model that depend on the dynamic predicate
+//! state), and a per-program mnemonic table.  [`Executor::run_decoded`]
+//! then executes the decoded ops in a tight loop over flat arrays.
+//!
+//! **Modeled results are bit-identical to the interpreter** by
+//! construction, on three grounds:
+//!
+//! 1. decoding *verifies itself* against [`SchedModel::props`]: for every
+//!    instruction it asserts that the pre-resolved unit/latency/occupancy
+//!    and the flop/byte rules reproduce `props` at every possible
+//!    active-lane count — a decoded program that could disagree with the
+//!    interpreter cannot be constructed;
+//! 2. architectural semantics go through the *same* [`Executor::step`]
+//!    the interpreter uses, so results cannot diverge;
+//! 3. the issue arithmetic (in-order fetch frontier, dependency maxima,
+//!    the cumulative-bytes bandwidth limiter, backfilling pipe
+//!    reservation, completion bookkeeping) is evaluated in the same order
+//!    with the same integer/float operations.  The pipe tracker here is a
+//!    dense ring buffer instead of a `BTreeMap`, but both implement the
+//!    identical "earliest start ≥ ready with `occ` consecutive
+//!    under-capacity cycles" reservation over the same occupancy counts.
+//!
+//! The equivalence is enforced end-to-end by `tests/prop_decode.rs`,
+//! which asserts register files, memory images, and full [`ExecStats`]
+//! (cycles, mix, unit busyness, bytes) match the interpreter on every
+//! kernel and on randomized programs.
+
+use crate::exec::{deps_of, ExecConfig, ExecStats, Executor, RegId};
+use crate::isa::Instr;
+use crate::mem::SimMem;
+use crate::reg::RegFile;
+use crate::sched::SchedModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use v2d_machine::MemLevel;
+
+/// Process-wide count of [`DecodedProgram::decode`] calls, for tests
+/// asserting that warm cache hits do zero decode work.
+static DECODE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// How many programs have been decoded process-wide.
+pub fn decode_count() -> u64 {
+    DECODE_COUNT.load(Ordering::Relaxed)
+}
+
+/// Sentinel for "no register" in the flat operand encoding.
+const NO_REG: u8 = 0xFF;
+
+/// Flatten a register id into the single ready-time array:
+/// `x0..x31 → 0..32`, `d0..d31 → 32..64`, `z0..z31 → 64..96`,
+/// `p0..p15 → 96..112`.
+fn flat(r: RegId) -> u8 {
+    match r {
+        RegId::X(i) => i,
+        RegId::D(i) => 32 + i,
+        RegId::Z(i) => 64 + i,
+        RegId::P(i) => 96 + i,
+    }
+}
+
+/// Number of slots in the flat register ready-time array.
+const FLAT_REGS: usize = 112;
+
+/// How an op's flop count depends on its governing predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlopRule {
+    /// Fixed count (scalar arithmetic; 0 for non-FP ops).
+    Const(u64),
+    /// `k` flops per active lane (predicated vector arithmetic).
+    PerActive(u64),
+    /// `active − 1` saturating (the strictly-ordered `faddv` tree).
+    ActiveMinus1,
+}
+
+/// How an op's memory traffic depends on its governing predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemRule {
+    /// Not a memory instruction.
+    None,
+    /// Fixed bytes (scalar load/store).
+    Const(u64),
+    /// 8 bytes per active lane (predicated vector load/store).
+    PerActive8,
+}
+
+impl FlopRule {
+    #[inline]
+    fn eval(self, active: u64) -> u64 {
+        match self {
+            FlopRule::Const(k) => k,
+            FlopRule::PerActive(k) => k * active,
+            FlopRule::ActiveMinus1 => active.saturating_sub(1),
+        }
+    }
+}
+
+impl MemRule {
+    #[inline]
+    fn eval(self, active: u64) -> u64 {
+        match self {
+            MemRule::None => 0,
+            MemRule::Const(b) => b,
+            MemRule::PerActive8 => 8 * active,
+        }
+    }
+}
+
+/// The governing predicate (if any) and the active-lane-dependent cost
+/// rules of one instruction.  This is the only part of
+/// [`SchedModel::props`] that cannot be fully resolved at decode time;
+/// [`DecodedProgram::decode`] asserts it agrees with `props` at every
+/// active-lane count.
+fn rules_of(i: &Instr) -> (Option<u8>, FlopRule, MemRule) {
+    use Instr::*;
+    match *i {
+        MovXI { .. }
+        | MovX { .. }
+        | AddXI { .. }
+        | AddX { .. }
+        | MulXI { .. }
+        | IncdX { .. }
+        | CntdX { .. }
+        | FMovDI { .. }
+        | FMovD { .. }
+        | B { .. }
+        | BLtX { .. }
+        | BGeX { .. }
+        | PtrueD { .. }
+        | WhileltD { .. }
+        | DupZD { .. }
+        | DupZI { .. }
+        | MovZ { .. } => (None, FlopRule::Const(0), MemRule::None),
+        FAddD { .. } | FSubD { .. } | FMulD { .. } | FNegD { .. } => {
+            (None, FlopRule::Const(1), MemRule::None)
+        }
+        FMaddD { .. } => (None, FlopRule::Const(2), MemRule::None),
+        LdrD { .. } | LdrDScaled { .. } | StrD { .. } | StrDScaled { .. } => {
+            (None, FlopRule::Const(0), MemRule::Const(8))
+        }
+        Ld1d { pg, .. } | St1d { pg, .. } | Ld1dGather { pg, .. } => {
+            (Some(pg.0), FlopRule::Const(0), MemRule::PerActive8)
+        }
+        FAddZ { pg, .. } | FSubZ { pg, .. } | FMulZ { pg, .. } | FNegZ { pg, .. } => {
+            (Some(pg.0), FlopRule::PerActive(1), MemRule::None)
+        }
+        FMlaZ { pg, .. } | FMlsZ { pg, .. } => (Some(pg.0), FlopRule::PerActive(2), MemRule::None),
+        FaddvD { pg, .. } => (Some(pg.0), FlopRule::ActiveMinus1, MemRule::None),
+    }
+}
+
+/// One pre-decoded micro-op: the original instruction (for semantics via
+/// [`Executor::step`]) plus everything the timing loop needs, resolved to
+/// flat indices and plain integers.
+#[derive(Debug, Clone)]
+struct DecodedOp {
+    instr: Instr,
+    /// Flat source-register indices (first `n_srcs` entries valid).
+    srcs: [u8; 5],
+    n_srcs: u8,
+    /// Flat destination register, or [`NO_REG`].
+    dst: u8,
+    /// Governing predicate register (0–15), or [`NO_REG`] if unpredicated.
+    pg: u8,
+    /// Dense unit-class index into the per-unit pipe trackers.
+    unit: u8,
+    /// Slot into the program's mnemonic table.
+    mix_slot: u16,
+    latency: u64,
+    /// Pipe occupancy, pre-clamped to ≥ 1.
+    occupancy: u64,
+    flops: FlopRule,
+    mem: MemRule,
+    is_load: bool,
+    is_store: bool,
+}
+
+/// A program lowered once for a fixed (vector length, residency level,
+/// pipeline model) configuration.  Branch targets need no translation:
+/// they are already dense indices into the instruction array, and the
+/// decoded array is index-aligned with it.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ops: Vec<DecodedOp>,
+    /// Distinct mnemonics of this program, indexed by `DecodedOp::mix_slot`.
+    mnemonics: Vec<&'static str>,
+    vl_bits: u32,
+    level: MemLevel,
+    sched: SchedModel,
+}
+
+impl DecodedProgram {
+    /// Lower `prog` for the configuration `cfg`.
+    ///
+    /// # Panics
+    /// If any decoded rule fails to reproduce [`SchedModel::props`] at
+    /// some active-lane count (a model/decoder mismatch — a bug, caught
+    /// at decode time rather than as silently wrong cycle counts).
+    pub fn decode(prog: &[Instr], cfg: &ExecConfig) -> Self {
+        DECODE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let lanes = (cfg.vl_bits / 64) as u64;
+        let sched = &cfg.sched;
+        let mut mnemonics: Vec<&'static str> = Vec::new();
+        let mut ops = Vec::with_capacity(prog.len());
+        for instr in prog {
+            let deps = deps_of(instr);
+            let mut srcs = [NO_REG; 5];
+            let mut n_srcs = 0u8;
+            for s in deps.src.iter().flatten() {
+                srcs[n_srcs as usize] = flat(*s);
+                n_srcs += 1;
+            }
+            let dst = deps.dst.map_or(NO_REG, flat);
+            let (pg, flops, mem) = rules_of(instr);
+            let props = sched.props(instr, lanes, lanes, cfg.level);
+            // Self-verification: the static properties must be invariant
+            // in the active-lane count, and the dynamic rules must
+            // reproduce `props` wherever the interpreter can evaluate it
+            // (every count for predicated ops; the full lane count — the
+            // only value `run` ever passes — for unpredicated ones).
+            for active in 0..=lanes {
+                if pg.is_none() && active != lanes {
+                    continue;
+                }
+                let p = sched.props(instr, lanes, active, cfg.level);
+                assert!(
+                    p.unit == props.unit
+                        && p.latency == props.latency
+                        && p.occupancy == props.occupancy,
+                    "decode: unit/latency/occupancy vary with active lanes for {instr:?}"
+                );
+                assert_eq!(flops.eval(active), p.flops, "decode: flop rule mismatch for {instr:?}");
+                assert_eq!(
+                    mem.eval(active),
+                    p.mem_bytes,
+                    "decode: byte rule mismatch for {instr:?}"
+                );
+            }
+            let name = crate::disasm::mnemonic(instr);
+            let mix_slot = match mnemonics.iter().position(|&m| m == name) {
+                Some(i) => i,
+                None => {
+                    mnemonics.push(name);
+                    mnemonics.len() - 1
+                }
+            } as u16;
+            ops.push(DecodedOp {
+                instr: *instr,
+                srcs,
+                n_srcs,
+                dst,
+                pg: pg.unwrap_or(NO_REG),
+                unit: SchedModel::unit_index(props.unit) as u8,
+                mix_slot,
+                latency: props.latency,
+                occupancy: props.occupancy.max(1),
+                flops,
+                mem,
+                is_load: instr.is_load(),
+                is_store: instr.is_store(),
+            });
+        }
+        DecodedProgram {
+            ops,
+            mnemonics,
+            vl_bits: cfg.vl_bits,
+            level: cfg.level,
+            sched: sched.clone(),
+        }
+    }
+
+    /// Number of (static) instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The vector length this program was decoded for.
+    pub fn vl_bits(&self) -> u32 {
+        self.vl_bits
+    }
+
+    /// The residency level this program was decoded for.
+    pub fn level(&self) -> MemLevel {
+        self.level
+    }
+
+    /// The pipeline model this program was decoded against.
+    pub fn sched(&self) -> &SchedModel {
+        &self.sched
+    }
+
+    /// Whether this program may run under `cfg` (identical VL, residency
+    /// level, and pipeline parameters).
+    pub fn matches(&self, cfg: &ExecConfig) -> bool {
+        self.vl_bits == cfg.vl_bits && self.level == cfg.level && self.sched == cfg.sched
+    }
+}
+
+/// Per-unit issue-slot tracker over a dense ring of occupancy counts.
+///
+/// Semantically identical to the interpreter's `BTreeMap` tracker: find
+/// the earliest start ≥ `ready` with `occ` consecutive cycles holding
+/// fewer than `pipes` reservations, consume them; cycles outside the
+/// tracked window are free; cycles before the pruned `base` can never be
+/// requested again (`ready` is bounded below by the monotone in-order
+/// fetch frontier the prune floor is taken from).
+#[derive(Debug)]
+struct RingSlots {
+    pipes: u8,
+    /// Cycle corresponding to `buf[head]`.
+    base: u64,
+    head: usize,
+    buf: Vec<u8>,
+}
+
+impl RingSlots {
+    fn new(pipes: usize) -> Self {
+        RingSlots { pipes: pipes as u8, base: 0, head: 0, buf: Vec::new() }
+    }
+
+    #[inline]
+    fn reserve(&mut self, ready: u64, occ: u64) -> u64 {
+        debug_assert!(ready >= self.base, "reservation below the pruned floor");
+        debug_assert!(occ >= 1);
+        let occ = occ as usize;
+        let mut start_idx = self.head + (ready - self.base) as usize;
+        let tracked = self.buf.len();
+        'search: loop {
+            for k in 0..occ {
+                let idx = start_idx + k;
+                if idx < tracked && self.buf[idx] >= self.pipes {
+                    start_idx = idx + 1;
+                    continue 'search;
+                }
+            }
+            let end = start_idx + occ;
+            if end > self.buf.len() {
+                self.buf.resize(end, 0);
+            }
+            for slot in &mut self.buf[start_idx..end] {
+                *slot += 1;
+            }
+            return self.base + (start_idx - self.head) as u64;
+        }
+    }
+
+    /// Forget cycles before `floor`; amortized O(1) per forgotten cycle.
+    fn prune(&mut self, floor: u64) {
+        if floor <= self.base {
+            return;
+        }
+        let adv = (floor - self.base) as usize;
+        self.base = floor;
+        if self.head + adv >= self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else {
+            self.head += adv;
+            if self.head >= self.buf.len() / 2 {
+                self.buf.drain(..self.head);
+                self.head = 0;
+            }
+        }
+    }
+}
+
+impl Executor {
+    /// Execute a pre-decoded program to completion, mutating `regs` and
+    /// `mem`, and return timing statistics bit-identical to
+    /// [`Executor::run`] on the source program.
+    ///
+    /// # Panics
+    /// If the register file's vector length disagrees with the config, if
+    /// `dp` was decoded for a different configuration, if the dynamic
+    /// instruction cap is exceeded, or on a memory fault.
+    pub fn run_decoded(
+        &self,
+        dp: &DecodedProgram,
+        regs: &mut RegFile,
+        mem: &mut SimMem,
+    ) -> ExecStats {
+        let cfg = self.config();
+        assert_eq!(regs.vl_bits(), cfg.vl_bits, "register file VL does not match executor config");
+        assert!(dp.matches(cfg), "decoded program was lowered for a different configuration");
+        let sched = &cfg.sched;
+        let fetch_width = sched.fetch_width;
+
+        let mut stats = ExecStats::default();
+        let mut ready = [0u64; FLAT_REGS];
+        // Incrementally maintained active-lane counts: refreshed only
+        // when an op writes a predicate register, instead of popcounting
+        // the governing predicate on every predicated instruction.
+        let mut p_active: [u64; 16] = std::array::from_fn(|i| regs.active_lanes(i) as u64);
+        let mut units: [RingSlots; 5] = std::array::from_fn(|i| RingSlots::new(sched.pipes[i]));
+        let mut mix = vec![0u64; dp.mnemonics.len()];
+        let mut fetched: u64 = 0;
+        let mut last_complete: u64 = 0;
+        let mem_rate = sched.total_mem_rate(cfg.level);
+        let mut mem_bytes_cum: u64 = 0;
+
+        let mut pc = 0usize;
+        while pc < dp.ops.len() {
+            let op = &dp.ops[pc];
+            stats.instrs += 1;
+            assert!(
+                stats.instrs <= cfg.max_instrs,
+                "dynamic instruction cap exceeded — runaway loop?"
+            );
+
+            // --- timing (same arithmetic, same order as `run`) ---
+            let active = if op.pg == NO_REG { 0 } else { p_active[op.pg as usize] };
+            let mut rdy = fetched / fetch_width;
+            fetched += 1;
+            for &s in &op.srcs[..op.n_srcs as usize] {
+                rdy = rdy.max(ready[s as usize]);
+            }
+            let mem_bytes = op.mem.eval(active);
+            if mem_bytes > 0 {
+                let bw_ready = (mem_bytes_cum as f64 / mem_rate) as u64;
+                rdy = rdy.max(bw_ready);
+                mem_bytes_cum += mem_bytes;
+            }
+            let start = units[op.unit as usize].reserve(rdy, op.occupancy);
+            let complete = start + op.latency;
+            if stats.instrs % 4096 == 0 {
+                let floor = fetched / fetch_width;
+                for u in &mut units {
+                    u.prune(floor);
+                }
+            }
+            if op.dst != NO_REG {
+                ready[op.dst as usize] = complete;
+            }
+            last_complete = last_complete.max(complete);
+            mix[op.mix_slot as usize] += 1;
+            stats.unit_busy[op.unit as usize] += op.occupancy;
+            stats.flops += op.flops.eval(active);
+            if op.is_load {
+                stats.loads += 1;
+                stats.bytes_read += mem_bytes;
+            } else if op.is_store {
+                stats.stores += 1;
+                stats.bytes_written += mem_bytes;
+            }
+
+            // --- semantics (shared with the interpreter) ---
+            pc = self.step(&op.instr, pc, regs, mem);
+            if op.dst != NO_REG && op.dst as usize >= 96 {
+                let pr = op.dst as usize - 96;
+                p_active[pr] = regs.active_lanes(pr) as u64;
+            }
+        }
+        stats.cycles = last_complete.max(fetched.div_ceil(fetch_width));
+        for (slot, &name) in dp.mnemonics.iter().enumerate() {
+            if mix[slot] > 0 {
+                stats.mix.add(name, mix[slot]);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_slots_match_backfilling_semantics() {
+        let mut s = RingSlots::new(2);
+        // Two reservations fit at the same cycle, the third spills.
+        assert_eq!(s.reserve(5, 1), 5);
+        assert_eq!(s.reserve(5, 1), 5);
+        assert_eq!(s.reserve(5, 1), 6);
+        // Backfill: an earlier-ready op slips in before cycle 6's load.
+        assert_eq!(s.reserve(3, 1), 3);
+        // Multi-cycle occupancy needs a contiguous under-capacity run:
+        // cycle 5 is at capacity, so a 3-cycle op ready at 4 slips to 6.
+        assert_eq!(s.reserve(4, 3), 6);
+    }
+
+    #[test]
+    fn ring_slots_prune_is_transparent() {
+        let mut s = RingSlots::new(1);
+        for c in 0..100 {
+            assert_eq!(s.reserve(c, 1), c);
+        }
+        s.prune(90);
+        assert_eq!(s.reserve(90, 1), 100);
+        s.prune(200);
+        assert_eq!(s.reserve(200, 2), 200);
+    }
+
+    #[test]
+    fn decode_resolves_kernel_programs() {
+        let cfg = ExecConfig::a64fx_l1();
+        for prog in [crate::kernels::sve_code::matvec(), crate::kernels::scalar::dprod()] {
+            let dp = DecodedProgram::decode(&prog, &cfg);
+            assert_eq!(dp.len(), prog.len());
+            assert!(dp.matches(&cfg));
+            assert!(!dp.matches(&cfg.clone().with_vl(1024)));
+        }
+    }
+
+    #[test]
+    fn decoded_kernel_matches_interpreter_exactly() {
+        use crate::asm::Asm;
+        use crate::isa::{Instr, D, P, X, Z};
+        // A loop mixing predicated loads, FMA, reduction, and stores.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.push(Instr::MovXI { d: X(3), imm: 0 });
+        a.push(Instr::DupZI { d: Z(0), imm: 0.0 });
+        a.bind(top);
+        a.push(Instr::WhileltD { d: P(0), n: X(3), m: X(2) });
+        a.push(Instr::Ld1d { t: Z(1), pg: P(0), base: X(0), index: X(3) });
+        a.push(Instr::FMlaZ { da: Z(0), pg: P(0), n: Z(1), m: Z(1) });
+        a.push(Instr::St1d { t: Z(1), pg: P(0), base: X(1), index: X(3) });
+        a.push(Instr::IncdX { d: X(3) });
+        a.blt(X(3), X(2), top);
+        a.push(Instr::PtrueD { d: P(1) });
+        a.push(Instr::FaddvD { d: D(0), pg: P(1), n: Z(0) });
+        let prog = a.finish();
+
+        for vl in [128u32, 512, 2048] {
+            for level in [MemLevel::L1, MemLevel::Hbm] {
+                let cfg = ExecConfig::a64fx_l1().with_vl(vl).with_level(level);
+                let setup = || {
+                    let mut mem = SimMem::new(4096);
+                    let src = mem.alloc_f64(&(0..37).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+                    let dst = mem.alloc_f64_zeroed(37);
+                    let mut regs = RegFile::new(vl);
+                    regs.x[0] = src as u64;
+                    regs.x[1] = dst as u64;
+                    regs.x[2] = 37;
+                    (mem, regs)
+                };
+                let exec = Executor::new(cfg.clone());
+                let (mut m1, mut r1) = setup();
+                let s1 = exec.run(&prog, &mut r1, &mut m1);
+                let dp = DecodedProgram::decode(&prog, &cfg);
+                let (mut m2, mut r2) = setup();
+                let s2 = exec.run_decoded(&dp, &mut r2, &mut m2);
+                assert_eq!(s1, s2, "stats diverge at vl={vl} level={level:?}");
+                assert_eq!(r1, r2, "registers diverge at vl={vl} level={level:?}");
+                assert_eq!(m1, m2, "memory diverges at vl={vl} level={level:?}");
+            }
+        }
+    }
+}

@@ -4,6 +4,49 @@
 
 use crate::isa::Instr;
 
+/// Canonical short mnemonic of an instruction — the single source of
+/// truth for instruction naming, shared by the opcode-mix accounting in
+/// [`crate::exec`] and the decoded-trace executor in [`crate::decode`].
+///
+/// Names disambiguate the scalar/vector forms that share an assembly
+/// mnemonic (`fadd` vs `fadd.z`, `ld1d` vs `ld1d.gather`) so a kernel's
+/// dynamic mix separates its scalar scaffolding from its SVE body.
+pub fn mnemonic(i: &Instr) -> &'static str {
+    use Instr::*;
+    match i {
+        MovXI { .. } | MovX { .. } => "mov",
+        AddXI { .. } | AddX { .. } => "add",
+        MulXI { .. } => "mul",
+        FMovDI { .. } | FMovD { .. } => "fmov",
+        LdrD { .. } | LdrDScaled { .. } => "ldr",
+        StrD { .. } | StrDScaled { .. } => "str",
+        FAddD { .. } => "fadd",
+        FSubD { .. } => "fsub",
+        FMulD { .. } => "fmul",
+        FMaddD { .. } => "fmadd",
+        FNegD { .. } => "fneg",
+        B { .. } => "b",
+        BLtX { .. } => "b.lt",
+        BGeX { .. } => "b.ge",
+        PtrueD { .. } => "ptrue",
+        WhileltD { .. } => "whilelt",
+        DupZD { .. } | DupZI { .. } => "dup",
+        MovZ { .. } => "mov.z",
+        Ld1d { .. } => "ld1d",
+        St1d { .. } => "st1d",
+        Ld1dGather { .. } => "ld1d.gather",
+        FAddZ { .. } => "fadd.z",
+        FSubZ { .. } => "fsub.z",
+        FMulZ { .. } => "fmul.z",
+        FMlaZ { .. } => "fmla",
+        FMlsZ { .. } => "fmls",
+        FNegZ { .. } => "fneg.z",
+        FaddvD { .. } => "faddv",
+        IncdX { .. } => "incd",
+        CntdX { .. } => "cntd",
+    }
+}
+
 /// Render one instruction in assembler syntax.  Branch targets are
 /// printed as `.L<index>` labels; use [`disassemble`] for whole programs
 /// with label definitions inserted.

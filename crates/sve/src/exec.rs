@@ -13,6 +13,7 @@
 //! busy for `occupancy` cycles.  The reported cycle count is the latest
 //! completion time over the whole dynamic instruction stream.
 
+use crate::disasm::mnemonic;
 use crate::isa::Instr;
 use crate::mem::SimMem;
 use crate::reg::RegFile;
@@ -66,6 +67,12 @@ pub struct OpcodeMix {
 impl OpcodeMix {
     fn bump(&mut self, name: &'static str) {
         *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Fold a pre-aggregated per-mnemonic count in (the decoded-trace
+    /// executor counts per program slot and converts at the end).
+    pub(crate) fn add(&mut self, name: &'static str, n: u64) {
+        *self.counts.entry(name).or_insert(0) += n;
     }
 
     /// Count for one mnemonic (0 if never executed).
@@ -133,7 +140,7 @@ impl ExecStats {
 
 /// Register identifier for dependency tracking.
 #[derive(Debug, Clone, Copy)]
-enum RegId {
+pub(crate) enum RegId {
     X(u8),
     D(u8),
     Z(u8),
@@ -141,12 +148,12 @@ enum RegId {
 }
 
 /// Up to four sources and one destination per instruction.
-struct Deps {
-    src: [Option<RegId>; 5],
-    dst: Option<RegId>,
+pub(crate) struct Deps {
+    pub(crate) src: [Option<RegId>; 5],
+    pub(crate) dst: Option<RegId>,
 }
 
-fn deps_of(i: &Instr) -> Deps {
+pub(crate) fn deps_of(i: &Instr) -> Deps {
     use Instr::*;
     let mut src = [None; 5];
     let mut dst = None;
@@ -447,8 +454,17 @@ impl Executor {
         stats
     }
 
-    /// Execute the architectural effect of one instruction; returns next pc.
-    fn step(&self, instr: &Instr, pc: usize, r: &mut RegFile, mem: &mut SimMem) -> usize {
+    /// Execute the architectural effect of one instruction; returns next
+    /// pc.  Shared verbatim by the legacy interpreter loop above and the
+    /// decoded-trace loop in [`crate::decode`], so the two paths cannot
+    /// diverge architecturally.
+    pub(crate) fn step(
+        &self,
+        instr: &Instr,
+        pc: usize,
+        r: &mut RegFile,
+        mem: &mut SimMem,
+    ) -> usize {
         use Instr::*;
         let lanes = r.lanes();
         match *instr {
@@ -608,43 +624,6 @@ impl Executor {
             CntdX { d } => r.x[d.0 as usize] = lanes as u64,
         }
         pc + 1
-    }
-}
-
-/// Mnemonic of an instruction, matching the disassembler's names.
-fn mnemonic(i: &Instr) -> &'static str {
-    use Instr::*;
-    match i {
-        MovXI { .. } | MovX { .. } => "mov",
-        AddXI { .. } | AddX { .. } => "add",
-        MulXI { .. } => "mul",
-        FMovDI { .. } | FMovD { .. } => "fmov",
-        LdrD { .. } | LdrDScaled { .. } => "ldr",
-        StrD { .. } | StrDScaled { .. } => "str",
-        FAddD { .. } => "fadd",
-        FSubD { .. } => "fsub",
-        FMulD { .. } => "fmul",
-        FMaddD { .. } => "fmadd",
-        FNegD { .. } => "fneg",
-        B { .. } => "b",
-        BLtX { .. } => "b.lt",
-        BGeX { .. } => "b.ge",
-        PtrueD { .. } => "ptrue",
-        WhileltD { .. } => "whilelt",
-        DupZD { .. } | DupZI { .. } => "dup",
-        MovZ { .. } => "mov.z",
-        Ld1d { .. } => "ld1d",
-        St1d { .. } => "st1d",
-        Ld1dGather { .. } => "ld1d.gather",
-        FAddZ { .. } => "fadd.z",
-        FSubZ { .. } => "fsub.z",
-        FMulZ { .. } => "fmul.z",
-        FMlaZ { .. } => "fmla",
-        FMlsZ { .. } => "fmls",
-        FNegZ { .. } => "fneg.z",
-        FaddvD { .. } => "faddv",
-        IncdX { .. } => "incd",
-        CntdX { .. } => "cntd",
     }
 }
 

@@ -22,8 +22,9 @@
 pub mod scalar;
 pub mod sve_code;
 
+use crate::cache;
 use crate::exec::{ExecConfig, ExecStats, Executor};
-use crate::isa::{D, X};
+use crate::isa::{Instr, D, X};
 use crate::mem::SimMem;
 use crate::reg::RegFile;
 
@@ -34,6 +35,22 @@ pub enum Variant {
     Scalar,
     /// Vector-length-agnostic SVE code (the paper's "SVE" column).
     Sve,
+}
+
+/// How to execute a kernel program on the simulated core.
+///
+/// Both modes produce bit-identical results and [`ExecStats`]; `Decoded`
+/// is the fast path (programs are pre-lowered once per configuration and
+/// reused via the [`crate::cache`] program cache), `Interpreted` is the
+/// legacy per-instruction path kept as the oracle for equivalence tests
+/// and the wall-clock benchmark baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Re-assemble and interpret the program each invocation.
+    Interpreted,
+    /// Run the cached pre-decoded program.
+    #[default]
+    Decoded,
 }
 
 /// The five Table II routines.
@@ -166,12 +183,79 @@ fn executor(cfg: &ExecConfig) -> (Executor, RegFile) {
     (Executor::new(cfg.clone()), RegFile::new(cfg.vl_bits))
 }
 
+/// Stable cache key of a kernel program.  The builders are shape-agnostic
+/// (problem sizes arrive in registers), so (routine, variant) names the
+/// instruction sequence exactly.
+fn program_key(routine: Routine, variant: Variant) -> &'static str {
+    match (routine, variant) {
+        (Routine::Matvec, Variant::Scalar) => "matvec/scalar",
+        (Routine::Matvec, Variant::Sve) => "matvec/sve",
+        (Routine::Dprod, Variant::Scalar) => "dprod/scalar",
+        (Routine::Dprod, Variant::Sve) => "dprod/sve",
+        (Routine::Daxpy, Variant::Scalar) => "daxpy/scalar",
+        (Routine::Daxpy, Variant::Sve) => "daxpy/sve",
+        (Routine::Dscal, Variant::Scalar) => "dscal/scalar",
+        (Routine::Dscal, Variant::Sve) => "dscal/sve",
+        (Routine::Ddaxpy, Variant::Scalar) => "ddaxpy/scalar",
+        (Routine::Ddaxpy, Variant::Sve) => "ddaxpy/sve",
+    }
+}
+
+/// Assemble a kernel program from its builder (counted, so cache tests
+/// can assert the warm path never reaches here).
+fn build_program(routine: Routine, variant: Variant) -> Vec<Instr> {
+    cache::note_assembled();
+    match (routine, variant) {
+        (Routine::Matvec, Variant::Scalar) => scalar::matvec(),
+        (Routine::Matvec, Variant::Sve) => sve_code::matvec(),
+        (Routine::Dprod, Variant::Scalar) => scalar::dprod(),
+        (Routine::Dprod, Variant::Sve) => sve_code::dprod(),
+        (Routine::Daxpy, Variant::Scalar) => scalar::daxpy(),
+        (Routine::Daxpy, Variant::Sve) => sve_code::daxpy(),
+        (Routine::Dscal, Variant::Scalar) => scalar::dscal(),
+        (Routine::Dscal, Variant::Sve) => sve_code::dscal(),
+        (Routine::Ddaxpy, Variant::Scalar) => scalar::ddaxpy(),
+        (Routine::Ddaxpy, Variant::Sve) => sve_code::ddaxpy(),
+    }
+}
+
+/// Execute a kernel on a prepared machine state in the requested mode.
+fn execute(
+    routine: Routine,
+    variant: Variant,
+    mode: ExecMode,
+    exec: &Executor,
+    regs: &mut RegFile,
+    mem: &mut SimMem,
+) -> ExecStats {
+    match mode {
+        ExecMode::Interpreted => exec.run(&build_program(routine, variant), regs, mem),
+        ExecMode::Decoded => {
+            let dp = cache::cached_program(program_key(routine, variant), exec.config(), || {
+                build_program(routine, variant)
+            });
+            exec.run_decoded(&dp, regs, mem)
+        }
+    }
+}
+
 /// Run MATVEC (`y = A·x`) on the simulated core; returns `y` and stats.
 pub fn run_matvec(
     sys: &BandedSystem,
     x: &[f64],
     variant: Variant,
     cfg: &ExecConfig,
+) -> (Vec<f64>, ExecStats) {
+    run_matvec_with(sys, x, variant, cfg, ExecMode::default())
+}
+
+/// [`run_matvec`] with an explicit execution mode.
+pub fn run_matvec_with(
+    sys: &BandedSystem,
+    x: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+    mode: ExecMode,
 ) -> (Vec<f64>, ExecStats) {
     assert_eq!(x.len(), sys.n);
     let n = sys.n;
@@ -203,16 +287,23 @@ pub fn run_matvec(
     regs.x[10] = (x_base + 8) as u64; // &x[+1]
     regs.x[11] = (x_base - 8 * m) as u64; // &x[-m]
     regs.x[12] = (x_base + 8 * m) as u64; // &x[+m]
-    let prog = match variant {
-        Variant::Scalar => scalar::matvec(),
-        Variant::Sve => sve_code::matvec(),
-    };
-    let stats = exec.run(&prog, &mut regs, &mut mem);
+    let stats = execute(Routine::Matvec, variant, mode, &exec, &mut regs, &mut mem);
     (mem.read_f64_slice(y_base, n), stats)
 }
 
 /// Run DPROD (`x · y`); returns the dot product and stats.
 pub fn run_dprod(x: &[f64], y: &[f64], variant: Variant, cfg: &ExecConfig) -> (f64, ExecStats) {
+    run_dprod_with(x, y, variant, cfg, ExecMode::default())
+}
+
+/// [`run_dprod`] with an explicit execution mode.
+pub fn run_dprod_with(
+    x: &[f64],
+    y: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+    mode: ExecMode,
+) -> (f64, ExecStats) {
     assert_eq!(x.len(), y.len());
     let n = x.len();
     let mut mem = SimMem::new(8 * 2 * n + 4096);
@@ -222,11 +313,7 @@ pub fn run_dprod(x: &[f64], y: &[f64], variant: Variant, cfg: &ExecConfig) -> (f
     regs.x[0] = xb as u64;
     regs.x[1] = yb as u64;
     regs.x[2] = n as u64;
-    let prog = match variant {
-        Variant::Scalar => scalar::dprod(),
-        Variant::Sve => sve_code::dprod(),
-    };
-    let stats = exec.run(&prog, &mut regs, &mut mem);
+    let stats = execute(Routine::Dprod, variant, mode, &exec, &mut regs, &mut mem);
     (regs.d[0], stats)
 }
 
@@ -238,6 +325,18 @@ pub fn run_daxpy(
     variant: Variant,
     cfg: &ExecConfig,
 ) -> (Vec<f64>, ExecStats) {
+    run_daxpy_with(a, x, y, variant, cfg, ExecMode::default())
+}
+
+/// [`run_daxpy`] with an explicit execution mode.
+pub fn run_daxpy_with(
+    a: f64,
+    x: &[f64],
+    y: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+    mode: ExecMode,
+) -> (Vec<f64>, ExecStats) {
     assert_eq!(x.len(), y.len());
     let n = x.len();
     let mut mem = SimMem::new(8 * 2 * n + 4096);
@@ -248,11 +347,7 @@ pub fn run_daxpy(
     regs.x[1] = yb as u64;
     regs.x[2] = n as u64;
     regs.d[0] = a;
-    let prog = match variant {
-        Variant::Scalar => scalar::daxpy(),
-        Variant::Sve => sve_code::daxpy(),
-    };
-    let stats = exec.run(&prog, &mut regs, &mut mem);
+    let stats = execute(Routine::Daxpy, variant, mode, &exec, &mut regs, &mut mem);
     (mem.read_f64_slice(yb, n), stats)
 }
 
@@ -264,6 +359,18 @@ pub fn run_dscal(
     variant: Variant,
     cfg: &ExecConfig,
 ) -> (Vec<f64>, ExecStats) {
+    run_dscal_with(c, d, y, variant, cfg, ExecMode::default())
+}
+
+/// [`run_dscal`] with an explicit execution mode.
+pub fn run_dscal_with(
+    c: f64,
+    d: f64,
+    y: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+    mode: ExecMode,
+) -> (Vec<f64>, ExecStats) {
     let n = y.len();
     let mut mem = SimMem::new(8 * n + 4096);
     let yb = mem.alloc_f64(y);
@@ -272,11 +379,7 @@ pub fn run_dscal(
     regs.x[1] = n as u64;
     regs.d[0] = c;
     regs.d[1] = d;
-    let prog = match variant {
-        Variant::Scalar => scalar::dscal(),
-        Variant::Sve => sve_code::dscal(),
-    };
-    let stats = exec.run(&prog, &mut regs, &mut mem);
+    let stats = execute(Routine::Dscal, variant, mode, &exec, &mut regs, &mut mem);
     (mem.read_f64_slice(yb, n), stats)
 }
 
@@ -289,6 +392,21 @@ pub fn run_ddaxpy(
     z: &[f64],
     variant: Variant,
     cfg: &ExecConfig,
+) -> (Vec<f64>, ExecStats) {
+    run_ddaxpy_with(a, b, x, y, z, variant, cfg, ExecMode::default())
+}
+
+/// [`run_ddaxpy`] with an explicit execution mode.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ddaxpy_with(
+    a: f64,
+    b: f64,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    variant: Variant,
+    cfg: &ExecConfig,
+    mode: ExecMode,
 ) -> (Vec<f64>, ExecStats) {
     assert!(x.len() == y.len() && y.len() == z.len());
     let n = x.len();
@@ -305,11 +423,7 @@ pub fn run_ddaxpy(
     regs.x[4] = n as u64;
     regs.d[0] = a;
     regs.d[1] = b;
-    let prog = match variant {
-        Variant::Scalar => scalar::ddaxpy(),
-        Variant::Sve => sve_code::ddaxpy(),
-    };
-    let stats = exec.run(&prog, &mut regs, &mut mem);
+    let stats = execute(Routine::Ddaxpy, variant, mode, &exec, &mut regs, &mut mem);
     (mem.read_f64_slice(wb, n), stats)
 }
 
@@ -317,6 +431,17 @@ pub fn run_ddaxpy(
 /// offset `m = 50`, deterministic data) of size `n`; returns stats only.
 /// The driver binary uses this for every cell of the reproduced table.
 pub fn run_routine(routine: Routine, n: usize, variant: Variant, cfg: &ExecConfig) -> ExecStats {
+    run_routine_with(routine, n, variant, cfg, ExecMode::default())
+}
+
+/// [`run_routine`] with an explicit execution mode.
+pub fn run_routine_with(
+    routine: Routine,
+    n: usize,
+    variant: Variant,
+    cfg: &ExecConfig,
+    mode: ExecMode,
+) -> ExecStats {
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
     let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.51).cos()).collect();
     let z: Vec<f64> = (0..n).map(|i| 0.5 - (i as f64 * 0.13).sin()).collect();
@@ -324,12 +449,12 @@ pub fn run_routine(routine: Routine, n: usize, variant: Variant, cfg: &ExecConfi
         Routine::Matvec => {
             let m = (n / 20).max(1);
             let sys = BandedSystem::test_system(n, m);
-            run_matvec(&sys, &x, variant, cfg).1
+            run_matvec_with(&sys, &x, variant, cfg, mode).1
         }
-        Routine::Dprod => run_dprod(&x, &y, variant, cfg).1,
-        Routine::Daxpy => run_daxpy(1.7, &x, &y, variant, cfg).1,
-        Routine::Dscal => run_dscal(0.9, 1.1, &y, variant, cfg).1,
-        Routine::Ddaxpy => run_ddaxpy(1.7, -0.6, &x, &y, &z, variant, cfg).1,
+        Routine::Dprod => run_dprod_with(&x, &y, variant, cfg, mode).1,
+        Routine::Daxpy => run_daxpy_with(1.7, &x, &y, variant, cfg, mode).1,
+        Routine::Dscal => run_dscal_with(0.9, 1.1, &y, variant, cfg, mode).1,
+        Routine::Ddaxpy => run_ddaxpy_with(1.7, -0.6, &x, &y, &z, variant, cfg, mode).1,
     }
 }
 

@@ -24,6 +24,8 @@
 //! their cycle counts regenerate Table II.
 
 pub mod asm;
+pub mod cache;
+pub mod decode;
 pub mod disasm;
 pub mod exec;
 pub mod isa;
@@ -33,7 +35,8 @@ pub mod reg;
 pub mod sched;
 
 pub use asm::{Asm, Label};
-pub use disasm::disassemble;
+pub use decode::DecodedProgram;
+pub use disasm::{disassemble, mnemonic};
 pub use exec::{ExecConfig, ExecStats, Executor};
 pub use isa::{Instr, D, P, X, Z};
 pub use mem::SimMem;

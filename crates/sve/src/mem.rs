@@ -7,7 +7,7 @@
 //! address is a feature.
 
 /// Flat simulated memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimMem {
     bytes: Vec<u8>,
     /// Next free offset for [`SimMem::alloc_f64`].

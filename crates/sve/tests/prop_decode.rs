@@ -1,0 +1,157 @@
+//! Property test: decoded-trace execution is bitwise-identical to the
+//! legacy step-interpreter — same architectural results, same memory
+//! image, same [`ExecStats`] to the cycle — on every kernel program and
+//! on randomized straight-line programs, across vector lengths and
+//! residency levels.
+
+use proptest::prelude::*;
+use v2d_machine::MemLevel;
+use v2d_sve::kernels::{
+    run_daxpy_with, run_dprod_with, run_matvec_with, run_routine_with, BandedSystem, ExecMode,
+    Routine, Variant,
+};
+use v2d_sve::{DecodedProgram, ExecConfig, Executor, Instr, RegFile, SimMem, D, P, X, Z};
+
+const VLS: [u32; 3] = [128, 512, 2048];
+const LEVELS: [MemLevel; 2] = [MemLevel::L1, MemLevel::Hbm];
+
+#[test]
+fn every_kernel_program_is_mode_invariant() {
+    // Tail-heavy n exercises partial predicates; every routine × variant
+    // × VL × level cell must agree exactly between the two executors.
+    let n = 173;
+    for vl in VLS {
+        for level in LEVELS {
+            let cfg = ExecConfig::a64fx_l1().with_vl(vl).with_level(level);
+            for r in Routine::ALL {
+                for v in [Variant::Scalar, Variant::Sve] {
+                    let interp = run_routine_with(r, n, v, &cfg, ExecMode::Interpreted);
+                    let decoded = run_routine_with(r, n, v, &cfg, ExecMode::Decoded);
+                    assert_eq!(
+                        interp, decoded,
+                        "stats diverge: {r:?}/{v:?} vl={vl} level={level:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_results_are_mode_invariant() {
+    let n = 101;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+    let sys = BandedSystem::test_system(n, 7);
+    for vl in VLS {
+        let cfg = ExecConfig::a64fx_l1().with_vl(vl);
+        for v in [Variant::Scalar, Variant::Sve] {
+            assert_eq!(
+                run_dprod_with(&x, &y, v, &cfg, ExecMode::Interpreted),
+                run_dprod_with(&x, &y, v, &cfg, ExecMode::Decoded),
+            );
+            assert_eq!(
+                run_daxpy_with(1.7, &x, &y, v, &cfg, ExecMode::Interpreted),
+                run_daxpy_with(1.7, &x, &y, v, &cfg, ExecMode::Decoded),
+            );
+            assert_eq!(
+                run_matvec_with(&sys, &x, v, &cfg, ExecMode::Interpreted),
+                run_matvec_with(&sys, &x, v, &cfg, ExecMode::Decoded),
+            );
+        }
+    }
+}
+
+/// Length of the f64 array random programs may address through `x0`.
+const ARR: usize = 256;
+
+/// One random straight-line instruction.  Memory ops go through `x0`
+/// (the array base, never overwritten) with in-bounds offsets; vector
+/// loads index through `x1` (kept at 0); integer ops write only
+/// `x3..x8`, so addresses stay valid for the whole program.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let xd = || (3u8..8).prop_map(X);
+    let xs = || (0u8..8).prop_map(X);
+    let d = || (0u8..8).prop_map(D);
+    let z = || (0u8..8).prop_map(Z);
+    let p = || (0u8..4).prop_map(P);
+    prop_oneof![
+        (xd(), 0u64..64).prop_map(|(dst, imm)| Instr::MovXI { d: dst, imm }),
+        (xd(), xs()).prop_map(|(dst, n)| Instr::MovX { d: dst, n }),
+        (xd(), xs(), -8i64..64).prop_map(|(dst, n, imm)| Instr::AddXI { d: dst, n, imm }),
+        (xd(), xs(), xs()).prop_map(|(dst, n, m)| Instr::AddX { d: dst, n, m }),
+        xd().prop_map(|dst| Instr::IncdX { d: dst }),
+        xd().prop_map(|dst| Instr::CntdX { d: dst }),
+        (d(), -2.0f64..2.0).prop_map(|(dst, imm)| Instr::FMovDI { d: dst, imm }),
+        (d(), d()).prop_map(|(dst, n)| Instr::FMovD { d: dst, n }),
+        (d(), d(), d()).prop_map(|(dst, n, m)| Instr::FAddD { d: dst, n, m }),
+        (d(), d(), d()).prop_map(|(dst, n, m)| Instr::FSubD { d: dst, n, m }),
+        (d(), d(), d()).prop_map(|(dst, n, m)| Instr::FMulD { d: dst, n, m }),
+        (d(), d(), d(), d()).prop_map(|(dst, n, m, a)| Instr::FMaddD { d: dst, n, m, a }),
+        (d(), d()).prop_map(|(dst, n)| Instr::FNegD { d: dst, n }),
+        (d(), 0i64..(ARR as i64 - 1)).prop_map(|(dst, k)| Instr::LdrD {
+            d: dst,
+            base: X(0),
+            offset: 8 * k
+        }),
+        (d(), 0i64..(ARR as i64 - 1)).prop_map(|(s, k)| Instr::StrD {
+            s,
+            base: X(0),
+            offset: 8 * k
+        }),
+        p().prop_map(|dst| Instr::PtrueD { d: dst }),
+        (p(), xs(), xs()).prop_map(|(dst, n, m)| Instr::WhileltD { d: dst, n, m }),
+        (z(), d()).prop_map(|(dst, n)| Instr::DupZD { d: dst, n }),
+        (z(), -2.0f64..2.0).prop_map(|(dst, imm)| Instr::DupZI { d: dst, imm }),
+        (z(), z()).prop_map(|(dst, n)| Instr::MovZ { d: dst, n }),
+        (z(), p()).prop_map(|(t, pg)| Instr::Ld1d { t, pg, base: X(0), index: X(1) }),
+        (z(), p()).prop_map(|(t, pg)| Instr::St1d { t, pg, base: X(0), index: X(1) }),
+        (z(), p(), z(), z()).prop_map(|(dst, pg, n, m)| Instr::FAddZ { d: dst, pg, n, m }),
+        (z(), p(), z(), z()).prop_map(|(dst, pg, n, m)| Instr::FSubZ { d: dst, pg, n, m }),
+        (z(), p(), z(), z()).prop_map(|(dst, pg, n, m)| Instr::FMulZ { d: dst, pg, n, m }),
+        (z(), p(), z(), z()).prop_map(|(da, pg, n, m)| Instr::FMlaZ { da, pg, n, m }),
+        (z(), p(), z(), z()).prop_map(|(da, pg, n, m)| Instr::FMlsZ { da, pg, n, m }),
+        (z(), p(), z()).prop_map(|(dst, pg, n)| Instr::FNegZ { d: dst, pg, n }),
+        (d(), p(), z()).prop_map(|(dst, pg, n)| Instr::FaddvD { d: dst, pg, n }),
+    ]
+}
+
+fn machine_state(vl: u32, bound: u64) -> (RegFile, SimMem) {
+    let mut mem = SimMem::new(8 * ARR + 4096);
+    let vals: Vec<f64> = (0..ARR).map(|i| (i as f64 * 0.37).sin() * 0.5).collect();
+    let base = mem.alloc_f64(&vals);
+    let mut regs = RegFile::new(vl);
+    regs.x[0] = base as u64;
+    regs.x[1] = 0; // vector-load index: lanes ≤ 32 ≤ ARR
+    regs.x[2] = bound;
+    for i in 3..8 {
+        regs.x[i] = (i as u64) * 3;
+    }
+    for i in 0..8 {
+        regs.d[i] = 0.25 * i as f64 - 0.8;
+    }
+    (regs, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_are_mode_invariant(
+        prog in proptest::collection::vec(arb_instr(), 1..48),
+        vl in prop_oneof![Just(128u32), Just(256), Just(512), Just(1024), Just(2048)],
+        level in prop_oneof![Just(MemLevel::L1), Just(MemLevel::L2), Just(MemLevel::Hbm)],
+        bound in 0u64..40,
+    ) {
+        let cfg = ExecConfig::a64fx_l1().with_vl(vl).with_level(level);
+        let exec = Executor::new(cfg.clone());
+        let (mut r1, mut m1) = machine_state(vl, bound);
+        let s1 = exec.run(&prog, &mut r1, &mut m1);
+        let dp = DecodedProgram::decode(&prog, &cfg);
+        let (mut r2, mut m2) = machine_state(vl, bound);
+        let s2 = exec.run_decoded(&dp, &mut r2, &mut m2);
+        prop_assert_eq!(s1, s2, "stats diverge (vl={}, level={:?})", vl, level);
+        prop_assert_eq!(r1, r2, "registers diverge (vl={}, level={:?})", vl, level);
+        prop_assert_eq!(m1, m2, "memory diverges (vl={}, level={:?})", vl, level);
+    }
+}
