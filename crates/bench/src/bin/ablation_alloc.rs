@@ -109,7 +109,9 @@ fn main() {
                 // One warm-up round stocks the pool, as the first
                 // time step of a production run would.
                 ctx.comm.send(&mut ctx.sink, partner, 7, &data);
-                ctx.comm.recv_into(&mut ctx.sink, partner, 7, &mut recv_buf);
+                ctx.comm
+                    .recv_into(&mut ctx.sink, partner, 7, &mut recv_buf)
+                    .expect("healthy exchange");
             }
             // Double barrier around the snapshot: the first drains any
             // warm-up allocations group-wide, the second keeps every
@@ -120,9 +122,12 @@ fn main() {
             for _ in 0..rounds {
                 ctx.comm.send(&mut ctx.sink, partner, 7, &data);
                 if pooled {
-                    ctx.comm.recv_into(&mut ctx.sink, partner, 7, &mut recv_buf);
+                    ctx.comm
+                        .recv_into(&mut ctx.sink, partner, 7, &mut recv_buf)
+                        .expect("healthy exchange");
                 } else {
-                    let _dropped = ctx.comm.recv(&mut ctx.sink, partner, 7);
+                    let _dropped =
+                        ctx.comm.recv(&mut ctx.sink, partner, 7).expect("healthy exchange");
                 }
             }
             // The counter is group-global; after the closing barrier no

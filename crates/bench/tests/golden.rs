@@ -81,6 +81,11 @@ fn ablation_residency_matches_golden() {
 }
 
 #[test]
+fn ablation_faults_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_ablation_faults"), &[], "ablation_faults.txt");
+}
+
+#[test]
 #[ignore = "full 100-step run, minutes of wall clock"]
 fn table1_matches_golden() {
     assert_matches_golden(env!("CARGO_BIN_EXE_table1"), &[], "table1_output.txt");

@@ -1,10 +1,73 @@
 //! Point-to-point messaging and data-carrying collectives.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use v2d_machine::{CostLanes, MultiCostSink, SimDuration};
+use v2d_machine::{CostLanes, MultiCostSink, SendFault, SimDuration};
+
+/// Lock a mutex, recovering the data if another rank thread panicked
+/// while holding it (our state stays consistent: every critical section
+/// below is a plain read-modify-write with no tearing on unwind).
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A rank observed blocked in a receive when a timeout fired: who, on
+/// which source, on which tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedRank {
+    pub rank: usize,
+    pub src: usize,
+    pub tag: u32,
+}
+
+/// Typed communication failures.  The blocking paths only surface these
+/// on genuine faults (a peer rank died, a deadline fired, a tag stream
+/// desynchronized) — a healthy run never sees one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// A receive deadline expired.  `blocked` is the deadlock
+    /// diagnostic: every rank that was itself inside a blocking receive
+    /// at that moment, with the `(src, tag)` it was waiting on.
+    Timeout { rank: usize, src: usize, tag: u32, blocked: Vec<BlockedRank> },
+    /// The sending rank's channel closed — it panicked or exited.
+    Disconnected { rank: usize, src: usize, tag: u32 },
+    /// The next message from `src` carried a different tag than the
+    /// receive expected — the point-to-point stream desynchronized.
+    TagMismatch { rank: usize, src: usize, expected: u32, got: u32 },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, src, tag, blocked } => {
+                write!(f, "rank {rank}: recv from {src} tag {tag:#x} timed out")?;
+                if blocked.is_empty() {
+                    write!(f, " (no other rank blocked in a receive)")
+                } else {
+                    write!(f, "; blocked ranks:")?;
+                    for b in blocked {
+                        write!(f, " [{} on src {} tag {:#x}]", b.rank, b.src, b.tag)?;
+                    }
+                    Ok(())
+                }
+            }
+            CommError::Disconnected { rank, src, tag } => {
+                write!(f, "rank {rank}: rank {src} hung up while waiting on tag {tag:#x}")
+            }
+            CommError::TagMismatch { rank, src, expected, got } => {
+                write!(
+                    f,
+                    "rank {rank}: tag mismatch from rank {src}: expected {expected:#x}, got {got:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Process-wide count of fresh message-payload allocations.  The pooled
 /// send/[`Comm::recv_into`] path recycles payload buffers through the
@@ -94,13 +157,17 @@ pub(crate) struct Shared {
     /// Free list of payload buffers, recycled between sends and
     /// [`Comm::recv_into`] across the whole rank group.
     pool: Mutex<Vec<Vec<f64>>>,
+    /// Deadlock-diagnostic registry: `waiting[r]` is `Some((src, tag))`
+    /// while rank `r` is inside a blocking receive.  Purely host-side
+    /// bookkeeping — never touches the virtual clocks.
+    waiting: Vec<Mutex<Option<(usize, u32)>>>,
 }
 
 impl Shared {
     /// An empty buffer with capacity ≥ `len`, reused from the pool when
     /// possible (a fresh allocation is counted in [`msg_buf_alloc_count`]).
     fn take_buf(&self, len: usize) -> Vec<f64> {
-        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        let mut pool = lock_tolerant(&self.pool);
         if let Some(i) = pool.iter().position(|b| b.capacity() >= len) {
             return pool.swap_remove(i);
         }
@@ -112,10 +179,21 @@ impl Shared {
     /// Return a spent payload buffer to the pool.
     fn return_buf(&self, mut buf: Vec<f64>) {
         buf.clear();
-        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        let mut pool = lock_tolerant(&self.pool);
         if pool.len() < POOL_CAP {
             pool.push(buf);
         }
+    }
+
+    /// Snapshot of every rank currently blocked inside a receive.
+    fn blocked_ranks(&self) -> Vec<BlockedRank> {
+        self.waiting
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, slot)| {
+                lock_tolerant(slot).map(|(src, tag)| BlockedRank { rank, src, tag })
+            })
+            .collect()
     }
 }
 
@@ -152,6 +230,7 @@ impl Comm {
             coll: Mutex::new(CollRound::new(n_ranks)),
             coll_cv: Condvar::new(),
             pool: Mutex::new(Vec::new()),
+            waiting: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
         });
         (0..n_ranks).map(|rank| Comm { rank, shared: Arc::clone(&shared) }).collect()
     }
@@ -169,21 +248,45 @@ impl Comm {
     /// Send `data` to `dst` with `tag`.  Non-blocking (buffered): the
     /// sender's clocks advance only by the per-message software overhead;
     /// transfer time is charged on the receiving side.
+    ///
+    /// When a fault injector rides in `sink` it may drop the message
+    /// (never enters the channel) or delay it (stamped later on the
+    /// virtual clock).  Without an injector the path is untouched.  A
+    /// send to a rank that already exited is silently dropped —
+    /// delivery to a dead peer is moot, and the receive side reports
+    /// the disconnect where it can actually be handled.
     pub fn send(&self, sink: &mut impl CostLanes, dst: usize, tag: u32, data: &[f64]) {
+        let fate = match sink.fault_injector() {
+            Some(inj) => inj.poll_send(),
+            None => SendFault::None,
+        };
         let sink: &mut MultiCostSink = sink.cost_lanes();
         assert!(dst < self.n_ranks(), "send to nonexistent rank {dst}");
         assert_ne!(dst, self.rank, "self-sends are not supported (use local copies)");
         // Per-lane send overhead: half the latency (the classic
-        // overhead/latency split), then record post-send clocks.
+        // overhead/latency split), then record post-send clocks.  An
+        // injected delay stamps the message that much later, so the
+        // receiver's arrival-time wait models the late delivery.
+        let delay = match fate {
+            SendFault::Delay { secs } => secs,
+            _ => 0.0,
+        };
         let mut send_clocks = Vec::with_capacity(sink.lanes.len());
         for lane in &mut sink.lanes {
             lane.charge_mpi_secs(0.5 * lane.profile.mpi.p2p_latency);
-            send_clocks.push(lane.clock.now());
+            let mut stamp = lane.clock.now();
+            if delay > 0.0 {
+                stamp = stamp.saturating_add(SimDuration::from_secs(delay, lane.model.freq_hz));
+            }
+            send_clocks.push(stamp);
+        }
+        if fate == SendFault::Drop {
+            return; // the NIC ate it: the sender paid its overhead, nothing arrives
         }
         let mut payload = self.shared.take_buf(data.len());
         payload.extend_from_slice(data);
         let msg = Message { tag, data: payload, send_clocks };
-        self.shared.senders[self.rank][dst].send(msg).expect("receiver hung up — rank panicked?");
+        let _ = self.shared.senders[self.rank][dst].send(msg);
     }
 
     /// Receive the next message from `src`; its tag must equal `tag`
@@ -192,35 +295,148 @@ impl Comm {
     /// The receiver's clock per lane becomes
     /// `max(own, sender_send_time + latency + bytes/bandwidth)`.
     ///
+    /// Blocks indefinitely — unless a fault injector rides in `sink`,
+    /// in which case its configured deadline is armed and a timeout
+    /// surfaces as [`CommError::Timeout`] with a deadlock diagnostic
+    /// (plus the injector's virtual timeout cost on the MPI clocks).
+    ///
     /// The returned vector leaves the group's buffer pool for good; hot
     /// loops should prefer [`Comm::recv_into`], which recycles it.
-    pub fn recv(&self, sink: &mut impl CostLanes, src: usize, tag: u32) -> Vec<f64> {
-        self.recv_msg(sink.cost_lanes(), src, tag).data
+    pub fn recv(
+        &self,
+        sink: &mut impl CostLanes,
+        src: usize,
+        tag: u32,
+    ) -> Result<Vec<f64>, CommError> {
+        let deadline = Self::injected_deadline(sink);
+        Ok(self.recv_msg(sink.cost_lanes(), src, tag, deadline)?.data)
     }
 
     /// Allocation-free receive: the payload is copied into `out`
     /// (cleared first) and the transport buffer goes back to the pool,
     /// so a steady-state exchange loop performs no heap allocation.
-    /// Timing charges are identical to [`Comm::recv`].
-    pub fn recv_into(&self, sink: &mut impl CostLanes, src: usize, tag: u32, out: &mut Vec<f64>) {
-        let msg = self.recv_msg(sink.cost_lanes(), src, tag);
+    /// Timing charges and failure behaviour are identical to
+    /// [`Comm::recv`]; on error `out` is untouched.
+    pub fn recv_into(
+        &self,
+        sink: &mut impl CostLanes,
+        src: usize,
+        tag: u32,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CommError> {
+        let deadline = Self::injected_deadline(sink);
+        let msg = self.recv_msg(sink.cost_lanes(), src, tag, deadline)?;
         out.clear();
         out.extend_from_slice(&msg.data);
         self.shared.return_buf(msg.data);
+        Ok(())
     }
 
-    fn recv_msg(&self, sink: &mut MultiCostSink, src: usize, tag: u32) -> Message {
+    /// [`Comm::recv`] with an explicit real-time deadline instead of
+    /// the injector-configured one.  `virtual_secs` is charged to every
+    /// MPI clock lane if (and only if) the deadline fires — the modeled
+    /// cost of the timeout-and-recover protocol.
+    pub fn recv_timeout(
+        &self,
+        sink: &mut impl CostLanes,
+        src: usize,
+        tag: u32,
+        deadline: Duration,
+        virtual_secs: f64,
+    ) -> Result<Vec<f64>, CommError> {
+        Ok(self.recv_msg(sink.cost_lanes(), src, tag, Some((deadline, virtual_secs)))?.data)
+    }
+
+    /// Allocation-free [`Comm::recv_timeout`].
+    pub fn recv_into_timeout(
+        &self,
+        sink: &mut impl CostLanes,
+        src: usize,
+        tag: u32,
+        out: &mut Vec<f64>,
+        deadline: Duration,
+        virtual_secs: f64,
+    ) -> Result<(), CommError> {
+        let msg = self.recv_msg(sink.cost_lanes(), src, tag, Some((deadline, virtual_secs)))?;
+        out.clear();
+        out.extend_from_slice(&msg.data);
+        self.shared.return_buf(msg.data);
+        Ok(())
+    }
+
+    /// The `(real deadline, virtual timeout cost)` an injector in
+    /// `sink` asks blocking receives to arm; `None` without one.
+    fn injected_deadline(sink: &mut impl CostLanes) -> Option<(Duration, f64)> {
+        sink.fault_injector()
+            .map(|inj| (Duration::from_millis(inj.recv_timeout_ms()), inj.timeout_virtual_secs()))
+    }
+
+    /// Pull the next message off the `src → self` channel.  `deadline`
+    /// of `None` blocks forever (a healthy fault-free run cannot time
+    /// out); `Some((real, virtual_secs))` waits at most `real` wall
+    /// time, polling with an escalating backoff, and on expiry charges
+    /// `virtual_secs` of MPI time and reports which ranks were blocked.
+    fn recv_msg(
+        &self,
+        sink: &mut MultiCostSink,
+        src: usize,
+        tag: u32,
+        deadline: Option<(Duration, f64)>,
+    ) -> Result<Message, CommError> {
         assert!(src < self.n_ranks(), "recv from nonexistent rank {src}");
-        let msg = self.shared.mailboxes[self.rank][src]
-            .lock()
-            .expect("mailbox poisoned — rank panicked?")
-            .recv()
-            .expect("sender hung up — rank panicked?");
-        assert_eq!(
-            msg.tag, tag,
-            "message tag mismatch from rank {src}: expected {tag}, got {}",
-            msg.tag
-        );
+        *lock_tolerant(&self.shared.waiting[self.rank]) = Some((src, tag));
+        let got = {
+            let rx = lock_tolerant(&self.shared.mailboxes[self.rank][src]);
+            match deadline {
+                None => rx.recv().map_err(|_| None),
+                Some((total, _)) => {
+                    // Escalating backoff: short slices first so prompt
+                    // messages return fast, longer ones as the deadline
+                    // nears so an idle wait doesn't spin.
+                    let start = Instant::now();
+                    let mut slice = Duration::from_millis(1);
+                    loop {
+                        let left = match total.checked_sub(start.elapsed()) {
+                            Some(left) if !left.is_zero() => left,
+                            _ => break Err(Some(())),
+                        };
+                        match rx.recv_timeout(slice.min(left)) {
+                            Ok(msg) => break Ok(msg),
+                            Err(RecvTimeoutError::Timeout) => {
+                                slice = (slice * 2).min(Duration::from_millis(50));
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break Err(None),
+                        }
+                    }
+                }
+            }
+        };
+        *lock_tolerant(&self.shared.waiting[self.rank]) = None;
+        let msg = match got {
+            Ok(msg) => msg,
+            Err(Some(())) => {
+                // Deadline fired: snapshot who else is stuck (the
+                // deadlock diagnostic), charge the modeled timeout
+                // cost, and report.
+                let blocked = self.shared.blocked_ranks();
+                if let Some((_, virtual_secs)) = deadline {
+                    for lane in &mut sink.lanes {
+                        lane.charge_mpi_secs(virtual_secs);
+                    }
+                }
+                return Err(CommError::Timeout { rank: self.rank, src, tag, blocked });
+            }
+            Err(None) => return Err(CommError::Disconnected { rank: self.rank, src, tag }),
+        };
+        if msg.tag != tag {
+            self.shared.return_buf(msg.data);
+            return Err(CommError::TagMismatch {
+                rank: self.rank,
+                src,
+                expected: tag,
+                got: msg.tag,
+            });
+        }
         assert_eq!(
             msg.send_clocks.len(),
             sink.lanes.len(),
@@ -232,7 +448,7 @@ impl Comm {
             let arrival = sent.saturating_add(SimDuration::from_secs(transfer, lane.model.freq_hz));
             lane.wait_until_mpi(arrival);
         }
-        msg
+        Ok(msg)
     }
 
     /// Combined send+receive with a partner (the halo-exchange workhorse;
@@ -243,7 +459,7 @@ impl Comm {
         partner: usize,
         tag: u32,
         data: &[f64],
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, CommError> {
         self.send(sink, partner, tag, data);
         self.recv(sink, partner, tag)
     }
@@ -262,10 +478,11 @@ impl Comm {
             });
         }
         let clocks: Vec<SimDuration> = sink.lanes.iter().map(|l| l.clock.now()).collect();
-        let mut round = self.shared.coll.lock().expect("collective state poisoned");
+        let mut round = lock_tolerant(&self.shared.coll);
         // Wait for the previous round to fully drain before depositing.
         while round.result.is_some() {
-            round = self.shared.coll_cv.wait(round).expect("collective state poisoned");
+            round =
+                self.shared.coll_cv.wait(round).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         assert!(
             round.contrib[self.rank].is_none(),
@@ -276,9 +493,10 @@ impl Comm {
         round.contrib[self.rank] = Some((data, clocks));
         round.deposited += 1;
         if round.deposited == n {
-            // Last to arrive computes the result, rank-ordered.
+            // Last to arrive computes the result, rank-ordered.  Every
+            // slot is occupied by construction (`deposited == n`).
             let contribs: Vec<(Vec<f64>, Vec<SimDuration>)> =
-                round.contrib.iter_mut().map(|c| c.take().expect("all deposited")).collect();
+                round.contrib.iter_mut().filter_map(Option::take).collect();
             let lanes = contribs[0].1.len();
             let mut sync = vec![SimDuration::ZERO; lanes];
             for (_, cl) in &contribs {
@@ -312,14 +530,16 @@ impl Comm {
             round.result = Some((Arc::new(payload), sync));
             round.deposited = 0;
             self.shared.coll_cv.notify_all();
-        } else {
-            while round.result.is_none() {
-                round = self.shared.coll_cv.wait(round).expect("collective state poisoned");
-            }
         }
-        let (payload, sync) = round.result.as_ref().expect("result just set");
-        let payload = Arc::clone(payload);
-        let sync = sync.clone();
+        // The last depositor just set `result`; everyone else waits for
+        // it (the loop doubles as the Some-unwrap, so no panic path).
+        let (payload, sync) = loop {
+            if let Some((p, s)) = round.result.as_ref() {
+                break (Arc::clone(p), s.clone());
+            }
+            round =
+                self.shared.coll_cv.wait(round).unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
         round.left += 1;
         if round.left == n {
             round.left = 0;

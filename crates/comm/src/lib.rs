@@ -23,10 +23,15 @@
 //! parameters NPRX1/NPRX2 in the paper) with block tile extents and
 //! neighbor halo exchange.
 
+// Library code must degrade through typed errors, never panic: a rank
+// that panics takes the whole virtual machine down with it.  Tests and
+// binaries (separate crates) are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod comm;
 pub mod topology;
 pub mod universe;
 
-pub use comm::{msg_buf_alloc_count, Comm, ReduceOp};
+pub use comm::{msg_buf_alloc_count, BlockedRank, Comm, CommError, ReduceOp};
 pub use topology::{CartComm, Tile, TileMap};
 pub use universe::{RankCtx, Spmd};

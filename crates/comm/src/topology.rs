@@ -8,7 +8,7 @@
 
 use v2d_machine::CostLanes;
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CommError};
 
 /// One rank's rectangular tile of the global x1 × x2 grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,9 +228,9 @@ impl CartComm {
         sink: &mut impl CostLanes,
         dir: Dir,
         data: &[f64],
-    ) -> Option<Vec<f64>> {
+    ) -> Result<Option<Vec<f64>>, CommError> {
         if !self.post(comm, sink, dir, data) {
-            return None;
+            return Ok(None);
         }
         self.collect(comm, sink, dir)
     }
@@ -249,29 +249,38 @@ impl CartComm {
     }
 
     /// Receive the strip the `dir` neighbor posted toward us (it posted
-    /// in the opposite direction), or `None` at a domain boundary.
-    pub fn collect(&self, comm: &Comm, sink: &mut impl CostLanes, dir: Dir) -> Option<Vec<f64>> {
-        let partner = self.neighbor(dir)?;
-        Some(comm.recv(sink, partner, dir.opposite().tag()))
+    /// in the opposite direction); `Ok(None)` at a domain boundary.
+    /// Errors surface the underlying [`CommError`] (timeout with
+    /// deadlock diagnostic when a fault injector armed a deadline).
+    pub fn collect(
+        &self,
+        comm: &Comm,
+        sink: &mut impl CostLanes,
+        dir: Dir,
+    ) -> Result<Option<Vec<f64>>, CommError> {
+        match self.neighbor(dir) {
+            Some(partner) => comm.recv(sink, partner, dir.opposite().tag()).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Allocation-free [`CartComm::collect`]: the strip is received into
     /// `out` via [`Comm::recv_into`] (cleared first) and the transport
-    /// buffer is recycled.  Returns false at a domain boundary, in which
-    /// case `out` is untouched.
+    /// buffer is recycled.  `Ok(false)` at a domain boundary; on either
+    /// `Ok(false)` or `Err` the contents of `out` are untouched.
     pub fn collect_into(
         &self,
         comm: &Comm,
         sink: &mut impl CostLanes,
         dir: Dir,
         out: &mut Vec<f64>,
-    ) -> bool {
+    ) -> Result<bool, CommError> {
         match self.neighbor(dir) {
             Some(partner) => {
-                comm.recv_into(sink, partner, dir.opposite().tag(), out);
-                true
+                comm.recv_into(sink, partner, dir.opposite().tag(), out)?;
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 }
@@ -391,7 +400,8 @@ mod tests {
             let mut got = Vec::new();
             for dir in Dir::ALL {
                 let strip = vec![me; 4];
-                got.push(cart.exchange(&ctx.comm, &mut ctx.sink, dir, &strip).map(|v| v[0]));
+                let strip_back = cart.exchange(&ctx.comm, &mut ctx.sink, dir, &strip);
+                got.push(strip_back.expect("healthy exchange").map(|v| v[0]));
             }
             got
         });

@@ -84,7 +84,10 @@ impl Spmd {
                     body(&mut ctx)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
         })
     }
 }
@@ -161,7 +164,7 @@ mod tests {
             let me = ctx.rank();
             let partner = 1 - me;
             let data = vec![me as f64; 3];
-            ctx.comm.sendrecv(&mut ctx.sink, partner, 7, &data)
+            ctx.comm.sendrecv(&mut ctx.sink, partner, 7, &data).expect("healthy exchange")
         });
         assert_eq!(outs[0], vec![1.0; 3]);
         assert_eq!(outs[1], vec![0.0; 3]);
@@ -176,7 +179,7 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..10).map(|i| ctx.comm.recv(&mut ctx.sink, 0, i)[0]).collect()
+                (0..10).map(|i| ctx.comm.recv(&mut ctx.sink, 0, i).expect("in order")[0]).collect()
             }
         });
         assert_eq!(outs[1], (0..10).map(|i| i as f64).collect::<Vec<_>>());

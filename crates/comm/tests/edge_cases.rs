@@ -3,7 +3,7 @@
 //! that must fail loudly rather than deadlock silently.
 
 use v2d_comm::topology::Dir;
-use v2d_comm::{CartComm, ReduceOp, Spmd, TileMap};
+use v2d_comm::{CartComm, CommError, ReduceOp, Spmd, TileMap};
 use v2d_machine::CompilerProfile;
 
 fn one_profile() -> Vec<CompilerProfile> {
@@ -16,7 +16,7 @@ fn single_rank_world_has_no_neighbors() {
         let cart = CartComm::new(&ctx.comm, TileMap::new(8, 8, 1, 1));
         for dir in Dir::ALL {
             assert!(cart.neighbor(dir).is_none());
-            assert!(cart.exchange(&ctx.comm, &mut ctx.sink, dir, &[1.0]).is_none());
+            assert!(cart.exchange(&ctx.comm, &mut ctx.sink, dir, &[1.0]).unwrap().is_none());
         }
         // Collectives are identity and free.
         let before = ctx.sink.lanes[0].clock.now();
@@ -79,7 +79,7 @@ fn p2p_interleaved_tags_stay_ordered_per_source() {
         0 => {
             let mut got = Vec::new();
             for k in 0..20u32 {
-                got.push(ctx.comm.recv(&mut ctx.sink, 1 + (k % 2) as usize, k / 2)[0]);
+                got.push(ctx.comm.recv(&mut ctx.sink, 1 + (k % 2) as usize, k / 2).unwrap()[0]);
             }
             got
         }
@@ -99,13 +99,18 @@ fn p2p_interleaved_tags_stay_ordered_per_source() {
 }
 
 #[test]
-#[should_panic] // the rank thread's "tag mismatch" panic propagates via join
-fn wrong_tag_is_detected() {
+fn wrong_tag_is_a_typed_error() {
+    // A desynchronized tag stream must surface as CommError::TagMismatch
+    // naming both tags — not a panic, not a silent hang.
     Spmd::new(2).with_profiles(one_profile()).run(|ctx| {
         if ctx.rank() == 0 {
             ctx.comm.send(&mut ctx.sink, 1, 7, &[1.0]);
         } else {
-            let _ = ctx.comm.recv(&mut ctx.sink, 0, 8);
+            let err = ctx.comm.recv(&mut ctx.sink, 0, 8).unwrap_err();
+            assert!(
+                matches!(err, CommError::TagMismatch { expected: 8, got: 7, .. }),
+                "unexpected error: {err}"
+            );
         }
     });
 }

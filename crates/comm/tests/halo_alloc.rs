@@ -20,7 +20,7 @@ fn warm_recv_into_rounds_never_allocate() {
         // One warm-up round stocks the pool, as the first time step of a
         // production run would.
         ctx.comm.send(&mut ctx.sink, partner, 3, &data);
-        ctx.comm.recv_into(&mut ctx.sink, partner, 3, &mut recv_buf);
+        ctx.comm.recv_into(&mut ctx.sink, partner, 3, &mut recv_buf).unwrap();
 
         // Double barrier around the snapshot: the first drains the
         // warm-up allocations group-wide, the second keeps every rank
@@ -30,7 +30,7 @@ fn warm_recv_into_rounds_never_allocate() {
         ctx.comm.barrier(&mut ctx.sink);
         for _ in 0..rounds {
             ctx.comm.send(&mut ctx.sink, partner, 3, &data);
-            ctx.comm.recv_into(&mut ctx.sink, partner, 3, &mut recv_buf);
+            ctx.comm.recv_into(&mut ctx.sink, partner, 3, &mut recv_buf).unwrap();
             assert_eq!(recv_buf.len(), strip);
             assert_eq!(recv_buf[0], partner as f64);
             assert_eq!(recv_buf[strip - 1], partner as f64 + (strip - 1) as f64 * 0.5);

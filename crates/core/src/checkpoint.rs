@@ -12,13 +12,95 @@
 //! /hydro/{rho,m1,m2,etot} f64 [n2, n1]   (when hydro is enabled)
 //! ```
 
+use std::path::{Path, PathBuf};
+
 use v2d_comm::Comm;
 use v2d_io::parallel::TileData;
-use v2d_io::{Dataset, File, Value};
+use v2d_io::{Dataset, File, H5Error, Value};
 use v2d_linalg::NSPEC;
 use v2d_machine::{KernelClass, KernelShape, MultiCostSink};
 
 use crate::sim::V2dSim;
+
+/// Why a checkpoint could not be restored (or persisted).
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A required attribute is absent.
+    MissingAttr { name: String },
+    /// An attribute exists with the wrong type.
+    BadAttr { name: String, expected: &'static str },
+    /// A required dataset is absent.
+    MissingDataset { name: String },
+    /// A dataset exists with the wrong element type.
+    BadDataset { name: String, expected: &'static str },
+    /// The checkpoint was written for a different global grid.
+    GridMismatch { file: (usize, usize), sim: (usize, usize) },
+    /// The container layer rejected the file (I/O, corruption, version).
+    Io(H5Error),
+    /// No file in the store's directory decoded cleanly.
+    NoUsableCheckpoint { dir: String, tried: usize },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::MissingAttr { name } => {
+                write!(f, "checkpoint missing attribute `{name}`")
+            }
+            CheckpointError::BadAttr { name, expected } => {
+                write!(f, "checkpoint attribute `{name}` is not {expected}")
+            }
+            CheckpointError::MissingDataset { name } => {
+                write!(f, "checkpoint missing dataset `{name}`")
+            }
+            CheckpointError::BadDataset { name, expected } => {
+                write!(f, "checkpoint dataset `{name}` is not {expected}")
+            }
+            CheckpointError::GridMismatch { file, sim } => write!(
+                f,
+                "checkpoint grid {}x{} does not match simulation grid {}x{}",
+                file.0, file.1, sim.0, sim.1
+            ),
+            CheckpointError::Io(e) => write!(f, "checkpoint container error: {e}"),
+            CheckpointError::NoUsableCheckpoint { dir, tried } => {
+                write!(f, "no usable checkpoint in {dir} ({tried} file(s) tried)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<H5Error> for CheckpointError {
+    fn from(e: H5Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn attr_i64(file: &File, name: &str) -> Result<i64, CheckpointError> {
+    match file.attr(name) {
+        Ok(Value::I64(v)) => Ok(*v),
+        Ok(_) => Err(CheckpointError::BadAttr { name: name.into(), expected: "an integer" }),
+        Err(_) => Err(CheckpointError::MissingAttr { name: name.into() }),
+    }
+}
+
+fn attr_f64(file: &File, name: &str) -> Result<f64, CheckpointError> {
+    match file.attr(name) {
+        Ok(Value::F64(v)) => Ok(*v),
+        Ok(_) => Err(CheckpointError::BadAttr { name: name.into(), expected: "a float" }),
+        Err(_) => Err(CheckpointError::MissingAttr { name: name.into() }),
+    }
+}
+
+fn dataset_f64<'f>(file: &'f File, name: &str) -> Result<&'f [f64], CheckpointError> {
+    match file.dataset(name) {
+        Ok(ds) => {
+            ds.as_f64().ok_or(CheckpointError::BadDataset { name: name.into(), expected: "f64" })
+        }
+        Err(_) => Err(CheckpointError::MissingDataset { name: name.into() }),
+    }
+}
 
 /// Gather one distributed field (given per-rank `values` of the local
 /// tile, species-major) into a global row-major array on every rank.
@@ -83,53 +165,56 @@ pub fn write_checkpoint(comm: &Comm, sink: &mut MultiCostSink, sim: &V2dSim) -> 
 
 /// Restore `sim`'s rank-local state from a checkpoint file.
 ///
-/// # Panics
-/// If the checkpoint's grid does not match the simulation's.
-pub fn restore_checkpoint(sim: &mut V2dSim, file: &File) {
+/// Every defect — missing or mistyped attribute/dataset, grid mismatch —
+/// is a typed [`CheckpointError`] naming the offending member, and the
+/// simulation is left untouched on any error (all validation happens
+/// before the first field write).
+pub fn restore_checkpoint(sim: &mut V2dSim, file: &File) -> Result<(), CheckpointError> {
     let g = *sim.grid();
     let (gn1, gn2) = (g.global.n1, g.global.n2);
-    let n1_ck = match file.attr("n1").expect("checkpoint missing n1") {
-        Value::I64(v) => *v as usize,
-        other => panic!("bad n1 attribute: {other:?}"),
-    };
-    let n2_ck = match file.attr("n2").expect("checkpoint missing n2") {
-        Value::I64(v) => *v as usize,
-        other => panic!("bad n2 attribute: {other:?}"),
-    };
-    assert_eq!((n1_ck, n2_ck), (gn1, gn2), "checkpoint grid mismatch");
+    let n1_ck = attr_i64(file, "n1")? as usize;
+    let n2_ck = attr_i64(file, "n2")? as usize;
+    if (n1_ck, n2_ck) != (gn1, gn2) {
+        return Err(CheckpointError::GridMismatch { file: (n1_ck, n2_ck), sim: (gn1, gn2) });
+    }
 
-    let time = match file.attr("time").expect("missing time") {
-        Value::F64(v) => *v,
-        other => panic!("bad time attribute: {other:?}"),
-    };
-    let istep = match file.attr("istep").expect("missing istep") {
-        Value::I64(v) => *v as usize,
-        other => panic!("bad istep attribute: {other:?}"),
-    };
+    let time = attr_f64(file, "time")?;
+    let istep = attr_i64(file, "istep")? as usize;
+
+    // Validate every dataset (presence, type, length) before mutating
+    // anything, so a half-valid file cannot leave a half-restored sim.
+    let erad = dataset_f64(file, "radiation/erad")?;
+    if erad.len() != NSPEC * gn1 * gn2 {
+        return Err(CheckpointError::BadDataset {
+            name: "radiation/erad".into(),
+            expected: "an nspec * n2 * n1 array",
+        });
+    }
+    let erad = erad.to_vec();
+    let mut hydro_fields = Vec::new();
+    if sim.hydro().is_some() {
+        for name in ["rho", "m1", "m2", "etot"] {
+            let data = dataset_f64(file, &format!("hydro/{name}"))?;
+            if data.len() != gn1 * gn2 {
+                return Err(CheckpointError::BadDataset {
+                    name: format!("hydro/{name}"),
+                    expected: "an n2 * n1 array",
+                });
+            }
+            hydro_fields.push((name, data.to_vec()));
+        }
+    }
+
     sim.set_time(time, istep);
-
-    let erad = file
-        .dataset("radiation/erad")
-        .expect("missing radiation/erad")
-        .as_f64()
-        .expect("erad must be f64")
-        .to_vec();
     {
         let (i1s, i2s) = (g.i1_start, g.i2_start);
         sim.erad_mut().fill_with(|s, i1, i2| erad[s * gn1 * gn2 + (i2s + i2) * gn1 + (i1s + i1)]);
     }
 
-    if sim.hydro().is_some() {
+    if let Some(h) = sim.hydro_mut() {
         let (i1s, i2s) = (g.i1_start, g.i2_start);
         let (ln1, ln2) = (g.n1, g.n2);
-        for name in ["rho", "m1", "m2", "etot"] {
-            let data = file
-                .dataset(&format!("hydro/{name}"))
-                .unwrap_or_else(|_| panic!("checkpoint missing hydro/{name}"))
-                .as_f64()
-                .expect("hydro fields must be f64")
-                .to_vec();
-            let h = sim.hydro_mut().expect("hydro enabled");
+        for (name, data) in hydro_fields {
             let field = match name {
                 "rho" => &mut h.rho,
                 "m1" => &mut h.m1,
@@ -142,6 +227,94 @@ pub fn restore_checkpoint(sim: &mut V2dSim, file: &File) {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// A rotating on-disk checkpoint store with crash-safe writes and
+/// corruption-tolerant restore.
+///
+/// `save` writes `ck_<istep>.h5l` atomically (tmp + rename, via
+/// [`File::save`]) and prunes the oldest files beyond `keep`;
+/// `load_latest` walks the directory newest-first and returns the first
+/// checkpoint that decodes cleanly, skipping truncated, corrupt, or
+/// wrong-version files and reporting each skip.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` (created on demand), keeping at most
+    /// `keep` checkpoints on disk.
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| CheckpointError::Io(H5Error::Io(e)))?;
+        Ok(CheckpointStore { dir, keep: keep.max(1) })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn checkpoint_files(&self) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("ck_") && n.ends_with(".h5l"))
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        // Zero-padded step numbers make lexicographic == chronological.
+        files.sort();
+        files
+    }
+
+    /// Persist `file` as the checkpoint for step `istep`, then prune.
+    pub fn save(&mut self, file: &File, istep: usize) -> Result<PathBuf, CheckpointError> {
+        let path = self.dir.join(format!("ck_{istep:08}.h5l"));
+        file.save(&path)?;
+        let files = self.checkpoint_files();
+        if files.len() > self.keep {
+            for old in &files[..files.len() - self.keep] {
+                // Pruning is best-effort: a stuck old file must not fail
+                // the save that just succeeded.
+                let _ = std::fs::remove_file(old);
+            }
+        }
+        Ok(path)
+    }
+
+    /// Load the newest checkpoint that decodes cleanly.  Returns the
+    /// file, its path, and one note per skipped (corrupt, truncated, or
+    /// wrong-version) candidate, newest first.
+    pub fn load_latest(&self) -> Result<(File, PathBuf, Vec<String>), CheckpointError> {
+        let files = self.checkpoint_files();
+        let mut skipped = Vec::new();
+        for path in files.iter().rev() {
+            match File::open(path) {
+                Ok(f) => return Ok((f, path.clone(), skipped)),
+                Err(e) => {
+                    let name = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or("<non-utf8>")
+                        .to_string();
+                    skipped.push(format!("{name}: {}", e.root_cause()));
+                }
+            }
+        }
+        Err(CheckpointError::NoUsableCheckpoint {
+            dir: self.dir.display().to_string(),
+            tried: skipped.len(),
+        })
     }
 }
 
@@ -177,7 +350,7 @@ mod tests {
 
             // Restore into a fresh sim and continue identically.
             let mut sim2 = V2dSim::new(cfg, &ctx.comm, map);
-            restore_checkpoint(&mut sim2, &ck);
+            restore_checkpoint(&mut sim2, &ck).expect("valid checkpoint");
             assert_eq!(sim2.istep(), 2);
             for _ in 0..2 {
                 sim2.step(&ctx.comm, &mut ctx.sink);

@@ -47,6 +47,7 @@ pub enum ParError {
     Syntax { line: usize, msg: String },
     Missing(String),
     Invalid { key: String, msg: String },
+    Io { path: String, msg: String },
 }
 
 impl fmt::Display for ParError {
@@ -55,6 +56,7 @@ impl fmt::Display for ParError {
             ParError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
             ParError::Missing(k) => write!(f, "missing required parameter `{k}`"),
             ParError::Invalid { key, msg } => write!(f, "parameter `{key}`: {msg}"),
+            ParError::Io { path, msg } => write!(f, "{path}: {msg}"),
         }
     }
 }
@@ -105,9 +107,12 @@ impl ParFile {
         Ok(ParFile { entries })
     }
 
-    /// Read a parameter file from disk.
-    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
-        Ok(Self::parse(&std::fs::read_to_string(path)?)?)
+    /// Read a parameter file from disk.  I/O failures name the path.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, ParError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ParError::Io { path: path.display().to_string(), msg: e.to_string() })?;
+        Self::parse(&text)
     }
 
     /// Raw string value of `key` (fully qualified: `section.key`).
@@ -164,10 +169,21 @@ impl ParFile {
     /// Build the full [`V2dConfig`] plus the process topology
     /// `(NPRX1, NPRX2)` from this file.
     pub fn to_config(&self) -> Result<(V2dConfig, (usize, usize)), ParError> {
+        fn check(key: &str, ok: bool, msg: &str) -> Result<(), ParError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ParError::Invalid { key: key.to_string(), msg: msg.to_string() })
+            }
+        }
         let n1: usize = self.scalar("grid.n1")?;
         let n2: usize = self.scalar("grid.n2")?;
+        check("grid.n1", n1 >= 1, "grid must have at least one zone")?;
+        check("grid.n2", n2 >= 1, "grid must have at least one zone")?;
         let x1 = self.pair("grid.x1")?;
         let x2 = self.pair("grid.x2")?;
+        check("grid.x1", x1.1 > x1.0, "upper bound must exceed lower bound")?;
+        check("grid.x2", x2.1 > x2.0, "upper bound must exceed lower bound")?;
         let geometry = match self.get("grid.geometry").unwrap_or("cartesian") {
             "cartesian" => Geometry::Cartesian,
             "cylindrical" | "rz" => Geometry::CylindricalRZ,
@@ -195,6 +211,9 @@ impl ParFile {
         let ka = self.pair("radiation.kappa_a")?;
         let ks = self.pair("radiation.kappa_s")?;
         let kx: f64 = self.scalar_or("radiation.kappa_x", 0.0)?;
+        check("radiation.kappa_a", ka.0 >= 0.0 && ka.1 >= 0.0, "opacities must be >= 0")?;
+        check("radiation.kappa_s", ks.0 >= 0.0 && ks.1 >= 0.0, "opacities must be >= 0")?;
+        check("radiation.kappa_x", kx >= 0.0, "opacities must be >= 0")?;
         let opacity =
             OpacityModel::Constant { kappa_a: [ka.0, ka.1], kappa_s: [ks.0, ks.1], kappa_x: kx };
         let precond = match self.get("radiation.precond").unwrap_or("block-jacobi") {
@@ -223,7 +242,10 @@ impl ParFile {
             tol: self.scalar_or("radiation.tol", 1e-9)?,
             max_iters: self.scalar_or("radiation.max_iters", 10_000)?,
             variant,
+            ..SolveOpts::default()
         };
+        check("radiation.tol", solve.tol > 0.0 && solve.tol.is_finite(), "must be > 0")?;
+        check("radiation.max_iters", solve.max_iters >= 1, "must be >= 1")?;
 
         let hydro = match self.get("hydro.enabled").unwrap_or("false") {
             "true" | "yes" | "1" => {
@@ -237,9 +259,13 @@ impl ParFile {
                         }),
                     }
                 };
+                let gamma = self.scalar_or("hydro.gamma", 5.0 / 3.0)?;
+                let cfl = self.scalar_or("hydro.cfl", 0.4)?;
+                check("hydro.gamma", gamma > 1.0, "adiabatic index must be > 1")?;
+                check("hydro.cfl", cfl > 0.0 && cfl <= 1.0, "must be in (0, 1]")?;
                 Some(HydroConfig {
-                    gamma: self.scalar_or("hydro.gamma", 5.0 / 3.0)?,
-                    cfl: self.scalar_or("hydro.cfl", 0.4)?,
+                    gamma,
+                    cfl,
                     bc: crate::hydro::HydroBc {
                         west: bc_of("hydro.bc_west")?,
                         east: bc_of("hydro.bc_east")?,
@@ -257,13 +283,19 @@ impl ParFile {
             }
         };
 
+        let c_light = self.scalar_or("radiation.c_light", 1.0)?;
+        let dt = self.scalar("run.dt")?;
+        let n_steps = self.scalar("run.n_steps")?;
+        check("radiation.c_light", c_light > 0.0, "must be > 0")?;
+        check("run.dt", dt > 0.0 && f64::is_finite(dt), "timestep must be > 0")?;
+        check("run.n_steps", n_steps >= 1, "must run at least one step")?;
         let cfg = V2dConfig {
             grid,
             limiter,
             opacity,
-            c_light: self.scalar_or("radiation.c_light", 1.0)?,
-            dt: self.scalar("run.dt")?,
-            n_steps: self.scalar("run.n_steps")?,
+            c_light,
+            dt,
+            n_steps,
             precond,
             solve,
             hydro,
@@ -271,6 +303,8 @@ impl ParFile {
         };
         let nprx1: usize = self.scalar_or("run.nprx1", 1)?;
         let nprx2: usize = self.scalar_or("run.nprx2", 1)?;
+        check("run.nprx1", nprx1 >= 1, "process topology must be >= 1")?;
+        check("run.nprx2", nprx2 >= 1, "process topology must be >= 1")?;
         Ok((cfg, (nprx1, nprx2)))
     }
 }
@@ -378,6 +412,32 @@ mod tests {
         let (cfg, _) = pf.to_config().unwrap();
         let h = cfg.hydro.expect("hydro enabled");
         assert!((h.gamma - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_are_reported() {
+        for (from, to, key) in [
+            ("dt = 0.06", "dt = -0.5", "run.dt"),
+            ("n_steps = 100", "n_steps = 0", "run.n_steps"),
+            ("tol = 1e-9", "tol = 0.0", "radiation.tol"),
+            ("kappa_s = 2.0 3.0", "kappa_s = -2.0 3.0", "radiation.kappa_s"),
+            ("n1 = 200", "n1 = 0", "grid.n1"),
+        ] {
+            let text = PAPER_PAR.replace(from, to);
+            let pf = ParFile::parse(&text).unwrap();
+            match pf.to_config() {
+                Err(ParError::Invalid { key: k, .. }) => assert_eq!(k, key),
+                other => panic!("`{to}` accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn open_failure_names_the_path() {
+        match ParFile::open("/nonexistent/v2d.par") {
+            Err(ParError::Io { path, .. }) => assert_eq!(path, "/nonexistent/v2d.par"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -285,13 +285,24 @@ pub fn exchange_fields(cart: &CartComm, comm: &Comm, cx: &mut ExecCtx, fields: &
     // so the steady-state time-step loop performs no per-exchange
     // allocation (the transport buffer is recycled by `collect_into`).
     for dir in Dir::ALL {
-        if cart.collect_into(comm, cx, dir, &mut send) {
-            let strip = fields[0].strip_len(dir);
-            assert_eq!(send.len(), strip * fields.len(), "bundled halo size mismatch");
-            for (fi, f) in fields.iter_mut().enumerate() {
-                f.unpack_strip(dir, &send[fi * strip..(fi + 1) * strip]);
+        match cart.collect_into(comm, cx, dir, &mut send) {
+            Ok(true) => {
+                let strip = fields[0].strip_len(dir);
+                assert_eq!(send.len(), strip * fields.len(), "bundled halo size mismatch");
+                for (fi, f) in fields.iter_mut().enumerate() {
+                    f.unpack_strip(dir, &send[fi * strip..(fi + 1) * strip]);
+                }
+                cx.charge_streaming(KernelClass::Pack, send.len(), 0, 1, 1);
             }
-            cx.charge_streaming(KernelClass::Pack, send.len(), 0, 1, 1);
+            Ok(false) => {}
+            Err(e) => {
+                // Lost/late strip under fault injection: hold the stale
+                // ghost values for this step (see StencilOp's halo path
+                // for the stream-realignment argument).
+                if let Some(inj) = cx.faults() {
+                    inj.note(format!("field halo recv failed ({e}); holding stale ghost"));
+                }
+            }
         }
     }
 }

@@ -33,6 +33,11 @@
 //!   `key = value` decks, including the NPRX1/NPRX2 topology knobs);
 //! * [`checkpoint`] — HDF5-style (h5lite) parallel checkpoint/restart.
 
+// Library code recovers through typed errors (SolveError,
+// CheckpointError, ParError) rather than panicking; tests and binaries
+// (separate crates) are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod checkpoint;
 pub mod config_file;
 pub mod field;
@@ -47,4 +52,4 @@ pub mod sim;
 pub use grid::{Geometry, Grid2, LocalGrid};
 pub use limiter::Limiter;
 pub use opacity::OpacityModel;
-pub use sim::{PrecondKind, StepStats, V2dConfig, V2dSim};
+pub use sim::{PrecondKind, RecoveryPolicy, StepError, StepStats, V2dConfig, V2dSim};

@@ -24,9 +24,14 @@ pub enum Limiter {
 }
 
 impl Limiter {
-    /// Evaluate λ(R); `r` must be non-negative.
+    /// Evaluate λ(R); `r` must be non-negative.  A non-finite `R`
+    /// (poisoned field data) is deliberately let through: the limited
+    /// branches map it to NaN and the poisoned field also sits in the
+    /// right-hand side, so the poison reaches the solver's *collective*
+    /// non-finite guard instead of killing one rank here and
+    /// deadlocking the rest in a collective.
     pub fn lambda(self, r: f64) -> f64 {
-        debug_assert!(r >= 0.0, "limiter argument must be ≥ 0, got {r}");
+        debug_assert!(r.is_nan() || r >= 0.0, "limiter argument must be ≥ 0, got {r}");
         match self {
             Limiter::None => 1.0 / 3.0,
             Limiter::Wilson => 1.0 / (3.0 + r),

@@ -115,14 +115,17 @@ impl GaussianPulse {
         self.background + self.amplitude * s2 / s2t * (-r2 / s2t).exp()
     }
 
-    /// The diffusion coefficient of the linear configuration.
+    /// The diffusion coefficient of the linear configuration.  Falls
+    /// back to the species-0 floor opacities for non-constant models
+    /// (where no single coefficient exists, the floor is the closest
+    /// analogue; the analytic comparison is only meaningful for
+    /// [`Self::linear_config`], which is constant).
     pub fn linear_diffusion_coefficient(cfg: &V2dConfig) -> f64 {
-        match cfg.opacity {
-            OpacityModel::Constant { kappa_a, kappa_s, .. } => {
-                cfg.c_light / (3.0 * (kappa_a[0] + kappa_s[0]))
-            }
-            _ => panic!("linear configuration uses constant opacities"),
-        }
+        let (ka0, ks0) = match cfg.opacity {
+            OpacityModel::Constant { kappa_a, kappa_s, .. } => (kappa_a[0], kappa_s[0]),
+            OpacityModel::PowerLaw { kappa0, kappa1, .. } => (kappa0[0], kappa1[0]),
+        };
+        cfg.c_light / (3.0 * (ka0 + ks0))
     }
 }
 

@@ -67,7 +67,11 @@ impl MatterRelaxation {
         let e0 = self.e0;
         sim.erad_mut().fill_with(|s, _, _| e0[s]);
         let t0 = self.t0;
-        sim.temperature_mut().expect("coupling must be enabled").fill_with(|_, _| t0);
+        // The problem's own config() always enables coupling; a caller
+        // who disabled it gets radiation-only initial conditions.
+        if let Some(temp) = sim.temperature_mut() {
+            temp.fill_with(|_, _| t0);
+        }
     }
 
     /// The equilibrium temperature: solves

@@ -49,11 +49,18 @@ impl SodTube {
     /// Set the hydro initial condition (requires hydro enabled).
     pub fn init(&self, sim: &mut V2dSim) {
         let grid = *sim.grid();
-        let gamma = sim.config().hydro.expect("SodTube needs hydro enabled").gamma;
-        let eos = crate::hydro::GammaLaw::new(gamma);
+        // The problem's own config() always enables hydro; a caller who
+        // disabled it gets only the radiation background below.
+        let Some(hcfg) = sim.config().hydro else {
+            sim.erad_mut().fill_interior(1e-6);
+            return;
+        };
+        let eos = crate::hydro::GammaLaw::new(hcfg.gamma);
         let (iface, left, right) = (self.interface, self.left, self.right);
         let x1span = grid.global.x1max - grid.global.x1min;
-        let state = sim.hydro_mut().expect("hydro state");
+        let Some(state) = sim.hydro_mut() else {
+            return;
+        };
         for i2 in 0..grid.n2 {
             for i1 in 0..grid.n1 {
                 let (g1, _) = grid.to_global(i1, i2);

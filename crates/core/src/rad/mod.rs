@@ -14,4 +14,4 @@ pub mod stepper;
 
 pub use coeffs::{assemble_system, MatterState};
 pub use coupling::MatterCoupling;
-pub use stepper::{RadStepStats, RadStepper};
+pub use stepper::{RadStepError, RadStepStats, RadStepper};

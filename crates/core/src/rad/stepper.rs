@@ -23,7 +23,8 @@
 
 use v2d_comm::{CartComm, Comm};
 use v2d_linalg::{
-    bicgstab, BlockJacobi, Identity, Jacobi, SolveOpts, SolveStats, SolverWorkspace, Spai, TileVec,
+    solve_cascade, BlockJacobi, Identity, Jacobi, SolveError, SolveOpts, SolveStats,
+    SolverWorkspace, Spai, TileVec,
 };
 use v2d_machine::ExecCtx;
 
@@ -48,6 +49,32 @@ impl RadStepStats {
     /// Whether every stage converged.
     pub fn all_converged(&self) -> bool {
         self.stages.iter().all(|s| s.converged)
+    }
+}
+
+/// A radiation stage whose entire solver cascade (BiCGSTAB → restarted
+/// GMRES → CG) failed.  The stepped field is left at its
+/// beginning-of-step value, so the caller can retry — e.g. with a
+/// smaller `dt` — without rebuilding state.
+#[derive(Debug)]
+pub struct RadStepError {
+    /// Which of the three sweeps failed (0 = predictor).
+    pub stage: usize,
+    /// The profiler name of the failed stage.
+    pub stage_name: &'static str,
+    /// The per-solver attempt record of the cascade.
+    pub error: SolveError,
+}
+
+impl std::fmt::Display for RadStepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "radiation stage {} ({}) failed: {}", self.stage, self.stage_name, self.error)
+    }
+}
+
+impl std::error::Error for RadStepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -99,6 +126,9 @@ impl RadStepper {
     /// term.  The three BiCGSTAB call sites are recorded in the
     /// context's profiler scope (when one is attached), as the paper did
     /// with Arm MAP; all scratch comes from `wks`.
+    ///
+    /// Panics if a stage fails through the entire solver cascade; use
+    /// [`RadStepper::try_step`] for a recoverable error instead.
     #[allow(clippy::too_many_arguments)]
     pub fn step(
         &self,
@@ -112,6 +142,31 @@ impl RadStepper {
         source: &TileVec,
         wks: &mut RadWorkspace,
     ) -> RadStepStats {
+        match self.try_step(comm, cx, cart, grid, matter, dt, erad, source, wks) {
+            Ok(st) => st,
+            Err(e) => panic!("unrecoverable radiation step: {e}"),
+        }
+    }
+
+    /// [`RadStepper::step`], but a failed stage surfaces as a typed
+    /// [`RadStepError`] instead of a panic.  Each stage runs the full
+    /// fallback cascade (BiCGSTAB → restarted GMRES → CG); `erad` is
+    /// only committed once all three stages have converged, so on `Err`
+    /// the field still holds the beginning-of-step state and the caller
+    /// may retry with different parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_step(
+        &self,
+        comm: &Comm,
+        cx: &mut ExecCtx,
+        cart: &CartComm,
+        grid: &LocalGrid,
+        matter: &MatterState,
+        dt: f64,
+        erad: &mut TileVec,
+        source: &TileVec,
+        wks: &mut RadWorkspace,
+    ) -> Result<RadStepStats, RadStepError> {
         let (n1, n2) = (grid.n1, grid.n2);
         wks.ensure(n1, n2);
         let mut stats = Vec::with_capacity(3);
@@ -153,24 +208,29 @@ impl RadStepper {
             let st = match self.precond {
                 PrecondKind::None => {
                     let mut m = Identity;
-                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
+                    solve_cascade(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
                 PrecondKind::Jacobi => {
                     let mut m = Jacobi::new(&op);
-                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
+                    solve_cascade(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
                 PrecondKind::BlockJacobi => {
                     let mut m = BlockJacobi::new(&op);
-                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
+                    solve_cascade(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
                 PrecondKind::Spai => {
                     op.exchange_coeff_halos(comm, cx);
                     let mut m = Spai::new(&op, comm, cx);
-                    bicgstab(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
+                    solve_cascade(comm, cx, &mut op, &mut m, &rhs, e_stage, swks, &self.solve)
                 }
             };
             cx.exit(stage_name[stage]);
-            assert!(st.converged, "radiation solve stage {stage} failed to converge: {st:?}");
+            let st = match st {
+                Ok(st) => st,
+                Err(error) => {
+                    return Err(RadStepError { stage, stage_name: stage_name[stage], error })
+                }
+            };
             stats.push(st);
 
             // Re-linearize the coefficients around the stage solution;
@@ -179,7 +239,7 @@ impl RadStepper {
         }
 
         erad.copy_from(&wks.e_stage);
-        RadStepStats { stages: [stats[0], stats[1], stats[2]] }
+        Ok(RadStepStats { stages: [stats[0], stats[1], stats[2]] })
     }
 }
 

@@ -9,7 +9,7 @@
 
 use v2d_comm::{CartComm, Comm, ReduceOp, TileMap};
 use v2d_linalg::{SolveOpts, TileVec};
-use v2d_machine::{ExecCtx, MultiCostSink};
+use v2d_machine::{ExecCtx, FaultInjector, FaultKind, FaultRecord, FieldFault, MultiCostSink};
 use v2d_perf::Profiler;
 
 use crate::field::Field2;
@@ -19,7 +19,7 @@ use crate::limiter::Limiter;
 use crate::opacity::OpacityModel;
 use crate::rad::coeffs::MatterState;
 use crate::rad::coupling::MatterCoupling;
-use crate::rad::stepper::{RadStepStats, RadStepper, RadWorkspace};
+use crate::rad::stepper::{RadStepError, RadStepStats, RadStepper, RadWorkspace};
 
 /// Which preconditioner the radiation solves use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,13 +68,63 @@ pub struct V2dConfig {
     pub coupling: Option<MatterCoupling>,
 }
 
+/// Bounds on the driver's recovery ladder when a radiation solve fails
+/// through the entire cascade.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Maximum timestep halvings within one step before giving up.
+    pub max_dt_halvings: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_dt_halvings: 3 }
+    }
+}
+
+/// A step whose recovery ladder (non-finite scrub, bounded timestep
+/// halving) was exhausted.
+#[derive(Debug)]
+pub enum StepError {
+    /// The radiation update failed even at the smallest allowed dt.
+    Radiation {
+        istep: usize,
+        /// The sub-timestep of the final, failed attempt.
+        dt: f64,
+        error: RadStepError,
+    },
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::Radiation { istep, dt, error } => {
+                write!(f, "step {istep}: radiation update failed at dt = {dt:.3e}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StepError::Radiation { error, .. } => Some(error),
+        }
+    }
+}
+
 /// One step's outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct StepStats {
-    /// The three radiation solves.
+    /// The three radiation solves (of the last radiation sub-step, when
+    /// recovery subcycled).
     pub rad: RadStepStats,
     /// Hydro CFL timestep actually taken (if hydro is enabled).
     pub hydro_dt: Option<f64>,
+    /// Radiation sub-steps taken (1 on the fault-free fast path).
+    pub rad_substeps: usize,
+    /// Recovery actions performed this step (scrubs + dt halvings).
+    pub recoveries: u32,
 }
 
 /// Whole-run aggregate.
@@ -84,6 +134,9 @@ pub struct RunStats {
     pub total_solves: usize,
     pub total_iters: usize,
     pub total_reductions: usize,
+    /// Recovery actions (solver fallbacks, scrubs, dt halvings) across
+    /// the run; 0 on a fault-free run.
+    pub total_recoveries: u32,
 }
 
 /// Per-rank simulation state.
@@ -101,6 +154,11 @@ pub struct V2dSim {
     /// Reusable solver + stepper scratch (one per rank; reused across
     /// all solves of the run).
     wks: RadWorkspace,
+    /// Deterministic fault injector (None on production runs — the
+    /// zero-overhead fast path).
+    faults: Option<FaultInjector>,
+    /// Bounds on the step-level recovery ladder.
+    recovery: RecoveryPolicy,
     /// TAU-style profiler over compiler lane 0.
     pub profiler: Profiler,
 }
@@ -141,8 +199,40 @@ impl V2dSim {
             time: 0.0,
             istep: 0,
             wks: RadWorkspace::new(tile.n1, tile.n2),
+            faults: None,
+            recovery: RecoveryPolicy::default(),
             profiler: Profiler::new(),
         }
+    }
+
+    /// Attach a deterministic fault injector; its plan replays at exact
+    /// `(step, rank)` coordinates.  An injector over an empty plan is
+    /// bit-invisible: outputs match a run with no injector at all.
+    pub fn set_fault_injector(&mut self, inj: FaultInjector) {
+        self.faults = Some(inj);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable access to the attached injector, for drivers that poll
+    /// fault classes the step loop itself does not consume (e.g.
+    /// [`FaultKind::CorruptCheckpoint`] after persisting a checkpoint).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_mut()
+    }
+
+    /// Drain the injector's fired-fault/recovery log (empty without an
+    /// injector).
+    pub fn take_fault_log(&mut self) -> Vec<FaultRecord> {
+        self.faults.as_mut().map(|inj| std::mem::take(&mut inj.log)).unwrap_or_default()
+    }
+
+    /// Replace the step-level recovery bounds.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
     }
 
     /// The configuration.
@@ -214,8 +304,46 @@ impl V2dSim {
     /// Advance one timestep.  The public surface stays `(comm, sink)`;
     /// internally one [`ExecCtx`] carrying the simulation's profiler is
     /// threaded through the whole chain.
+    ///
+    /// Panics if the recovery ladder is exhausted; use
+    /// [`V2dSim::try_step`] for a typed error instead.
     pub fn step(&mut self, comm: &Comm, sink: &mut MultiCostSink) -> StepStats {
-        let mut cx = ExecCtx::with_profiler(sink, &mut self.profiler);
+        match self.try_step(comm, sink) {
+            Ok(st) => st,
+            Err(e) => panic!("unrecoverable simulation step: {e}"),
+        }
+    }
+
+    /// [`V2dSim::step`] with graceful degradation: when the radiation
+    /// update fails through the whole solver cascade, the driver first
+    /// scrubs non-finite cells out of the radiation field (undoing
+    /// upstream data poisoning) and retries, then subcycles with a
+    /// halved sub-timestep, bounded by the [`RecoveryPolicy`].  Both
+    /// recovery decisions are taken collectively so every rank walks
+    /// the same ladder.  Only when the ladder is exhausted does the
+    /// step surface a [`StepError`]; time and step count then remain
+    /// unadvanced.
+    pub fn try_step(
+        &mut self,
+        comm: &Comm,
+        sink: &mut MultiCostSink,
+    ) -> Result<StepStats, StepError> {
+        // Arm this step's scheduled faults and apply the ones aimed at
+        // the driver itself: a rank stall charges virtual time, a field
+        // fault poisons one cell of the radiation field.
+        if let Some(inj) = &mut self.faults {
+            inj.begin_step(self.istep as u64);
+            if let Some(secs) = inj.poll_stall() {
+                for lane in &mut sink.lanes {
+                    lane.charge_mpi_secs(secs);
+                }
+            }
+            if let Some(fault) = inj.poll_field() {
+                let (s, i1, i2) = apply_field_fault(&mut self.erad, fault);
+                inj.note(format!("field fault lands at species {s}, cell ({i1},{i2})"));
+            }
+        }
+        let mut cx = ExecCtx::with_parts(sink, Some(&mut self.profiler), self.faults.as_mut());
         let dt = self.cfg.dt;
         let mut hydro_dt = None;
         if let Some((stepper, state)) = &mut self.hydro {
@@ -254,7 +382,7 @@ impl V2dSim {
         cx.enter("radiation");
         // Hydro provides the matter background when enabled.  The
         // temperature proxy fields are derived on the fly.
-        let rad = if let Some((stepper, state)) = &self.hydro {
+        let matter_fields = self.hydro.as_ref().map(|(stepper, state)| {
             let (n1, n2) = (self.grid.n1, self.grid.n2);
             let mut rho = crate::field::Field2::new(n1, n2);
             let mut temp = crate::field::Field2::new(n1, n2);
@@ -265,30 +393,82 @@ impl V2dSim {
                     temp.set(i1 as isize, i2 as isize, stepper.eos.temperature(&w));
                 }
             }
-            let matter = MatterState::Fields { rho: &rho, temp: &temp };
-            rad_stepper.step(
+            (rho, temp)
+        });
+        let matter = match &matter_fields {
+            Some((rho, temp)) => MatterState::Fields { rho, temp },
+            None => MatterState::Uniform,
+        };
+
+        // The recovery ladder.  The fast path is one sub-step covering
+        // all of dt; a failed attempt leaves `erad` untouched (the
+        // stepper only commits converged stages), so the driver can
+        // scrub poisoned data or halve the sub-timestep and try again.
+        // A solve failure is collective (convergence comes from ganged
+        // reductions, injected breakdowns fire on every rank), and the
+        // scrub-vs-halve decision is reduced globally, so all ranks
+        // stay in lockstep through the ladder.
+        let mut remaining = dt;
+        let mut sub_dt = dt;
+        let mut halvings = 0u32;
+        let mut recoveries = 0u32;
+        let mut rad_substeps = 0usize;
+        let rad = loop {
+            let take = sub_dt.min(remaining);
+            match rad_stepper.try_step(
                 comm,
                 &mut cx,
                 &self.cart,
                 &self.grid,
                 &matter,
-                dt,
+                take,
                 &mut self.erad,
                 &self.source,
                 &mut self.wks,
-            )
-        } else {
-            rad_stepper.step(
-                comm,
-                &mut cx,
-                &self.cart,
-                &self.grid,
-                &MatterState::Uniform,
-                dt,
-                &mut self.erad,
-                &self.source,
-                &mut self.wks,
-            )
+            ) {
+                Ok(st) => {
+                    remaining -= take;
+                    rad_substeps += 1;
+                    if remaining <= 0.0 {
+                        break st;
+                    }
+                }
+                Err(error) => {
+                    // Rung 1: scrub non-finite cells (data poisoning
+                    // shows up as a NonFinite breakdown) and retry at
+                    // the same sub-timestep.  The decision is reduced
+                    // globally so an injection on one rank walks every
+                    // rank down the same rung.
+                    let scrubbed = scrub_nonfinite(&mut self.erad);
+                    let global_scrubbed =
+                        comm.allreduce_scalar(&mut cx, ReduceOp::Sum, scrubbed as f64);
+                    if global_scrubbed > 0.0 {
+                        recoveries += 1;
+                        if let Some(inj) = cx.faults() {
+                            inj.note(format!(
+                                "recover: scrubbed {scrubbed} non-finite cells ({} global), retry at dt {take:.3e}",
+                                global_scrubbed as usize
+                            ));
+                        }
+                        continue;
+                    }
+                    // Rung 2: halve the sub-timestep (bounded).
+                    if halvings < self.recovery.max_dt_halvings {
+                        halvings += 1;
+                        recoveries += 1;
+                        sub_dt *= 0.5;
+                        if let Some(inj) = cx.faults() {
+                            inj.note(format!(
+                                "recover: halve dt to {sub_dt:.3e} ({halvings}/{})",
+                                self.recovery.max_dt_halvings
+                            ));
+                        }
+                        continue;
+                    }
+                    cx.exit("radiation");
+                    return Err(StepError::Radiation { istep: self.istep, dt: take, error });
+                }
+            }
         };
         cx.exit("radiation");
 
@@ -307,7 +487,7 @@ impl V2dSim {
 
         self.time += dt;
         self.istep += 1;
-        StepStats { rad, hydro_dt }
+        Ok(StepStats { rad, hydro_dt, rad_substeps, recoveries })
     }
 
     /// Run `n_steps` (from the config), returning aggregates.
@@ -319,6 +499,8 @@ impl V2dSim {
             agg.total_solves += 3;
             agg.total_iters += st.rad.total_iters();
             agg.total_reductions += st.rad.stages.iter().map(|s| s.reductions).sum::<usize>();
+            agg.total_recoveries +=
+                st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
         }
         agg
     }
@@ -342,6 +524,45 @@ impl V2dSim {
     pub fn profiler_report(&self, sink: &MultiCostSink) -> String {
         self.profiler.report(&sink.lanes[0])
     }
+}
+
+/// Map a [`FieldFault`]'s raw random words onto one interior cell of
+/// the radiation field and corrupt it, returning the target
+/// `(species, i1, i2)`.
+fn apply_field_fault(erad: &mut TileVec, fault: FieldFault) -> (usize, usize, usize) {
+    let (n1, n2) = (erad.n1(), erad.n2());
+    let ncells = v2d_linalg::NSPEC * n1 * n2;
+    let idx = (fault.r1 % ncells as u64) as usize;
+    let s = idx / (n1 * n2);
+    let i1 = (idx % (n1 * n2)) % n1;
+    let i2 = (idx % (n1 * n2)) / n1;
+    let old = erad.get(s, i1 as isize, i2 as isize);
+    let bad = match fault.kind {
+        FaultKind::FieldNan => f64::NAN,
+        FaultKind::FieldInf => f64::INFINITY,
+        FaultKind::FieldBitFlip => f64::from_bits(old.to_bits() ^ (1u64 << (fault.r2 % 64))),
+        _ => old,
+    };
+    erad.set(s, i1 as isize, i2 as isize, bad);
+    (s, i1, i2)
+}
+
+/// Replace non-finite interior cells of the radiation field with a
+/// zero-energy floor, returning how many were scrubbed.
+fn scrub_nonfinite(erad: &mut TileVec) -> usize {
+    let (n1, n2) = (erad.n1(), erad.n2());
+    let mut scrubbed = 0;
+    for s in 0..v2d_linalg::NSPEC {
+        for i2 in 0..n2 as isize {
+            for i1 in 0..n1 as isize {
+                if !erad.get(s, i1, i2).is_finite() {
+                    erad.set(s, i1, i2, 0.0);
+                    scrubbed += 1;
+                }
+            }
+        }
+    }
+    scrubbed
 }
 
 #[cfg(test)]

@@ -15,6 +15,23 @@ pub enum H5Error {
     Corrupt { expected: u64, found: u64 },
     /// A path component does not exist.
     NotFound(String),
+    /// An error annotated with the on-disk file it occurred on.
+    AtPath { path: String, source: Box<H5Error> },
+}
+
+impl H5Error {
+    /// Annotate this error with the file path it came from.
+    pub fn at(self, path: &Path) -> H5Error {
+        H5Error::AtPath { path: path.display().to_string(), source: Box::new(self) }
+    }
+
+    /// The root cause, unwrapping any path annotation.
+    pub fn root_cause(&self) -> &H5Error {
+        match self {
+            H5Error::AtPath { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for H5Error {
@@ -26,6 +43,7 @@ impl fmt::Display for H5Error {
                 write!(f, "checksum mismatch: expected {expected:#x}, found {found:#x}")
             }
             H5Error::NotFound(p) => write!(f, "path not found: {p}"),
+            H5Error::AtPath { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -121,7 +139,11 @@ pub struct File {
 }
 
 const MAGIC: &[u8; 4] = b"H5LT";
-const VERSION: u16 = 1;
+/// Current container version.  v2 adds a CRC-32 after every dataset so
+/// corruption is pinned to the dataset it hit; v1 files (whole-payload
+/// checksum only) are still readable.
+const VERSION: u16 = 2;
+const MIN_VERSION: u16 = 1;
 
 impl File {
     /// An empty file.
@@ -212,7 +234,7 @@ impl File {
     }
 
     /// Deserialize from bytes, validating magic, version, length, and
-    /// checksum.
+    /// checksum (whole-payload always; per-dataset CRC-32 on v2 files).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < 22 {
             return Err(H5Error::Format("file shorter than header".into()));
@@ -220,11 +242,13 @@ impl File {
         if &bytes[0..4] != MAGIC {
             return Err(H5Error::Format("bad magic".into()));
         }
-        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sized"));
-        if version != VERSION {
-            return Err(H5Error::Format(format!("unsupported version {version}")));
+        let version = u16::from_le_bytes(sized(&bytes[4..6])?);
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(H5Error::Format(format!(
+                "unsupported version {version} (this build reads {MIN_VERSION}..={VERSION})"
+            )));
         }
-        let plen = u64::from_le_bytes(bytes[6..14].try_into().expect("sized")) as usize;
+        let plen = u64::from_le_bytes(sized(&bytes[6..14])?) as usize;
         if bytes.len() != 14 + plen + 8 {
             return Err(H5Error::Format(format!(
                 "length mismatch: header says {plen} payload bytes, file has {}",
@@ -232,12 +256,12 @@ impl File {
             )));
         }
         let payload = &bytes[14..14 + plen];
-        let found = u64::from_le_bytes(bytes[14 + plen..].try_into().expect("sized"));
+        let found = u64::from_le_bytes(sized(&bytes[14 + plen..])?);
         let expected = fnv1a64(payload);
         if found != expected {
             return Err(H5Error::Corrupt { expected, found });
         }
-        let mut cur = Cursor { b: payload, at: 0 };
+        let mut cur = Cursor { b: payload, at: 0, version };
         let root = decode_group(&mut cur)?;
         if cur.at != payload.len() {
             return Err(H5Error::Format("trailing bytes after root group".into()));
@@ -245,16 +269,31 @@ impl File {
         Ok(File { root })
     }
 
-    /// Write to disk.
+    /// Write to disk atomically: the bytes land in a `.tmp` sibling
+    /// first and are renamed into place, so a crash mid-write can never
+    /// leave a truncated file under the final name.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes()).map_err(|e| H5Error::Io(e).at(&tmp))?;
+        std::fs::rename(&tmp, path).map_err(|e| H5Error::Io(e).at(path))?;
         Ok(())
     }
 
-    /// Read from disk.
+    /// Read from disk.  Errors carry the file path.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        Self::from_bytes(&std::fs::read(path)?)
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| H5Error::Io(e).at(path))?;
+        Self::from_bytes(&bytes).map_err(|e| e.at(path))
     }
+}
+
+/// Infallible-by-construction slice→array conversion that still returns
+/// a typed error instead of panicking if a caller miscounts.
+fn sized<const N: usize>(s: &[u8]) -> Result<[u8; N]> {
+    s.try_into().map_err(|_| H5Error::Format("short fixed-width field".into()))
 }
 
 /// FNV-1a 64-bit: small, fast, good enough to catch corruption (this is
@@ -266,6 +305,20 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the per-dataset
+/// integrity check added in format v2.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 // ---- encoding ----
@@ -293,6 +346,7 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
 }
 
 fn encode_dataset(d: &Dataset, out: &mut Vec<u8>) {
+    let start = out.len();
     let shape = d.shape();
     out.extend_from_slice(&(shape.len() as u32).to_le_bytes());
     for &s in shape {
@@ -312,6 +366,10 @@ fn encode_dataset(d: &Dataset, out: &mut Vec<u8>) {
             }
         }
     }
+    // v2: a CRC-32 over the encoded dataset (shape + tag + payload)
+    // pins corruption to the dataset it hit.
+    let sum = crc32(&out[start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
 }
 
 fn encode_group(g: &Group, out: &mut Vec<u8>) {
@@ -337,6 +395,8 @@ fn encode_group(g: &Group, out: &mut Vec<u8>) {
 struct Cursor<'a> {
     b: &'a [u8],
     at: usize,
+    /// Container version being decoded (controls per-dataset CRCs).
+    version: u16,
 }
 
 impl<'a> Cursor<'a> {
@@ -354,19 +414,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+        Ok(u32::from_le_bytes(sized(self.take(4)?)?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(u64::from_le_bytes(sized(self.take(8)?)?))
     }
 
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(f64::from_le_bytes(sized(self.take(8)?)?))
     }
 
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(i64::from_le_bytes(sized(self.take(8)?)?))
     }
 
     fn string(&mut self) -> Result<String> {
@@ -386,6 +446,7 @@ fn decode_value(c: &mut Cursor) -> Result<Value> {
 }
 
 fn decode_dataset(c: &mut Cursor) -> Result<Dataset> {
+    let start = c.at;
     let rank = c.u32()? as usize;
     if rank > 16 {
         return Err(H5Error::Format(format!("implausible dataset rank {rank}")));
@@ -399,23 +460,31 @@ fn decode_dataset(c: &mut Cursor) -> Result<Dataset> {
     if len.saturating_mul(8) > c.b.len() - c.at + 8 {
         return Err(H5Error::Format("dataset length exceeds payload".into()));
     }
-    match c.u8()? {
+    let ds = match c.u8()? {
         0 => {
             let mut data = Vec::with_capacity(len);
             for _ in 0..len {
                 data.push(c.f64()?);
             }
-            Ok(Dataset::F64 { shape, data })
+            Dataset::F64 { shape, data }
         }
         1 => {
             let mut data = Vec::with_capacity(len);
             for _ in 0..len {
                 data.push(c.i64()?);
             }
-            Ok(Dataset::I64 { shape, data })
+            Dataset::I64 { shape, data }
         }
-        t => Err(H5Error::Format(format!("unknown dataset tag {t}"))),
+        t => return Err(H5Error::Format(format!("unknown dataset tag {t}"))),
+    };
+    if c.version >= 2 {
+        let expected = crc32(&c.b[start..c.at]);
+        let found = u32::from_le_bytes(sized(c.take(4)?)?);
+        if found != expected {
+            return Err(H5Error::Corrupt { expected: expected as u64, found: found as u64 });
+        }
     }
+    Ok(ds)
 }
 
 fn decode_group(c: &mut Cursor) -> Result<Group> {
@@ -517,6 +586,63 @@ mod tests {
     #[should_panic(expected = "shape/data mismatch")]
     fn shape_mismatch_panics() {
         let _ = Dataset::f64(vec![2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dataset_crc_catches_payload_corruption() {
+        // Flip one byte inside a dataset payload and *repair* the
+        // whole-file FNV checksum: only the per-dataset CRC-32 can
+        // catch it then.
+        let mut bytes = sample().to_bytes();
+        let plen = u64::from_le_bytes(bytes[6..14].try_into().unwrap()) as usize;
+        bytes[14 + plen / 2] ^= 0x01;
+        let sum = fnv1a64(&bytes[14..14 + plen]);
+        let end = bytes.len();
+        bytes[end - 8..].copy_from_slice(&sum.to_le_bytes());
+        match File::from_bytes(&bytes) {
+            Err(H5Error::Corrupt { .. }) | Err(H5Error::Format(_)) => {}
+            other => panic!("dataset corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_files_still_decode() {
+        // v1 = same container, no per-dataset CRCs.  An attrs-only file
+        // has a version-independent payload, so rewriting the header
+        // version field produces a genuine v1 file.
+        let mut f = File::new();
+        f.set_attr("run/timestep", Value::I64(7));
+        let mut bytes = f.to_bytes();
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let g = File::from_bytes(&bytes).expect("v1 decode");
+        assert_eq!(g.attr("run/timestep").unwrap(), &Value::I64(7));
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(File::from_bytes(&bytes), Err(H5Error::Format(_))));
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("h5lite_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.h5l");
+        sample().save(&path).unwrap();
+        assert!(path.exists());
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "tmp sibling left behind");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_error_names_the_path() {
+        let err = File::open("/nonexistent/v2d/checkpoint.h5l").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/v2d/checkpoint.h5l"));
+        assert!(matches!(err.root_cause(), H5Error::Io(_)));
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! Everything is length-prefixed; decoding validates the checksum before
 //! interpreting a single byte of structure.
 
+// Checkpoint I/O must fail through typed errors, never panic: a corrupt
+// file is recoverable, a crashed simulation is not.  Tests and binaries
+// (separate crates) are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod format;
 pub mod parallel;
 

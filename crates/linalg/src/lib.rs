@@ -44,7 +44,10 @@ pub mod workspace;
 pub use backend::{all_backends, KernelBackend, Native, SimScalar, SimSve};
 pub use op::{LinearOp, StencilCoeffs, StencilOp};
 pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner, Spai};
-pub use solver::{bicgstab, cg, gmres, BicgVariant, SolveOpts, SolveStats};
+pub use solver::{
+    bicgstab, cg, gmres, solve_cascade, BicgVariant, BreakdownReason, SolveAttempt, SolveError,
+    SolveOpts, SolveStats, SolverKind,
+};
 pub use tilevec::{tilevec_alloc_count, TileVec};
 pub use workspace::SolverWorkspace;
 

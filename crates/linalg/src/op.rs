@@ -194,9 +194,23 @@ impl StencilOp {
         // through it (`collect_into` recycles the transport buffer) so a
         // steady-state exchange loop allocates nothing.
         for dir in Dir::ALL {
-            if cart.collect_into(comm, cx, dir, buf) {
-                field.unpack_ghost(dir, buf);
-                cx.charge_streaming(KernelClass::Pack, buf.len(), 0, 1, 1);
+            match cart.collect_into(comm, cx, dir, buf) {
+                Ok(true) => {
+                    field.unpack_ghost(dir, buf);
+                    cx.charge_streaming(KernelClass::Pack, buf.len(), 0, 1, 1);
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    // A lost or late halo strip (only reachable when a
+                    // fault injector armed a receive deadline): keep the
+                    // stale ghost frame — a zero-order hold — instead of
+                    // aborting the solve.  The tag stream realigns at
+                    // the next exchange because each (src, dst) channel
+                    // carries a single direction's tag.
+                    if let Some(inj) = cx.faults() {
+                        inj.note(format!("halo recv failed ({e}); holding stale ghost"));
+                    }
+                }
             }
         }
     }

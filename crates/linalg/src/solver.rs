@@ -50,12 +50,48 @@ pub struct SolveOpts {
     pub max_iters: usize,
     /// Reduction structure (BiCGSTAB only).
     pub variant: BicgVariant,
+    /// Iterations without a new best residual norm before BiCGSTAB
+    /// declares stagnation (and restarts, if restarts remain).  Chosen
+    /// well above the longest plateau of a healthy solve.
+    pub stall_window: usize,
+    /// True-residual restarts BiCGSTAB may spend on ρ/ω/stagnation
+    /// breakdowns before giving the system up to the fallback cascade.
+    pub max_restarts: u32,
 }
 
 impl Default for SolveOpts {
     fn default() -> Self {
-        SolveOpts { tol: 1e-9, max_iters: 10_000, variant: BicgVariant::Ganged }
+        SolveOpts {
+            tol: 1e-9,
+            max_iters: 10_000,
+            variant: BicgVariant::Ganged,
+            stall_window: 250,
+            max_restarts: 2,
+        }
     }
+}
+
+/// Why an iterative solve gave up — the cause the seed implementation
+/// silently folded into `converged: false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownReason {
+    /// `⟨r̂, r⟩` collapsed to zero — the classic BiCGSTAB breakdown.
+    RhoZero,
+    /// ω collapsed to zero (`t ≈ 0` while `s` stayed large).
+    OmegaZero,
+    /// `⟨r̂, A·p̂⟩` collapsed to zero.
+    RhatVZero,
+    /// `⟨p, A·p⟩` collapsed — CG on an indefinite or defective system.
+    PapZero,
+    /// A residual or inner product became NaN/Inf: the data itself is
+    /// poisoned, so restarting cannot help.
+    NonFinite,
+    /// No new best residual norm for a full stall window.
+    Stagnation,
+    /// A scheduled fault-injection event forced this breakdown.
+    Injected,
+    /// The iteration cap expired before the tolerance was met.
+    MaxIters,
 }
 
 /// Outcome of a solve.
@@ -70,7 +106,54 @@ pub struct SolveStats {
     /// Number of global reduction operations issued — the quantity V2D's
     /// restructuring minimizes (ablation A3 measures it).
     pub reductions: usize,
+    /// Why the solve stopped short, when it did (`None` on success).
+    pub breakdown: Option<BreakdownReason>,
+    /// Recovery actions that contributed to this result: in-solver
+    /// true-residual restarts, plus one per exhausted solver when the
+    /// result comes from [`solve_cascade`]'s fallback chain.
+    pub recoveries: u32,
 }
+
+/// Which solver of the fallback cascade produced an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    BicgStab,
+    Gmres,
+    Cg,
+}
+
+/// One exhausted attempt of the [`solve_cascade`] chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveAttempt {
+    pub solver: SolverKind,
+    pub stats: SolveStats,
+}
+
+/// Every solver of the cascade failed.  Carries the per-solver stats so
+/// the caller can see *how* each one died (and report it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveError {
+    pub attempts: Vec<SolveAttempt>,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all solvers failed:")?;
+        for at in &self.attempts {
+            write!(
+                f,
+                " [{:?}: {:?} after {} iters, relres {:.3e}]",
+                at.solver,
+                at.stats.breakdown.unwrap_or(BreakdownReason::MaxIters),
+                at.stats.iters,
+                at.stats.relres
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Helper: one global sum of a slice of ganged partial inner products.
 fn reduce(comm: &Comm, cx: &mut ExecCtx, partials: &mut [f64], count: &mut usize) {
@@ -113,6 +196,8 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
     opts: &SolveOpts,
 ) -> SolveStats {
     let mut reductions = 0usize;
+    let mut recoveries = 0u32;
+    let mut restarts_left = opts.max_restarts;
     // Disjoint borrows of the workspace's scratch suite.
     let SolverWorkspace { r, rhat, p, v, s, t, phat, shat, .. } = wks;
 
@@ -125,41 +210,159 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
     let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
     reduce(comm, cx, &mut gang, &mut reductions);
     let bnorm = gang[1].sqrt();
+    if !gang[0].is_finite() || !bnorm.is_finite() {
+        return SolveStats {
+            iters: 0,
+            converged: false,
+            relres: f64::NAN,
+            reductions,
+            breakdown: Some(BreakdownReason::NonFinite),
+            recoveries,
+        };
+    }
     if bnorm == 0.0 {
         // Homogeneous system: the solution is x = 0.
         x.zero();
-        return SolveStats { iters: 0, converged: true, relres: 0.0, reductions };
+        return SolveStats {
+            iters: 0,
+            converged: true,
+            relres: 0.0,
+            reductions,
+            breakdown: None,
+            recoveries,
+        };
     }
     let mut rr = gang[0];
     if rr.sqrt() <= opts.tol * bnorm {
-        return SolveStats { iters: 0, converged: true, relres: rr.sqrt() / bnorm, reductions };
+        return SolveStats {
+            iters: 0,
+            converged: true,
+            relres: rr.sqrt() / bnorm,
+            reductions,
+            breakdown: None,
+            recoveries,
+        };
     }
 
-    let mut rho = gang[0]; // ⟨r̂, r⟩, since r̂ = r initially
-    let mut rho_prev = rho;
+    // ρ is *carried* between iterations when the variant supplies it
+    // algebraically (Ganged) and recomputed with a dedicated reduction
+    // when it does not (Classic, where the carry is `None`).  Starting
+    // carry: ⟨r̂, r⟩ = ‖r‖², since r̂ = r.
+    let mut rho_carry: Option<f64> = Some(gang[0]);
+    let mut rho_prev = gang[0];
     let mut alpha: f64 = 1.0;
     let mut omega: f64 = 1.0;
+    // `fresh` marks the first direction update after an (re)start: the
+    // search direction is seeded from r rather than β-recurred.
+    let mut fresh = true;
+    let mut best_rr = rr;
+    let mut since_best = 0usize;
     let tiny = 1e-290;
 
-    for iter in 1..=opts.max_iters {
-        if opts.variant == BicgVariant::Classic && iter > 1 {
-            // The classic form recomputes ρ = ⟨r̂, r⟩ with its own
-            // reduction; the ganged form derived it algebraically from
-            // last iteration's five-way gang.
-            let mut g = [kernels::dprod_local(cx, rhat, r)];
-            reduce(comm, cx, &mut g, &mut reductions);
-            rho = g[0];
+    let mut iter = 0usize;
+    while iter < opts.max_iters {
+        iter += 1;
+        let mut rho = match rho_carry.take() {
+            Some(carried) => carried,
+            None => {
+                // The classic form recomputes ρ = ⟨r̂, r⟩ with its own
+                // reduction; the ganged form derived it algebraically
+                // from last iteration's five-way gang.
+                let mut g = [kernels::dprod_local(cx, rhat, r)];
+                reduce(comm, cx, &mut g, &mut reductions);
+                g[0]
+            }
+        };
+        // Scheduled fault injection: force the classic ρ → 0 breakdown.
+        // The plan is shared by every rank, so all ranks break (and
+        // restart) collectively — no reduction-schedule desync.
+        if let Some(inj) = cx.faults() {
+            if inj.poll_solver_breakdown() {
+                inj.note(format!("bicgstab iter {iter}: forced rho -> 0 breakdown"));
+                rho = 0.0;
+            }
         }
-        if rho.abs() < tiny || omega.abs() < tiny {
+        if !rho.is_finite() || !omega.is_finite() || !rr.is_finite() {
             return SolveStats {
                 iters: iter - 1,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
+                breakdown: Some(BreakdownReason::NonFinite),
+                recoveries,
             };
         }
-        if iter == 1 {
+        let why = if rho.abs() < tiny {
+            Some(BreakdownReason::RhoZero)
+        } else if omega.abs() < tiny {
+            Some(BreakdownReason::OmegaZero)
+        } else if since_best >= opts.stall_window {
+            Some(BreakdownReason::Stagnation)
+        } else {
+            None
+        };
+        if let Some(why) = why {
+            if restarts_left == 0 {
+                return SolveStats {
+                    iters: iter - 1,
+                    converged: false,
+                    relres: rr.sqrt() / bnorm,
+                    reductions,
+                    breakdown: Some(why),
+                    recoveries,
+                };
+            }
+            // True-residual restart: recompute r = b − A·x from the
+            // current iterate, reseed r̂ = r, and restart the recurrence.
+            // The breakdown verdict came from globally-reduced scalars,
+            // so every rank takes this branch together.
+            restarts_left -= 1;
+            recoveries += 1;
+            a.apply(comm, cx, x, r);
+            kernels::residual_into(cx, b, r);
+            rhat.copy_from(r);
+            let mut g = [kernels::norm2_local(cx, r)];
+            reduce(comm, cx, &mut g, &mut reductions);
+            rr = g[0];
+            if !rr.is_finite() {
+                return SolveStats {
+                    iters: iter,
+                    converged: false,
+                    relres: f64::NAN,
+                    reductions,
+                    breakdown: Some(BreakdownReason::NonFinite),
+                    recoveries,
+                };
+            }
+            if let Some(inj) = cx.faults() {
+                inj.note(format!(
+                    "bicgstab iter {iter}: {why:?} breakdown, true-residual restart \
+                     (relres {:.3e})",
+                    rr.sqrt() / bnorm
+                ));
+            }
+            if rr.sqrt() <= opts.tol * bnorm {
+                return SolveStats {
+                    iters: iter,
+                    converged: true,
+                    relres: rr.sqrt() / bnorm,
+                    reductions,
+                    breakdown: None,
+                    recoveries,
+                };
+            }
+            rho_carry = Some(rr);
+            rho_prev = rr;
+            alpha = 1.0;
+            omega = 1.0;
+            fresh = true;
+            best_rr = rr;
+            since_best = 0;
+            continue;
+        }
+        if fresh {
             p.copy_from(r);
+            fresh = false;
         } else {
             let beta = (rho / rho_prev) * (alpha / omega);
             kernels::p_update(cx, beta, omega, r, v, p);
@@ -170,12 +373,24 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
         let mut g = [kernels::dprod_local(cx, rhat, v)];
         reduce(comm, cx, &mut g, &mut reductions);
         let rv = g[0];
+        if !rv.is_finite() {
+            return SolveStats {
+                iters: iter,
+                converged: false,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+                breakdown: Some(BreakdownReason::NonFinite),
+                recoveries,
+            };
+        }
         if rv.abs() < tiny {
             return SolveStats {
                 iters: iter,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
+                breakdown: Some(BreakdownReason::RhatVZero),
+                recoveries,
             };
         }
         alpha = rho / rv;
@@ -184,7 +399,9 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
         m.apply(comm, cx, s, shat);
         a.apply(comm, cx, shat, t);
 
-        let (ts, tt, rho_next);
+        let ts;
+        let tt;
+        let rho_next: Option<f64>;
         match opts.variant {
             BicgVariant::Ganged => {
                 // One five-way gang closes the iteration.
@@ -208,13 +425,15 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                         converged: conv,
                         relres: g_ss.sqrt() / bnorm,
                         reductions,
+                        breakdown: if conv { None } else { Some(BreakdownReason::OmegaZero) },
+                        recoveries,
                     };
                 }
                 omega = ts / tt;
                 // ‖r‖² and next ρ follow algebraically — no extra
                 // reductions.
                 rr = (g_ss - 2.0 * omega * ts + omega * omega * tt).max(0.0);
-                rho_next = g_rs - omega * g_rt;
+                rho_next = Some(g_rs - omega * g_rt);
             }
             BicgVariant::Classic => {
                 let mut g1 = [kernels::dprod_local(cx, t, s)];
@@ -233,10 +452,12 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                         converged: conv,
                         relres: g3[0].sqrt() / bnorm,
                         reductions,
+                        breakdown: if conv { None } else { Some(BreakdownReason::OmegaZero) },
+                        recoveries,
                     };
                 }
                 omega = ts / tt;
-                rho_next = f64::NAN; // recomputed at the next loop top
+                rho_next = None; // recomputed at the next loop top
             }
         }
 
@@ -256,12 +477,29 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                 converged: true,
                 relres: rr.sqrt() / bnorm,
                 reductions,
+                breakdown: None,
+                recoveries,
             };
         }
+        // Stagnation watch: count iterations since the recurrence last
+        // set a new best residual norm (host-side — no kernel cost).
+        if rr < best_rr {
+            best_rr = rr;
+            since_best = 0;
+        } else {
+            since_best += 1;
+        }
         rho_prev = rho;
-        rho = rho_next;
+        rho_carry = rho_next;
     }
-    SolveStats { iters: opts.max_iters, converged: false, relres: rr.sqrt() / bnorm, reductions }
+    SolveStats {
+        iters: opts.max_iters,
+        converged: false,
+        relres: rr.sqrt() / bnorm,
+        reductions,
+        breakdown: Some(BreakdownReason::MaxIters),
+        recoveries,
+    }
 }
 
 /// Preconditioned conjugate gradient for symmetric positive-definite
@@ -298,6 +536,21 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
     opts: &SolveOpts,
 ) -> SolveStats {
     let mut reductions = 0usize;
+    // Scheduled fault injection: fail this attempt before any collective
+    // work begins (every rank shares the plan, so all fail together).
+    if let Some(inj) = cx.faults() {
+        if inj.poll_solver_breakdown() {
+            inj.note("cg: forced breakdown (injected)".to_string());
+            return SolveStats {
+                iters: 0,
+                converged: false,
+                relres: f64::NAN,
+                reductions,
+                breakdown: Some(BreakdownReason::Injected),
+                recoveries: 0,
+            };
+        }
+    }
     // CG's suite aliases the BiCGSTAB field names: z lives in `rhat`,
     // A·p in `v`.
     let SolverWorkspace { r, rhat: z, p, v: ap, .. } = wks;
@@ -308,13 +561,37 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
     let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
     reduce(comm, cx, &mut gang, &mut reductions);
     let bnorm = gang[1].sqrt();
+    if !gang[0].is_finite() || !bnorm.is_finite() {
+        return SolveStats {
+            iters: 0,
+            converged: false,
+            relres: f64::NAN,
+            reductions,
+            breakdown: Some(BreakdownReason::NonFinite),
+            recoveries: 0,
+        };
+    }
     if bnorm == 0.0 {
         x.zero();
-        return SolveStats { iters: 0, converged: true, relres: 0.0, reductions };
+        return SolveStats {
+            iters: 0,
+            converged: true,
+            relres: 0.0,
+            reductions,
+            breakdown: None,
+            recoveries: 0,
+        };
     }
     let mut rr = gang[0];
     if rr.sqrt() <= opts.tol * bnorm {
-        return SolveStats { iters: 0, converged: true, relres: rr.sqrt() / bnorm, reductions };
+        return SolveStats {
+            iters: 0,
+            converged: true,
+            relres: rr.sqrt() / bnorm,
+            reductions,
+            breakdown: None,
+            recoveries: 0,
+        };
     }
 
     m.apply(comm, cx, r, z);
@@ -328,12 +605,24 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
         let mut gang = [kernels::dprod_local(cx, p, ap)];
         reduce(comm, cx, &mut gang, &mut reductions);
         let pap = gang[0];
+        if !pap.is_finite() {
+            return SolveStats {
+                iters: iter,
+                converged: false,
+                relres: rr.sqrt() / bnorm,
+                reductions,
+                breakdown: Some(BreakdownReason::NonFinite),
+                recoveries: 0,
+            };
+        }
         if pap.abs() < 1e-290 {
             return SolveStats {
                 iters: iter,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
+                breakdown: Some(BreakdownReason::PapZero),
+                recoveries: 0,
             };
         }
         let alpha = rz / pap;
@@ -345,12 +634,24 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
         reduce(comm, cx, &mut gang, &mut reductions);
         let rz_new = gang[0];
         rr = gang[1];
+        if !rr.is_finite() || !rz_new.is_finite() {
+            return SolveStats {
+                iters: iter,
+                converged: false,
+                relres: f64::NAN,
+                reductions,
+                breakdown: Some(BreakdownReason::NonFinite),
+                recoveries: 0,
+            };
+        }
         if rr.sqrt() <= opts.tol * bnorm {
             return SolveStats {
                 iters: iter,
                 converged: true,
                 relres: rr.sqrt() / bnorm,
                 reductions,
+                breakdown: None,
+                recoveries: 0,
             };
         }
         let beta = rz_new / rz;
@@ -358,7 +659,14 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
         // p = z + β·p
         kernels::p_update(cx, beta, 0.0, z, ap, p);
     }
-    SolveStats { iters: opts.max_iters, converged: false, relres: rr.sqrt() / bnorm, reductions }
+    SolveStats {
+        iters: opts.max_iters,
+        converged: false,
+        relres: rr.sqrt() / bnorm,
+        reductions,
+        breakdown: Some(BreakdownReason::MaxIters),
+        recoveries: 0,
+    }
 }
 
 /// Restarted GMRES(m) with right preconditioning — the other Krylov
@@ -407,6 +715,21 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
     opts: &SolveOpts,
 ) -> SolveStats {
     let mut reductions = 0usize;
+    // Scheduled fault injection: fail this attempt before any collective
+    // work begins (every rank shares the plan, so all fail together).
+    if let Some(inj) = cx.faults() {
+        if inj.poll_solver_breakdown() {
+            inj.note("gmres: forced breakdown (injected)".to_string());
+            return SolveStats {
+                iters: 0,
+                converged: false,
+                relres: f64::NAN,
+                reductions,
+                breakdown: Some(BreakdownReason::Injected),
+                recoveries: 0,
+            };
+        }
+    }
     // GMRES aliases: w ↦ `s`, M⁻¹-image ↦ `shat`, solution update
     // accumulator ↦ `t`, Arnoldi basis ↦ the `basis` pool.
     let SolverWorkspace { r, s: w, t: update, shat: zhat, basis, .. } = wks;
@@ -417,13 +740,37 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
     let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
     reduce(comm, cx, &mut gang, &mut reductions);
     let bnorm = gang[1].sqrt();
+    if !gang[0].is_finite() || !bnorm.is_finite() {
+        return SolveStats {
+            iters: 0,
+            converged: false,
+            relres: f64::NAN,
+            reductions,
+            breakdown: Some(BreakdownReason::NonFinite),
+            recoveries: 0,
+        };
+    }
     if bnorm == 0.0 {
         x.zero();
-        return SolveStats { iters: 0, converged: true, relres: 0.0, reductions };
+        return SolveStats {
+            iters: 0,
+            converged: true,
+            relres: 0.0,
+            reductions,
+            breakdown: None,
+            recoveries: 0,
+        };
     }
     let mut beta = gang[0].sqrt();
     if beta <= opts.tol * bnorm {
-        return SolveStats { iters: 0, converged: true, relres: beta / bnorm, reductions };
+        return SolveStats {
+            iters: 0,
+            converged: true,
+            relres: beta / bnorm,
+            reductions,
+            breakdown: None,
+            recoveries: 0,
+        };
     }
 
     // Hessenberg and rotation storage (small host vectors).
@@ -470,6 +817,16 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
             let mut nrm = [kernels::norm2_local(cx, w)];
             reduce(comm, cx, &mut nrm, &mut reductions);
             let hk1 = nrm[0].sqrt();
+            if !hk1.is_finite() {
+                return SolveStats {
+                    iters: total_iters,
+                    converged: false,
+                    relres: f64::NAN,
+                    reductions,
+                    breakdown: Some(BreakdownReason::NonFinite),
+                    recoveries: 0,
+                };
+            }
             h[k + 1][k] = hk1;
 
             // Apply accumulated Givens rotations to the new column.
@@ -532,19 +889,101 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
         let mut nrm = [kernels::norm2_local(cx, r)];
         reduce(comm, cx, &mut nrm, &mut reductions);
         beta = nrm[0].sqrt();
-        if converged || beta <= opts.tol * bnorm {
+        if !beta.is_finite() {
             return SolveStats {
                 iters: total_iters,
-                converged: beta <= opts.tol * bnorm * 10.0,
+                converged: false,
+                relres: f64::NAN,
+                reductions,
+                breakdown: Some(BreakdownReason::NonFinite),
+                recoveries: 0,
+            };
+        }
+        if converged || beta <= opts.tol * bnorm {
+            let conv = beta <= opts.tol * bnorm * 10.0;
+            return SolveStats {
+                iters: total_iters,
+                converged: conv,
                 relres: beta / bnorm,
                 reductions,
+                breakdown: if conv { None } else { Some(BreakdownReason::Stagnation) },
+                recoveries: 0,
             };
         }
         if total_iters >= opts.max_iters {
             break;
         }
     }
-    SolveStats { iters: total_iters, converged: false, relres: beta / bnorm, reductions }
+    SolveStats {
+        iters: total_iters,
+        converged: false,
+        relres: beta / bnorm,
+        reductions,
+        breakdown: Some(BreakdownReason::MaxIters),
+        recoveries: 0,
+    }
+}
+
+/// Restart length used by the cascade's GMRES fallback.
+const CASCADE_GMRES_RESTART: usize = 30;
+
+/// Fallback cascade: BiCGSTAB → restarted GMRES(30) → CG.
+///
+/// Each fallback restarts from the iterate the caller passed in (saved
+/// in the workspace's `x0` slot), not from whatever state the failed
+/// solver left behind.  On success the returned stats carry the winning
+/// solver's numbers plus one recovery per exhausted predecessor; on
+/// total failure `x` is restored to the entry iterate and the error
+/// records how every attempt died.
+#[allow(clippy::too_many_arguments)] // mirrors the solver signatures
+pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
+    comm: &Comm,
+    cx: &mut ExecCtx,
+    a: &mut A,
+    m: &mut M,
+    b: &TileVec,
+    x: &mut TileVec,
+    wks: &mut SolverWorkspace,
+    opts: &SolveOpts,
+) -> Result<SolveStats, SolveError> {
+    let (n1, n2) = a.tile_dims();
+    wks.ensure(n1, n2);
+    wks.x0.copy_from(x);
+    let mut attempts = Vec::new();
+
+    let st = bicgstab(comm, cx, a, m, b, x, wks, opts);
+    if st.converged {
+        return Ok(st);
+    }
+    attempts.push(SolveAttempt { solver: SolverKind::BicgStab, stats: st });
+    if let Some(inj) = cx.faults() {
+        inj.note(format!(
+            "bicgstab failed ({:?}); falling back to GMRES({CASCADE_GMRES_RESTART})",
+            st.breakdown
+        ));
+    }
+
+    x.copy_from(&wks.x0);
+    let st = gmres(comm, cx, a, m, b, x, wks, CASCADE_GMRES_RESTART, opts);
+    if st.converged {
+        return Ok(SolveStats { recoveries: st.recoveries + attempts.len() as u32, ..st });
+    }
+    attempts.push(SolveAttempt { solver: SolverKind::Gmres, stats: st });
+    if let Some(inj) = cx.faults() {
+        inj.note(format!("gmres failed ({:?}); falling back to CG", st.breakdown));
+    }
+
+    x.copy_from(&wks.x0);
+    let st = cg(comm, cx, a, m, b, x, wks, opts);
+    if st.converged {
+        return Ok(SolveStats { recoveries: st.recoveries + attempts.len() as u32, ..st });
+    }
+    attempts.push(SolveAttempt { solver: SolverKind::Cg, stats: st });
+
+    // Leave the caller's iterate exactly as it came in, so a higher-level
+    // retry (smaller dt, restored checkpoint) starts from clean state.
+    x.copy_from(&wks.x0);
+    Err(SolveError { attempts })
 }
 
 #[cfg(test)]

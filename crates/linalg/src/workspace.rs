@@ -37,6 +37,10 @@ pub struct SolverWorkspace {
     pub(crate) t: TileVec,
     pub(crate) phat: TileVec,
     pub(crate) shat: TileVec,
+    /// Entry-iterate snapshot for [`crate::solver::solve_cascade`]:
+    /// every fallback solver restarts from the x the caller passed in.
+    /// Never used as scratch by the solvers themselves.
+    pub(crate) x0: TileVec,
     /// Arnoldi basis pool; grows to `restart + 1` vectors on the first
     /// GMRES solve and is reused afterwards.
     pub(crate) basis: Vec<TileVec>,
@@ -55,6 +59,7 @@ impl SolverWorkspace {
             t: TileVec::new(n1, n2),
             phat: TileVec::new(n1, n2),
             shat: TileVec::new(n1, n2),
+            x0: TileVec::new(n1, n2),
             basis: Vec::new(),
         }
     }

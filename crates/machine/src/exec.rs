@@ -14,12 +14,19 @@
 //! (kernels, solvers) without duplicating its API.
 
 use crate::cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
+use crate::fault::FaultInjector;
 
 /// Anything that can surface the per-compiler cost lanes.  Collectives
 /// and other cost-charging plumbing accept `&mut impl CostLanes`, so
 /// both raw sinks and execution contexts flow through the same API.
 pub trait CostLanes {
     fn cost_lanes(&mut self) -> &mut MultiCostSink;
+
+    /// The fault injector riding with these lanes, if any.  Default:
+    /// none — raw sinks and fault-free contexts behave identically.
+    fn fault_injector(&mut self) -> Option<&mut FaultInjector> {
+        None
+    }
 }
 
 impl CostLanes for MultiCostSink {
@@ -31,6 +38,10 @@ impl CostLanes for MultiCostSink {
 impl CostLanes for ExecCtx<'_> {
     fn cost_lanes(&mut self) -> &mut MultiCostSink {
         self.sink
+    }
+
+    fn fault_injector(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_deref_mut()
     }
 }
 
@@ -50,18 +61,36 @@ pub struct ExecCtx<'a> {
     sink: &'a mut MultiCostSink,
     ws: usize,
     profiler: Option<&'a mut dyn ProfilerScope>,
+    faults: Option<&'a mut FaultInjector>,
 }
 
 impl<'a> ExecCtx<'a> {
     /// A context over `sink` with no profiler and a zero (L1-resident)
     /// ambient working set.
     pub fn new(sink: &'a mut MultiCostSink) -> Self {
-        ExecCtx { sink, ws: 0, profiler: None }
+        ExecCtx { sink, ws: 0, profiler: None, faults: None }
     }
 
     /// A context that also records enter/exit scopes in `profiler`.
     pub fn with_profiler(sink: &'a mut MultiCostSink, profiler: &'a mut dyn ProfilerScope) -> Self {
-        ExecCtx { sink, ws: 0, profiler: Some(profiler) }
+        ExecCtx { sink, ws: 0, profiler: Some(profiler), faults: None }
+    }
+
+    /// A fully-equipped context: cost lanes, optional profiler scope,
+    /// optional fault injector.
+    pub fn with_parts(
+        sink: &'a mut MultiCostSink,
+        profiler: Option<&'a mut dyn ProfilerScope>,
+        faults: Option<&'a mut FaultInjector>,
+    ) -> Self {
+        ExecCtx { sink, ws: 0, profiler, faults }
+    }
+
+    /// The fault injector, if one rides along.  `None` on every
+    /// fault-free run — callers must treat that path as the fast path
+    /// and charge no extra cost on it.
+    pub fn faults(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_deref_mut()
     }
 
     /// The ambient working-set size in bytes (what streaming kernels

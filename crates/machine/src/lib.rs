@@ -25,11 +25,15 @@
 pub mod clock;
 pub mod cost;
 pub mod exec;
+pub mod fault;
 pub mod model;
 pub mod profile;
 
 pub use clock::{SimClock, SimDuration};
 pub use cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
 pub use exec::{CostLanes, ExecCtx, ProfilerScope};
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, FieldFault, SendFault,
+};
 pub use model::{A64fxModel, MemLevel};
 pub use profile::{CompilerId, CompilerProfile, MpiCostModel, ALL_COMPILERS};

@@ -128,7 +128,7 @@ fn checkpoint_roundtrips_through_disk_and_topologies() {
         let outs = Spmd::new(2).with_profiles(cray()).run(move |ctx| {
             let file = v2d::io::File::open(&path).expect("open checkpoint");
             let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-            restore_checkpoint(&mut sim, &file);
+            restore_checkpoint(&mut sim, &file).expect("valid checkpoint");
             assert_eq!(sim.istep(), 2);
             sim.step(&ctx.comm, &mut ctx.sink);
             sim.step(&ctx.comm, &mut ctx.sink);
