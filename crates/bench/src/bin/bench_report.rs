@@ -1,0 +1,46 @@
+//! Generate the canonical benchmark report (`bench/baseline.json`).
+//!
+//! Runs the fixed experiment set of `v2d_bench::report::collect` —
+//! modeled clocks with bit-exact gates, wall-clock timings with
+//! generous ceilings — and writes the result.  Commit the output to
+//! refresh the CI regression-gate baseline:
+//!
+//! ```text
+//! cargo run --release --bin bench_report -- --out bench/baseline.json
+//! ```
+//!
+//! Flags: `--out PATH` (default `bench/baseline.json`), `--quick`
+//! (1 timing round), `--no-wallclock` (modeled entries only),
+//! `--stdout` (print instead of writing).
+
+use v2d_bench::report::{collect, CollectOpts};
+
+fn main() {
+    let mut out = String::from("bench/baseline.json");
+    let mut opts = CollectOpts::default();
+    let mut to_stdout = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--quick" => opts.rounds = 1,
+            "--no-wallclock" => opts.wallclock = false,
+            "--stdout" => to_stdout = true,
+            other => panic!(
+                "unknown argument {other:?} (expected --out PATH / --quick / --no-wallclock / --stdout)"
+            ),
+        }
+    }
+    eprintln!("collecting canonical bench report …");
+    let report = collect(&opts);
+    let json = report.to_json_string();
+    if to_stdout {
+        print!("{json}");
+    } else {
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&out, &json).expect("write bench report");
+        eprintln!("{} metrics written to {out}", report.entries.len());
+    }
+}

@@ -10,8 +10,8 @@
 //! Both paths must produce *bit-identical* artifacts (asserted here —
 //! this harness doubles as an end-to-end equivalence check), so the
 //! speedup is pure overhead removal, not a model change.  Results are
-//! written as JSON (default `BENCH_PR2.json`), establishing the repo's
-//! perf trajectory.
+//! written as JSON (default `bench/BENCH_PR2.json`), establishing the
+//! repo's perf trajectory.
 //!
 //! Usage: `bench_wallclock [--quick] [--out PATH]`
 //! `--quick` runs one round instead of best-of-3 (used by the CI smoke
@@ -46,7 +46,7 @@ fn fig1_serial() -> fig1::Artifacts {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_PR2.json");
+    let mut out = String::from("bench/BENCH_PR2.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,7 +81,7 @@ fn main() {
     let speedup = before / after;
 
     let json = format!(
-        "{{\n  \"bench\": \"table2+fig1 sweep wall clock\",\n  \"workers\": {workers},\n  \"rounds\": {rounds},\n  \"table2\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"fig1\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"total\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}\n}}\n",
+        "{{\n  \"schema_version\": {schema},\n  \"kind\": \"wallclock\",\n  \"bench\": \"table2+fig1 sweep wall clock\",\n  \"workers\": {workers},\n  \"rounds\": {rounds},\n  \"table2\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"fig1\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"total\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}\n}}\n",
         t2_before.secs,
         t2_after.secs,
         t2_before.secs / t2_after.secs,
@@ -91,7 +91,11 @@ fn main() {
         before,
         after,
         speedup,
+        schema = v2d_obs::SCHEMA_VERSION,
     );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
     std::fs::write(&out, &json).expect("write benchmark JSON");
     print!("{json}");
     eprintln!("written to {out}");

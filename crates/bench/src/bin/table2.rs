@@ -1,11 +1,41 @@
 //! Regenerate the paper's Table II ("Linear Algebra Routines Times"):
 //! the single-processor driver exercising the five V2D BiCGSTAB kernels
 //! on the instruction-level SVE simulator, with and without SVE.
+//!
+//! Optional observability side-channels (stdout is byte-identical with
+//! or without them — the golden outputs only see the table):
+//!
+//! * `--trace PATH` — write a Chrome `trace_event` JSON of the two
+//!   modeled timelines (scalar vs SVE, one track each); open it at
+//!   chrome://tracing or https://ui.perfetto.dev;
+//! * `--report PATH` — write a versioned `RunReport` JSON whose totals
+//!   carry the modeled clocks bit-for-bit.
 
-use v2d_bench::table2;
+use v2d_bench::{report, table2};
+use v2d_obs::chrome_trace;
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace_out = Some(args.next().expect("--trace needs a path")),
+            "--report" => report_out = Some(args.next().expect("--report needs a path")),
+            other => panic!("unknown argument {other:?} (expected --trace PATH / --report PATH)"),
+        }
+    }
     let rows = table2::run_full();
+    if let Some(path) = &trace_out {
+        let tracer = report::table2_tracer(&rows);
+        std::fs::write(path, chrome_trace(&[&tracer])).expect("write trace JSON");
+        eprintln!("chrome trace written to {path}");
+    }
+    if let Some(path) = &report_out {
+        let rr = report::table2_run_report(&rows);
+        std::fs::write(path, rr.to_json_string()).expect("write run report");
+        eprintln!("run report written to {path}");
+    }
     println!("{}", table2::format(&rows));
     println!("per-repetition dynamic instructions (scalar → SVE):");
     for r in &rows {

@@ -11,11 +11,14 @@
 //! * [`breakdown`] — the in-text §II-E routine/ MPI timing analysis;
 //! * [`paper`] — the published reference numbers, printed side-by-side
 //!   with the reproduction;
-//! * [`par`] — scoped-thread fan-out used by the sweep harnesses.
+//! * [`par`] — scoped-thread fan-out used by the sweep harnesses;
+//! * [`report`] — the canonical bench-report collection consumed by the
+//!   `bench_report`/`bench_compare` regression gate.
 
 pub mod breakdown;
 pub mod fig1;
 pub mod paper;
 pub mod par;
+pub mod report;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,327 @@
+//! Canonical benchmark collection for the CI regression gate.
+//!
+//! [`collect`] runs a fixed set of fast experiments and packs every
+//! result into a [`BenchReport`]:
+//!
+//! * **Modeled quantities** (Table II kernel clocks and instruction
+//!   counts, Fig. 1 matrix statistics, a miniature Table I sweep, and
+//!   the totals of a 2-rank fault-recovery run) carry [`Gate::Exact`] —
+//!   they are deterministic functions of the code, so the gate is
+//!   bit-for-bit.
+//! * **Wall-clock timings** (unit `s_wall`) carry [`Gate::Ceil`] with a
+//!   generous band, since shared CI runners are noisy.  They can be
+//!   excluded wholesale with [`strip_wallclock`].
+//!
+//! The checked-in `bench/baseline.json` is the output of
+//! `bench_report`; `bench_compare` regenerates a fresh report and
+//! diffs the two.
+
+use std::time::Instant;
+
+use v2d_comm::{Spmd, TileMap};
+use v2d_core::problems::GaussianPulse;
+use v2d_core::sim::V2dSim;
+use v2d_linalg::sparsity;
+use v2d_machine::{A64fxModel, FaultInjector, FaultKind, FaultPlan, ALL_COMPILERS};
+use v2d_obs::{BenchReport, Gate, Metric, RunReport, Tracer};
+use v2d_sve::kernels::ExecMode;
+
+use crate::{fig1, table1, table2};
+
+/// Wall-clock ceiling: a fresh run may take up to this multiple of the
+/// baseline seconds before the gate trips.
+pub const WALLCLOCK_CEIL: f64 = 4.0;
+
+/// Knobs for [`collect`].
+#[derive(Debug, Clone, Copy)]
+pub struct CollectOpts {
+    /// Include wall-clock (`s_wall`) entries.
+    pub wallclock: bool,
+    /// Timing rounds for wall-clock entries (best-of).
+    pub rounds: usize,
+    /// Inject this many extra simulated cycles into the first Table II
+    /// SVE clock — the CI red-run demonstration: even one cycle must
+    /// trip the exact gate.
+    pub perturb_cycles: u64,
+}
+
+impl Default for CollectOpts {
+    fn default() -> Self {
+        CollectOpts { wallclock: true, rounds: 3, perturb_cycles: 0 }
+    }
+}
+
+/// Best-of-`rounds` wall time of `work`, plus the last round's value.
+fn best_of<T>(rounds: usize, mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..rounds.max(1) {
+        let t0 = Instant::now();
+        let v = work();
+        best = best.min(t0.elapsed().as_secs_f64());
+        value = Some(v);
+    }
+    (best, value.expect("at least one round"))
+}
+
+/// FNV-1a over `data`, folded to 32 bits so the value is exact in f64.
+fn fnv32(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h >> 32) ^ (h & 0xffff_ffff)
+}
+
+/// Table II rows → exact modeled entries (clocks + instruction counts).
+pub fn add_table2(report: &mut BenchReport, rows: &[table2::Row], perturb_cycles: u64) {
+    let freq = A64fxModel::ookami().freq_hz;
+    for (i, row) in rows.iter().enumerate() {
+        let name = row.routine.name().to_lowercase();
+        // Recomputing seconds from cycles reproduces `row.sve` exactly
+        // when unperturbed (same expression, same operand order).
+        let sve_cycles = row.cycles.1 + if i == 0 { perturb_cycles } else { 0 };
+        let sve_s = sve_cycles as f64 * table2::REPS as f64 / freq;
+        report.add(&format!("table2.{name}.no_sve_s"), row.no_sve, "s", Gate::Exact);
+        report.add(&format!("table2.{name}.sve_s"), sve_s, "s", Gate::Exact);
+        report.add(
+            &format!("table2.{name}.instrs_scalar"),
+            row.instrs.0 as f64,
+            "count",
+            Gate::Exact,
+        );
+        report.add(&format!("table2.{name}.instrs_sve"), row.instrs.1 as f64, "count", Gate::Exact);
+    }
+}
+
+/// Fig. 1 matrix statistics + a checksum of the rendered bitmap.
+pub fn add_fig1(report: &mut BenchReport, pbm: &str) {
+    let dim = sparsity::dimension(fig1::N1, fig1::N2, fig1::NSPEC);
+    let nnz = sparsity::nnz(fig1::N1, fig1::N2, fig1::NSPEC);
+    let window = sparsity::nonzeros_in_window(
+        fig1::N1,
+        fig1::N2,
+        fig1::NSPEC,
+        0..fig1::WINDOW,
+        0..fig1::WINDOW,
+    )
+    .len();
+    report.add("fig1.dim", dim as f64, "count", Gate::Exact);
+    report.add("fig1.nnz", nnz as f64, "count", Gate::Exact);
+    report.add("fig1.window_nnz", window as f64, "count", Gate::Exact);
+    report.add("fig1.pbm_fnv32", fnv32(pbm.as_bytes()) as f64, "hash", Gate::Exact);
+}
+
+/// A miniature Table I: the Gaussian-pulse study at 48×24, serial and
+/// 2×2, all four compiler lanes.  Exercises the full simulation stack
+/// (halo exchange, ganged reductions, preconditioned BiCGSTAB) so any
+/// modeled-clock drift anywhere in it trips the gate.
+pub fn add_table1_mini(report: &mut BenchReport) {
+    let cfg = GaussianPulse::scaled_config(48, 24, 2);
+    for (nx1, nx2) in [(1, 1), (2, 2)] {
+        let row = table1::run_topology(&cfg, nx1, nx2);
+        let np = nx1 * nx2;
+        for (i, id) in ALL_COMPILERS.iter().enumerate() {
+            report.add(
+                &format!("table1_mini.np{np}.{}_s", id.slug()),
+                row.secs[i],
+                "s",
+                Gate::Exact,
+            );
+        }
+        report.add(
+            &format!("table1_mini.np{np}.iters_per_solve"),
+            row.iters_per_solve,
+            "iters",
+            Gate::Exact,
+        );
+    }
+}
+
+/// The deterministic 2-rank fault-recovery run behind the `faults.*`
+/// entries: a NaN landing in the field, an injected solver breakdown,
+/// and a delayed halo message, all recovered from.  The coordinates
+/// (linear 16×8 pulse, 2×1 tiling, short real-time recv deadline)
+/// mirror the `ablation_faults` campaign, whose golden pins them down.
+pub fn fault_mini_plan() -> FaultPlan {
+    let mut plan = FaultPlan::empty()
+        .with_event(1, Some(0), FaultKind::FieldNan)
+        .with_event(4, None, FaultKind::SolverBreakdown { count: 1 })
+        .with_event(6, Some(1), FaultKind::DelayMessage { nth: 1, secs: 0.25 });
+    plan.recv_timeout_ms = 250;
+    plan
+}
+
+/// Run the fault-recovery mini campaign with a tracer attached and
+/// return rank 0's [`RunReport`] plus both ranks' tracers (for trace
+/// export and determinism tests).
+pub fn fault_mini_run() -> (RunReport, Vec<Tracer>) {
+    let plan = fault_mini_plan();
+    let cfg = GaussianPulse::linear_config(16, 8, 12);
+    let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 2, 1);
+    let outs = Spmd::new(2).run(move |ctx| {
+        let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+        GaussianPulse::standard().init(&mut sim);
+        sim.set_fault_injector(FaultInjector::new(plan.clone(), ctx.comm.rank()));
+        sim.set_tracer(Tracer::new(ctx.comm.rank(), &ctx.sink).without_kernel_spans());
+        let (_, report) = sim.run_observed(
+            &ctx.comm,
+            &mut ctx.sink,
+            vec![("suite".to_string(), "fault_mini".to_string())],
+        );
+        (report, sim.take_tracer().expect("tracer attached"))
+    });
+    let mut reports = Vec::new();
+    let mut tracers = Vec::new();
+    for (r, t) in outs {
+        reports.push(r);
+        tracers.push(t);
+    }
+    (reports.swap_remove(0), tracers)
+}
+
+/// Fault-recovery totals → exact entries under `faults.`.
+pub fn add_fault_mini(report: &mut BenchReport) {
+    let (rr, _) = fault_mini_run();
+    for (name, m) in rr.totals.iter() {
+        let v = match m {
+            Metric::Counter(c) => *c as f64,
+            Metric::Gauge(g) => *g,
+            Metric::Hist(_) => continue,
+        };
+        let unit = if name.ends_with("_s") { "s" } else { "count" };
+        report.add(&format!("faults.{name}"), v, unit, Gate::Exact);
+    }
+}
+
+/// Collect the canonical report.
+pub fn collect(opts: &CollectOpts) -> BenchReport {
+    let mut report = BenchReport::new(vec![
+        ("suite".to_string(), "v2d regression gate".to_string()),
+        ("generator".to_string(), "bench_report".to_string()),
+    ]);
+
+    let (t2_secs, rows) = best_of(opts.rounds, || table2::run_full_with(ExecMode::Decoded, true));
+    add_table2(&mut report, &rows, opts.perturb_cycles);
+
+    let (f1_secs, artifacts) = best_of(opts.rounds, || fig1::artifacts(100));
+    add_fig1(&mut report, &artifacts.pbm);
+
+    add_table1_mini(&mut report);
+    add_fault_mini(&mut report);
+
+    if opts.wallclock {
+        report.add("wallclock.table2_s", t2_secs, "s_wall", Gate::Ceil { frac: WALLCLOCK_CEIL });
+        report.add("wallclock.fig1_s", f1_secs, "s_wall", Gate::Ceil { frac: WALLCLOCK_CEIL });
+    }
+    report
+}
+
+/// Drop wall-clock entries (`s_wall`) from a report, for comparisons on
+/// machines whose timings are meaningless (e.g. heavily shared runners).
+pub fn strip_wallclock(report: &mut BenchReport) {
+    report.entries.retain(|_, e| e.unit != "s_wall");
+}
+
+/// Table II rows → a [`RunReport`] whose totals carry the modeled
+/// clocks, bit-for-bit equal to the values behind the golden text.
+pub fn table2_run_report(rows: &[table2::Row]) -> RunReport {
+    let mut rr = RunReport::new(vec![
+        ("suite".to_string(), "table2".to_string()),
+        ("n_equations".to_string(), table2::N_EQUATIONS.to_string()),
+        ("reps".to_string(), table2::REPS.to_string()),
+    ]);
+    for row in rows {
+        let name = row.routine.name().to_lowercase();
+        rr.totals.gauge_set(&format!("table2.{name}.no_sve_s"), row.no_sve);
+        rr.totals.gauge_set(&format!("table2.{name}.sve_s"), row.sve);
+        rr.totals.counter_add(&format!("table2.{name}.instrs_scalar"), row.instrs.0);
+        rr.totals.counter_add(&format!("table2.{name}.instrs_sve"), row.instrs.1);
+    }
+    // Program-cache effectiveness at the time of the snapshot.  The
+    // counters are process-cumulative (they grow with repeated sweeps),
+    // so they inform the report but are never gate entries.
+    rr.totals.counter_add("sve.cache.hits", v2d_sve::cache::cache_hit_count());
+    rr.totals.counter_add("sve.cache.misses", v2d_sve::cache::cache_miss_count());
+    rr.totals.counter_add("sve.cache.assembles", v2d_sve::cache::assemble_count());
+    rr
+}
+
+/// Table II rows → a synthetic two-lane trace: lane 0 is the scalar
+/// timeline, lane 1 the SVE timeline, one span per routine laid
+/// back-to-back (cycles are per-repetition × `REPS`).
+pub fn table2_tracer(rows: &[table2::Row]) -> Tracer {
+    let freq = A64fxModel::ookami().freq_hz;
+    let mut tr = Tracer::with_lanes(0, freq, vec!["no-SVE".to_string(), "SVE".to_string()]);
+    let (mut t0, mut t1) = (0u64, 0u64);
+    for row in rows {
+        let scalar = row.cycles.0 * table2::REPS as u64;
+        let sve = row.cycles.1 * table2::REPS as u64;
+        tr.push_span(0, row.routine.name(), t0, scalar, &[]);
+        tr.push_span(1, row.routine.name(), t1, sve, &[]);
+        t0 += scalar;
+        t1 += sve;
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2d_obs::compare;
+
+    #[test]
+    fn quick_report_round_trips_and_self_compares_clean() {
+        let opts = CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 0 };
+        let report = collect(&opts);
+        let back = BenchReport::parse(&report.to_json_string()).expect("parses");
+        let cmp = compare(&report, &back);
+        assert!(cmp.pass(), "round-trip drift:\n{}", cmp.table(true));
+        // The exact families are all present.
+        for prefix in ["table2.", "fig1.", "table1_mini.", "faults."] {
+            assert!(report.entries.keys().any(|k| k.starts_with(prefix)), "no {prefix} entries");
+        }
+    }
+
+    #[test]
+    fn one_cycle_perturbation_trips_the_gate() {
+        let base = collect(&CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 0 });
+        let fresh = collect(&CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 1 });
+        let cmp = compare(&base, &fresh);
+        assert!(!cmp.pass(), "a 1-cycle perturbation must not pass the exact gate");
+        assert_eq!(cmp.failures(), 1, "{}", cmp.table(true));
+    }
+
+    #[test]
+    fn table2_run_report_matches_rows_bit_for_bit() {
+        let rows = table2::run_full();
+        let rr = table2_run_report(&rows);
+        for row in &rows {
+            let name = row.routine.name().to_lowercase();
+            let no_sve = rr.totals.get(&format!("table2.{name}.no_sve_s"));
+            let sve = rr.totals.get(&format!("table2.{name}.sve_s"));
+            match (no_sve, sve) {
+                (Some(Metric::Gauge(a)), Some(Metric::Gauge(b))) => {
+                    assert_eq!(a.to_bits(), row.no_sve.to_bits());
+                    assert_eq!(b.to_bits(), row.sve.to_bits());
+                }
+                other => panic!("missing gauges for {name}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_mini_recovers_and_counts_it() {
+        let (rr, tracers) = fault_mini_run();
+        assert!(rr.totals.counter("recoveries") > 0, "campaign must exercise recovery");
+        assert!(rr.totals.counter("comm.msgs") > 0);
+        assert_eq!(tracers.len(), 2);
+        // The injected breakdown shows up as a traced solver event.
+        let traced = tracers[0]
+            .events()
+            .iter()
+            .any(|e| e.name == "solver_restart" || e.name == "solver_fallback");
+        assert!(traced, "no solver recovery event in the trace");
+    }
+}

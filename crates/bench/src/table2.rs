@@ -28,6 +28,9 @@ pub struct Row {
     pub sve: f64,
     /// Dynamic instruction counts of one repetition (scalar, SVE).
     pub instrs: (u64, u64),
+    /// Simulated cycles of one repetition (scalar, SVE) — the integer
+    /// quantities behind `no_sve`/`sve`, kept for tracing/reporting.
+    pub cycles: (u64, u64),
     /// Flops per cycle achieved (scalar, SVE).
     pub flops_per_cycle: (f64, f64),
 }
@@ -62,6 +65,7 @@ pub fn run_routine_pair_with(
         no_sve: scalar.cycles as f64 * reps as f64 / freq,
         sve: sve.cycles as f64 * reps as f64 / freq,
         instrs: (scalar.instrs, sve.instrs),
+        cycles: (scalar.cycles, sve.cycles),
         flops_per_cycle: (scalar.flops_per_cycle(), sve.flops_per_cycle()),
     }
 }

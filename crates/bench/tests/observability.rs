@@ -1,0 +1,86 @@
+//! End-to-end observability guarantees:
+//!
+//! * the 2-rank fault-recovery trace is **bit-identical** across
+//!   replays of the same `FaultPlan` — virtual-clock spans carry no
+//!   wall-clock residue, so the Chrome export and the collapsed stacks
+//!   are stable byte streams;
+//! * `bench_compare` round-trips: a baseline compared against itself
+//!   exits 0, and a single simulated cycle of injected drift exits
+//!   non-zero (the CI red-run demonstration, executed for real).
+
+use std::process::Command;
+
+use v2d_bench::report;
+use v2d_obs::{chrome_trace, collapsed_stacks};
+
+#[test]
+fn fault_recovery_trace_is_bit_identical_across_replays() {
+    let (rr_a, tr_a) = report::fault_mini_run();
+    let (rr_b, tr_b) = report::fault_mini_run();
+
+    // The run reports agree byte-for-byte (totals, per-step series).
+    assert_eq!(rr_a.to_json_string(), rr_b.to_json_string(), "RunReport drifted across replays");
+
+    // Both ranks' traces agree byte-for-byte in both export formats.
+    assert_eq!(tr_a.len(), 2);
+    assert_eq!(tr_b.len(), 2);
+    let refs_a: Vec<&_> = tr_a.iter().collect();
+    let refs_b: Vec<&_> = tr_b.iter().collect();
+    let chrome_a = chrome_trace(&refs_a);
+    let chrome_b = chrome_trace(&refs_b);
+    assert!(!chrome_a.is_empty());
+    assert_eq!(chrome_a, chrome_b, "Chrome trace drifted across replays");
+    assert_eq!(
+        collapsed_stacks(&refs_a),
+        collapsed_stacks(&refs_b),
+        "collapsed stacks drifted across replays"
+    );
+
+    // The trace actually saw the faults: the injected events leave
+    // instants behind, and recovery shows up on at least one rank.
+    let names: Vec<&str> = tr_a.iter().flat_map(|t| t.events()).map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"fault_field"), "no fault_field instant in the trace");
+    assert!(
+        names.contains(&"solver_restart") || names.contains(&"solver_fallback"),
+        "no solver recovery event in the trace"
+    );
+}
+
+#[test]
+fn bench_compare_round_trips_and_flags_drift() {
+    // Build a wallclock-free baseline through the library and hand it
+    // to the real binary.
+    let opts = report::CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 0 };
+    let baseline = report::collect(&opts).to_json_string();
+    let path = std::env::temp_dir().join(format!("v2d_obs_baseline_{}.json", std::process::id()));
+    std::fs::write(&path, baseline).expect("write temp baseline");
+    let path = path.to_str().expect("temp path should be UTF-8");
+
+    let run = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+            .args(["--baseline", path, "--skip-wallclock"])
+            .args(extra)
+            .env_remove("GITHUB_STEP_SUMMARY")
+            .output()
+            .expect("bench_compare should launch")
+    };
+
+    // Baseline vs itself: clean pass.
+    let green = run(&[]);
+    assert!(
+        green.status.success(),
+        "self-comparison failed:\n{}{}",
+        String::from_utf8_lossy(&green.stdout),
+        String::from_utf8_lossy(&green.stderr)
+    );
+
+    // One injected cycle: the exact gate must trip and the process
+    // must exit non-zero, naming the perturbed metric.
+    let red = run(&["--perturb-cycles", "1"]);
+    assert!(!red.status.success(), "a 1-cycle perturbation must fail the gate");
+    let stdout = String::from_utf8_lossy(&red.stdout);
+    assert!(stdout.contains("FAIL"), "no failure banner:\n{stdout}");
+    assert!(stdout.contains("table2."), "delta table should name the metric:\n{stdout}");
+
+    let _ = std::fs::remove_file(path);
+}

@@ -5,7 +5,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use v2d_machine::{CostLanes, MultiCostSink, SendFault, SimDuration};
+use v2d_machine::{AttrVal, CostLanes, MultiCostSink, SendFault, SimDuration};
 
 /// Lock a mutex, recovering the data if another rank thread panicked
 /// while holding it (our state stays consistent: every critical section
@@ -260,7 +260,6 @@ impl Comm {
             Some(inj) => inj.poll_send(),
             None => SendFault::None,
         };
-        let sink: &mut MultiCostSink = sink.cost_lanes();
         assert!(dst < self.n_ranks(), "send to nonexistent rank {dst}");
         assert_ne!(dst, self.rank, "self-sends are not supported (use local copies)");
         // Per-lane send overhead: half the latency (the classic
@@ -271,15 +270,27 @@ impl Comm {
             SendFault::Delay { secs } => secs,
             _ => 0.0,
         };
-        let mut send_clocks = Vec::with_capacity(sink.lanes.len());
-        for lane in &mut sink.lanes {
+        let lanes = sink.cost_lanes();
+        let mut send_clocks = Vec::with_capacity(lanes.lanes.len());
+        for lane in &mut lanes.lanes {
             lane.charge_mpi_secs(0.5 * lane.profile.mpi.p2p_latency);
+            lane.count_send(data.len() * 8);
             let mut stamp = lane.clock.now();
             if delay > 0.0 {
                 stamp = stamp.saturating_add(SimDuration::from_secs(delay, lane.model.freq_hz));
             }
             send_clocks.push(stamp);
         }
+        sink.trace_instant(
+            "msg_send",
+            &[
+                ("dst", AttrVal::U64(dst as u64)),
+                ("tag", AttrVal::U64(tag as u64)),
+                ("bytes", AttrVal::U64(data.len() as u64 * 8)),
+                ("dropped", AttrVal::Bool(fate == SendFault::Drop)),
+                ("delay_s", AttrVal::F64(delay)),
+            ],
+        );
         if fate == SendFault::Drop {
             return; // the NIC ate it: the sender paid its overhead, nothing arrives
         }
@@ -309,7 +320,9 @@ impl Comm {
         tag: u32,
     ) -> Result<Vec<f64>, CommError> {
         let deadline = Self::injected_deadline(sink);
-        Ok(self.recv_msg(sink.cost_lanes(), src, tag, deadline)?.data)
+        let msg = self.recv_msg(sink.cost_lanes(), src, tag, deadline)?;
+        self.trace_recv(sink, src, tag, msg.data.len());
+        Ok(msg.data)
     }
 
     /// Allocation-free receive: the payload is copied into `out`
@@ -326,10 +339,23 @@ impl Comm {
     ) -> Result<(), CommError> {
         let deadline = Self::injected_deadline(sink);
         let msg = self.recv_msg(sink.cost_lanes(), src, tag, deadline)?;
+        self.trace_recv(sink, src, tag, msg.data.len());
         out.clear();
         out.extend_from_slice(&msg.data);
         self.shared.return_buf(msg.data);
         Ok(())
+    }
+
+    /// Stamp a received message on the tracer, if one rides in `sink`.
+    fn trace_recv(&self, sink: &mut impl CostLanes, src: usize, tag: u32, elems: usize) {
+        sink.trace_instant(
+            "msg_recv",
+            &[
+                ("src", AttrVal::U64(src as u64)),
+                ("tag", AttrVal::U64(tag as u64)),
+                ("bytes", AttrVal::U64(elems as u64 * 8)),
+            ],
+        );
     }
 
     /// [`Comm::recv`] with an explicit real-time deadline instead of

@@ -9,7 +9,10 @@
 
 use v2d_comm::{CartComm, Comm, ReduceOp, TileMap};
 use v2d_linalg::{SolveOpts, TileVec};
-use v2d_machine::{ExecCtx, FaultInjector, FaultKind, FaultRecord, FieldFault, MultiCostSink};
+use v2d_machine::{
+    AttrVal, ExecCtx, FaultInjector, FaultKind, FaultRecord, FieldFault, MultiCostSink, TraceSink,
+};
+use v2d_obs::{RunReport, Tracer};
 use v2d_perf::Profiler;
 
 use crate::field::Field2;
@@ -159,6 +162,10 @@ pub struct V2dSim {
     faults: Option<FaultInjector>,
     /// Bounds on the step-level recovery ladder.
     recovery: RecoveryPolicy,
+    /// Virtual-clock tracer (None on production runs; when attached,
+    /// every kernel charge, phase span, solver event, and recovery
+    /// action is recorded against the modeled clocks).
+    tracer: Option<Tracer>,
     /// TAU-style profiler over compiler lane 0.
     pub profiler: Profiler,
 }
@@ -201,8 +208,25 @@ impl V2dSim {
             wks: RadWorkspace::new(tile.n1, tile.n2),
             faults: None,
             recovery: RecoveryPolicy::default(),
+            tracer: None,
             profiler: Profiler::new(),
         }
+    }
+
+    /// Attach a virtual-clock tracer.  An attached tracer never perturbs
+    /// the modeled clocks or the profiler report — it only observes.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detach and return the tracer (e.g. to export a Chrome trace).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Attach a deterministic fault injector; its plan replays at exact
@@ -337,13 +361,34 @@ impl V2dSim {
                 for lane in &mut sink.lanes {
                     lane.charge_mpi_secs(secs);
                 }
+                if let Some(t) = &mut self.tracer {
+                    t.instant(sink, "fault_stall", &[("secs", AttrVal::F64(secs))]);
+                }
             }
             if let Some(fault) = inj.poll_field() {
                 let (s, i1, i2) = apply_field_fault(&mut self.erad, fault);
                 inj.note(format!("field fault lands at species {s}, cell ({i1},{i2})"));
+                if let Some(t) = &mut self.tracer {
+                    t.instant(
+                        sink,
+                        "fault_field",
+                        &[
+                            ("species", AttrVal::U64(s as u64)),
+                            ("i1", AttrVal::U64(i1 as u64)),
+                            ("i2", AttrVal::U64(i2 as u64)),
+                        ],
+                    );
+                }
             }
         }
-        let mut cx = ExecCtx::with_parts(sink, Some(&mut self.profiler), self.faults.as_mut());
+        let istep = self.istep;
+        let mut cx = ExecCtx::with_parts(
+            sink,
+            Some(&mut self.profiler),
+            self.faults.as_mut(),
+            self.tracer.as_mut().map(|t| t as &mut dyn TraceSink),
+        );
+        cx.trace_enter("step", &[("istep", AttrVal::U64(istep as u64))]);
         let dt = self.cfg.dt;
         let mut hydro_dt = None;
         if let Some((stepper, state)) = &mut self.hydro {
@@ -444,6 +489,14 @@ impl V2dSim {
                         comm.allreduce_scalar(&mut cx, ReduceOp::Sum, scrubbed as f64);
                     if global_scrubbed > 0.0 {
                         recoveries += 1;
+                        cx.trace_instant(
+                            "recovery",
+                            &[
+                                ("action", AttrVal::Str("scrub")),
+                                ("cells_global", AttrVal::F64(global_scrubbed)),
+                                ("dt", AttrVal::F64(take)),
+                            ],
+                        );
                         if let Some(inj) = cx.faults() {
                             inj.note(format!(
                                 "recover: scrubbed {scrubbed} non-finite cells ({} global), retry at dt {take:.3e}",
@@ -457,6 +510,14 @@ impl V2dSim {
                         halvings += 1;
                         recoveries += 1;
                         sub_dt *= 0.5;
+                        cx.trace_instant(
+                            "recovery",
+                            &[
+                                ("action", AttrVal::Str("dt_halve")),
+                                ("dt", AttrVal::F64(sub_dt)),
+                                ("halvings", AttrVal::U64(halvings as u64)),
+                            ],
+                        );
                         if let Some(inj) = cx.faults() {
                             inj.note(format!(
                                 "recover: halve dt to {sub_dt:.3e} ({halvings}/{})",
@@ -466,6 +527,7 @@ impl V2dSim {
                         continue;
                     }
                     cx.exit("radiation");
+                    cx.trace_exit("step");
                     return Err(StepError::Radiation { istep: self.istep, dt: take, error });
                 }
             }
@@ -484,6 +546,7 @@ impl V2dSim {
             cp.update_temperature(&mut cx, self.cfg.c_light, dt, &at, &self.erad, temp);
             cx.exit("matter_update");
         }
+        cx.trace_exit("step");
 
         self.time += dt;
         self.istep += 1;
@@ -503,6 +566,96 @@ impl V2dSim {
                 st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
         }
         agg
+    }
+
+    /// [`V2dSim::run`] with per-step observability: every step's solver
+    /// work and per-lane modeled clock advance is snapshotted into a
+    /// [`RunReport`], and run-wide totals (iterations, reductions,
+    /// recoveries, bytes by memory level, message counts, modeled MPI
+    /// time) land in the report's metrics registry.  The modeled clocks
+    /// are untouched — the report only reads them, so its values match
+    /// an unobserved run bit-for-bit.
+    pub fn run_observed(
+        &mut self,
+        comm: &Comm,
+        sink: &mut MultiCostSink,
+        meta: Vec<(String, String)>,
+    ) -> (RunStats, RunReport) {
+        let mut report = RunReport::new(meta);
+        let mut agg = RunStats::default();
+        let mut prev: Vec<f64> = sink.lanes.iter().map(|l| l.elapsed_secs()).collect();
+        for _ in 0..self.cfg.n_steps {
+            let st = self.step(comm, sink);
+            agg.steps += 1;
+            agg.total_solves += 3;
+            agg.total_iters += st.rad.total_iters();
+            agg.total_reductions += st.rad.stages.iter().map(|s| s.reductions).sum::<usize>();
+            agg.total_recoveries +=
+                st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
+
+            let mut vals = std::collections::BTreeMap::new();
+            for (i, lane) in sink.lanes.iter().enumerate() {
+                let now = lane.elapsed_secs();
+                vals.insert(format!("clock.{}_s", lane.profile.id.slug()), now - prev[i]);
+                prev[i] = now;
+            }
+            vals.insert("rad.iters".to_string(), st.rad.total_iters() as f64);
+            vals.insert(
+                "rad.reductions".to_string(),
+                st.rad.stages.iter().map(|s| s.reductions).sum::<usize>() as f64,
+            );
+            vals.insert("rad.substeps".to_string(), st.rad_substeps as f64);
+            vals.insert(
+                "recoveries".to_string(),
+                (st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>()) as f64,
+            );
+            report.record_step((self.istep - 1) as u64, vals);
+        }
+
+        let t = &mut report.totals;
+        t.counter_add("solver.solves", agg.total_solves as u64);
+        t.counter_add("solver.iters", agg.total_iters as u64);
+        t.counter_add("solver.reductions", agg.total_reductions as u64);
+        t.counter_add("recoveries", agg.total_recoveries as u64);
+        for lane in &sink.lanes {
+            let slug = lane.profile.id.slug();
+            t.gauge_set(&format!("clock.{slug}_s"), lane.elapsed_secs());
+            t.gauge_set(&format!("mpi.{slug}_s"), lane.mpi_secs());
+        }
+        // Traffic and message counters are identical in structure across
+        // lanes; lane 0 (the profiler lane) is the canonical one.
+        let lane0 = &sink.lanes[0];
+        for level in v2d_machine::MemLevel::all() {
+            t.counter_add(
+                &format!("mem.bytes.{}", level.name()),
+                lane0.bytes_by_level[level.index()],
+            );
+        }
+        t.counter_add("comm.msgs", lane0.comm_msgs);
+        t.counter_add("comm.bytes", lane0.comm_bytes);
+        // Solver-event counters come from the tracer (when attached):
+        // restarts and fallbacks keyed by breakdown reason, recovery
+        // rungs keyed by action.
+        if let Some(tr) = &self.tracer {
+            for ev in tr.events().iter().filter(|e| e.lane == 0) {
+                match ev.name.as_str() {
+                    "solver_restart" => {
+                        let reason = ev.attr_str("reason").unwrap_or("unknown");
+                        t.counter_add(&format!("solver.restarts.{reason}"), 1);
+                    }
+                    "solver_fallback" => {
+                        let reason = ev.attr_str("reason").unwrap_or("unknown");
+                        t.counter_add(&format!("solver.fallbacks.{reason}"), 1);
+                    }
+                    "recovery" => {
+                        let action = ev.attr_str("action").unwrap_or("unknown");
+                        t.counter_add(&format!("recovery.{action}"), 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        (agg, report)
     }
 
     /// Global volume-integrated radiation energy (collective).

@@ -177,6 +177,7 @@ impl StencilOp {
         field: &mut TileVec,
         buf: &mut Vec<f64>,
     ) {
+        cx.trace_enter("halo_exchange", &[]);
         // Post every direction first (nonblocking sends), then receive:
         // the virtual clocks of the receives then overlap instead of
         // serializing along the process chain — the behaviour of a real
@@ -213,6 +214,7 @@ impl StencilOp {
                 }
             }
         }
+        cx.trace_exit("halo_exchange");
     }
 
     /// Fill the ghost frames of the five spatial coefficient fields from

@@ -24,7 +24,7 @@
 //! test and the `ablation_alloc` bench.
 
 use v2d_comm::{Comm, ReduceOp};
-use v2d_machine::ExecCtx;
+use v2d_machine::{AttrVal, ExecCtx};
 
 use crate::kernels;
 use crate::op::LinearOp;
@@ -94,6 +94,36 @@ pub enum BreakdownReason {
     MaxIters,
 }
 
+impl BreakdownReason {
+    /// Stable lower-snake label (metric-name component, trace attribute).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakdownReason::RhoZero => "rho_zero",
+            BreakdownReason::OmegaZero => "omega_zero",
+            BreakdownReason::RhatVZero => "rhat_v_zero",
+            BreakdownReason::PapZero => "pap_zero",
+            BreakdownReason::NonFinite => "non_finite",
+            BreakdownReason::Stagnation => "stagnation",
+            BreakdownReason::Injected => "injected",
+            BreakdownReason::MaxIters => "max_iters",
+        }
+    }
+
+    /// All reasons, in a stable order (dense metric enumeration).
+    pub fn all() -> [BreakdownReason; 8] {
+        [
+            BreakdownReason::RhoZero,
+            BreakdownReason::OmegaZero,
+            BreakdownReason::RhatVZero,
+            BreakdownReason::PapZero,
+            BreakdownReason::NonFinite,
+            BreakdownReason::Stagnation,
+            BreakdownReason::Injected,
+            BreakdownReason::MaxIters,
+        ]
+    }
+}
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
@@ -120,6 +150,17 @@ pub enum SolverKind {
     BicgStab,
     Gmres,
     Cg,
+}
+
+impl SolverKind {
+    /// Stable lower-snake label (metric-name component, trace attribute).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::BicgStab => "bicgstab",
+            SolverKind::Gmres => "gmres",
+            SolverKind::Cg => "cg",
+        }
+    }
 }
 
 /// One exhausted attempt of the [`solve_cascade`] chain.
@@ -341,6 +382,15 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                     rr.sqrt() / bnorm
                 ));
             }
+            cx.trace_instant(
+                "solver_restart",
+                &[
+                    ("solver", AttrVal::Str("bicgstab")),
+                    ("reason", AttrVal::Str(why.name())),
+                    ("iter", AttrVal::U64(iter as u64)),
+                    ("relres", AttrVal::F64(rr.sqrt() / bnorm)),
+                ],
+            );
             if rr.sqrt() <= opts.tol * bnorm {
                 return SolveStats {
                     iters: iter,
@@ -471,6 +521,10 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
             reduce(comm, cx, &mut g, &mut reductions);
             rr = g[0];
         }
+        cx.trace_instant(
+            "bicgstab_iter",
+            &[("iter", AttrVal::U64(iter as u64)), ("relres", AttrVal::F64(rr.sqrt() / bnorm))],
+        );
         if rr.sqrt() <= opts.tol * bnorm {
             return SolveStats {
                 iters: iter,
@@ -962,6 +1016,7 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
             st.breakdown
         ));
     }
+    trace_fallback(cx, SolverKind::BicgStab, &st);
 
     x.copy_from(&wks.x0);
     let st = gmres(comm, cx, a, m, b, x, wks, CASCADE_GMRES_RESTART, opts);
@@ -972,6 +1027,7 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
     if let Some(inj) = cx.faults() {
         inj.note(format!("gmres failed ({:?}); falling back to CG", st.breakdown));
     }
+    trace_fallback(cx, SolverKind::Gmres, &st);
 
     x.copy_from(&wks.x0);
     let st = cg(comm, cx, a, m, b, x, wks, opts);
@@ -979,11 +1035,24 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
         return Ok(SolveStats { recoveries: st.recoveries + attempts.len() as u32, ..st });
     }
     attempts.push(SolveAttempt { solver: SolverKind::Cg, stats: st });
+    trace_fallback(cx, SolverKind::Cg, &st);
 
     // Leave the caller's iterate exactly as it came in, so a higher-level
     // retry (smaller dt, restored checkpoint) starts from clean state.
     x.copy_from(&wks.x0);
     Err(SolveError { attempts })
+}
+
+/// Stamp one exhausted cascade attempt on the tracer.
+fn trace_fallback(cx: &mut ExecCtx, solver: SolverKind, st: &SolveStats) {
+    cx.trace_instant(
+        "solver_fallback",
+        &[
+            ("solver", AttrVal::Str(solver.name())),
+            ("reason", AttrVal::Str(st.breakdown.unwrap_or(BreakdownReason::MaxIters).name())),
+            ("iters", AttrVal::U64(st.iters as u64)),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -69,7 +69,7 @@ fn injected_breakdown_recovers_via_true_residual_restart() {
         let mut inj = breakdown_injector(1);
         let st = bicgstab(
             &ctx.comm,
-            &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj)),
+            &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj), None),
             &mut op,
             &mut m,
             &b,
@@ -101,7 +101,7 @@ fn exhausted_restarts_surface_the_breakdown_reason() {
         let mut inj = breakdown_injector(3);
         let st = bicgstab(
             &ctx.comm,
-            &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj)),
+            &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj), None),
             &mut op,
             &mut m,
             &b,
@@ -132,7 +132,7 @@ fn cascade_falls_back_and_converges() {
             let mut inj = breakdown_injector(count);
             let st = solve_cascade(
                 &ctx.comm,
-                &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj)),
+                &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj), None),
                 &mut op,
                 &mut m,
                 &b,
@@ -178,7 +178,7 @@ fn cascade_exhaustion_reports_every_attempt_and_restores_x() {
         let mut inj = breakdown_injector(5);
         let err = solve_cascade(
             &ctx.comm,
-            &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj)),
+            &mut ExecCtx::with_parts(&mut ctx.sink, None, Some(&mut inj), None),
             &mut op,
             &mut m,
             &b,
@@ -217,7 +217,7 @@ fn empty_plan_injector_is_bit_invisible_to_the_solver() {
             let mut wks = SolverWorkspace::new(n1, n2);
             let st = bicgstab(
                 &ctx.comm,
-                &mut ExecCtx::with_parts(&mut ctx.sink, None, inj),
+                &mut ExecCtx::with_parts(&mut ctx.sink, None, inj, None),
                 &mut op,
                 &mut m,
                 &b,

@@ -239,6 +239,14 @@ pub struct CostSink {
     /// wait-for-partner time), for the paper's "significant amount of time
     /// was taken by MPI calls" observation.
     pub mpi_cycles: u64,
+    /// Bytes streamed per memory level ([`MemLevel::index`] order), as
+    /// classified by the ambient working set at charge time.  Feeds the
+    /// observability layer's bytes-moved-per-level counters.
+    pub bytes_by_level: [u64; crate::model::N_MEM_LEVELS],
+    /// Point-to-point messages sent through this lane.
+    pub comm_msgs: u64,
+    /// Payload bytes sent through this lane.
+    pub comm_bytes: u64,
 }
 
 impl CostSink {
@@ -250,6 +258,9 @@ impl CostSink {
             clock: SimClock::new(),
             counters: KernelCounters::default(),
             mpi_cycles: 0,
+            bytes_by_level: [0; crate::model::N_MEM_LEVELS],
+            comm_msgs: 0,
+            comm_bytes: 0,
         }
     }
 
@@ -267,7 +278,15 @@ impl CostSink {
         self.counters.calls[i] += 1;
         self.counters.flops[i] += shape.flops as u64;
         self.counters.bytes[i] += shape.bytes_streamed() as u64;
+        let level = self.model.residency(shape.working_set);
+        self.bytes_by_level[level.index()] += shape.bytes_streamed() as u64;
         self.clock.advance_cycles(cycles);
+    }
+
+    /// Account one point-to-point send of `bytes` payload bytes.
+    pub fn count_send(&mut self, bytes: usize) {
+        self.comm_msgs += 1;
+        self.comm_bytes += bytes as u64;
     }
 
     /// Simulated elapsed seconds on this rank so far.

@@ -15,6 +15,7 @@
 
 use crate::cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
 use crate::fault::FaultInjector;
+use crate::trace::{AttrVal, Attrs, TraceSink};
 
 /// Anything that can surface the per-compiler cost lanes.  Collectives
 /// and other cost-charging plumbing accept `&mut impl CostLanes`, so
@@ -26,6 +27,13 @@ pub trait CostLanes {
     /// none — raw sinks and fault-free contexts behave identically.
     fn fault_injector(&mut self) -> Option<&mut FaultInjector> {
         None
+    }
+
+    /// Emit a tracer point event (message send/recv, delay, timeout)
+    /// stamped from the lanes' virtual clocks.  Default: no-op — raw
+    /// sinks have no tracer, and trace-free contexts charge nothing.
+    fn trace_instant(&mut self, name: &str, attrs: &Attrs) {
+        let _ = (name, attrs);
     }
 }
 
@@ -42,6 +50,10 @@ impl CostLanes for ExecCtx<'_> {
 
     fn fault_injector(&mut self) -> Option<&mut FaultInjector> {
         self.faults.as_deref_mut()
+    }
+
+    fn trace_instant(&mut self, name: &str, attrs: &Attrs) {
+        ExecCtx::trace_instant(self, name, attrs);
     }
 }
 
@@ -62,28 +74,30 @@ pub struct ExecCtx<'a> {
     ws: usize,
     profiler: Option<&'a mut dyn ProfilerScope>,
     faults: Option<&'a mut FaultInjector>,
+    tracer: Option<&'a mut dyn TraceSink>,
 }
 
 impl<'a> ExecCtx<'a> {
     /// A context over `sink` with no profiler and a zero (L1-resident)
     /// ambient working set.
     pub fn new(sink: &'a mut MultiCostSink) -> Self {
-        ExecCtx { sink, ws: 0, profiler: None, faults: None }
+        ExecCtx { sink, ws: 0, profiler: None, faults: None, tracer: None }
     }
 
     /// A context that also records enter/exit scopes in `profiler`.
     pub fn with_profiler(sink: &'a mut MultiCostSink, profiler: &'a mut dyn ProfilerScope) -> Self {
-        ExecCtx { sink, ws: 0, profiler: Some(profiler), faults: None }
+        ExecCtx { sink, ws: 0, profiler: Some(profiler), faults: None, tracer: None }
     }
 
     /// A fully-equipped context: cost lanes, optional profiler scope,
-    /// optional fault injector.
+    /// optional fault injector, optional tracer.
     pub fn with_parts(
         sink: &'a mut MultiCostSink,
         profiler: Option<&'a mut dyn ProfilerScope>,
         faults: Option<&'a mut FaultInjector>,
+        tracer: Option<&'a mut dyn TraceSink>,
     ) -> Self {
-        ExecCtx { sink, ws: 0, profiler, faults }
+        ExecCtx { sink, ws: 0, profiler, faults, tracer }
     }
 
     /// The fault injector, if one rides along.  `None` on every
@@ -115,9 +129,27 @@ impl<'a> ExecCtx<'a> {
         self.sink
     }
 
-    /// Charge an explicit kernel shape to every lane.
+    /// Charge an explicit kernel shape to every lane.  With a tracer
+    /// attached (and kernel spans wanted), the per-lane clocks are
+    /// snapshotted around the charge and a complete-span is emitted.
     pub fn charge(&mut self, shape: &KernelShape) {
-        self.sink.charge(shape);
+        match self.tracer.as_deref_mut() {
+            Some(t) if t.wants_kernel_spans() => {
+                let begins: Vec<_> = self.sink.lanes.iter().map(|l| l.clock.now()).collect();
+                self.sink.charge(shape);
+                t.complete(
+                    self.sink,
+                    &begins,
+                    shape.class.name(),
+                    &[
+                        ("elems", AttrVal::U64(shape.elems as u64)),
+                        ("flops", AttrVal::U64(shape.flops as u64)),
+                        ("bytes", AttrVal::U64(shape.bytes_streamed() as u64)),
+                    ],
+                );
+            }
+            _ => self.sink.charge(shape),
+        }
     }
 
     /// Charge a streaming kernel at the *ambient* working set — the
@@ -131,14 +163,19 @@ impl<'a> ExecCtx<'a> {
         writes: usize,
     ) {
         let shape = KernelShape::streaming(class, elems, flops_per_elem, reads, writes, self.ws);
-        self.sink.charge(&shape);
+        self.charge(&shape);
     }
 
     /// Enter a named profiler scope (lane 0's clock, as the paper's Arm
-    /// MAP ran on the real machine).  No-op without a profiler.
+    /// MAP ran on the real machine).  The same span opens on the tracer,
+    /// so physics-stage scopes appear in both reports.  No-op without
+    /// either.
     pub fn enter(&mut self, name: &str) {
         if let Some(p) = self.profiler.as_deref_mut() {
             p.enter(&self.sink.lanes[0], name);
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.span_enter(self.sink, name, &[]);
         }
     }
 
@@ -146,6 +183,32 @@ impl<'a> ExecCtx<'a> {
     pub fn exit(&mut self, name: &str) {
         if let Some(p) = self.profiler.as_deref_mut() {
             p.exit(&self.sink.lanes[0], name);
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.span_exit(self.sink, name);
+        }
+    }
+
+    /// Open a tracer-only span: visible in the trace, invisible to the
+    /// profiler (whose report feeds byte-exact goldens).
+    pub fn trace_enter(&mut self, name: &str, attrs: &Attrs) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.span_enter(self.sink, name, attrs);
+        }
+    }
+
+    /// Close a tracer-only span.
+    pub fn trace_exit(&mut self, name: &str) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.span_exit(self.sink, name);
+        }
+    }
+
+    /// Emit a tracer point event (solver iteration, breakdown, fault,
+    /// recovery decision) stamped from the lanes' virtual clocks.
+    pub fn trace_instant(&mut self, name: &str, attrs: &Attrs) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.instant(self.sink, name, attrs);
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod exec;
 pub mod fault;
 pub mod model;
 pub mod profile;
+pub mod trace;
 
 pub use clock::{SimClock, SimDuration};
 pub use cost::{CostSink, KernelClass, KernelShape, MultiCostSink};
@@ -35,5 +36,6 @@ pub use exec::{CostLanes, ExecCtx, ProfilerScope};
 pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, FieldFault, SendFault,
 };
-pub use model::{A64fxModel, MemLevel};
+pub use model::{A64fxModel, MemLevel, N_MEM_LEVELS};
 pub use profile::{CompilerId, CompilerProfile, MpiCostModel, ALL_COMPILERS};
+pub use trace::{AttrVal, Attrs, TraceSink};

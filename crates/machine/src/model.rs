@@ -28,6 +28,34 @@ pub enum MemLevel {
     Hbm,
 }
 
+/// Number of [`MemLevel`] variants (for dense per-level arrays).
+pub const N_MEM_LEVELS: usize = 3;
+
+impl MemLevel {
+    /// Dense index for per-level accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            MemLevel::L1 => 0,
+            MemLevel::L2 => 1,
+            MemLevel::Hbm => 2,
+        }
+    }
+
+    /// All levels, in dense-index order.
+    pub fn all() -> [MemLevel; N_MEM_LEVELS] {
+        [MemLevel::L1, MemLevel::L2, MemLevel::Hbm]
+    }
+
+    /// Stable lower-case label (used as a metric-name component).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "l1",
+            MemLevel::L2 => "l2",
+            MemLevel::Hbm => "hbm",
+        }
+    }
+}
+
 /// Parameters of the modeled processor.
 ///
 /// All bandwidths are *per core* sustained streaming rates in bytes per

@@ -54,6 +54,16 @@ impl CompilerId {
             CompilerId::CrayNoOpt => "Cray (no-opt)",
         }
     }
+
+    /// Identifier-safe slug used in metric names and report keys.
+    pub fn slug(self) -> &'static str {
+        match self {
+            CompilerId::Gnu => "gnu",
+            CompilerId::Fujitsu => "fujitsu",
+            CompilerId::CrayOpt => "cray_opt",
+            CompilerId::CrayNoOpt => "cray_noopt",
+        }
+    }
 }
 
 /// Cost model of the MPI implementation paired with a compiler environment.

@@ -289,7 +289,9 @@ impl Profiler {
         let freq = lane.model.freq_hz;
         let total = lane.clock.now().cycles().max(1) as f64;
         let mut rows: Vec<(&String, &RoutineStats)> = self.routines.iter().collect();
-        rows.sort_by_key(|(_, st)| std::cmp::Reverse(st.exclusive));
+        // Name as the secondary key: HashMap iteration order must never
+        // leak into the report (it feeds byte-exact golden outputs).
+        rows.sort_by_key(|(name, st)| (std::cmp::Reverse(st.exclusive), name.as_str()));
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -407,6 +409,33 @@ mod tests {
 
         let rep = prof.report(&l);
         assert!(rep.contains("matvec") && rep.contains("solve"));
+    }
+
+    #[test]
+    fn report_is_byte_stable_across_identical_runs() {
+        // Zero-cost routines tie on exclusive cycles, so the sort must
+        // fall back to the name — otherwise HashMap iteration order
+        // leaks into the report and the golden outputs flake.
+        let build = || {
+            let mut l = lane();
+            let mut prof = Profiler::new();
+            for name in ["zeta", "alpha", "mu", "beta", "omega", "kappa"] {
+                prof.enter(&l, name);
+                prof.exit(&l, name);
+            }
+            prof.enter(&l, "work");
+            burn(&mut l, KernelClass::Daxpy, 1000);
+            prof.exit(&l, "work");
+            prof.report(&l)
+        };
+        let first = build();
+        for _ in 0..16 {
+            assert_eq!(build(), first, "profiler report is not byte-stable");
+        }
+        // Ties are resolved alphabetically.
+        let alpha = first.find("alpha").unwrap();
+        let zeta = first.find("zeta").unwrap();
+        assert!(alpha < zeta, "tied routines must sort by name:\n{first}");
     }
 
     #[test]

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in golden artifact and fail on drift.
+#
+# The reference .txt captures at the repo root carry cargo noise
+# (Compiling / Finished / Running …) and machine-specific paths, so the
+# comparison strips the same noise lines from both sides that
+# crates/bench/tests/golden.rs strips (`is_noise`).  The bitmap is
+# compared byte-for-byte through `git diff --exit-code`.
+#
+# Regenerated outputs land in $ARTIFACT_DIR (default
+# target/golden-artifacts) together with a Chrome trace + RunReport of
+# the Table II run, so a failing CI job can upload everything needed to
+# diagnose the drift.
+#
+# Env knobs:
+#   ARTIFACT_DIR=dir   where regenerated outputs go
+#   SKIP_SLOW=1        skip table1 + breakdown (full 100-step runs,
+#                      minutes each)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART="${ARTIFACT_DIR:-target/golden-artifacts}"
+mkdir -p "$ART"
+
+echo "building release binaries …"
+cargo build --release -p v2d-bench --bins
+
+# Mirror golden.rs::is_noise: cargo noise, machine-specific paths, and
+# stderr progress lines merged into the original captures.
+stable() {
+    grep -vE '^[[:space:]]*(Compiling|Finished|Running|bitmap written to|running )' "$1" \
+        | grep -vF ') done: ' || true
+}
+
+fail=0
+
+check_txt() {
+    local golden="$1" bin="$2"; shift 2
+    echo "== $golden"
+    local fresh="$ART/$golden"
+    "./target/release/$bin" "$@" > "$fresh"
+    if ! diff -u <(stable "$golden") <(stable "$fresh") > "$ART/$golden.diff"; then
+        echo "   DRIFT (see $ART/$golden.diff)"
+        fail=1
+    else
+        rm -f "$ART/$golden.diff"
+        echo "   ok"
+    fi
+}
+
+check_txt table2_output.txt      table2
+check_txt fig1_output.txt        fig1 "$ART/fig1_sparsity.pbm"
+check_txt ablation_vl.txt        ablation_vl
+check_txt ablation_residency.txt ablation_residency
+check_txt ablation_ganged.txt    ablation_ganged
+check_txt ablation_precond.txt   ablation_precond
+check_txt ablation_solvers.txt   ablation_solvers
+check_txt ablation_faults.txt    ablation_faults
+if [[ "${SKIP_SLOW:-0}" != 1 ]]; then
+    check_txt table1_output.txt    table1
+    check_txt breakdown_output.txt breakdown
+else
+    echo "== table1_output.txt / breakdown_output.txt skipped (SKIP_SLOW=1)"
+fi
+
+# The bitmap golden is noise-free: regenerate in place and let git judge.
+echo "== fig1_sparsity.pbm"
+cp "$ART/fig1_sparsity.pbm" fig1_sparsity.pbm
+if ! git diff --exit-code -- fig1_sparsity.pbm; then
+    echo "   DRIFT"
+    fail=1
+else
+    echo "   ok"
+fi
+
+# A Chrome trace + RunReport of the Table II run ride along with the
+# artifacts, drift or not — chrome://tracing / speedscope food.
+./target/release/table2 --trace "$ART/table2_trace.json" --report "$ART/table2_report.json" \
+    > /dev/null
+
+if [[ $fail -ne 0 ]]; then
+    echo
+    echo "golden drift detected — regenerated artifacts in $ART"
+    exit 1
+fi
+echo
+echo "all goldens reproduced"
