@@ -5,10 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use v2d_comm::{CartComm, Spmd, TileMap};
 use v2d_linalg::{kernels, LinearOp, StencilCoeffs, StencilOp, TileVec};
-use v2d_machine::{CompilerProfile, CostSink, ExecCtx, MultiCostSink};
+use v2d_machine::{CompilerProfile, ExecCtx, MultiCostSink};
 
 fn sink() -> MultiCostSink {
-    MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+    MultiCostSink::single(CompilerProfile::cray_opt())
 }
 
 fn fields(n1: usize, n2: usize) -> (TileVec, TileVec, TileVec) {

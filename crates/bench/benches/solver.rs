@@ -35,7 +35,8 @@ fn bench_bicgstab(c: &mut Criterion) {
                         &mut x,
                         &mut wks,
                         &SolveOpts { tol: 1e-9, variant, ..Default::default() },
-                    );
+                    )
+                    .unwrap();
                     assert!(stats.converged);
                     stats.iters
                 });
@@ -69,18 +70,21 @@ fn bench_preconditioners(c: &mut Criterion) {
                             bicgstab(
                                 &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
                             )
+                            .unwrap()
                         }
                         "jacobi" => {
                             let mut m = Jacobi::new(&op);
                             bicgstab(
                                 &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
                             )
+                            .unwrap()
                         }
                         "block" => {
                             let mut m = BlockJacobi::new(&op);
                             bicgstab(
                                 &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
                             )
+                            .unwrap()
                         }
                         _ => {
                             op.exchange_coeff_halos(&ctx.comm, &mut cx);
@@ -88,6 +92,7 @@ fn bench_preconditioners(c: &mut Criterion) {
                             bicgstab(
                                 &ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts,
                             )
+                            .unwrap()
                         }
                     };
                     assert!(stats.converged);

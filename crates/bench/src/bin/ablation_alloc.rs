@@ -72,9 +72,11 @@ fn main() {
                 }
                 if reuse {
                     bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut shared, &opts)
+                        .unwrap()
                 } else {
                     let mut fresh = SolverWorkspace::new(n1, n2);
                     bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut fresh, &opts)
+                        .unwrap()
                 };
             }
             let total = tilevec_alloc_count() - t0;

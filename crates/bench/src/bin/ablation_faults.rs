@@ -73,12 +73,18 @@ fn stable_note(what: &str) -> String {
     }
 }
 
-/// Run the campaign (or a faultless baseline) and return per-rank
-/// `(field bits, recoveries, fault log)`.
-fn run(plan: Option<FaultPlan>, ckdir: Option<PathBuf>) -> Vec<(Vec<u64>, u32, Vec<FaultRecord>)> {
-    let cfg = GaussianPulse::linear_config(N1, N2, STEPS);
+/// Run a campaign (or a faultless baseline) over the given problem
+/// configuration and return per-rank `(field bits, recoveries, fault log)`.
+fn run_cfg(
+    cfg: v2d_core::sim::V2dConfig,
+    n1: usize,
+    n2: usize,
+    steps: usize,
+    plan: Option<FaultPlan>,
+    ckdir: Option<PathBuf>,
+) -> Vec<(Vec<u64>, u32, Vec<FaultRecord>)> {
     Spmd::new(RANKS).run(move |ctx| {
-        let map = TileMap::new(N1, N2, RANKS, 1);
+        let map = TileMap::new(n1, n2, RANKS, 1);
         let mut sim = V2dSim::new(cfg, &ctx.comm, map);
         GaussianPulse::standard().init(&mut sim);
         if let Some(plan) = &plan {
@@ -91,11 +97,12 @@ fn run(plan: Option<FaultPlan>, ckdir: Option<PathBuf>) -> Vec<(Vec<u64>, u32, V
             _ => None,
         };
         let mut recoveries = 0u32;
-        for _ in 0..STEPS {
+        for _ in 0..steps {
             let st = sim.step(&ctx.comm, &mut ctx.sink);
             recoveries += st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
             if ckdir.is_some() && sim.istep().is_multiple_of(CK_EVERY) {
-                let f = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+                let f =
+                    write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
                 if let Some(store) = &mut store {
                     let path = store.save(&f, sim.istep()).expect("save checkpoint");
                     if let Some(frac) = sim.fault_injector_mut().and_then(|i| i.poll_checkpoint()) {
@@ -107,6 +114,40 @@ fn run(plan: Option<FaultPlan>, ckdir: Option<PathBuf>) -> Vec<(Vec<u64>, u32, V
         let bits = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
         (bits, recoveries, sim.take_fault_log())
     })
+}
+
+/// The linear-pulse campaign run.
+fn run(plan: Option<FaultPlan>, ckdir: Option<PathBuf>) -> Vec<(Vec<u64>, u32, Vec<FaultRecord>)> {
+    run_cfg(GaussianPulse::linear_config(N1, N2, STEPS), N1, N2, STEPS, plan, ckdir)
+}
+
+/// Nonlinear (limiter-on `scaled_config`) campaign coordinates: the
+/// grid/tiling/fault placement that used to deadlock (ROADMAP) before
+/// the preconditioner learned to NaN-poison instead of panicking.
+const NL_N1: usize = 24;
+const NL_N2: usize = 12;
+const NL_STEPS: usize = 6;
+
+fn nonlinear_plan() -> FaultPlan {
+    let mut plan = FaultPlan::empty()
+        // The exact formerly-deadlocking event: a NaN into rank 0's
+        // field on the nonlinear path, step 2.
+        .with_event(2, Some(0), FaultKind::FieldNan)
+        .with_event(4, Some(1), FaultKind::FieldInf);
+    plan.recv_timeout_ms = 250;
+    plan
+}
+
+/// The nonlinear-pulse campaign run.
+fn run_nl(plan: Option<FaultPlan>) -> Vec<(Vec<u64>, u32, Vec<FaultRecord>)> {
+    run_cfg(
+        GaussianPulse::scaled_config(NL_N1, NL_N2, NL_STEPS),
+        NL_N1,
+        NL_N2,
+        NL_STEPS,
+        plan,
+        None,
+    )
 }
 
 fn main() {
@@ -177,4 +218,40 @@ fn main() {
     println!("  restored {name}: istep {istep}, t = {time:.6e}");
 
     let _ = std::fs::remove_dir_all(&ckdir);
+
+    // The nonlinear (flux-limited) pulse, formerly pinned out of this
+    // campaign because a FieldNan desynchronized the ranks' collectives
+    // and deadlocked (ROADMAP).  Now the preconditioner NaN-poisons, the
+    // solver surfaces a collective NonFinite verdict, and the scrub rung
+    // recovers — assert exactly that, at the exact coordinates.
+    println!(
+        "\nnonlinear pulse — {NL_N1}×{NL_N2}×2 scaled_config, {RANKS} ranks, {NL_STEPS} steps"
+    );
+    println!("campaign: FieldNan at step 2 rank 0 (the formerly-deadlocking event) + FieldInf\n");
+    let nl_baseline = run_nl(None);
+    let nl_campaign = run_nl(Some(nonlinear_plan()));
+    println!("{:<22} {:>10}   {:<18} {:>6}", "run", "recoveries", "field checksum", "finite");
+    for (name, outs) in [("nl baseline", &nl_baseline), ("nl fault campaign", &nl_campaign)] {
+        let recoveries: u32 = outs.iter().map(|o| o.1).sum();
+        let sum = checksum(outs.iter().flat_map(|o| o.0.iter().copied()));
+        let finite = outs.iter().all(|o| o.0.iter().all(|b| f64::from_bits(*b).is_finite()));
+        println!(
+            "{name:<22} {recoveries:>10}   {sum:#018x} {:>6}",
+            if finite { "yes" } else { "NO" }
+        );
+        assert!(finite, "{name}: non-finite cells survived");
+    }
+    let nl_recovered: u32 = nl_campaign.iter().map(|o| o.1).sum();
+    assert!(nl_recovered >= 1, "the nonlinear campaign must exercise the scrub rung");
+
+    println!("\nnonlinear fault log (step | rank | event):");
+    let mut lines: Vec<String> = nl_campaign
+        .iter()
+        .flat_map(|(_, _, log)| log.iter())
+        .map(|r| format!("  {:>2} | {} | {}", r.step, r.rank, stable_note(&r.what)))
+        .collect();
+    lines.sort();
+    for line in &lines {
+        println!("{line}");
+    }
 }

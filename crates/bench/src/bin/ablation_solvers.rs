@@ -66,14 +66,18 @@ fn main() {
                     &mut x,
                     &mut wks,
                     &SolveOpts { variant: BicgVariant::Classic, ..opts },
-                ),
+                )
+                .unwrap(),
                 "bicgstab-ganged" => {
                     bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, &opts)
+                        .unwrap()
                 }
                 "gmres(30)" => {
                     gmres(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, 30, &opts)
+                        .unwrap()
                 }
-                _ => gmres(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, 10, &opts),
+                _ => gmres(&ctx.comm, &mut cx, &mut op, &mut m, &rhs, &mut x, &mut wks, 10, &opts)
+                    .unwrap(),
             };
             assert!(stats.converged, "{which} failed: {stats:?}");
             let t = |id: CompilerId| {

@@ -18,13 +18,13 @@
 
 use std::time::Instant;
 
-use v2d_comm::{Spmd, TileMap};
+use v2d_comm::Spmd;
 use v2d_core::problems::GaussianPulse;
-use v2d_core::sim::V2dSim;
 use v2d_linalg::sparsity;
-use v2d_machine::{A64fxModel, FaultInjector, FaultKind, FaultPlan, ALL_COMPILERS};
+use v2d_machine::{A64fxModel, FaultKind, FaultPlan, ALL_COMPILERS};
 use v2d_obs::{BenchReport, Gate, Metric, RunReport, Tracer};
 use v2d_sve::kernels::ExecMode;
+use v2d_testkit::MiniSpec;
 
 use crate::{fig1, table1, table2};
 
@@ -153,23 +153,35 @@ pub fn fault_mini_plan() -> FaultPlan {
     plan
 }
 
-/// Run the fault-recovery mini campaign with a tracer attached and
+/// The mini campaign's scenario in `v2d-testkit` terms (one spec, so
+/// the golden's coordinates are stated once).
+pub fn fault_mini_spec() -> MiniSpec {
+    MiniSpec::linear(16, 8, 12).tiled(2, 1).with_plan(fault_mini_plan())
+}
+
+/// The nonlinear (flux-limited) sibling of [`fault_mini_spec`]: the
+/// exact formerly-deadlocking ROADMAP coordinates — 24×12 scaled
+/// pulse, 2×1 tiling, FieldNan into rank 0 at step 2 — now gated under
+/// `faults_nl.*` entries since the scrub rung recovers it.
+pub fn fault_mini_nl_spec() -> MiniSpec {
+    let mut plan = FaultPlan::empty().with_event(2, Some(0), FaultKind::FieldNan).with_event(
+        4,
+        Some(1),
+        FaultKind::FieldInf,
+    );
+    plan.recv_timeout_ms = 250;
+    MiniSpec::nonlinear(24, 12, 6).tiled(2, 1).with_plan(plan)
+}
+
+/// Run a fault-recovery mini campaign with a tracer attached and
 /// return rank 0's [`RunReport`] plus both ranks' tracers (for trace
 /// export and determinism tests).
-pub fn fault_mini_run() -> (RunReport, Vec<Tracer>) {
-    let plan = fault_mini_plan();
-    let cfg = GaussianPulse::linear_config(16, 8, 12);
-    let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, 2, 1);
-    let outs = Spmd::new(2).run(move |ctx| {
-        let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-        GaussianPulse::standard().init(&mut sim);
-        sim.set_fault_injector(FaultInjector::new(plan.clone(), ctx.comm.rank()));
+pub fn fault_mini_run_with(spec: MiniSpec, suite: &str) -> (RunReport, Vec<Tracer>) {
+    let meta = vec![("suite".to_string(), suite.to_string())];
+    let outs = Spmd::new(spec.ranks()).run(move |ctx| {
+        let mut sim = spec.build(&ctx.comm);
         sim.set_tracer(Tracer::new(ctx.comm.rank(), &ctx.sink).without_kernel_spans());
-        let (_, report) = sim.run_observed(
-            &ctx.comm,
-            &mut ctx.sink,
-            vec![("suite".to_string(), "fault_mini".to_string())],
-        );
+        let (_, report) = sim.run_observed(&ctx.comm, &mut ctx.sink, meta.clone());
         (report, sim.take_tracer().expect("tracer attached"))
     });
     let mut reports = Vec::new();
@@ -181,9 +193,13 @@ pub fn fault_mini_run() -> (RunReport, Vec<Tracer>) {
     (reports.swap_remove(0), tracers)
 }
 
-/// Fault-recovery totals → exact entries under `faults.`.
-pub fn add_fault_mini(report: &mut BenchReport) {
-    let (rr, _) = fault_mini_run();
+/// The linear mini campaign (legacy name; the `faults.*` gate entries).
+pub fn fault_mini_run() -> (RunReport, Vec<Tracer>) {
+    fault_mini_run_with(fault_mini_spec(), "fault_mini")
+}
+
+/// Fault-recovery totals → exact entries under `prefix.`.
+fn add_fault_totals(report: &mut BenchReport, prefix: &str, rr: &RunReport) {
     for (name, m) in rr.totals.iter() {
         let v = match m {
             Metric::Counter(c) => *c as f64,
@@ -191,8 +207,22 @@ pub fn add_fault_mini(report: &mut BenchReport) {
             Metric::Hist(_) => continue,
         };
         let unit = if name.ends_with("_s") { "s" } else { "count" };
-        report.add(&format!("faults.{name}"), v, unit, Gate::Exact);
+        report.add(&format!("{prefix}.{name}"), v, unit, Gate::Exact);
     }
+}
+
+/// Fault-recovery totals → exact entries under `faults.`.
+pub fn add_fault_mini(report: &mut BenchReport) {
+    let (rr, _) = fault_mini_run();
+    add_fault_totals(report, "faults", &rr);
+}
+
+/// Nonlinear fault-recovery totals → exact entries under `faults_nl.`
+/// (unpinned from the linear pulse now that the ROADMAP deadlock is
+/// fixed).
+pub fn add_fault_mini_nl(report: &mut BenchReport) {
+    let (rr, _) = fault_mini_run_with(fault_mini_nl_spec(), "fault_mini_nl");
+    add_fault_totals(report, "faults_nl", &rr);
 }
 
 /// Collect the canonical report.
@@ -210,6 +240,7 @@ pub fn collect(opts: &CollectOpts) -> BenchReport {
 
     add_table1_mini(&mut report);
     add_fault_mini(&mut report);
+    add_fault_mini_nl(&mut report);
 
     if opts.wallclock {
         report.add("wallclock.table2_s", t2_secs, "s_wall", Gate::Ceil { frac: WALLCLOCK_CEIL });

@@ -23,6 +23,58 @@ pub struct BlockedRank {
     pub tag: u32,
 }
 
+/// Stable identifiers for the collective call sites in the library, so
+/// a lockstep mismatch names the two diverged sites instead of printing
+/// opaque integers.  `0` is reserved for untagged (legacy) calls.
+pub mod coll_site {
+    /// Legacy / untagged collective (the infallible `allreduce` family).
+    pub const UNTAGGED: u32 = 0;
+    /// Ganged inner-product reduction inside the Krylov solvers.
+    pub const SOLVER_REDUCE: u32 = 1;
+    /// Hydro CFL `max_dt` speed reduction.
+    pub const HYDRO_CFL: u32 = 2;
+    /// The recovery ladder's global scrub/halve decision.
+    pub const SCRUB_DECISION: u32 = 3;
+    /// Diagnostic total-radiation-energy reduction.
+    pub const TOTAL_ENERGY: u32 = 4;
+    /// Checkpoint field allgather.
+    pub const CHECKPOINT_GATHER: u32 = 5;
+    /// Scratch site ids for tests/harnesses (`TEST_BASE + k`).
+    pub const TEST_BASE: u32 = 100;
+
+    /// Human-readable name of a site id.
+    pub fn name(site: u32) -> &'static str {
+        match site {
+            UNTAGGED => "untagged",
+            SOLVER_REDUCE => "solver-reduce",
+            HYDRO_CFL => "hydro-cfl",
+            SCRUB_DECISION => "scrub-decision",
+            TOTAL_ENERGY => "total-energy",
+            CHECKPOINT_GATHER => "checkpoint-gather",
+            s if s >= TEST_BASE => "test-site",
+            _ => "unknown",
+        }
+    }
+}
+
+/// The lockstep verifier's per-call ticket: which call site a rank is
+/// entering, and how many collectives it has entered before this one.
+/// Ranks in lockstep present identical tickets; any divergence is a
+/// control-flow bug that would otherwise deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollTicket {
+    /// Stable call-site id (see [`coll_site`]).
+    pub site: u32,
+    /// This rank's collective-entry counter at the call.
+    pub epoch: u64,
+}
+
+impl std::fmt::Display for CollTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(site {})#{}", coll_site::name(self.site), self.site, self.epoch)
+    }
+}
+
 /// Typed communication failures.  The blocking paths only surface these
 /// on genuine faults (a peer rank died, a deadline fired, a tag stream
 /// desynchronized) — a healthy run never sees one.
@@ -37,6 +89,19 @@ pub enum CommError {
     /// The next message from `src` carried a different tag than the
     /// receive expected — the point-to-point stream desynchronized.
     TagMismatch { rank: usize, src: usize, expected: u32, got: u32 },
+    /// The lockstep verifier caught two ranks entering *different*
+    /// collectives in the same round: `expected` is the ticket the first
+    /// depositor stamped, `got` is what `rank` presented.  Once raised,
+    /// the communicator's collectives are poisoned — every in-flight and
+    /// future collective returns this error rather than waiting on a
+    /// group that can never reassemble.
+    CollectiveMismatch { rank: usize, expected: CollTicket, got: CollTicket },
+    /// A collective deadline expired: `rank` waited at `ticket` but the
+    /// group never completed the round (a peer died or diverged).
+    /// `blocked` is the same deadlock diagnostic p2p timeouts carry —
+    /// every rank sitting in a blocking point-to-point receive at that
+    /// moment.
+    CollectiveTimeout { rank: usize, ticket: CollTicket, blocked: Vec<BlockedRank> },
 }
 
 impl std::fmt::Display for CommError {
@@ -62,6 +127,25 @@ impl std::fmt::Display for CommError {
                     f,
                     "rank {rank}: tag mismatch from rank {src}: expected {expected:#x}, got {got:#x}"
                 )
+            }
+            CommError::CollectiveMismatch { rank, expected, got } => {
+                write!(
+                    f,
+                    "rank {rank}: collective lockstep mismatch: group entered {expected}, \
+                     this rank entered {got}"
+                )
+            }
+            CommError::CollectiveTimeout { rank, ticket, blocked } => {
+                write!(f, "rank {rank}: collective {ticket} timed out waiting for the group")?;
+                if blocked.is_empty() {
+                    write!(f, " (no rank blocked in a p2p receive)")
+                } else {
+                    write!(f, "; ranks blocked in p2p receives:")?;
+                    for b in blocked {
+                        write!(f, " [{} on src {} tag {:#x}]", b.rank, b.src, b.tag)?;
+                    }
+                    Ok(())
+                }
             }
         }
     }
@@ -127,11 +211,27 @@ struct CollRound {
     /// Result payload + per-lane synchronized clocks (before cost).
     result: Option<(Arc<Vec<f64>>, Vec<SimDuration>)>,
     left: usize,
+    /// Lockstep ticket stamped by the round's first depositor; later
+    /// depositors must present the same `(site, epoch)` or the round is
+    /// declared diverged.  Cleared when the round drains.
+    ticket: Option<CollTicket>,
+    /// Sticky divergence/timeout verdict.  Once set, every in-flight
+    /// and future collective on this communicator returns it — a group
+    /// that lost a member can never complete another round, so waiting
+    /// would be the very deadlock the verifier exists to prevent.
+    poison: Option<CommError>,
 }
 
 impl CollRound {
     fn new(n: usize) -> Self {
-        CollRound { contrib: (0..n).map(|_| None).collect(), deposited: 0, result: None, left: 0 }
+        CollRound {
+            contrib: (0..n).map(|_| None).collect(),
+            deposited: 0,
+            result: None,
+            left: 0,
+            ticket: None,
+            poison: None,
+        }
     }
 }
 
@@ -397,6 +497,18 @@ impl Comm {
             .map(|inj| (Duration::from_millis(inj.recv_timeout_ms()), inj.timeout_virtual_secs()))
     }
 
+    /// The deadline collectives arm under an injector: a generous
+    /// multiple of the p2p deadline, because a peer can be *legitimately*
+    /// late to a collective by however long it spent eating p2p timeouts
+    /// (stale-ghost recovery) — only a peer that stopped calling
+    /// collectives altogether should trip this.  Keeping the margin wide
+    /// also keeps run outcomes wall-clock-independent: a transient
+    /// scheduling hiccup must not flip a run between success and
+    /// `CollectiveTimeout`.
+    fn injected_collective_deadline(sink: &mut impl CostLanes) -> Option<(Duration, f64)> {
+        Self::injected_deadline(sink).map(|(d, v)| (d * 8, v))
+    }
+
     /// Pull the next message off the `src → self` channel.  `deadline`
     /// of `None` blocks forever (a healthy fault-free run cannot time
     /// out); `Some((real, virtual_secs))` waits at most `real` wall
@@ -490,25 +602,108 @@ impl Comm {
         self.recv(sink, partner, tag)
     }
 
+    /// The heart of every collective, now lockstep-verified: the caller
+    /// presents a `(site, epoch)` ticket; the round's first depositor
+    /// stamps it and later depositors must match, so ranks whose
+    /// control flow diverged get a typed [`CommError::CollectiveMismatch`]
+    /// instead of an eternal condvar wait.  `deadline` arms the same
+    /// escalating-backoff timeout p2p receives use ([`Self::recv_msg`]);
+    /// on expiry the round is poisoned and every participant unwinds
+    /// with [`CommError::CollectiveTimeout`].
     fn collective(
         &self,
         sink: &mut MultiCostSink,
         kind: CollKind,
         data: Vec<f64>,
-    ) -> Arc<Vec<f64>> {
+        site: u32,
+        deadline: Option<(Duration, f64)>,
+    ) -> Result<Arc<Vec<f64>>, CommError> {
+        let ticket = CollTicket { site, epoch: sink.coll_epoch };
+        sink.coll_epoch += 1;
         let n = self.n_ranks();
         if n == 1 {
             // Single rank: no synchronization, no cost.
-            return Arc::new(match kind {
+            return Ok(Arc::new(match kind {
                 CollKind::Reduce(_) | CollKind::TakeRoot(_) | CollKind::Concat => data,
-            });
+            }));
         }
         let clocks: Vec<SimDuration> = sink.lanes.iter().map(|l| l.clock.now()).collect();
+        // Deadline-aware condvar wait: blocks forever without a
+        // deadline (the fault-free contract), polls with escalating
+        // slices under one.  Returns Err(()) when the deadline expires.
+        let wait_start = Instant::now();
+        let mut slice = Duration::from_millis(1);
+        let cv = &self.shared.coll_cv;
+        fn wait_step<'a>(
+            cv: &Condvar,
+            round: MutexGuard<'a, CollRound>,
+            deadline: Option<(Duration, f64)>,
+            wait_start: Instant,
+            slice: &mut Duration,
+        ) -> Result<MutexGuard<'a, CollRound>, ()> {
+            match deadline {
+                None => Ok(cv.wait(round).unwrap_or_else(std::sync::PoisonError::into_inner)),
+                Some((total, _)) => {
+                    let left = match total.checked_sub(wait_start.elapsed()) {
+                        Some(left) if !left.is_zero() => left,
+                        _ => return Err(()),
+                    };
+                    let (g, _) = cv
+                        .wait_timeout(round, (*slice).min(left))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *slice = (*slice * 2).min(Duration::from_millis(50));
+                    Ok(g)
+                }
+            }
+        }
+        // On a fired deadline: poison the round (waking everyone with
+        // the verdict), charge the modeled timeout cost, and report who
+        // is stuck in a p2p receive — the usual deadlock shape is one
+        // rank here and its peer in a halo recv.
+        let timed_out = |mut round: MutexGuard<'_, CollRound>, sink: &mut MultiCostSink| {
+            let err = CommError::CollectiveTimeout {
+                rank: self.rank,
+                ticket,
+                blocked: self.shared.blocked_ranks(),
+            };
+            round.poison = Some(err.clone());
+            self.shared.coll_cv.notify_all();
+            drop(round);
+            if let Some((_, virtual_secs)) = deadline {
+                for lane in &mut sink.lanes {
+                    lane.charge_mpi_secs(virtual_secs);
+                }
+            }
+            err
+        };
         let mut round = lock_tolerant(&self.shared.coll);
         // Wait for the previous round to fully drain before depositing.
         while round.result.is_some() {
-            round =
-                self.shared.coll_cv.wait(round).unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(p) = round.poison.clone() {
+                return Err(p);
+            }
+            round = match wait_step(cv, round, deadline, wait_start, &mut slice) {
+                Ok(g) => g,
+                Err(()) => {
+                    let round = lock_tolerant(&self.shared.coll);
+                    return Err(timed_out(round, sink));
+                }
+            };
+        }
+        if let Some(p) = round.poison.clone() {
+            return Err(p);
+        }
+        // Lockstep verification: first depositor stamps the round's
+        // ticket, everyone else must present the same one.
+        match round.ticket {
+            None => round.ticket = Some(ticket),
+            Some(expected) if expected != ticket => {
+                let err = CommError::CollectiveMismatch { rank: self.rank, expected, got: ticket };
+                round.poison = Some(err.clone());
+                self.shared.coll_cv.notify_all();
+                return Err(err);
+            }
+            Some(_) => {}
         }
         assert!(
             round.contrib[self.rank].is_none(),
@@ -555,16 +750,25 @@ impl Comm {
             };
             round.result = Some((Arc::new(payload), sync));
             round.deposited = 0;
+            round.ticket = None;
             self.shared.coll_cv.notify_all();
         }
         // The last depositor just set `result`; everyone else waits for
         // it (the loop doubles as the Some-unwrap, so no panic path).
         let (payload, sync) = loop {
+            if let Some(p) = round.poison.clone() {
+                return Err(p);
+            }
             if let Some((p, s)) = round.result.as_ref() {
                 break (Arc::clone(p), s.clone());
             }
-            round =
-                self.shared.coll_cv.wait(round).unwrap_or_else(std::sync::PoisonError::into_inner);
+            round = match wait_step(cv, round, deadline, wait_start, &mut slice) {
+                Ok(g) => g,
+                Err(()) => {
+                    let round = lock_tolerant(&self.shared.coll);
+                    return Err(timed_out(round, sink));
+                }
+            };
         };
         round.left += 1;
         if round.left == n {
@@ -584,14 +788,30 @@ impl Comm {
             let cost = lane.profile.mpi.collective_secs(bytes, n);
             lane.charge_mpi_secs(cost);
         }
-        payload
+        Ok(payload)
+    }
+
+    /// Run a collective through the legacy infallible surface: tagged
+    /// [`coll_site::UNTAGGED`], deadline armed only when a fault
+    /// injector rides in `sink` (matching p2p receives), and any typed
+    /// verdict — impossible in a healthy lockstep run — escalated to a
+    /// panic so the `Spmd` launch aborts like an MPI job would.
+    fn collective_infallible(
+        &self,
+        sink: &mut impl CostLanes,
+        kind: CollKind,
+        data: Vec<f64>,
+    ) -> Arc<Vec<f64>> {
+        let deadline = Self::injected_collective_deadline(sink);
+        self.collective(sink.cost_lanes(), kind, data, coll_site::UNTAGGED, deadline)
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
     }
 
     /// Element-wise allreduce; every rank gets the reduced vector.
     /// Gang several inner products into one call to reduce reduction
     /// count — V2D's restructured BiCGSTAB does exactly this.
     pub fn allreduce(&self, sink: &mut impl CostLanes, op: ReduceOp, vals: &mut [f64]) {
-        let out = self.collective(sink.cost_lanes(), CollKind::Reduce(op), vals.to_vec());
+        let out = self.collective_infallible(sink, CollKind::Reduce(op), vals.to_vec());
         vals.copy_from_slice(&out);
     }
 
@@ -605,19 +825,103 @@ impl Comm {
     /// Concatenate every rank's contribution in rank order (allgather
     /// with per-rank variable lengths).
     pub fn allgatherv(&self, sink: &mut impl CostLanes, data: &[f64]) -> Vec<f64> {
-        self.collective(sink.cost_lanes(), CollKind::Concat, data.to_vec()).as_ref().clone()
+        self.collective_infallible(sink, CollKind::Concat, data.to_vec()).as_ref().clone()
     }
 
     /// Broadcast `data` from `root` (other ranks pass anything, usually
     /// an empty slice — lengths need not match).
     pub fn broadcast(&self, sink: &mut impl CostLanes, root: usize, data: &[f64]) -> Vec<f64> {
         assert!(root < self.n_ranks());
-        self.collective(sink.cost_lanes(), CollKind::TakeRoot(root), data.to_vec()).as_ref().clone()
+        self.collective_infallible(sink, CollKind::TakeRoot(root), data.to_vec()).as_ref().clone()
     }
 
     /// Synchronize all ranks (and their virtual clocks).
     pub fn barrier(&self, sink: &mut impl CostLanes) {
-        self.collective(sink.cost_lanes(), CollKind::Reduce(ReduceOp::Sum), Vec::new());
+        self.collective_infallible(sink, CollKind::Reduce(ReduceOp::Sum), Vec::new());
+    }
+
+    /// Fallible, site-tagged allreduce: the lockstep verifier checks the
+    /// `(site, epoch)` ticket against the group's, and — when a fault
+    /// injector is active — arms the same deadline p2p receives use.
+    /// Library call sites on fault-recovery paths use this surface so a
+    /// desynchronized or abandoned collective degrades to a typed error
+    /// the recovery ladder can handle.
+    pub fn try_allreduce(
+        &self,
+        sink: &mut impl CostLanes,
+        site: u32,
+        op: ReduceOp,
+        vals: &mut [f64],
+    ) -> Result<(), CommError> {
+        let deadline = Self::injected_collective_deadline(sink);
+        let out = self.collective(
+            sink.cost_lanes(),
+            CollKind::Reduce(op),
+            vals.to_vec(),
+            site,
+            deadline,
+        )?;
+        vals.copy_from_slice(&out);
+        Ok(())
+    }
+
+    /// Fallible, site-tagged scalar allreduce (see [`Self::try_allreduce`]).
+    pub fn try_allreduce_scalar(
+        &self,
+        sink: &mut impl CostLanes,
+        site: u32,
+        op: ReduceOp,
+        v: f64,
+    ) -> Result<f64, CommError> {
+        let mut buf = [v];
+        self.try_allreduce(sink, site, op, &mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Fallible, site-tagged allgatherv (see [`Self::try_allreduce`]).
+    pub fn try_allgatherv(
+        &self,
+        sink: &mut impl CostLanes,
+        site: u32,
+        data: &[f64],
+    ) -> Result<Vec<f64>, CommError> {
+        let deadline = Self::injected_collective_deadline(sink);
+        let out =
+            self.collective(sink.cost_lanes(), CollKind::Concat, data.to_vec(), site, deadline)?;
+        Ok(out.as_ref().clone())
+    }
+
+    /// Fallible, site-tagged broadcast (see [`Self::try_allreduce`]).
+    pub fn try_broadcast(
+        &self,
+        sink: &mut impl CostLanes,
+        site: u32,
+        root: usize,
+        data: &[f64],
+    ) -> Result<Vec<f64>, CommError> {
+        assert!(root < self.n_ranks());
+        let deadline = Self::injected_collective_deadline(sink);
+        let out = self.collective(
+            sink.cost_lanes(),
+            CollKind::TakeRoot(root),
+            data.to_vec(),
+            site,
+            deadline,
+        )?;
+        Ok(out.as_ref().clone())
+    }
+
+    /// Fallible, site-tagged barrier (see [`Self::try_allreduce`]).
+    pub fn try_barrier(&self, sink: &mut impl CostLanes, site: u32) -> Result<(), CommError> {
+        let deadline = Self::injected_collective_deadline(sink);
+        self.collective(
+            sink.cost_lanes(),
+            CollKind::Reduce(ReduceOp::Sum),
+            Vec::new(),
+            site,
+            deadline,
+        )?;
+        Ok(())
     }
 }
 

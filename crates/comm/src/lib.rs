@@ -32,6 +32,8 @@ pub mod comm;
 pub mod topology;
 pub mod universe;
 
-pub use comm::{msg_buf_alloc_count, BlockedRank, Comm, CommError, ReduceOp};
+pub use comm::{
+    coll_site, msg_buf_alloc_count, BlockedRank, CollTicket, Comm, CommError, ReduceOp,
+};
 pub use topology::{CartComm, Tile, TileMap};
 pub use universe::{RankCtx, Spmd};

@@ -77,9 +77,7 @@ impl Spmd {
             let mut handles = Vec::with_capacity(self.n_ranks);
             for comm in comms {
                 handles.push(scope.spawn(move || {
-                    let sink = MultiCostSink {
-                        lanes: profiles.iter().map(|p| v2d_machine::CostSink::new(*p)).collect(),
-                    };
+                    let sink = MultiCostSink::with_profiles(profiles);
                     let mut ctx = RankCtx { comm, sink };
                     body(&mut ctx)
                 }));

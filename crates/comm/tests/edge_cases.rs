@@ -44,6 +44,43 @@ fn degenerate_strip_topologies() {
 }
 
 #[test]
+fn collect_into_on_strip_topologies_clears_on_receipt_and_skips_boundaries() {
+    // 1×N and N×1 tilings are the degenerate halo patterns: two of the
+    // four directions are *always* domain boundaries.  `collect_into`
+    // must leave `out` untouched on `Ok(false)` and replace (not append
+    // to) its contents on `Ok(true)`.
+    for (np1, np2) in [(4usize, 1usize), (1, 4)] {
+        let map = TileMap::new(12, 12, np1, np2);
+        Spmd::new(4).with_profiles(one_profile()).run(move |ctx| {
+            let cart = CartComm::new(&ctx.comm, map);
+            let me = ctx.comm.rank() as f64;
+            // Post toward every direction that has a neighbor.
+            for dir in Dir::ALL {
+                cart.post(&ctx.comm, &mut ctx.sink, dir, &[me, me + 0.5]);
+            }
+            for dir in Dir::ALL {
+                // Stale garbage of the wrong length: receipt must clear it.
+                let mut out = vec![-7.0; 5];
+                let got = cart
+                    .collect_into(&ctx.comm, &mut ctx.sink, dir, &mut out)
+                    .expect("strip collect never errors without faults");
+                match cart.neighbor(dir) {
+                    Some(partner) => {
+                        assert!(got, "neighbor present but collect_into said boundary");
+                        let p = partner as f64;
+                        assert_eq!(out, vec![p, p + 0.5], "dir {dir:?}: wrong strip");
+                    }
+                    None => {
+                        assert!(!got, "boundary dir {dir:?} produced a strip");
+                        assert_eq!(out, vec![-7.0; 5], "boundary must leave out untouched");
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
 fn empty_and_large_payload_reductions() {
     Spmd::new(3).with_profiles(one_profile()).run(|ctx| {
         // Zero-length allreduce == barrier.

@@ -14,7 +14,7 @@
 
 use std::path::{Path, PathBuf};
 
-use v2d_comm::Comm;
+use v2d_comm::{coll_site, Comm, CommError};
 use v2d_io::parallel::TileData;
 use v2d_io::{Dataset, File, H5Error, Value};
 use v2d_linalg::NSPEC;
@@ -39,6 +39,9 @@ pub enum CheckpointError {
     Io(H5Error),
     /// No file in the store's directory decoded cleanly.
     NoUsableCheckpoint { dir: String, tried: usize },
+    /// The checkpoint allgather failed (lockstep mismatch, timeout,
+    /// peer death) — no assembled file exists on any rank.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::NoUsableCheckpoint { dir, tried } => {
                 write!(f, "no usable checkpoint in {dir} ({tried} file(s) tried)")
             }
+            CheckpointError::Comm(e) => write!(f, "checkpoint gather failed: {e}"),
         }
     }
 }
@@ -74,6 +78,12 @@ impl std::error::Error for CheckpointError {}
 impl From<H5Error> for CheckpointError {
     fn from(e: H5Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+impl From<CommError> for CheckpointError {
+    fn from(e: CommError) -> Self {
+        CheckpointError::Comm(e)
     }
 }
 
@@ -110,13 +120,13 @@ fn gather_field(
     sim: &V2dSim,
     nspec: usize,
     values: Vec<f64>,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, CommError> {
     let g = sim.grid();
     // Header: tile extents, then payload.
     let mut msg = vec![g.i1_start as f64, g.n1 as f64, g.i2_start as f64, g.n2 as f64];
     sink.charge(&KernelShape::streaming(KernelClass::Pack, values.len(), 0, 1, 1, 0));
     msg.extend_from_slice(&values);
-    let all = comm.allgatherv(sink, &msg);
+    let all = comm.try_allgatherv(sink, coll_site::CHECKPOINT_GATHER, &msg)?;
 
     // Decode rank contributions in order.
     let mut tiles = Vec::with_capacity(comm.n_ranks());
@@ -136,12 +146,20 @@ fn gather_field(
         });
         at += 4 + len;
     }
-    v2d_io::gather_global(g.global.n1, g.global.n2, nspec, &tiles)
+    Ok(v2d_io::gather_global(g.global.n1, g.global.n2, nspec, &tiles))
 }
 
 /// Assemble a checkpoint of `sim` (every rank returns the identical
 /// file; persist it from rank 0 with [`v2d_io::File::save`]).
-pub fn write_checkpoint(comm: &Comm, sink: &mut MultiCostSink, sim: &V2dSim) -> File {
+///
+/// Fails with [`CheckpointError::Comm`] if the gather collective fails
+/// (lockstep mismatch, deadline expiry under fault injection); no file
+/// is produced on any rank in that case.
+pub fn write_checkpoint(
+    comm: &Comm,
+    sink: &mut MultiCostSink,
+    sim: &V2dSim,
+) -> Result<File, CheckpointError> {
     let g = sim.grid();
     let (gn1, gn2) = (g.global.n1, g.global.n2);
     let mut f = File::new();
@@ -151,16 +169,16 @@ pub fn write_checkpoint(comm: &Comm, sink: &mut MultiCostSink, sim: &V2dSim) -> 
     f.set_attr("n2", Value::I64(gn2 as i64));
     f.set_attr("code", Value::Str("V2D-rust".into()));
 
-    let erad = gather_field(comm, sink, sim, NSPEC, sim.erad().interior_to_vec());
+    let erad = gather_field(comm, sink, sim, NSPEC, sim.erad().interior_to_vec())?;
     f.write_dataset("radiation/erad", Dataset::f64(vec![NSPEC, gn2, gn1], erad));
 
     if let Some(h) = sim.hydro() {
         for (name, field) in [("rho", &h.rho), ("m1", &h.m1), ("m2", &h.m2), ("etot", &h.etot)] {
-            let global = gather_field(comm, sink, sim, 1, field.interior_to_vec());
+            let global = gather_field(comm, sink, sim, 1, field.interior_to_vec())?;
             f.write_dataset(&format!("hydro/{name}"), Dataset::f64(vec![gn2, gn1], global));
         }
     }
-    f
+    Ok(f)
 }
 
 /// Restore `sim`'s rank-local state from a checkpoint file.
@@ -341,7 +359,7 @@ mod tests {
             for _ in 0..2 {
                 sim.step(&ctx.comm, &mut ctx.sink);
             }
-            let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+            let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
             // Continue the original.
             for _ in 0..2 {
                 sim.step(&ctx.comm, &mut ctx.sink);
@@ -370,7 +388,7 @@ mod tests {
                 let mut sim = V2dSim::new(cfg, &ctx.comm, map);
                 GaussianPulse::standard().init(&mut sim);
                 sim.step(&ctx.comm, &mut ctx.sink);
-                write_checkpoint(&ctx.comm, &mut ctx.sink, &sim)
+                write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather")
             })
         };
         let single = make(1, 1);

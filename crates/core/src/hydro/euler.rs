@@ -249,7 +249,14 @@ impl HydroStepper {
             0,
             4 * 8 * grid.n1 * grid.n2,
         ));
-        let global = comm.allreduce_scalar(cx, v2d_comm::ReduceOp::Max, max_speed);
+        let global = comm
+            .try_allreduce_scalar(
+                cx,
+                v2d_comm::coll_site::HYDRO_CFL,
+                v2d_comm::ReduceOp::Max,
+                max_speed,
+            )
+            .unwrap_or_else(|e| panic!("max_dt: {e}"));
         assert!(global > 0.0, "static flow has no CFL limit — choose dt directly");
         self.cfl / global
     }

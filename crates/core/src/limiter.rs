@@ -116,6 +116,25 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_r_poisons_limited_branches_without_panicking() {
+        // A poisoned field (NaN gradient) must flow *through* λ as NaN —
+        // never panic — so the poison reaches the solver's collective
+        // non-finite guard with all ranks still in lockstep.  The
+        // unlimited branch is a constant; its poison rides the RHS.
+        assert!(Limiter::Wilson.lambda(f64::NAN).is_nan());
+        assert!(Limiter::LevermorePomraning.lambda(f64::NAN).is_nan());
+        assert_eq!(Limiter::None.lambda(f64::NAN), 1.0 / 3.0);
+        // An infinite R is the free-streaming limit taken to the end:
+        // λ → 0 exactly, finite, no overflow.
+        assert_eq!(Limiter::Wilson.lambda(f64::INFINITY), 0.0);
+        assert_eq!(Limiter::LevermorePomraning.lambda(f64::INFINITY), 0.0);
+        // And the poison propagates through the diffusion coefficient.
+        for lim in [Limiter::Wilson, Limiter::LevermorePomraning] {
+            assert!(lim.diffusion_coefficient(1.0, 2.0, f64::NAN, 1.0).is_nan(), "{lim:?}");
+        }
+    }
+
+    #[test]
     fn lp_has_no_overflow_at_extreme_r() {
         let v = Limiter::LevermorePomraning.lambda(1e12);
         assert!(v.is_finite() && v > 0.0);

@@ -165,10 +165,10 @@ impl MatterCoupling {
 mod tests {
     use super::*;
     use crate::opacity::OpacityModel;
-    use v2d_machine::{CompilerProfile, CostSink, MultiCostSink};
+    use v2d_machine::{CompilerProfile, MultiCostSink};
 
     fn sink() -> MultiCostSink {
-        MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+        MultiCostSink::single(CompilerProfile::cray_opt())
     }
 
     fn opac() -> OpacityModel {

@@ -7,7 +7,7 @@
 //! paper's §II-E breakdown (three BiCGSTAB call sites at roughly equal
 //! thirds) can be reproduced with `profiler_report`.
 
-use v2d_comm::{CartComm, Comm, ReduceOp, TileMap};
+use v2d_comm::{coll_site, CartComm, Comm, CommError, ReduceOp, TileMap};
 use v2d_linalg::{SolveOpts, TileVec};
 use v2d_machine::{
     AttrVal, ExecCtx, FaultInjector, FaultKind, FaultRecord, FieldFault, MultiCostSink, TraceSink,
@@ -96,6 +96,12 @@ pub enum StepError {
         dt: f64,
         error: RadStepError,
     },
+    /// The communicator itself failed (lockstep mismatch, collective or
+    /// receive timeout, peer death).  The recovery ladder cannot retry:
+    /// its own scrub/halve decision is a collective, and the
+    /// communicator's collectives are sticky-poisoned — the run is over
+    /// on every rank, each holding a typed verdict instead of a hang.
+    Comm { istep: usize, error: CommError },
 }
 
 impl std::fmt::Display for StepError {
@@ -103,6 +109,9 @@ impl std::fmt::Display for StepError {
         match self {
             StepError::Radiation { istep, dt, error } => {
                 write!(f, "step {istep}: radiation update failed at dt = {dt:.3e}: {error}")
+            }
+            StepError::Comm { istep, error } => {
+                write!(f, "step {istep}: communicator failed: {error}")
             }
         }
     }
@@ -112,6 +121,7 @@ impl std::error::Error for StepError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StepError::Radiation { error, .. } => Some(error),
+            StepError::Comm { error, .. } => Some(error),
         }
     }
 }
@@ -479,14 +489,34 @@ impl V2dSim {
                     }
                 }
                 Err(error) => {
+                    // Rung 0: a communicator fault is not recoverable —
+                    // the ladder's own scrub/halve decision is a
+                    // collective, and the group is already poisoned or
+                    // short a member.  Surface the typed verdict now.
+                    if let Some(ce) = error.error.comm.clone() {
+                        cx.exit("radiation");
+                        cx.trace_exit("step");
+                        return Err(StepError::Comm { istep: self.istep, error: ce });
+                    }
                     // Rung 1: scrub non-finite cells (data poisoning
                     // shows up as a NonFinite breakdown) and retry at
                     // the same sub-timestep.  The decision is reduced
                     // globally so an injection on one rank walks every
                     // rank down the same rung.
                     let scrubbed = scrub_nonfinite(&mut self.erad);
-                    let global_scrubbed =
-                        comm.allreduce_scalar(&mut cx, ReduceOp::Sum, scrubbed as f64);
+                    let global_scrubbed = match comm.try_allreduce_scalar(
+                        &mut cx,
+                        coll_site::SCRUB_DECISION,
+                        ReduceOp::Sum,
+                        scrubbed as f64,
+                    ) {
+                        Ok(g) => g,
+                        Err(ce) => {
+                            cx.exit("radiation");
+                            cx.trace_exit("step");
+                            return Err(StepError::Comm { istep: self.istep, error: ce });
+                        }
+                    };
                     if global_scrubbed > 0.0 {
                         recoveries += 1;
                         cx.trace_instant(
@@ -670,7 +700,12 @@ impl V2dSim {
                 }
             }
         }
-        comm.allreduce_scalar(sink, ReduceOp::Sum, local)
+        // Site-tagged for the lockstep verifier; a failure here means
+        // the communicator is already poisoned (a healthy run cannot
+        // time out), so this diagnostic surface escalates like the
+        // legacy infallible collectives do.
+        comm.try_allreduce_scalar(sink, coll_site::TOTAL_ENERGY, ReduceOp::Sum, local)
+            .unwrap_or_else(|e| panic!("total_radiation_energy: {e}"))
     }
 
     /// ParaProf-style routine report for lane 0.

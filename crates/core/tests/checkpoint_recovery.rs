@@ -33,7 +33,7 @@ fn seed_store(dir: &std::path::Path) -> CheckpointStore {
         GaussianPulse::standard().init(&mut sim);
         for _ in 0..3 {
             sim.step(&ctx.comm, &mut ctx.sink);
-            let f = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+            let f = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
             store.save(&f, sim.istep()).expect("save checkpoint");
         }
     });
@@ -117,6 +117,55 @@ fn all_corrupt_reports_every_candidate() {
 }
 
 #[test]
+fn mixed_corruption_dir_walks_newest_first_to_the_newest_valid_file() {
+    // Five checkpoints; the newest three each die a *different* death
+    // (truncation, bit flip, wrong version) and two stray non-checkpoint
+    // files sit in the directory.  The walk must visit candidates
+    // newest-first, report one note per corpse in that order, ignore the
+    // strays, and restore the newest file that still decodes.
+    let dir = fresh_dir("mixed");
+    let (n1, n2) = (12, 8);
+    let cfg = GaussianPulse::linear_config(n1, n2, 6);
+    Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+        let mut store = CheckpointStore::new(&dir, 8).expect("store dir");
+        let map = TileMap::new(n1, n2, 1, 1);
+        let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+        GaussianPulse::standard().init(&mut sim);
+        for _ in 0..5 {
+            sim.step(&ctx.comm, &mut ctx.sink);
+            let f = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
+            store.save(&f, sim.istep()).expect("save checkpoint");
+        }
+    });
+    let store = CheckpointStore::new(&dir, 8).expect("store dir");
+
+    let ck = |step: usize| dir.join(format!("ck_{step:08}.h5l"));
+    let bytes = std::fs::read(ck(5)).expect("read ck5");
+    std::fs::write(ck(5), &bytes[..bytes.len() / 2]).expect("truncate ck5");
+    let mut bytes = std::fs::read(ck(4)).expect("read ck4");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(ck(4), &bytes).expect("bit-flip ck4");
+    let mut bytes = std::fs::read(ck(3)).expect("read ck3");
+    bytes[4] = 0xEE;
+    bytes[5] = 0xEE;
+    std::fs::write(ck(3), &bytes).expect("wrong-version ck3");
+    // Strays that must not even be candidates.
+    std::fs::write(dir.join("notes.txt"), b"not a checkpoint").expect("stray");
+    std::fs::write(dir.join("ck_tmp.partial"), b"\0\0\0\0").expect("stray");
+
+    let (file, path, skipped) = store.load_latest().expect("ck2 should survive");
+    assert!(path.ends_with("ck_00000002.h5l"), "newest valid is ck2, got {path:?}");
+    assert_eq!(skipped.len(), 3, "three corpses, three notes: {skipped:?}");
+    // Newest-first walk order, one distinct cause per corpse.
+    assert!(skipped[0].starts_with("ck_00000005.h5l:"), "{skipped:?}");
+    assert!(skipped[1].starts_with("ck_00000004.h5l:"), "{skipped:?}");
+    assert!(skipped[2].starts_with("ck_00000003.h5l:"), "{skipped:?}");
+    assert!(file.dataset("radiation/erad").is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fallback_checkpoint_resumes_the_run() {
     // Corrupt the newest checkpoint, restore from the automatic
     // fallback, and continue: the resumed run must land on the same
@@ -134,7 +183,7 @@ fn fallback_checkpoint_resumes_the_run() {
         GaussianPulse::standard().init(&mut sim);
         for _ in 0..3 {
             sim.step(&ctx.comm, &mut ctx.sink);
-            let f = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+            let f = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
             store.save(&f, sim.istep()).expect("save checkpoint");
         }
         sim.step(&ctx.comm, &mut ctx.sink);

@@ -1,47 +1,21 @@
 //! End-to-end fault injection through the simulation driver: every
 //! fault class must be *detected* and *recovered from*, and an injector
 //! over an empty plan must be bit-invisible.
+//!
+//! Scenario plumbing (mini-sim construction, per-rank outcome
+//! collection, log merging) lives in `v2d-testkit`; this file only owns
+//! the per-fault-class assertions.
 
-use v2d_comm::{Spmd, TileMap};
-use v2d_core::problems::GaussianPulse;
-use v2d_core::sim::V2dSim;
-use v2d_machine::{CompilerProfile, FaultInjector, FaultKind, FaultPlan, FaultRecord};
+use v2d_machine::{FaultKind, FaultPlan};
+use v2d_testkit::{merged_log, run_mini, MiniSpec, RankRun};
 
-fn profiles() -> Vec<CompilerProfile> {
-    vec![CompilerProfile::cray_opt()]
-}
-
-/// Run the small Gaussian problem under `plan` on `ranks` ranks and
-/// return per-rank `(erad bits, recoveries, fault log)`.
-fn run_with_plan(
-    plan: Option<FaultPlan>,
-    ranks: usize,
-    steps: usize,
-) -> Vec<(Vec<u64>, u32, Vec<FaultRecord>)> {
-    let (n1, n2) = (16, 8);
-    let cfg = GaussianPulse::linear_config(n1, n2, steps);
-    let (np1, np2) = (ranks, 1);
-    Spmd::new(ranks).with_profiles(profiles()).run(move |ctx| {
-        let map = TileMap::new(n1, n2, np1, np2);
-        let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-        GaussianPulse::standard().init(&mut sim);
-        if let Some(plan) = &plan {
-            sim.set_fault_injector(FaultInjector::new(plan.clone(), ctx.comm.rank()));
-        }
-        let agg = sim.run(&ctx.comm, &mut ctx.sink);
-        let bits = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
-        (bits, agg.total_recoveries, sim.take_fault_log())
-    })
-}
-
-fn merged_log(outs: &[(Vec<u64>, u32, Vec<FaultRecord>)]) -> String {
-    let mut lines: Vec<String> = outs
-        .iter()
-        .flat_map(|(_, _, log)| log.iter())
-        .map(|r| format!("step {} rank {}: {}", r.step, r.rank, r.what))
-        .collect();
-    lines.sort();
-    lines.join("\n")
+/// The canonical 2-rank linear pulse these tests run under `plan`.
+fn run_with_plan(plan: Option<FaultPlan>, ranks: usize, steps: usize) -> Vec<RankRun> {
+    let mut spec = MiniSpec::linear(16, 8, steps).tiled(ranks, 1);
+    if let Some(plan) = plan {
+        spec = spec.with_plan(plan);
+    }
+    run_mini(&spec)
 }
 
 #[test]
@@ -49,9 +23,9 @@ fn empty_plan_is_bit_identical_to_no_injector() {
     let plain = run_with_plan(None, 2, 3);
     let empty = run_with_plan(Some(FaultPlan::empty()), 2, 3);
     for (rank, (p, e)) in plain.iter().zip(&empty).enumerate() {
-        assert_eq!(p.0, e.0, "rank {rank}: field bits differ under an empty plan");
-        assert_eq!(e.1, 0, "rank {rank}: empty plan must trigger no recoveries");
-        assert!(e.2.is_empty(), "rank {rank}: empty plan must log nothing");
+        assert_eq!(p.bits, e.bits, "rank {rank}: field bits differ under an empty plan");
+        assert_eq!(e.recoveries, 0, "rank {rank}: empty plan must trigger no recoveries");
+        assert!(e.log.is_empty(), "rank {rank}: empty plan must log nothing");
     }
 }
 
@@ -62,10 +36,10 @@ fn field_nan_fault_is_scrubbed_and_the_run_completes() {
     let log = merged_log(&outs);
     assert!(log.contains("inject field-nan"), "detection missing:\n{log}");
     assert!(log.contains("scrubbed"), "recovery missing:\n{log}");
-    let total: u32 = outs.iter().map(|o| o.1).sum();
+    let total: u32 = outs.iter().map(|o| o.recoveries).sum();
     assert!(total >= 1, "recoveries must be recorded:\n{log}");
-    for (rank, (bits, _, _)) in outs.iter().enumerate() {
-        for (i, b) in bits.iter().enumerate() {
+    for (rank, out) in outs.iter().enumerate() {
+        for (i, b) in out.bits.iter().enumerate() {
             assert!(f64::from_bits(*b).is_finite(), "rank {rank} cell {i} not finite");
         }
     }
@@ -78,8 +52,8 @@ fn field_inf_fault_is_scrubbed_and_the_run_completes() {
     let log = merged_log(&outs);
     assert!(log.contains("inject field-inf"), "detection missing:\n{log}");
     assert!(log.contains("scrubbed"), "recovery missing:\n{log}");
-    for (bits, _, _) in &outs {
-        assert!(bits.iter().all(|b| f64::from_bits(*b).is_finite()));
+    for out in &outs {
+        assert!(out.bits.iter().all(|b| f64::from_bits(*b).is_finite()));
     }
 }
 
@@ -90,8 +64,8 @@ fn injected_solver_breakdown_recovers_in_solver() {
     let log = merged_log(&outs);
     assert!(log.contains("inject solver-breakdown"), "detection missing:\n{log}");
     assert!(log.contains("restart"), "in-solver restart missing:\n{log}");
-    let total: u32 = outs.iter().map(|o| o.1).sum();
-    assert!(total >= 1, "solver restarts must surface in RunStats:\n{log}");
+    let total: u32 = outs.iter().map(|o| o.recoveries).sum();
+    assert!(total >= 1, "solver restarts must surface in the outcome:\n{log}");
 }
 
 #[test]
@@ -125,7 +99,7 @@ fn delayed_message_completes_deterministically() {
     let b = run_with_plan(Some(plan), 2, 3);
     assert!(merged_log(&a).contains("inject delay-message"), "detection missing");
     for (ra, rb) in a.iter().zip(&b) {
-        assert_eq!(ra.0, rb.0, "fault replay must be deterministic");
-        assert_eq!(ra.2, rb.2, "fault logs must replay identically");
+        assert_eq!(ra.bits, rb.bits, "fault replay must be deterministic");
+        assert_eq!(ra.log, rb.log, "fault logs must replay identically");
     }
 }

@@ -132,10 +132,10 @@ pub fn copy(cx: &mut ExecCtx, x: &TileVec, y: &mut TileVec) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use v2d_machine::{CompilerProfile, CostSink, MultiCostSink};
+    use v2d_machine::{CompilerProfile, MultiCostSink};
 
     fn sink() -> MultiCostSink {
-        MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+        MultiCostSink::single(CompilerProfile::cray_opt())
     }
 
     fn field(n1: usize, n2: usize, seed: f64) -> TileVec {

@@ -64,11 +64,16 @@ impl Jacobi {
     pub fn new(op: &StencilOp) -> Self {
         let (n1, n2) = op.coeffs.dims();
         let mut inv_diag = TileVec::new(n1, n2);
-        inv_diag.fill_with(|s, i1, i2| {
-            let d = op.coeffs.cc.get(s, i1 as isize, i2 as isize);
-            assert!(d != 0.0, "zero diagonal at ({s},{i1},{i2})");
-            1.0 / d
-        });
+        // A zero (or non-finite) diagonal means the stencil coefficients
+        // are already corrupt on *this* rank only — e.g. an injected NaN
+        // flowing through the flux limiter.  Panicking here would kill
+        // one rank mid-assembly and strand its peers in the solver's
+        // first collective; instead `1/0 → ±inf` (and `1/NaN → NaN`)
+        // poisons the preconditioned residual, the ganged reductions go
+        // non-finite on *every* rank, and the solver fails collectively
+        // with `BreakdownReason::NonFinite` — same philosophy as
+        // `Limiter::lambda` letting non-finite R through.
+        inv_diag.fill_with(|s, i1, i2| 1.0 / op.coeffs.cc.get(s, i1 as isize, i2 as isize));
         Jacobi { inv_diag, ws: op.working_set() }
     }
 }
@@ -127,12 +132,27 @@ impl BlockJacobi {
                 let c = op.coeffs.cpl.get(1, i1 as isize, i2 as isize);
                 let d = op.coeffs.cc.get(1, i1 as isize, i2 as isize);
                 let det = a * d - b * c;
-                assert!(det.abs() > 1e-300, "singular species block at ({i1},{i2}): det = {det}");
+                // A singular or non-finite block cannot be inverted, but
+                // it also must not panic: this is a *per-rank* verdict
+                // (a NaN coefficient from a faulted field exists on one
+                // rank only), and a panic here is exactly the lockstep
+                // divergence that deadlocked the nonlinear FieldNan run
+                // (see ROADMAP).  Poison the inverse with NaN instead —
+                // it reaches the solver's globally-reduced scalars, so
+                // every rank agrees on `BreakdownReason::NonFinite` and
+                // the recovery ladder can scrub and retry.
                 let k = i2 * n1 + i1;
-                p.m00[k] = d / det;
-                p.m01[k] = -b / det;
-                p.m10[k] = -c / det;
-                p.m11[k] = a / det;
+                if det.abs() > 1e-300 {
+                    p.m00[k] = d / det;
+                    p.m01[k] = -b / det;
+                    p.m10[k] = -c / det;
+                    p.m11[k] = a / det;
+                } else {
+                    p.m00[k] = f64::NAN;
+                    p.m01[k] = f64::NAN;
+                    p.m10[k] = f64::NAN;
+                    p.m11[k] = f64::NAN;
+                }
             }
         }
         p
@@ -360,13 +380,20 @@ impl Preconditioner for Spai {
 fn solve_dense_small(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
-        let piv = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("NaN pivot"))
-            .expect("empty system");
+        // `total_cmp` tolerates NaN coefficients (corrupt input fields);
+        // a NaN or singular pivot poisons the whole solution rather than
+        // panicking — per-rank panics desynchronize the collectives
+        // (see `BlockJacobi::new`).
+        let piv = match (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs())) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
         a.swap(col, piv);
         b.swap(col, piv);
         let d = a[col][col];
-        assert!(d.abs() > 1e-300, "singular SPAI normal equations");
+        if d.is_nan() || d.abs() <= 1e-300 {
+            return vec![f64::NAN; n];
+        }
         for row in col + 1..n {
             let f = a[row][col] / d;
             if f == 0.0 {

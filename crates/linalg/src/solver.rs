@@ -23,7 +23,7 @@
 //! `TileVec` heap allocations — see the `workspace_alloc` integration
 //! test and the `ablation_alloc` bench.
 
-use v2d_comm::{Comm, ReduceOp};
+use v2d_comm::{coll_site, Comm, CommError, ReduceOp};
 use v2d_machine::{AttrVal, ExecCtx};
 
 use crate::kernels;
@@ -175,11 +175,24 @@ pub struct SolveAttempt {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveError {
     pub attempts: Vec<SolveAttempt>,
+    /// Set when the cascade aborted because the communicator itself
+    /// failed (lockstep mismatch, collective/receive timeout, peer
+    /// death).  A poisoned communicator cannot run the remaining
+    /// fallbacks — retrying locally would desynchronize further — so
+    /// the caller must treat the whole step as lost.
+    pub comm: Option<CommError>,
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "all solvers failed:")?;
+        if let Some(ce) = &self.comm {
+            write!(f, "solve aborted on a communicator fault: {ce}")?;
+            if !self.attempts.is_empty() {
+                write!(f, "; prior attempts:")?;
+            }
+        } else {
+            write!(f, "all solvers failed:")?;
+        }
         for at in &self.attempts {
             write!(
                 f,
@@ -194,12 +207,25 @@ impl std::fmt::Display for SolveError {
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.comm.as_ref().map(|ce| ce as &(dyn std::error::Error + 'static))
+    }
+}
 
-/// Helper: one global sum of a slice of ganged partial inner products.
-fn reduce(comm: &Comm, cx: &mut ExecCtx, partials: &mut [f64], count: &mut usize) {
-    comm.allreduce(cx, ReduceOp::Sum, partials);
+/// Helper: one global sum of a slice of ganged partial inner products,
+/// through the lockstep-verified fallible surface: a desynchronized or
+/// abandoned collective comes back as a typed [`CommError`] the step
+/// driver can turn into a recovery decision instead of a hang.
+fn reduce(
+    comm: &Comm,
+    cx: &mut ExecCtx,
+    partials: &mut [f64],
+    count: &mut usize,
+) -> Result<(), CommError> {
+    comm.try_allreduce(cx, coll_site::SOLVER_REDUCE, ReduceOp::Sum, partials)?;
     *count += 1;
+    Ok(())
 }
 
 /// Preconditioned BiCGSTAB: solve `A x = b`, starting from the `x`
@@ -216,7 +242,7 @@ pub fn bicgstab<A: LinearOp, M: Preconditioner>(
     x: &mut TileVec,
     wks: &mut SolverWorkspace,
     opts: &SolveOpts,
-) -> SolveStats {
+) -> Result<SolveStats, CommError> {
     let (n1, n2) = a.tile_dims();
     wks.ensure(n1, n2);
     let old_ws = cx.set_ws(a.working_set());
@@ -235,7 +261,7 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
     x: &mut TileVec,
     wks: &mut SolverWorkspace,
     opts: &SolveOpts,
-) -> SolveStats {
+) -> Result<SolveStats, CommError> {
     let mut reductions = 0usize;
     let mut recoveries = 0u32;
     let mut restarts_left = opts.max_restarts;
@@ -249,40 +275,40 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
 
     // Initial gang: {‖r‖², ‖b‖²}.
     let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
-    reduce(comm, cx, &mut gang, &mut reductions);
+    reduce(comm, cx, &mut gang, &mut reductions)?;
     let bnorm = gang[1].sqrt();
     if !gang[0].is_finite() || !bnorm.is_finite() {
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: false,
             relres: f64::NAN,
             reductions,
             breakdown: Some(BreakdownReason::NonFinite),
             recoveries,
-        };
+        });
     }
     if bnorm == 0.0 {
         // Homogeneous system: the solution is x = 0.
         x.zero();
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: true,
             relres: 0.0,
             reductions,
             breakdown: None,
             recoveries,
-        };
+        });
     }
     let mut rr = gang[0];
     if rr.sqrt() <= opts.tol * bnorm {
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: true,
             relres: rr.sqrt() / bnorm,
             reductions,
             breakdown: None,
             recoveries,
-        };
+        });
     }
 
     // ρ is *carried* between iterations when the variant supplies it
@@ -310,7 +336,7 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                 // reduction; the ganged form derived it algebraically
                 // from last iteration's five-way gang.
                 let mut g = [kernels::dprod_local(cx, rhat, r)];
-                reduce(comm, cx, &mut g, &mut reductions);
+                reduce(comm, cx, &mut g, &mut reductions)?;
                 g[0]
             }
         };
@@ -324,14 +350,14 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
             }
         }
         if !rho.is_finite() || !omega.is_finite() || !rr.is_finite() {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter - 1,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: Some(BreakdownReason::NonFinite),
                 recoveries,
-            };
+            });
         }
         let why = if rho.abs() < tiny {
             Some(BreakdownReason::RhoZero)
@@ -344,14 +370,14 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
         };
         if let Some(why) = why {
             if restarts_left == 0 {
-                return SolveStats {
+                return Ok(SolveStats {
                     iters: iter - 1,
                     converged: false,
                     relres: rr.sqrt() / bnorm,
                     reductions,
                     breakdown: Some(why),
                     recoveries,
-                };
+                });
             }
             // True-residual restart: recompute r = b − A·x from the
             // current iterate, reseed r̂ = r, and restart the recurrence.
@@ -363,17 +389,17 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
             kernels::residual_into(cx, b, r);
             rhat.copy_from(r);
             let mut g = [kernels::norm2_local(cx, r)];
-            reduce(comm, cx, &mut g, &mut reductions);
+            reduce(comm, cx, &mut g, &mut reductions)?;
             rr = g[0];
             if !rr.is_finite() {
-                return SolveStats {
+                return Ok(SolveStats {
                     iters: iter,
                     converged: false,
                     relres: f64::NAN,
                     reductions,
                     breakdown: Some(BreakdownReason::NonFinite),
                     recoveries,
-                };
+                });
             }
             if let Some(inj) = cx.faults() {
                 inj.note(format!(
@@ -392,14 +418,14 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                 ],
             );
             if rr.sqrt() <= opts.tol * bnorm {
-                return SolveStats {
+                return Ok(SolveStats {
                     iters: iter,
                     converged: true,
                     relres: rr.sqrt() / bnorm,
                     reductions,
                     breakdown: None,
                     recoveries,
-                };
+                });
             }
             rho_carry = Some(rr);
             rho_prev = rr;
@@ -421,27 +447,27 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
         m.apply(comm, cx, p, phat);
         a.apply(comm, cx, phat, v);
         let mut g = [kernels::dprod_local(cx, rhat, v)];
-        reduce(comm, cx, &mut g, &mut reductions);
+        reduce(comm, cx, &mut g, &mut reductions)?;
         let rv = g[0];
         if !rv.is_finite() {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: Some(BreakdownReason::NonFinite),
                 recoveries,
-            };
+            });
         }
         if rv.abs() < tiny {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: Some(BreakdownReason::RhatVZero),
                 recoveries,
-            };
+            });
         }
         alpha = rho / rv;
         kernels::xmay(cx, r, alpha, v, s); // s = r − α·v
@@ -462,7 +488,7 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                     kernels::dprod_local(cx, rhat, s),
                     kernels::dprod_local(cx, rhat, t),
                 ];
-                reduce(comm, cx, &mut g, &mut reductions);
+                reduce(comm, cx, &mut g, &mut reductions)?;
                 let [g_ts, g_tt, g_ss, g_rs, g_rt] = g;
                 ts = g_ts;
                 tt = g_tt;
@@ -470,14 +496,14 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
                     // t ≈ 0: converged iff s ≈ 0.
                     kernels::daxpy(cx, alpha, phat, x);
                     let conv = g_ss.sqrt() <= opts.tol * bnorm;
-                    return SolveStats {
+                    return Ok(SolveStats {
                         iters: iter,
                         converged: conv,
                         relres: g_ss.sqrt() / bnorm,
                         reductions,
                         breakdown: if conv { None } else { Some(BreakdownReason::OmegaZero) },
                         recoveries,
-                    };
+                    });
                 }
                 omega = ts / tt;
                 // ‖r‖² and next ρ follow algebraically — no extra
@@ -487,24 +513,24 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
             }
             BicgVariant::Classic => {
                 let mut g1 = [kernels::dprod_local(cx, t, s)];
-                reduce(comm, cx, &mut g1, &mut reductions);
+                reduce(comm, cx, &mut g1, &mut reductions)?;
                 let mut g2 = [kernels::norm2_local(cx, t)];
-                reduce(comm, cx, &mut g2, &mut reductions);
+                reduce(comm, cx, &mut g2, &mut reductions)?;
                 ts = g1[0];
                 tt = g2[0];
                 if tt < tiny {
                     kernels::daxpy(cx, alpha, phat, x);
                     let mut g3 = [kernels::norm2_local(cx, s)];
-                    reduce(comm, cx, &mut g3, &mut reductions);
+                    reduce(comm, cx, &mut g3, &mut reductions)?;
                     let conv = g3[0].sqrt() <= opts.tol * bnorm;
-                    return SolveStats {
+                    return Ok(SolveStats {
                         iters: iter,
                         converged: conv,
                         relres: g3[0].sqrt() / bnorm,
                         reductions,
                         breakdown: if conv { None } else { Some(BreakdownReason::OmegaZero) },
                         recoveries,
-                    };
+                    });
                 }
                 omega = ts / tt;
                 rho_next = None; // recomputed at the next loop top
@@ -518,7 +544,7 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
 
         if opts.variant == BicgVariant::Classic {
             let mut g = [kernels::norm2_local(cx, r)];
-            reduce(comm, cx, &mut g, &mut reductions);
+            reduce(comm, cx, &mut g, &mut reductions)?;
             rr = g[0];
         }
         cx.trace_instant(
@@ -526,14 +552,14 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
             &[("iter", AttrVal::U64(iter as u64)), ("relres", AttrVal::F64(rr.sqrt() / bnorm))],
         );
         if rr.sqrt() <= opts.tol * bnorm {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: true,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: None,
                 recoveries,
-            };
+            });
         }
         // Stagnation watch: count iterations since the recurrence last
         // set a new best residual norm (host-side — no kernel cost).
@@ -546,14 +572,14 @@ fn bicgstab_inner<A: LinearOp, M: Preconditioner>(
         rho_prev = rho;
         rho_carry = rho_next;
     }
-    SolveStats {
+    Ok(SolveStats {
         iters: opts.max_iters,
         converged: false,
         relres: rr.sqrt() / bnorm,
         reductions,
         breakdown: Some(BreakdownReason::MaxIters),
         recoveries,
-    }
+    })
 }
 
 /// Preconditioned conjugate gradient for symmetric positive-definite
@@ -569,7 +595,7 @@ pub fn cg<A: LinearOp, M: Preconditioner>(
     x: &mut TileVec,
     wks: &mut SolverWorkspace,
     opts: &SolveOpts,
-) -> SolveStats {
+) -> Result<SolveStats, CommError> {
     let (n1, n2) = a.tile_dims();
     wks.ensure(n1, n2);
     let old_ws = cx.set_ws(a.working_set());
@@ -588,21 +614,21 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
     x: &mut TileVec,
     wks: &mut SolverWorkspace,
     opts: &SolveOpts,
-) -> SolveStats {
+) -> Result<SolveStats, CommError> {
     let mut reductions = 0usize;
     // Scheduled fault injection: fail this attempt before any collective
     // work begins (every rank shares the plan, so all fail together).
     if let Some(inj) = cx.faults() {
         if inj.poll_solver_breakdown() {
             inj.note("cg: forced breakdown (injected)".to_string());
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: 0,
                 converged: false,
                 relres: f64::NAN,
                 reductions,
                 breakdown: Some(BreakdownReason::Injected),
                 recoveries: 0,
-            };
+            });
         }
     }
     // CG's suite aliases the BiCGSTAB field names: z lives in `rhat`,
@@ -613,71 +639,71 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
     kernels::residual_into(cx, b, r);
 
     let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
-    reduce(comm, cx, &mut gang, &mut reductions);
+    reduce(comm, cx, &mut gang, &mut reductions)?;
     let bnorm = gang[1].sqrt();
     if !gang[0].is_finite() || !bnorm.is_finite() {
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: false,
             relres: f64::NAN,
             reductions,
             breakdown: Some(BreakdownReason::NonFinite),
             recoveries: 0,
-        };
+        });
     }
     if bnorm == 0.0 {
         x.zero();
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: true,
             relres: 0.0,
             reductions,
             breakdown: None,
             recoveries: 0,
-        };
+        });
     }
     let mut rr = gang[0];
     if rr.sqrt() <= opts.tol * bnorm {
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: true,
             relres: rr.sqrt() / bnorm,
             reductions,
             breakdown: None,
             recoveries: 0,
-        };
+        });
     }
 
     m.apply(comm, cx, r, z);
     p.copy_from(z);
     let mut gang = [kernels::dprod_local(cx, r, z)];
-    reduce(comm, cx, &mut gang, &mut reductions);
+    reduce(comm, cx, &mut gang, &mut reductions)?;
     let mut rz = gang[0];
 
     for iter in 1..=opts.max_iters {
         a.apply(comm, cx, p, ap);
         let mut gang = [kernels::dprod_local(cx, p, ap)];
-        reduce(comm, cx, &mut gang, &mut reductions);
+        reduce(comm, cx, &mut gang, &mut reductions)?;
         let pap = gang[0];
         if !pap.is_finite() {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: Some(BreakdownReason::NonFinite),
                 recoveries: 0,
-            };
+            });
         }
         if pap.abs() < 1e-290 {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: false,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: Some(BreakdownReason::PapZero),
                 recoveries: 0,
-            };
+            });
         }
         let alpha = rz / pap;
         kernels::daxpy(cx, alpha, p, x);
@@ -685,42 +711,42 @@ fn cg_inner<A: LinearOp, M: Preconditioner>(
         m.apply(comm, cx, r, z);
         // Gang {⟨r,z⟩, ⟨r,r⟩} into one reduction.
         let mut gang = [kernels::dprod_local(cx, r, z), kernels::norm2_local(cx, r)];
-        reduce(comm, cx, &mut gang, &mut reductions);
+        reduce(comm, cx, &mut gang, &mut reductions)?;
         let rz_new = gang[0];
         rr = gang[1];
         if !rr.is_finite() || !rz_new.is_finite() {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: false,
                 relres: f64::NAN,
                 reductions,
                 breakdown: Some(BreakdownReason::NonFinite),
                 recoveries: 0,
-            };
+            });
         }
         if rr.sqrt() <= opts.tol * bnorm {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: iter,
                 converged: true,
                 relres: rr.sqrt() / bnorm,
                 reductions,
                 breakdown: None,
                 recoveries: 0,
-            };
+            });
         }
         let beta = rz_new / rz;
         rz = rz_new;
         // p = z + β·p
         kernels::p_update(cx, beta, 0.0, z, ap, p);
     }
-    SolveStats {
+    Ok(SolveStats {
         iters: opts.max_iters,
         converged: false,
         relres: rr.sqrt() / bnorm,
         reductions,
         breakdown: Some(BreakdownReason::MaxIters),
         recoveries: 0,
-    }
+    })
 }
 
 /// Restarted GMRES(m) with right preconditioning — the other Krylov
@@ -745,7 +771,7 @@ pub fn gmres<A: LinearOp, M: Preconditioner>(
     wks: &mut SolverWorkspace,
     restart: usize,
     opts: &SolveOpts,
-) -> SolveStats {
+) -> Result<SolveStats, CommError> {
     assert!(restart >= 1, "GMRES restart length must be ≥ 1");
     let (n1, n2) = a.tile_dims();
     wks.ensure(n1, n2);
@@ -767,21 +793,21 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
     wks: &mut SolverWorkspace,
     restart: usize,
     opts: &SolveOpts,
-) -> SolveStats {
+) -> Result<SolveStats, CommError> {
     let mut reductions = 0usize;
     // Scheduled fault injection: fail this attempt before any collective
     // work begins (every rank shares the plan, so all fail together).
     if let Some(inj) = cx.faults() {
         if inj.poll_solver_breakdown() {
             inj.note("gmres: forced breakdown (injected)".to_string());
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: 0,
                 converged: false,
                 relres: f64::NAN,
                 reductions,
                 breakdown: Some(BreakdownReason::Injected),
                 recoveries: 0,
-            };
+            });
         }
     }
     // GMRES aliases: w ↦ `s`, M⁻¹-image ↦ `shat`, solution update
@@ -792,39 +818,39 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
     kernels::residual_into(cx, b, r);
 
     let mut gang = [kernels::norm2_local(cx, r), kernels::norm2_local(cx, b)];
-    reduce(comm, cx, &mut gang, &mut reductions);
+    reduce(comm, cx, &mut gang, &mut reductions)?;
     let bnorm = gang[1].sqrt();
     if !gang[0].is_finite() || !bnorm.is_finite() {
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: false,
             relres: f64::NAN,
             reductions,
             breakdown: Some(BreakdownReason::NonFinite),
             recoveries: 0,
-        };
+        });
     }
     if bnorm == 0.0 {
         x.zero();
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: true,
             relres: 0.0,
             reductions,
             breakdown: None,
             recoveries: 0,
-        };
+        });
     }
     let mut beta = gang[0].sqrt();
     if beta <= opts.tol * bnorm {
-        return SolveStats {
+        return Ok(SolveStats {
             iters: 0,
             converged: true,
             relres: beta / bnorm,
             reductions,
             breakdown: None,
             recoveries: 0,
-        };
+        });
     }
 
     // Hessenberg and rotation storage (small host vectors).
@@ -864,22 +890,22 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
             // Modified Gram–Schmidt: one reduction per basis vector.
             for (j, vj) in basis.iter().take(nb).enumerate() {
                 let mut dot = [kernels::dprod_local(cx, w, vj)];
-                reduce(comm, cx, &mut dot, &mut reductions);
+                reduce(comm, cx, &mut dot, &mut reductions)?;
                 h[j][k] = dot[0];
                 kernels::daxpy(cx, -dot[0], vj, w);
             }
             let mut nrm = [kernels::norm2_local(cx, w)];
-            reduce(comm, cx, &mut nrm, &mut reductions);
+            reduce(comm, cx, &mut nrm, &mut reductions)?;
             let hk1 = nrm[0].sqrt();
             if !hk1.is_finite() {
-                return SolveStats {
+                return Ok(SolveStats {
                     iters: total_iters,
                     converged: false,
                     relres: f64::NAN,
                     reductions,
                     breakdown: Some(BreakdownReason::NonFinite),
                     recoveries: 0,
-                };
+                });
             }
             h[k + 1][k] = hk1;
 
@@ -941,41 +967,41 @@ fn gmres_inner<A: LinearOp, M: Preconditioner>(
         a.apply(comm, cx, x, r);
         kernels::residual_into(cx, b, r);
         let mut nrm = [kernels::norm2_local(cx, r)];
-        reduce(comm, cx, &mut nrm, &mut reductions);
+        reduce(comm, cx, &mut nrm, &mut reductions)?;
         beta = nrm[0].sqrt();
         if !beta.is_finite() {
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: total_iters,
                 converged: false,
                 relres: f64::NAN,
                 reductions,
                 breakdown: Some(BreakdownReason::NonFinite),
                 recoveries: 0,
-            };
+            });
         }
         if converged || beta <= opts.tol * bnorm {
             let conv = beta <= opts.tol * bnorm * 10.0;
-            return SolveStats {
+            return Ok(SolveStats {
                 iters: total_iters,
                 converged: conv,
                 relres: beta / bnorm,
                 reductions,
                 breakdown: if conv { None } else { Some(BreakdownReason::Stagnation) },
                 recoveries: 0,
-            };
+            });
         }
         if total_iters >= opts.max_iters {
             break;
         }
     }
-    SolveStats {
+    Ok(SolveStats {
         iters: total_iters,
         converged: false,
         relres: beta / bnorm,
         reductions,
         breakdown: Some(BreakdownReason::MaxIters),
         recoveries: 0,
-    }
+    })
 }
 
 /// Restart length used by the cascade's GMRES fallback.
@@ -1004,8 +1030,23 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
     wks.ensure(n1, n2);
     wks.x0.copy_from(x);
     let mut attempts = Vec::new();
+    // A communicator fault aborts the cascade outright: the collectives
+    // are sticky-poisoned (or a peer is gone), so the remaining
+    // fallbacks could never complete a reduction.  Restore the entry
+    // iterate and surface the typed verdict.
+    macro_rules! run {
+        ($call:expr) => {
+            match $call {
+                Ok(st) => st,
+                Err(ce) => {
+                    x.copy_from(&wks.x0);
+                    return Err(SolveError { attempts, comm: Some(ce) });
+                }
+            }
+        };
+    }
 
-    let st = bicgstab(comm, cx, a, m, b, x, wks, opts);
+    let st = run!(bicgstab(comm, cx, a, m, b, x, wks, opts));
     if st.converged {
         return Ok(st);
     }
@@ -1019,7 +1060,7 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
     trace_fallback(cx, SolverKind::BicgStab, &st);
 
     x.copy_from(&wks.x0);
-    let st = gmres(comm, cx, a, m, b, x, wks, CASCADE_GMRES_RESTART, opts);
+    let st = run!(gmres(comm, cx, a, m, b, x, wks, CASCADE_GMRES_RESTART, opts));
     if st.converged {
         return Ok(SolveStats { recoveries: st.recoveries + attempts.len() as u32, ..st });
     }
@@ -1030,7 +1071,7 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
     trace_fallback(cx, SolverKind::Gmres, &st);
 
     x.copy_from(&wks.x0);
-    let st = cg(comm, cx, a, m, b, x, wks, opts);
+    let st = run!(cg(comm, cx, a, m, b, x, wks, opts));
     if st.converged {
         return Ok(SolveStats { recoveries: st.recoveries + attempts.len() as u32, ..st });
     }
@@ -1040,7 +1081,7 @@ pub fn solve_cascade<A: LinearOp, M: Preconditioner>(
     // Leave the caller's iterate exactly as it came in, so a higher-level
     // retry (smaller dt, restored checkpoint) starts from clean state.
     x.copy_from(&wks.x0);
-    Err(SolveError { attempts })
+    Err(SolveError { attempts, comm: None })
 }
 
 /// Stamp one exhausted cascade attempt on the tracer.
@@ -1126,7 +1167,8 @@ mod tests {
                 &mut x,
                 &mut wks,
                 &SolveOpts { tol: 1e-12, ..Default::default() },
-            );
+            )
+            .unwrap();
             assert!(stats.converged, "did not converge: {stats:?}");
             for (g, e) in x.interior_to_vec().iter().zip(&expect) {
                 assert!((g - e).abs() < 1e-8, "{g} vs {e}");
@@ -1155,7 +1197,8 @@ mod tests {
                     &mut x,
                     &mut wks,
                     &SolveOpts { tol: 1e-11, variant, ..Default::default() },
-                );
+                )
+                .unwrap();
                 (x.interior_to_vec(), stats)
             };
             let (xc, sc) = run(BicgVariant::Classic, ctx);
@@ -1200,7 +1243,8 @@ mod tests {
                     &mut x,
                     wks,
                     &opts,
-                );
+                )
+                .unwrap();
                 (x.interior_to_vec(), stats)
             };
             let solve_cg = |wks: &mut SolverWorkspace, ctx: &mut v2d_comm::RankCtx| {
@@ -1216,7 +1260,8 @@ mod tests {
                     &mut x,
                     wks,
                     &opts,
-                );
+                )
+                .unwrap();
                 (x.interior_to_vec(), stats)
             };
             let solve_gmres = |wks: &mut SolverWorkspace, ctx: &mut v2d_comm::RankCtx| {
@@ -1233,7 +1278,8 @@ mod tests {
                     wks,
                     7,
                     &opts,
-                );
+                )
+                .unwrap();
                 (x.interior_to_vec(), stats)
             };
 
@@ -1287,7 +1333,8 @@ mod tests {
                     &mut x,
                     &mut wks,
                     &SolveOpts { tol: 1e-11, ..Default::default() },
-                );
+                )
+                .unwrap();
                 assert!(stats.converged);
                 let mut out = Vec::new();
                 for s in 0..crate::NSPEC {
@@ -1344,6 +1391,7 @@ mod tests {
                             &mut wks,
                             &opts,
                         )
+                        .unwrap()
                     }
                     "jacobi" => {
                         let mut m = Jacobi::new(&op);
@@ -1357,6 +1405,7 @@ mod tests {
                             &mut wks,
                             &opts,
                         )
+                        .unwrap()
                     }
                     "block" => {
                         let mut m = BlockJacobi::new(&op);
@@ -1370,6 +1419,7 @@ mod tests {
                             &mut wks,
                             &opts,
                         )
+                        .unwrap()
                     }
                     _ => {
                         let mut m = Spai::new(&op, &ctx.comm, &mut ExecCtx::new(&mut ctx.sink));
@@ -1383,6 +1433,7 @@ mod tests {
                             &mut wks,
                             &opts,
                         )
+                        .unwrap()
                     }
                 };
                 assert!(stats.converged, "{name} failed to converge");
@@ -1418,7 +1469,8 @@ mod tests {
                 &mut x_cg,
                 &mut wks,
                 &opts,
-            );
+            )
+            .unwrap();
             assert!(s_cg.converged, "CG failed: {s_cg:?}");
 
             let mut op2 = StencilOp::new(StencilCoeffs::laplacian_like(n1, n2), cart);
@@ -1433,7 +1485,8 @@ mod tests {
                 &mut x_bi,
                 &mut wks,
                 &opts,
-            );
+            )
+            .unwrap();
             assert!(s_bi.converged);
             for (a, c) in x_cg.interior_to_vec().iter().zip(x_bi.interior_to_vec()) {
                 assert!((a - c).abs() < 1e-7, "CG {a} vs BiCGSTAB {c}");
@@ -1463,7 +1516,8 @@ mod tests {
                 &mut x_bi,
                 &mut wks,
                 &opts,
-            );
+            )
+            .unwrap();
             assert!(s_bi.converged);
 
             let mut op2 = StencilOp::new(StencilCoeffs::manufactured(n1, n2, 0, 0), cart);
@@ -1479,7 +1533,8 @@ mod tests {
                 &mut wks,
                 30,
                 &opts,
-            );
+            )
+            .unwrap();
             assert!(s_gm.converged, "GMRES failed: {s_gm:?}");
             for (a, c) in x_bi.interior_to_vec().iter().zip(x_gm.interior_to_vec()) {
                 assert!((a - c).abs() < 1e-7, "BiCGSTAB {a} vs GMRES {c}");
@@ -1517,7 +1572,8 @@ mod tests {
                 &mut wks,
                 5,
                 &SolveOpts { tol: 1e-10, max_iters: 500, ..Default::default() },
-            );
+            )
+            .unwrap();
             assert!(stats.converged, "restarted GMRES failed: {stats:?}");
             // Verify against a direct residual.
             let mut ax = TileVec::new(n1, n2);
@@ -1554,7 +1610,8 @@ mod tests {
                     &mut wks,
                     20,
                     &SolveOpts { tol: 1e-11, ..Default::default() },
-                );
+                )
+                .unwrap();
                 assert!(stats.converged);
                 let mut out = Vec::new();
                 for s in 0..crate::NSPEC {
@@ -1600,7 +1657,8 @@ mod tests {
                 &mut x,
                 &mut wks,
                 &SolveOpts::default(),
-            );
+            )
+            .unwrap();
             assert!(stats.converged);
             assert_eq!(stats.iters, 0);
             assert!(x.interior_to_vec().iter().all(|&v| v == 0.0));
@@ -1630,7 +1688,8 @@ mod tests {
                 &mut x,
                 &mut wks,
                 &SolveOpts { tol: 1e-12, ..Default::default() },
-            );
+            )
+            .unwrap();
             assert!(stats.converged);
             for (g, e) in x.interior_to_vec().iter().zip(&expect) {
                 assert!((g - e).abs() < 1e-8);

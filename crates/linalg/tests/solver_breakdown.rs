@@ -46,7 +46,8 @@ fn nonfinite_rhs_is_detected_not_iterated() {
             &mut x,
             &mut wks,
             &SolveOpts::default(),
-        );
+        )
+        .unwrap();
         assert!(!st.converged);
         assert_eq!(st.breakdown, Some(BreakdownReason::NonFinite));
         assert_eq!(st.iters, 0, "poison must be caught before iterating");
@@ -76,7 +77,8 @@ fn injected_breakdown_recovers_via_true_residual_restart() {
             &mut x,
             &mut wks,
             &SolveOpts { tol: 1e-10, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(st.converged, "restart should rescue a single breakdown: {st:?}");
         assert_eq!(st.breakdown, None);
         assert!(st.recoveries >= 1, "the restart must be recorded: {st:?}");
@@ -108,7 +110,8 @@ fn exhausted_restarts_surface_the_breakdown_reason() {
             &mut x,
             &mut wks,
             &opts,
-        );
+        )
+        .unwrap();
         assert!(!st.converged);
         assert_eq!(st.breakdown, Some(BreakdownReason::RhoZero));
         assert_eq!(st.recoveries, 2, "both restarts spent: {st:?}");
@@ -224,7 +227,8 @@ fn empty_plan_injector_is_bit_invisible_to_the_solver() {
                 &mut x,
                 &mut wks,
                 &opts,
-            );
+            )
+            .unwrap();
             (st, x.interior_to_vec().iter().map(|v| v.to_bits()).collect::<Vec<u64>>())
         };
 

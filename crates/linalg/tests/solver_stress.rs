@@ -52,7 +52,8 @@ fn one_by_one_tile_solves() {
             &mut x,
             &mut wks,
             &SolveOpts { tol: 1e-13, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(st.converged);
         assert!(residual_inf(&ctx.comm, &mut ctx.sink, &mut op, &b, &x) < 1e-10);
     });
@@ -95,7 +96,8 @@ fn weakly_dominant_system_still_converges() {
             &mut x,
             &mut wks,
             &SolveOpts { tol: 1e-10, max_iters: 5000, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(st.converged, "weakly dominant solve failed: {st:?}");
         assert!(residual_inf(&ctx.comm, &mut ctx.sink, &mut op, &b, &x) < 1e-7);
     });
@@ -120,9 +122,11 @@ fn all_three_solvers_agree_on_one_system() {
             let mut x = TileVec::new(n1, n2);
             let mut cx = ExecCtx::new(&mut ctx.sink);
             let st = match which {
-                0 => bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, &opts),
-                1 => cg(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, &opts),
-                _ => gmres(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, 25, &opts),
+                0 => bicgstab(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, &opts)
+                    .unwrap(),
+                1 => cg(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, &opts).unwrap(),
+                _ => gmres(&ctx.comm, &mut cx, &mut op, &mut m, &b, &mut x, &mut wks, 25, &opts)
+                    .unwrap(),
             };
             assert!(st.converged, "solver {which} failed: {st:?}");
             solutions.push(x.interior_to_vec());
@@ -166,7 +170,8 @@ fn classic_variant_issues_more_reductions_for_identical_answers() {
                 &mut x,
                 &mut wks,
                 &SolveOpts { tol: 1e-10, variant, ..Default::default() },
-            );
+            )
+            .unwrap();
             assert!(st.converged);
             (st, x.interior_to_vec())
         };
@@ -204,7 +209,8 @@ fn max_iters_cap_is_honored() {
             &mut x,
             &mut wks,
             &SolveOpts { tol: 1e-30, max_iters: 3, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(!st.converged);
         assert_eq!(st.iters, 3);
     });

@@ -35,9 +35,9 @@ fn warm_workspace_solves_allocate_zero_tilevecs() {
             x.fill_interior(0.0);
             let cx = &mut ExecCtx::new(&mut ctx.sink);
             let st = match which {
-                0 => bicgstab(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, &opts),
-                1 => cg(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, &opts),
-                _ => gmres(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, restart, &opts),
+                0 => bicgstab(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, &opts).unwrap(),
+                1 => cg(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, &opts).unwrap(),
+                _ => gmres(&ctx.comm, cx, &mut op, &mut m, &b, x, wks, restart, &opts).unwrap(),
             };
             assert!(st.converged, "solver {which} failed: {st:?}");
         };

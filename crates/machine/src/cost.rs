@@ -360,6 +360,13 @@ pub fn cost_cycles(model: &A64fxModel, profile: &CompilerProfile, shape: &Kernel
 pub struct MultiCostSink {
     /// One sink per Table I column, in [`ALL_COMPILERS`] order.
     pub lanes: Vec<CostSink>,
+    /// Collective-call epoch: incremented once per collective this rank
+    /// has entered.  The comm layer's lockstep verifier exchanges
+    /// `(site, epoch)` tickets on every collective so that ranks whose
+    /// control flow diverged surface a typed mismatch instead of a
+    /// deadlock.  Host-side bookkeeping only — never charged to the
+    /// simulated clocks.
+    pub coll_epoch: u64,
 }
 
 impl MultiCostSink {
@@ -367,13 +374,19 @@ impl MultiCostSink {
     pub fn all_compilers() -> Self {
         MultiCostSink {
             lanes: ALL_COMPILERS.iter().map(|&id| CostSink::new(CompilerProfile::of(id))).collect(),
+            coll_epoch: 0,
         }
     }
 
     /// A sink set with a single profile (cheaper when only one column is
     /// needed, e.g. in tests).
     pub fn single(profile: CompilerProfile) -> Self {
-        MultiCostSink { lanes: vec![CostSink::new(profile)] }
+        MultiCostSink { lanes: vec![CostSink::new(profile)], coll_epoch: 0 }
+    }
+
+    /// Sinks for an explicit profile list (one lane per profile).
+    pub fn with_profiles(profiles: &[CompilerProfile]) -> Self {
+        MultiCostSink { lanes: profiles.iter().map(|p| CostSink::new(*p)).collect(), coll_epoch: 0 }
     }
 
     /// Charge one kernel invocation under every profile.

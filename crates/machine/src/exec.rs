@@ -219,7 +219,7 @@ mod tests {
     use crate::profile::CompilerProfile;
 
     fn sink() -> MultiCostSink {
-        MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+        MultiCostSink::single(CompilerProfile::cray_opt())
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! # v2d-testkit — deterministic multi-rank test harness
+//!
+//! The shared scaffolding behind the workspace's multi-rank tests:
+//!
+//! * [`mini`] — declarative mini-simulation specs ([`MiniSpec`]) and the
+//!   one harness ([`run_mini`]) that stands them up on simulated ranks,
+//!   collecting per-rank bits, recovery counts, typed errors, and fault
+//!   logs;
+//! * [`watchdog`] — a real-time watchdog ([`run_with_watchdog`]) that
+//!   turns a deadlocked launch into a test failure instead of a hung CI
+//!   job;
+//! * [`fuzz`] — the seeded schedule/fault fuzzer ([`fuzz_spec`],
+//!   [`check_seed`], [`campaign`]) asserting no-deadlock, bit-identical
+//!   replay, and zero-fault bit-identity over grid × tiling × fault ×
+//!   policy coordinates.
+//!
+//! The crate is test infrastructure: it depends on the stack under test
+//! (`v2d-core` and below) and is consumed as a `dev-dependency` (or by
+//! the bench harness), never by library code.
+
+pub mod fuzz;
+pub mod mini;
+pub mod watchdog;
+
+pub use fuzz::{campaign, check_seed, fuzz_spec};
+pub use mini::{merged_log, run_mini, MiniSpec, RankRun};
+pub use watchdog::{run_with_watchdog, Verdict};

@@ -1,0 +1,156 @@
+//! Mini-simulation builders: the one way every multi-rank test stands
+//! up a small Gaussian-pulse run, with or without a fault plan, so the
+//! coordinates of a scenario (grid, tiling, physics, schedule) live in
+//! one declarative spec instead of being re-derived per test file.
+
+use v2d_comm::{Comm, Spmd, TileMap};
+use v2d_core::problems::GaussianPulse;
+use v2d_core::sim::{V2dConfig, V2dSim};
+use v2d_core::RecoveryPolicy;
+use v2d_machine::{CompilerProfile, FaultInjector, FaultPlan, FaultRecord};
+
+/// Declarative coordinates of one mini-simulation: grid, rank tiling,
+/// step count, physics flavor, and (optionally) a fault plan and a
+/// recovery policy.  Build with [`MiniSpec::linear`] /
+/// [`MiniSpec::nonlinear`] and the `with_*` combinators.
+#[derive(Debug, Clone)]
+pub struct MiniSpec {
+    pub n1: usize,
+    pub n2: usize,
+    pub np1: usize,
+    pub np2: usize,
+    pub steps: usize,
+    /// `true` for the flux-limited (nonlinear) configuration, `false`
+    /// for the pure-scattering linear pulse.
+    pub nonlinear: bool,
+    pub plan: Option<FaultPlan>,
+    pub policy: Option<RecoveryPolicy>,
+}
+
+impl MiniSpec {
+    /// A single-rank linear pulse (`linear_config`) of `steps` steps.
+    pub fn linear(n1: usize, n2: usize, steps: usize) -> Self {
+        MiniSpec { n1, n2, np1: 1, np2: 1, steps, nonlinear: false, plan: None, policy: None }
+    }
+
+    /// A single-rank nonlinear (limiter-on) pulse (`scaled_config`).
+    pub fn nonlinear(n1: usize, n2: usize, steps: usize) -> Self {
+        MiniSpec { nonlinear: true, ..Self::linear(n1, n2, steps) }
+    }
+
+    /// Decompose over an `np1 × np2` rank grid.
+    pub fn tiled(mut self, np1: usize, np2: usize) -> Self {
+        self.np1 = np1;
+        self.np2 = np2;
+        self
+    }
+
+    /// Attach a fault plan (each rank gets its own injector over it).
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Override the driver's recovery policy.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Number of ranks the spec launches.
+    pub fn ranks(&self) -> usize {
+        self.np1 * self.np2
+    }
+
+    /// The derived solver configuration.
+    pub fn config(&self) -> V2dConfig {
+        if self.nonlinear {
+            GaussianPulse::scaled_config(self.n1, self.n2, self.steps)
+        } else {
+            GaussianPulse::linear_config(self.n1, self.n2, self.steps)
+        }
+    }
+
+    /// Construct and initialize this rank's simulation: standard pulse,
+    /// injector armed when a plan is attached, policy applied.
+    pub fn build(&self, comm: &Comm) -> V2dSim {
+        let map = TileMap::new(self.n1, self.n2, self.np1, self.np2);
+        let mut sim = V2dSim::new(self.config(), comm, map);
+        GaussianPulse::standard().init(&mut sim);
+        if let Some(plan) = &self.plan {
+            sim.set_fault_injector(FaultInjector::new(plan.clone(), comm.rank()));
+        }
+        if let Some(policy) = self.policy {
+            sim.set_recovery_policy(policy);
+        }
+        sim
+    }
+}
+
+/// What one rank came back with from a mini run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankRun {
+    /// Raw bits of the final local radiation field (bit-exact replay
+    /// comparisons need bits, not floats: NaN payloads must count).
+    pub bits: Vec<u64>,
+    /// Driver + solver recovery actions summed over the run.
+    pub recoveries: u32,
+    /// Steps completed before the run ended (== the spec's `steps` on
+    /// a fully-converged run).
+    pub steps_done: usize,
+    /// The typed error that ended the run early, rendered; `None` on a
+    /// clean finish.
+    pub error: Option<String>,
+    /// The rank's fault/recovery log.
+    pub log: Vec<FaultRecord>,
+}
+
+impl RankRun {
+    /// Did every step complete?
+    pub fn converged(&self, spec: &MiniSpec) -> bool {
+        self.error.is_none() && self.steps_done == spec.steps
+    }
+}
+
+/// Run the spec on `spec.ranks()` simulated ranks (one compiler lane,
+/// Cray-opt) and collect per-rank outcomes.  Steps go through
+/// [`V2dSim::try_step`], so an exhausted recovery ladder or a poisoned
+/// communicator lands in [`RankRun::error`] instead of panicking — the
+/// fuzzer's *no-deadlock* property is exactly "this function returns".
+pub fn run_mini(spec: &MiniSpec) -> Vec<RankRun> {
+    let spec = spec.clone();
+    Spmd::new(spec.ranks()).with_profiles(vec![CompilerProfile::cray_opt()]).run(move |ctx| {
+        let mut sim = spec.build(&ctx.comm);
+        let mut recoveries = 0u32;
+        let mut steps_done = 0usize;
+        let mut error = None;
+        for _ in 0..spec.steps {
+            match sim.try_step(&ctx.comm, &mut ctx.sink) {
+                Ok(st) => {
+                    steps_done += 1;
+                    recoveries +=
+                        st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
+                }
+                Err(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        let bits = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
+        RankRun { bits, recoveries, steps_done, error, log: sim.take_fault_log() }
+    })
+}
+
+/// Merge every rank's fault log into one deterministic, sorted block of
+/// `step N rank R: what` lines (the shape the fault-recovery assertions
+/// grep).
+pub fn merged_log(outs: &[RankRun]) -> String {
+    let mut lines: Vec<String> = outs
+        .iter()
+        .flat_map(|r| r.log.iter())
+        .map(|r| format!("step {} rank {}: {}", r.step, r.rank, r.what))
+        .collect();
+    lines.sort();
+    lines.join("\n")
+}

@@ -1,0 +1,63 @@
+//! A wall-clock watchdog for runs that are *supposed* to always
+//! terminate.  The guarded closure runs on a detached thread (never a
+//! scoped one: joining a deadlocked `Spmd` launch would hang the
+//! watchdog along with it) and the caller waits on a channel with a
+//! real-time deadline, so "this scenario deadlocks" degrades into a
+//! first-class test failure instead of a stuck CI job.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How a guarded run ended.
+#[derive(Debug)]
+pub enum Verdict<T> {
+    /// The closure returned.
+    Completed(T),
+    /// The closure panicked (message rendered when available).
+    Panicked(String),
+    /// The deadline expired.  The run's thread is abandoned — it stays
+    /// blocked wherever it deadlocked — so treat this as fatal for the
+    /// process (fail the test) rather than something to retry.
+    TimedOut,
+}
+
+impl<T> Verdict<T> {
+    /// Unwrap a completed run, panicking with `what` otherwise.
+    pub fn expect_completed(self, what: &str) -> T {
+        match self {
+            Verdict::Completed(v) => v,
+            Verdict::Panicked(msg) => panic!("{what}: run panicked: {msg}"),
+            Verdict::TimedOut => panic!("{what}: run deadlocked (watchdog expired)"),
+        }
+    }
+}
+
+/// Run `f` under a `deadline` watchdog.
+pub fn run_with_watchdog<T, F>(deadline: Duration, f: F) -> Verdict<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let out = catch_unwind(AssertUnwindSafe(f));
+        // A dead receiver just means the watchdog already gave up.
+        let _ = tx.send(out.map_err(|e| panic_message(&e)));
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(v)) => Verdict::Completed(v),
+        Ok(Err(msg)) => Verdict::Panicked(msg),
+        Err(_) => Verdict::TimedOut,
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

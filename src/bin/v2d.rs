@@ -67,7 +67,7 @@ fn main() {
         let e0 = sim.total_radiation_energy(&ctx.comm, &mut ctx.sink);
         let agg = sim.run(&ctx.comm, &mut ctx.sink);
         let e1 = sim.total_radiation_energy(&ctx.comm, &mut ctx.sink);
-        let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+        let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
         if ctx.rank() == 0 {
             ck.save("v2d_final.h5l").expect("write checkpoint");
         }

@@ -113,7 +113,7 @@ fn checkpoint_roundtrips_through_disk_and_topologies() {
             GaussianPulse::standard().init(&mut sim);
             sim.step(&ctx.comm, &mut ctx.sink);
             sim.step(&ctx.comm, &mut ctx.sink);
-            let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim);
+            let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
             if ctx.rank() == 0 {
                 ck.save(&path).expect("save checkpoint");
             }

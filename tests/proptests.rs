@@ -11,14 +11,14 @@ use v2d::linalg::{
     bicgstab, kernels, BicgVariant, Identity, LinearOp, SolveOpts, SolverWorkspace, StencilCoeffs,
     StencilOp, TileVec,
 };
-use v2d::machine::{CompilerProfile, CostSink, ExecCtx, MultiCostSink};
+use v2d::machine::{CompilerProfile, ExecCtx, MultiCostSink};
 use v2d::sve::kernels::{
     oracle, run_daxpy, run_ddaxpy, run_dprod, run_dscal, run_matvec, BandedSystem, Variant,
 };
 use v2d::sve::ExecConfig;
 
 fn sink1() -> MultiCostSink {
-    MultiCostSink { lanes: vec![CostSink::new(CompilerProfile::cray_opt())] }
+    MultiCostSink::single(CompilerProfile::cray_opt())
 }
 
 fn vl_strategy() -> impl Strategy<Value = u32> {
@@ -163,7 +163,7 @@ proptest! {
                     &ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut op, &mut m, &b, &mut x,
                     &mut wks,
                     &SolveOpts { tol: 1e-10, variant: BicgVariant::Ganged, ..Default::default() },
-                );
+                ).unwrap();
                 // Verify the residual directly.
                 let mut ax = TileVec::new(n1, n2);
                 op.apply(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &mut x, &mut ax);
