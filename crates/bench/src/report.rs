@@ -4,10 +4,11 @@
 //! result into a [`BenchReport`]:
 //!
 //! * **Modeled quantities** (Table II kernel clocks and instruction
-//!   counts, Fig. 1 matrix statistics, a miniature Table I sweep, and
-//!   the totals of a 2-rank fault-recovery run) carry [`Gate::Exact`] —
-//!   they are deterministic functions of the code, so the gate is
-//!   bit-for-bit.
+//!   counts, Fig. 1 matrix statistics, a miniature Table I sweep, the
+//!   50-rank corner of the full Table I grid, the event scheduler's
+//!   dispatch counters, and the totals of 2-rank fault-recovery runs)
+//!   carry [`Gate::Exact`] — they are deterministic functions of the
+//!   code, so the gate is bit-for-bit.
 //! * **Wall-clock timings** (unit `s_wall`) carry [`Gate::Ceil`] with a
 //!   generous band, since shared CI runners are noisy.  They can be
 //!   excluded wholesale with [`strip_wallclock`].
@@ -18,11 +19,11 @@
 
 use std::time::Instant;
 
-use v2d_comm::Spmd;
+use v2d_comm::{ReduceOp, Spmd, Universe};
 use v2d_core::problems::GaussianPulse;
 use v2d_linalg::sparsity;
 use v2d_machine::{A64fxModel, FaultKind, FaultPlan, ALL_COMPILERS};
-use v2d_obs::{BenchReport, Gate, Metric, RunReport, Tracer};
+use v2d_obs::{BenchReport, Gate, Metric, Metrics, RunReport, Tracer};
 use v2d_sve::kernels::ExecMode;
 use v2d_testkit::MiniSpec;
 
@@ -139,6 +140,63 @@ pub fn add_table1_mini(report: &mut BenchReport) {
     }
 }
 
+/// Representative coordinates of the full ≤ 50-rank Table I grid (the
+/// `table1_full` sweep), on the event-driven universe's modeled
+/// clocks: the three 50-rank factorizations of a reduced 50×50 pulse,
+/// plus one 64-rank weak-scaling point at fixed per-rank work.  All
+/// exact — the full 207-topology sweep lives in the `table1_full`
+/// golden; these entries give the regression gate a bit-for-bit grip
+/// on its highest-rank corner without the minute of wall clock.
+pub fn add_table1_full(report: &mut BenchReport) {
+    let cfg = GaussianPulse::scaled_config(50, 50, 1);
+    for (nx1, nx2) in [(50, 1), (25, 2), (10, 5)] {
+        let row = table1::run_topology(&cfg, nx1, nx2);
+        for (i, id) in ALL_COMPILERS.iter().enumerate() {
+            report.add(
+                &format!("table1_full.np50.{nx1}x{nx2}.{}_s", id.slug()),
+                row.secs[i],
+                "s",
+                Gate::Exact,
+            );
+        }
+    }
+    let weak = table1::run_weak_point(64, 1);
+    report.add("table1_full.weak.np64.cray_opt_s", weak.secs[2], "s", Gate::Exact);
+    report.add("table1_full.weak.np64.gnu_s", weak.secs[0], "s", Gate::Exact);
+}
+
+/// The event scheduler's own launch counters, pinned by the gate: a
+/// fixed 8-rank ring exchange + ganged reduction, explicitly on the
+/// event-driven universe (the env override must not perturb the
+/// baseline).  Dispatch and quiescence counts are
+/// schedule-deterministic, so an exact gate on them notices any change
+/// to the engine's dispatch policy — the one quantity the bit-identical
+/// clock gates cannot see, because both universes charge the same
+/// clocks by construction.
+pub fn add_sched(report: &mut BenchReport) {
+    let (_, stats) = Spmd::new(8).universe(Universe::EventDriven).run_observed(|ctx| {
+        let rank = ctx.rank();
+        let n = ctx.comm.n_ranks();
+        let mut acc = rank as f64;
+        for step in 0..4u32 {
+            let dst = (rank + 1) % n;
+            let src = (rank + n - 1) % n;
+            ctx.comm.send(&mut ctx.sink, dst, step, &[acc]);
+            let got = ctx.comm.recv(&mut ctx.sink, src, step).expect("ring recv");
+            acc += got[0];
+            acc = ctx.comm.allreduce_scalar(&mut ctx.sink, ReduceOp::Max, acc);
+        }
+        acc
+    });
+    let mut m = Metrics::new();
+    m.record_sched(stats.dispatches, stats.quiescences);
+    for (name, metric) in m.iter() {
+        if let Metric::Counter(c) = metric {
+            report.add(name, *c as f64, "count", Gate::Exact);
+        }
+    }
+}
+
 /// The deterministic 2-rank fault-recovery run behind the `faults.*`
 /// entries: a NaN landing in the field, an injected solver breakdown,
 /// and a delayed halo message, all recovered from.  The coordinates
@@ -239,6 +297,8 @@ pub fn collect(opts: &CollectOpts) -> BenchReport {
     add_fig1(&mut report, &artifacts.pbm);
 
     add_table1_mini(&mut report);
+    add_table1_full(&mut report);
+    add_sched(&mut report);
     add_fault_mini(&mut report);
     add_fault_mini_nl(&mut report);
 
@@ -310,7 +370,7 @@ mod tests {
         let cmp = compare(&report, &back);
         assert!(cmp.pass(), "round-trip drift:\n{}", cmp.table(true));
         // The exact families are all present.
-        for prefix in ["table2.", "fig1.", "table1_mini.", "faults."] {
+        for prefix in ["table2.", "fig1.", "table1_mini.", "table1_full.", "sched.", "faults."] {
             assert!(report.entries.keys().any(|k| k.starts_with(prefix)), "no {prefix} entries");
         }
     }

@@ -71,6 +71,38 @@ pub fn run_topology(cfg: &V2dConfig, nx1: usize, nx2: usize) -> Row {
     Row { np, nx1, nx2, secs, iters_per_solve: *iters as f64 / *solves as f64 }
 }
 
+/// Every `(NX1, NX2)` factorization with `NX1 · NX2 ≤ max_np`, ordered
+/// by rank count then NX1 — the *full* Table I grid, of which the
+/// paper's twelve [`TOPOLOGIES`] are a subset.  Exhausting it (≈ 200
+/// topologies at `max_np = 50`, many of them 30+ ranks) was impractical
+/// under thread-per-rank scheduling; on the event-driven universe every
+/// blocked rank is just a heap entry.
+pub fn full_grid(max_np: usize) -> Vec<(usize, usize)> {
+    let mut grid = Vec::new();
+    for np in 1..=max_np {
+        for nx1 in 1..=np {
+            if np % nx1 == 0 {
+                grid.push((nx1, np / nx1));
+            }
+        }
+    }
+    grid
+}
+
+/// Weak-scaling rank counts: ×4 steps from serial up to 1024 ranks —
+/// the O(1000)-rank curve the event-driven scheduler unlocks.
+pub const WEAK_RANKS: [usize; 6] = [1, 4, 16, 64, 256, 1024];
+
+/// Cells per rank along each axis for the weak-scaling curve.
+pub const WEAK_TILE: usize = 8;
+
+/// One point of the weak-scaling curve: `np` ranks in a strip, each
+/// owning a [`WEAK_TILE`]² tile, for `steps` timesteps.
+pub fn run_weak_point(np: usize, steps: usize) -> Row {
+    let cfg = GaussianPulse::scaled_config(WEAK_TILE * np, WEAK_TILE, steps);
+    run_topology(&cfg, np, 1)
+}
+
 /// Run the full table.  `progress` is called after each topology.
 pub fn run_full(cfg: &V2dConfig, mut progress: impl FnMut(&Row)) -> Vec<Row> {
     TOPOLOGIES
@@ -121,6 +153,68 @@ pub fn format(rows: &[Row]) -> String {
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "compiler lane order: {:?}", ALL_COMPILERS.map(|c| c.label()));
+    out
+}
+
+/// Format full-grid rows (no paper reference — most of the grid has
+/// none): one line per topology, all four compiler lanes.
+pub fn format_full(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE I (FULL GRID) — every NX1×NX2 factorization, Np ≤ {} (simulated seconds)",
+        rows.iter().map(|r| r.np).max().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>4} {:>4} | {:>9} {:>9} {:>10} {:>13} | {:>11}",
+        "Np", "NX1", "NX2", "GNU", "Fujitsu", "Cray (opt)", "Cray (no-opt)", "iters/solve"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>4} {:>4} | {:>9.3} {:>9.3} {:>10.3} {:>13.3} | {:>11.2}",
+            row.np,
+            row.nx1,
+            row.nx2,
+            row.secs[0],
+            row.secs[1],
+            row.secs[2],
+            row.secs[3],
+            row.iters_per_solve
+        );
+    }
+    out
+}
+
+/// Format the weak-scaling curve: per-rank work fixed at
+/// [`WEAK_TILE`]², efficiency relative to the serial point on the
+/// Cray-opt lane.
+pub fn format_weak(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WEAK SCALING — {WEAK_TILE}×{WEAK_TILE} cells per rank, strip topology (simulated seconds)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>11} | {:>10} {:>13} | {:>10}",
+        "Np", "grid", "Cray (opt)", "Cray (no-opt)", "efficiency"
+    );
+    let t1 = rows.first().map(|r| r.secs[2]).unwrap_or(f64::NAN);
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>11} | {:>10.3} {:>13.3} | {:>10.3}",
+            row.np,
+            format!("{}×{}", row.nx1 * WEAK_TILE, row.nx2 * WEAK_TILE),
+            row.secs[2],
+            row.secs[3],
+            t1 / row.secs[2]
+        );
+    }
     out
 }
 

@@ -96,3 +96,9 @@ fn table1_matches_golden() {
 fn breakdown_matches_golden() {
     assert_matches_golden(env!("CARGO_BIN_EXE_breakdown"), &[], "breakdown_output.txt");
 }
+
+#[test]
+#[ignore = "207-topology sweep + 1024-rank weak scaling, ~1 minute of wall clock"]
+fn table1_full_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table1_full"), &[], "table1_full.txt");
+}

@@ -1,16 +1,18 @@
 //! Point-to-point messaging and data-carrying collectives.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use v2d_machine::{AttrVal, CostLanes, MultiCostSink, SendFault, SimDuration};
 
+use crate::sched::EventCore;
+
 /// Lock a mutex, recovering the data if another rank thread panicked
 /// while holding it (our state stays consistent: every critical section
 /// below is a plain read-modify-write with no tearing on unwind).
-fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -21,6 +23,37 @@ pub struct BlockedRank {
     pub rank: usize,
     pub src: usize,
     pub tag: u32,
+}
+
+/// One edge of a deadlock wait graph: which rank is blocked, and on
+/// what.  Only the event-driven universe can produce these — exact
+/// quiescence detection needs the scheduler's global view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    pub rank: usize,
+    pub on: WaitOn,
+}
+
+/// What a deadlocked rank was waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOn {
+    /// Blocked in a point-to-point receive.
+    Recv { src: usize, tag: u32 },
+    /// Blocked inside a collective, holding this lockstep ticket.
+    Collective { ticket: CollTicket },
+}
+
+impl std::fmt::Display for WaitEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.on {
+            WaitOn::Recv { src, tag } => {
+                write!(f, "rank {} waits recv(src {}, tag {:#x})", self.rank, src, tag)
+            }
+            WaitOn::Collective { ticket } => {
+                write!(f, "rank {} waits collective {}", self.rank, ticket)
+            }
+        }
+    }
 }
 
 /// Stable identifiers for the collective call sites in the library, so
@@ -102,6 +135,12 @@ pub enum CommError {
     /// every rank sitting in a blocking point-to-point receive at that
     /// moment.
     CollectiveTimeout { rank: usize, ticket: CollTicket, blocked: Vec<BlockedRank> },
+    /// The event-driven scheduler proved the run deadlocked: every live
+    /// rank is blocked, no message is in flight, and no fault-injector
+    /// deadline could explain the wait set.  `waiting` is the complete
+    /// wait graph at quiescence.  (The thread-backed universe cannot
+    /// produce this — it has no global view and relies on watchdogs.)
+    Deadlock { rank: usize, waiting: Vec<WaitEdge> },
 }
 
 impl std::fmt::Display for CommError {
@@ -147,6 +186,13 @@ impl std::fmt::Display for CommError {
                     Ok(())
                 }
             }
+            CommError::Deadlock { rank, waiting } => {
+                write!(f, "rank {rank}: deadlock: every live rank is blocked; wait graph:")?;
+                for e in waiting {
+                    write!(f, " [{e}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -164,9 +210,15 @@ pub fn msg_buf_alloc_count() -> u64 {
     MSG_BUF_ALLOC.load(Ordering::Relaxed)
 }
 
+/// Record one fresh payload allocation (both backends' pools count
+/// through here so [`msg_buf_alloc_count`] stays backend-agnostic).
+pub(crate) fn count_fresh_alloc() {
+    MSG_BUF_ALLOC.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Upper bound on pooled payload buffers per rank group (beyond this,
 /// returned buffers are simply dropped).
-const POOL_CAP: usize = 64;
+pub(crate) const POOL_CAP: usize = 64;
 
 /// Reduction operators for collectives.  Sums are evaluated in rank order,
 /// so results are bitwise deterministic for a fixed topology.
@@ -197,33 +249,36 @@ impl ReduceOp {
 
 /// A point-to-point message: payload plus the sender's per-lane virtual
 /// clocks at send time.
-struct Message {
-    tag: u32,
-    data: Vec<f64>,
-    send_clocks: Vec<SimDuration>,
+pub(crate) struct Message {
+    pub(crate) tag: u32,
+    pub(crate) data: Vec<f64>,
+    pub(crate) send_clocks: Vec<SimDuration>,
 }
 
-/// One round of a data-carrying collective.
-struct CollRound {
+/// One round of a data-carrying collective.  Both universes drive the
+/// same round state machine — the thread backend under a condvar, the
+/// event core under its scheduler — so lockstep verification, poison
+/// semantics, and results are backend-independent by construction.
+pub(crate) struct CollRound {
     /// Per-rank contribution: (payload, per-lane clocks).
-    contrib: Vec<Option<(Vec<f64>, Vec<SimDuration>)>>,
-    deposited: usize,
+    pub(crate) contrib: Vec<Option<(Vec<f64>, Vec<SimDuration>)>>,
+    pub(crate) deposited: usize,
     /// Result payload + per-lane synchronized clocks (before cost).
-    result: Option<(Arc<Vec<f64>>, Vec<SimDuration>)>,
-    left: usize,
+    pub(crate) result: Option<(Arc<Vec<f64>>, Vec<SimDuration>)>,
+    pub(crate) left: usize,
     /// Lockstep ticket stamped by the round's first depositor; later
     /// depositors must present the same `(site, epoch)` or the round is
     /// declared diverged.  Cleared when the round drains.
-    ticket: Option<CollTicket>,
+    pub(crate) ticket: Option<CollTicket>,
     /// Sticky divergence/timeout verdict.  Once set, every in-flight
     /// and future collective on this communicator returns it — a group
     /// that lost a member can never complete another round, so waiting
     /// would be the very deadlock the verifier exists to prevent.
-    poison: Option<CommError>,
+    pub(crate) poison: Option<CommError>,
 }
 
 impl CollRound {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         CollRound {
             contrib: (0..n).map(|_| None).collect(),
             deposited: 0,
@@ -236,10 +291,74 @@ impl CollRound {
 }
 
 /// What a collective does with the deposited contributions.
-enum CollKind {
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CollKind {
     Reduce(ReduceOp),
     Concat,
     TakeRoot(usize),
+}
+
+/// Stamp (or verify) the round's lockstep ticket: the first depositor
+/// sets it, later depositors must present the same `(site, epoch)` or
+/// the round is poisoned.  The caller must wake the round's waiters on
+/// `Err` (condvar notify / scheduler wake, per backend).
+pub(crate) fn stamp_ticket(
+    round: &mut CollRound,
+    rank: usize,
+    ticket: CollTicket,
+) -> Result<(), CommError> {
+    match round.ticket {
+        None => {
+            round.ticket = Some(ticket);
+            Ok(())
+        }
+        Some(expected) if expected != ticket => {
+            let err = CommError::CollectiveMismatch { rank, expected, got: ticket };
+            round.poison = Some(err.clone());
+            Err(err)
+        }
+        Some(_) => Ok(()),
+    }
+}
+
+/// Combine a full round of contributions: the result payload
+/// (rank-ordered, so bitwise deterministic) plus the per-lane
+/// synchronized clocks (max over ranks, the conservative PDES sync).
+pub(crate) fn finish_round(
+    contribs: Vec<(Vec<f64>, Vec<SimDuration>)>,
+    kind: CollKind,
+) -> (Vec<f64>, Vec<SimDuration>) {
+    let lanes = contribs[0].1.len();
+    let mut sync = vec![SimDuration::ZERO; lanes];
+    for (_, cl) in &contribs {
+        for (s, &c) in sync.iter_mut().zip(cl) {
+            if c > *s {
+                *s = c;
+            }
+        }
+    }
+    let payload = match kind {
+        CollKind::Reduce(op) => {
+            let len = contribs[0].0.len();
+            let mut out = vec![op.identity(); len];
+            for (vals, _) in &contribs {
+                assert_eq!(vals.len(), len, "reduce contributions differ in length");
+                for (o, &v) in out.iter_mut().zip(vals) {
+                    *o = op.fold(*o, v);
+                }
+            }
+            out
+        }
+        CollKind::Concat => {
+            let mut out = Vec::new();
+            for (vals, _) in &contribs {
+                out.extend_from_slice(vals);
+            }
+            out
+        }
+        CollKind::TakeRoot(root) => contribs[root].0.clone(),
+    };
+    (payload, sync)
 }
 
 /// Shared state of the rank group.
@@ -261,6 +380,11 @@ pub(crate) struct Shared {
     /// while rank `r` is inside a blocking receive.  Purely host-side
     /// bookkeeping — never touches the virtual clocks.
     waiting: Vec<Mutex<Option<(usize, u32)>>>,
+    /// Park registry for deadline-armed receives: `parked[r]` holds rank
+    /// `r`'s thread handle while it is parked waiting for mail, so a
+    /// sender can [`Shared::nudge`] it awake instead of the receiver
+    /// polling the channel on a busy loop.
+    parked: Vec<Mutex<Option<std::thread::Thread>>>,
 }
 
 impl Shared {
@@ -285,6 +409,15 @@ impl Shared {
         }
     }
 
+    /// Wake `dst` if it is parked in a deadline-armed receive.  Cheap
+    /// when it is not (one uncontended lock), and unpark tokens make
+    /// the send-then-park race benign.
+    fn nudge(&self, dst: usize) {
+        if let Some(t) = lock_tolerant(&self.parked[dst]).take() {
+            t.unpark();
+        }
+    }
+
     /// Snapshot of every rank currently blocked inside a receive.
     fn blocked_ranks(&self) -> Vec<BlockedRank> {
         self.waiting
@@ -297,6 +430,20 @@ impl Shared {
     }
 }
 
+/// Which execution engine a [`Comm`] handle is wired to.  The charging
+/// code — clock stamps, arrival waits, collective sync + cost — is
+/// shared, so the modeled results are bit-for-bit identical across
+/// backends; only the transport and blocking mechanics differ.
+pub(crate) enum Backend {
+    /// Legacy: one free-running OS thread per rank, mpsc channels,
+    /// condvar collectives, wall-clock fault deadlines.
+    Threads(Arc<Shared>),
+    /// The discrete-event scheduler: one task per rank, exactly one
+    /// running at a time, virtual-clock priority, exact quiescence
+    /// resolution (see [`crate::sched`]).
+    Events(Arc<EventCore>),
+}
+
 /// A rank's handle to the communicator (analogous to `MPI_COMM_WORLD`).
 ///
 /// All methods that move data also advance the virtual clocks in the
@@ -306,7 +453,7 @@ impl Shared {
 /// profiles (the usual MPI contract).
 pub struct Comm {
     rank: usize,
-    shared: Arc<Shared>,
+    backend: Backend,
 }
 
 impl Comm {
@@ -331,8 +478,18 @@ impl Comm {
             coll_cv: Condvar::new(),
             pool: Mutex::new(Vec::new()),
             waiting: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
+            parked: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
         });
-        (0..n_ranks).map(|rank| Comm { rank, shared: Arc::clone(&shared) }).collect()
+        (0..n_ranks)
+            .map(|rank| Comm { rank, backend: Backend::Threads(Arc::clone(&shared)) })
+            .collect()
+    }
+
+    /// Handles wired to a shared discrete-event core.
+    pub(crate) fn create_event(core: &Arc<EventCore>) -> Vec<Comm> {
+        (0..core.n_ranks())
+            .map(|rank| Comm { rank, backend: Backend::Events(Arc::clone(core)) })
+            .collect()
     }
 
     /// This rank's id in `0..n_ranks()`.
@@ -342,7 +499,32 @@ impl Comm {
 
     /// Number of ranks in the group.
     pub fn n_ranks(&self) -> usize {
-        self.shared.n_ranks
+        match &self.backend {
+            Backend::Threads(sh) => sh.n_ranks,
+            Backend::Events(core) => core.n_ranks(),
+        }
+    }
+
+    /// Pool draw, dispatched to the owning backend.
+    fn take_buf(&self, len: usize) -> Vec<f64> {
+        match &self.backend {
+            Backend::Threads(sh) => sh.take_buf(len),
+            Backend::Events(core) => core.take_buf(len),
+        }
+    }
+
+    /// Pool return, dispatched to the owning backend.
+    fn return_buf(&self, buf: Vec<f64>) {
+        match &self.backend {
+            Backend::Threads(sh) => sh.return_buf(buf),
+            Backend::Events(core) => core.return_buf(buf),
+        }
+    }
+
+    /// The caller's scheduling priority while blocked: its lane-0
+    /// virtual clock.  Ties break by rank id in the event core.
+    fn sched_key(sink: &MultiCostSink) -> u64 {
+        sink.lanes[0].clock.now().cycles()
     }
 
     /// Send `data` to `dst` with `tag`.  Non-blocking (buffered): the
@@ -394,10 +576,16 @@ impl Comm {
         if fate == SendFault::Drop {
             return; // the NIC ate it: the sender paid its overhead, nothing arrives
         }
-        let mut payload = self.shared.take_buf(data.len());
+        let mut payload = self.take_buf(data.len());
         payload.extend_from_slice(data);
         let msg = Message { tag, data: payload, send_clocks };
-        let _ = self.shared.senders[self.rank][dst].send(msg);
+        match &self.backend {
+            Backend::Threads(sh) => {
+                let _ = sh.senders[self.rank][dst].send(msg);
+                sh.nudge(dst);
+            }
+            Backend::Events(core) => core.post(self.rank, dst, msg),
+        }
     }
 
     /// Receive the next message from `src`; its tag must equal `tag`
@@ -442,7 +630,7 @@ impl Comm {
         self.trace_recv(sink, src, tag, msg.data.len());
         out.clear();
         out.extend_from_slice(&msg.data);
-        self.shared.return_buf(msg.data);
+        self.return_buf(msg.data);
         Ok(())
     }
 
@@ -486,7 +674,7 @@ impl Comm {
         let msg = self.recv_msg(sink.cost_lanes(), src, tag, Some((deadline, virtual_secs)))?;
         out.clear();
         out.extend_from_slice(&msg.data);
-        self.shared.return_buf(msg.data);
+        self.return_buf(msg.data);
         Ok(())
     }
 
@@ -509,11 +697,12 @@ impl Comm {
         Self::injected_deadline(sink).map(|(d, v)| (d * 8, v))
     }
 
-    /// Pull the next message off the `src → self` channel.  `deadline`
+    /// Pull the next message off the `src → self` stream.  `deadline`
     /// of `None` blocks forever (a healthy fault-free run cannot time
-    /// out); `Some((real, virtual_secs))` waits at most `real` wall
-    /// time, polling with an escalating backoff, and on expiry charges
-    /// `virtual_secs` of MPI time and reports which ranks were blocked.
+    /// out); `Some((real, virtual_secs))` arms a timeout — a wall-clock
+    /// deadline on the thread backend, exact quiescence detection on
+    /// the event backend — and on expiry charges `virtual_secs` of MPI
+    /// time and reports which ranks were blocked.
     fn recv_msg(
         &self,
         sink: &mut MultiCostSink,
@@ -522,57 +711,33 @@ impl Comm {
         deadline: Option<(Duration, f64)>,
     ) -> Result<Message, CommError> {
         assert!(src < self.n_ranks(), "recv from nonexistent rank {src}");
-        *lock_tolerant(&self.shared.waiting[self.rank]) = Some((src, tag));
-        let got = {
-            let rx = lock_tolerant(&self.shared.mailboxes[self.rank][src]);
-            match deadline {
-                None => rx.recv().map_err(|_| None),
-                Some((total, _)) => {
-                    // Escalating backoff: short slices first so prompt
-                    // messages return fast, longer ones as the deadline
-                    // nears so an idle wait doesn't spin.
-                    let start = Instant::now();
-                    let mut slice = Duration::from_millis(1);
-                    loop {
-                        let left = match total.checked_sub(start.elapsed()) {
-                            Some(left) if !left.is_zero() => left,
-                            _ => break Err(Some(())),
-                        };
-                        match rx.recv_timeout(slice.min(left)) {
-                            Ok(msg) => break Ok(msg),
-                            Err(RecvTimeoutError::Timeout) => {
-                                slice = (slice * 2).min(Duration::from_millis(50));
-                            }
-                            Err(RecvTimeoutError::Disconnected) => break Err(None),
-                        }
-                    }
-                }
+        let got = match &self.backend {
+            Backend::Threads(sh) => self.recv_msg_threads(sh, src, tag, deadline.map(|(d, _)| d)),
+            Backend::Events(core) => {
+                core.recv_msg(self.rank, src, tag, deadline.is_some(), Self::sched_key(sink))
             }
         };
-        *lock_tolerant(&self.shared.waiting[self.rank]) = None;
         let msg = match got {
             Ok(msg) => msg,
-            Err(Some(())) => {
-                // Deadline fired: snapshot who else is stuck (the
-                // deadlock diagnostic), charge the modeled timeout
-                // cost, and report.
-                let blocked = self.shared.blocked_ranks();
-                if let Some((_, virtual_secs)) = deadline {
+            Err(e) => {
+                // A fired deadline carries the injector's modeled cost
+                // of the timeout-and-recover protocol.
+                if let (CommError::Timeout { .. }, Some((_, virtual_secs))) = (&e, deadline) {
                     for lane in &mut sink.lanes {
                         lane.charge_mpi_secs(virtual_secs);
                     }
                 }
-                return Err(CommError::Timeout { rank: self.rank, src, tag, blocked });
+                return Err(e);
             }
-            Err(None) => return Err(CommError::Disconnected { rank: self.rank, src, tag }),
         };
         if msg.tag != tag {
-            self.shared.return_buf(msg.data);
+            let got_tag = msg.tag;
+            self.return_buf(msg.data);
             return Err(CommError::TagMismatch {
                 rank: self.rank,
                 src,
                 expected: tag,
-                got: msg.tag,
+                got: got_tag,
             });
         }
         assert_eq!(
@@ -587,6 +752,76 @@ impl Comm {
             lane.wait_until_mpi(arrival);
         }
         Ok(msg)
+    }
+
+    /// The thread backend's blocking pull from the `src → self` channel.
+    /// Timeout errors come back *uncharged* (the shared [`Self::recv_msg`]
+    /// epilogue applies the modeled cost for both backends).
+    ///
+    /// Deadline-armed waits used to poll `recv_timeout` on escalating
+    /// slices, which kept a blocked rank's core warm for the whole wait.
+    /// Now they park with bounded exponential backoff (50 µs doubling to
+    /// a 50 ms cap) and the sender unparks them through
+    /// [`Shared::nudge`], so a blocked rank costs the host nothing until
+    /// mail actually arrives or the deadline expires.
+    fn recv_msg_threads(
+        &self,
+        sh: &Shared,
+        src: usize,
+        tag: u32,
+        deadline: Option<Duration>,
+    ) -> Result<Message, CommError> {
+        *lock_tolerant(&sh.waiting[self.rank]) = Some((src, tag));
+        let got = {
+            let rx = lock_tolerant(&sh.mailboxes[self.rank][src]);
+            match deadline {
+                None => rx.recv().map_err(|_| None),
+                Some(total) => {
+                    let start = Instant::now();
+                    let mut backoff = Duration::from_micros(50);
+                    loop {
+                        match rx.try_recv() {
+                            Ok(msg) => break Ok(msg),
+                            Err(TryRecvError::Disconnected) => break Err(None),
+                            Err(TryRecvError::Empty) => {}
+                        }
+                        let left = match total.checked_sub(start.elapsed()) {
+                            Some(left) if !left.is_zero() => left,
+                            _ => break Err(Some(())),
+                        };
+                        // Publish our handle, then re-check: a message
+                        // that slipped in between the poll and the
+                        // registration must not strand us parked.
+                        *lock_tolerant(&sh.parked[self.rank]) = Some(std::thread::current());
+                        match rx.try_recv() {
+                            Ok(msg) => {
+                                *lock_tolerant(&sh.parked[self.rank]) = None;
+                                break Ok(msg);
+                            }
+                            Err(TryRecvError::Disconnected) => {
+                                *lock_tolerant(&sh.parked[self.rank]) = None;
+                                break Err(None);
+                            }
+                            Err(TryRecvError::Empty) => {}
+                        }
+                        std::thread::park_timeout(backoff.min(left));
+                        *lock_tolerant(&sh.parked[self.rank]) = None;
+                        backoff = (backoff * 2).min(Duration::from_millis(50));
+                    }
+                }
+            }
+        };
+        *lock_tolerant(&sh.waiting[self.rank]) = None;
+        match got {
+            Ok(msg) => Ok(msg),
+            Err(Some(())) => {
+                // Deadline fired: snapshot who else is stuck (the
+                // deadlock diagnostic) and report.
+                let blocked = sh.blocked_ranks();
+                Err(CommError::Timeout { rank: self.rank, src, tag, blocked })
+            }
+            Err(None) => Err(CommError::Disconnected { rank: self.rank, src, tag }),
+        }
     }
 
     /// Combined send+receive with a partner (the halo-exchange workhorse;
@@ -607,9 +842,15 @@ impl Comm {
     /// stamps it and later depositors must match, so ranks whose
     /// control flow diverged get a typed [`CommError::CollectiveMismatch`]
     /// instead of an eternal condvar wait.  `deadline` arms the same
-    /// escalating-backoff timeout p2p receives use ([`Self::recv_msg`]);
-    /// on expiry the round is poisoned and every participant unwinds
-    /// with [`CommError::CollectiveTimeout`].
+    /// timeout machinery p2p receives use ([`Self::recv_msg`]): a
+    /// wall-clock deadline on the thread backend, exact quiescence
+    /// detection on the event backend.  On expiry the round is poisoned
+    /// and every participant unwinds with [`CommError::CollectiveTimeout`].
+    ///
+    /// The round state machine, the rank-ordered reduction
+    /// ([`finish_round`]), and the cost epilogue below are shared across
+    /// backends, so collective results and clocks are backend-identical
+    /// bit for bit.
     fn collective(
         &self,
         sink: &mut MultiCostSink,
@@ -623,17 +864,71 @@ impl Comm {
         let n = self.n_ranks();
         if n == 1 {
             // Single rank: no synchronization, no cost.
-            return Ok(Arc::new(match kind {
-                CollKind::Reduce(_) | CollKind::TakeRoot(_) | CollKind::Concat => data,
-            }));
+            return Ok(Arc::new(data));
         }
         let clocks: Vec<SimDuration> = sink.lanes.iter().map(|l| l.clock.now()).collect();
+        let (payload, sync) = match &self.backend {
+            Backend::Threads(sh) => {
+                Self::collective_threads(sh, self.rank, sink, kind, data, ticket, clocks, deadline)?
+            }
+            Backend::Events(core) => {
+                let key = Self::sched_key(sink);
+                match core.collective(
+                    self.rank,
+                    kind,
+                    data,
+                    ticket,
+                    clocks,
+                    deadline.is_some(),
+                    key,
+                ) {
+                    Ok(out) => out,
+                    Err(fail) => {
+                        if fail.charge_timeout {
+                            if let Some((_, virtual_secs)) = deadline {
+                                for lane in &mut sink.lanes {
+                                    lane.charge_mpi_secs(virtual_secs);
+                                }
+                            }
+                        }
+                        return Err(fail.err);
+                    }
+                }
+            }
+        };
+        // Conservative clock synchronization + collective cost per lane
+        // (lanes are positionally aligned across ranks; asserted at
+        // Spmd launch).
+        let bytes = 8 * payload.len();
+        for (lane, &sync_t) in sink.lanes.iter_mut().zip(&sync) {
+            lane.wait_until_mpi(sync_t);
+            let cost = lane.profile.mpi.collective_secs(bytes, n);
+            lane.charge_mpi_secs(cost);
+        }
+        Ok(payload)
+    }
+
+    /// The thread backend's collective round: condvar waits with
+    /// escalating-slice deadlines.  Returns the result payload and the
+    /// synchronized clocks; the caller applies the cost epilogue.
+    #[allow(clippy::too_many_arguments)]
+    fn collective_threads(
+        shared: &Shared,
+        rank: usize,
+        sink: &mut MultiCostSink,
+        kind: CollKind,
+        data: Vec<f64>,
+        ticket: CollTicket,
+        clocks: Vec<SimDuration>,
+        deadline: Option<(Duration, f64)>,
+    ) -> Result<(Arc<Vec<f64>>, Vec<SimDuration>), CommError> {
+        let n = shared.n_ranks;
         // Deadline-aware condvar wait: blocks forever without a
         // deadline (the fault-free contract), polls with escalating
         // slices under one.  Returns Err(()) when the deadline expires.
         let wait_start = Instant::now();
         let mut slice = Duration::from_millis(1);
-        let cv = &self.shared.coll_cv;
+        let cv = &shared.coll_cv;
         fn wait_step<'a>(
             cv: &Condvar,
             round: MutexGuard<'a, CollRound>,
@@ -661,13 +956,10 @@ impl Comm {
         // is stuck in a p2p receive — the usual deadlock shape is one
         // rank here and its peer in a halo recv.
         let timed_out = |mut round: MutexGuard<'_, CollRound>, sink: &mut MultiCostSink| {
-            let err = CommError::CollectiveTimeout {
-                rank: self.rank,
-                ticket,
-                blocked: self.shared.blocked_ranks(),
-            };
+            let err =
+                CommError::CollectiveTimeout { rank, ticket, blocked: shared.blocked_ranks() };
             round.poison = Some(err.clone());
-            self.shared.coll_cv.notify_all();
+            shared.coll_cv.notify_all();
             drop(round);
             if let Some((_, virtual_secs)) = deadline {
                 for lane in &mut sink.lanes {
@@ -676,7 +968,7 @@ impl Comm {
             }
             err
         };
-        let mut round = lock_tolerant(&self.shared.coll);
+        let mut round = lock_tolerant(&shared.coll);
         // Wait for the previous round to fully drain before depositing.
         while round.result.is_some() {
             if let Some(p) = round.poison.clone() {
@@ -685,7 +977,7 @@ impl Comm {
             round = match wait_step(cv, round, deadline, wait_start, &mut slice) {
                 Ok(g) => g,
                 Err(()) => {
-                    let round = lock_tolerant(&self.shared.coll);
+                    let round = lock_tolerant(&shared.coll);
                     return Err(timed_out(round, sink));
                 }
             };
@@ -695,63 +987,27 @@ impl Comm {
         }
         // Lockstep verification: first depositor stamps the round's
         // ticket, everyone else must present the same one.
-        match round.ticket {
-            None => round.ticket = Some(ticket),
-            Some(expected) if expected != ticket => {
-                let err = CommError::CollectiveMismatch { rank: self.rank, expected, got: ticket };
-                round.poison = Some(err.clone());
-                self.shared.coll_cv.notify_all();
-                return Err(err);
-            }
-            Some(_) => {}
+        if let Err(e) = stamp_ticket(&mut round, rank, ticket) {
+            shared.coll_cv.notify_all();
+            return Err(e);
         }
         assert!(
-            round.contrib[self.rank].is_none(),
-            "rank {} re-entered a collective before the group completed one — \
-             collective call order must match across ranks",
-            self.rank
+            round.contrib[rank].is_none(),
+            "rank {rank} re-entered a collective before the group completed one — \
+             collective call order must match across ranks"
         );
-        round.contrib[self.rank] = Some((data, clocks));
+        round.contrib[rank] = Some((data, clocks));
         round.deposited += 1;
         if round.deposited == n {
             // Last to arrive computes the result, rank-ordered.  Every
             // slot is occupied by construction (`deposited == n`).
             let contribs: Vec<(Vec<f64>, Vec<SimDuration>)> =
                 round.contrib.iter_mut().filter_map(Option::take).collect();
-            let lanes = contribs[0].1.len();
-            let mut sync = vec![SimDuration::ZERO; lanes];
-            for (_, cl) in &contribs {
-                for (s, &c) in sync.iter_mut().zip(cl) {
-                    if c > *s {
-                        *s = c;
-                    }
-                }
-            }
-            let payload = match kind {
-                CollKind::Reduce(op) => {
-                    let len = contribs[0].0.len();
-                    let mut out = vec![op.identity(); len];
-                    for (vals, _) in &contribs {
-                        assert_eq!(vals.len(), len, "reduce contributions differ in length");
-                        for (o, &v) in out.iter_mut().zip(vals) {
-                            *o = op.fold(*o, v);
-                        }
-                    }
-                    out
-                }
-                CollKind::Concat => {
-                    let mut out = Vec::new();
-                    for (vals, _) in &contribs {
-                        out.extend_from_slice(vals);
-                    }
-                    out
-                }
-                CollKind::TakeRoot(root) => contribs[root].0.clone(),
-            };
+            let (payload, sync) = finish_round(contribs, kind);
             round.result = Some((Arc::new(payload), sync));
             round.deposited = 0;
             round.ticket = None;
-            self.shared.coll_cv.notify_all();
+            shared.coll_cv.notify_all();
         }
         // The last depositor just set `result`; everyone else waits for
         // it (the loop doubles as the Some-unwrap, so no panic path).
@@ -765,7 +1021,7 @@ impl Comm {
             round = match wait_step(cv, round, deadline, wait_start, &mut slice) {
                 Ok(g) => g,
                 Err(()) => {
-                    let round = lock_tolerant(&self.shared.coll);
+                    let round = lock_tolerant(&shared.coll);
                     return Err(timed_out(round, sink));
                 }
             };
@@ -775,20 +1031,9 @@ impl Comm {
             round.left = 0;
             round.result = None;
             // Wake ranks blocked at the entry of the *next* round.
-            self.shared.coll_cv.notify_all();
+            shared.coll_cv.notify_all();
         }
-        drop(round);
-
-        // Conservative clock synchronization + collective cost per lane
-        // (lanes are positionally aligned across ranks; asserted at
-        // Spmd launch).
-        let bytes = 8 * payload.len();
-        for (lane, &sync_t) in sink.lanes.iter_mut().zip(&sync) {
-            lane.wait_until_mpi(sync_t);
-            let cost = lane.profile.mpi.collective_secs(bytes, n);
-            lane.charge_mpi_secs(cost);
-        }
-        Ok(payload)
+        Ok((payload, sync))
     }
 
     /// Run a collective through the legacy infallible surface: tagged

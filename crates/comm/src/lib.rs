@@ -4,10 +4,10 @@
 //! tiles, exchanges halo strips for the matrix-free stencil operator, and
 //! reduces (ganged) inner products globally once or twice per BiCGSTAB
 //! iteration.  No MPI implementation is available here, so this crate
-//! provides a faithful stand-in: an SPMD runner that launches one OS
-//! thread per rank ([`Spmd`]), typed point-to-point messaging over
-//! channels, and data-carrying collectives (allreduce / allgather /
-//! broadcast / barrier) with deterministic rank-ordered reduction.
+//! provides a faithful stand-in: an SPMD runner ([`Spmd`]), typed
+//! point-to-point messaging, and data-carrying collectives (allreduce /
+//! allgather / broadcast / barrier) with deterministic rank-ordered
+//! reduction.
 //!
 //! **Simulated time.**  Every operation both moves real data *and*
 //! advances the per-rank virtual clocks in the rank's
@@ -16,8 +16,26 @@
 //! conservatively (no rank leaves before the slowest participant has
 //! entered, exactly like a real allreduce); point-to-point receives wait
 //! for the sender's virtual send time plus latency and transfer time.
-//! This is a small conservative parallel-discrete-event simulation riding
-//! on real threads — deterministic, and independent of host scheduling.
+//! This is a conservative parallel-discrete-event simulation — the
+//! modeled clocks are deterministic and independent of host scheduling.
+//!
+//! **Two universes.**  The execution engine behind [`Spmd`] is
+//! selectable ([`Universe`]):
+//!
+//! * [`Universe::EventDriven`] (the default) matches the cost model's
+//!   PDES nature: a discrete-event scheduler where each rank is a
+//!   resumable task yielding at its blocking communication sites, a
+//!   min-heap on `(virtual clock, rank)` decides who runs, and exactly
+//!   one rank executes at any instant.  Fault timeouts resolve by exact
+//!   quiescence detection instead of wall-clock deadlines, deadlocks
+//!   surface as typed [`CommError::Deadlock`] values carrying the full
+//!   wait graph, and thousands of ranks cost no more than their parked
+//!   carrier threads.
+//! * [`Universe::Threads`] is the legacy engine: one free-running OS
+//!   thread per rank, channels, condvar collectives, wall-clock fault
+//!   deadlines.  It remains available (`V2D_UNIVERSE=threads`) as a
+//!   differential-testing oracle; both universes produce bit-identical
+//!   fields and clocks because all cost charging is shared code.
 //!
 //! [`CartComm`] adds the Cartesian process topology of V2D (runtime
 //! parameters NPRX1/NPRX2 in the paper) with block tile extents and
@@ -29,11 +47,14 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod comm;
+pub mod sched;
 pub mod topology;
 pub mod universe;
 
 pub use comm::{
-    coll_site, msg_buf_alloc_count, BlockedRank, CollTicket, Comm, CommError, ReduceOp,
+    coll_site, msg_buf_alloc_count, BlockedRank, CollTicket, Comm, CommError, ReduceOp, WaitEdge,
+    WaitOn,
 };
+pub use sched::SchedStats;
 pub use topology::{CartComm, Tile, TileMap};
-pub use universe::{RankCtx, Spmd};
+pub use universe::{RankCtx, Spmd, Universe};

@@ -1,0 +1,533 @@
+//! The conservative discrete-event core behind the event-driven
+//! universe.
+//!
+//! One logical thread of control hops between rank *tasks*: every task
+//! is a resumable step function whose yield points are the blocking
+//! communication sites (`recv`, the collective entry/exit waits).  A
+//! min-heap keyed on `(virtual clock at block time, rank)` decides who
+//! runs next, and exactly one task executes at any instant — the OS
+//! threads the universe spawns are inert continuation carriers that
+//! stay parked unless the scheduler hands them the baton.
+//!
+//! Because nothing here ever consults the wall clock, the schedule is a
+//! pure function of the program and the fault plan:
+//!
+//! * **Timeouts are exact.**  A fault-armed receive times out if and
+//!   only if the run reaches *quiescence* (no task ready, no task
+//!   running) while it is still blocked — i.e. exactly when the message
+//!   can never arrive.  No real-time deadline, no spurious firings on a
+//!   loaded host.
+//! * **Deadlock detection is exact.**  Quiescence with no fault-armed
+//!   waiter is a genuine deadlock; every blocked task gets a typed
+//!   [`CommError::Deadlock`] carrying the full wait graph instead of a
+//!   watchdog guessing from outside.
+//!
+//! Quiescence is resolved in a fixed order mirroring the legacy thread
+//! backend's deadline hierarchy (p2p deadlines are shorter than
+//! collective deadlines there):
+//!
+//! 1. a fault-armed p2p receive waiter times out (min `(clock, rank)`
+//!    first), and charges the injector's modeled timeout cost;
+//! 2. else a fault-armed collective waiter poisons the round with
+//!    [`CommError::CollectiveTimeout`] — it alone charges the modeled
+//!    cost; every other collective waiter unwinds on the poison;
+//! 3. else the run is deadlocked: every blocked task is resumed with
+//!    the wait graph.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::Thread;
+
+use v2d_machine::SimDuration;
+
+use crate::comm::{
+    finish_round, lock_tolerant, stamp_ticket, BlockedRank, CollKind, CollRound, CollTicket,
+    CommError, Message, WaitEdge, WaitOn,
+};
+
+/// Where a task's carrier stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Carrier not yet registered (launch handshake).
+    Registering,
+    /// Runnable; an entry for it sits in the ready heap.
+    Ready,
+    /// The one task currently executing.
+    Running,
+    /// Parked at a communication site, waiting to be woken.
+    Blocked,
+    /// The rank body returned (or panicked); never runs again.
+    Done,
+}
+
+/// What a blocked task is waiting on.
+#[derive(Debug, Clone, Copy)]
+enum Wait {
+    /// Blocked in `recv` on the `src → self` mailbox.  `armed` is true
+    /// when a fault injector put a timeout on the wait.
+    Recv { src: usize, tag: u32, armed: bool },
+    /// Blocked inside the collective machinery (either waiting for the
+    /// previous round to drain or for this round's result).
+    Coll { ticket: CollTicket, armed: bool },
+}
+
+/// Why the scheduler woke a blocked task without satisfying its wait.
+#[derive(Debug, Clone)]
+enum Verdict {
+    /// A fault-armed receive reached quiescence: the message can never
+    /// arrive.  `blocked` is the p2p deadlock diagnostic (the other
+    /// ranks sitting in receives), matching the thread backend's shape.
+    P2pTimeout { blocked: Vec<BlockedRank> },
+    /// This task is the collective-timeout reporter; the round is
+    /// poisoned with exactly this error and the reporter charges the
+    /// modeled timeout cost.
+    CollTimeout(CommError),
+    /// True deadlock: the full wait graph, one edge per blocked rank.
+    Deadlock { waiting: Vec<WaitEdge> },
+}
+
+/// A collective failure surfaced by the core: the typed error plus
+/// whether the caller must charge the injector's modeled timeout cost
+/// (only the quiescence-chosen reporter does; poisoned waiters do not).
+pub(crate) struct CollFailure {
+    pub(crate) err: CommError,
+    pub(crate) charge_timeout: bool,
+}
+
+impl CollFailure {
+    fn plain(err: CommError) -> Self {
+        CollFailure { err, charge_timeout: false }
+    }
+}
+
+/// One rank task.
+struct Task {
+    status: Status,
+    /// Carrier thread handle, parked whenever the task is not running.
+    carrier: Option<Thread>,
+    /// Scheduling key: lane-0 virtual clock (cycles) when the task last
+    /// blocked.  Ties break by rank id, so the schedule is total.
+    key: u64,
+    wait: Option<Wait>,
+    verdict: Option<Verdict>,
+}
+
+/// Everything the scheduler owns, under one lock.  The lock is never
+/// contended in steady state: exactly one carrier runs at a time, and
+/// parked carriers only touch it on their way in and out of a wait.
+struct CoreState {
+    tasks: Vec<Task>,
+    /// Min-heap of `(key, rank)` over `Ready` tasks.  Entries can go
+    /// stale (a task readied and dispatched through a newer entry);
+    /// [`EventCore::advance`] skips entries whose task is not `Ready`.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// `mail[dst][src]`: in-order message queue, the event-core analogue
+    /// of the thread backend's per-pair channels.
+    mail: Vec<Vec<VecDeque<Message>>>,
+    coll: CollRound,
+    /// Free list of payload buffers (see `Comm::recv_into`).
+    pool: Vec<Vec<f64>>,
+    registered: usize,
+    /// Scheduler counters for observability.
+    dispatches: u64,
+    quiescences: u64,
+}
+
+/// Scheduler activity counters, exposed for tracing/metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// How many times the baton was handed to a task.
+    pub dispatches: u64,
+    /// How many quiescence points were resolved (timeouts + deadlocks).
+    pub quiescences: u64,
+}
+
+/// The discrete-event scheduler shared by every rank of one launch.
+pub(crate) struct EventCore {
+    n_ranks: usize,
+    state: Mutex<CoreState>,
+}
+
+impl EventCore {
+    pub(crate) fn new(n_ranks: usize) -> Arc<EventCore> {
+        let tasks = (0..n_ranks)
+            .map(|_| Task {
+                status: Status::Registering,
+                carrier: None,
+                key: 0,
+                wait: None,
+                verdict: None,
+            })
+            .collect();
+        Arc::new(EventCore {
+            n_ranks,
+            state: Mutex::new(CoreState {
+                tasks,
+                ready: BinaryHeap::new(),
+                mail: (0..n_ranks)
+                    .map(|_| (0..n_ranks).map(|_| VecDeque::new()).collect())
+                    .collect(),
+                coll: CollRound::new(n_ranks),
+                pool: Vec::new(),
+                registered: 0,
+                dispatches: 0,
+                quiescences: 0,
+            }),
+        })
+    }
+
+    pub(crate) fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Scheduler counters (meaningful once the launch has completed).
+    pub(crate) fn stats(&self) -> SchedStats {
+        let st = lock_tolerant(&self.state);
+        SchedStats { dispatches: st.dispatches, quiescences: st.quiescences }
+    }
+
+    /// Called by each carrier as it comes up.  The last one to register
+    /// seeds the ready heap with every rank (key 0, so rank order) and
+    /// dispatches the first task.
+    pub(crate) fn register(&self, rank: usize) {
+        let mut st = lock_tolerant(&self.state);
+        st.tasks[rank].carrier = Some(std::thread::current());
+        st.registered += 1;
+        if st.registered == self.n_ranks {
+            for r in 0..self.n_ranks {
+                st.tasks[r].status = Status::Ready;
+                st.ready.push(Reverse((0, r)));
+            }
+            self.advance(&mut st);
+        }
+    }
+
+    /// Park until the scheduler marks this task `Running`.  Unpark
+    /// tokens make the set-status-then-unpark handoff race-free, and
+    /// spurious wakeups just re-check.
+    pub(crate) fn park_until_running(&self, rank: usize) {
+        loop {
+            if lock_tolerant(&self.state).tasks[rank].status == Status::Running {
+                return;
+            }
+            std::thread::park();
+        }
+    }
+
+    /// The rank body returned (or panicked): retire the task and hand
+    /// the baton to whoever is next.
+    pub(crate) fn finish(&self, rank: usize) {
+        let mut st = lock_tolerant(&self.state);
+        st.tasks[rank].status = Status::Done;
+        st.tasks[rank].carrier = None;
+        st.tasks[rank].wait = None;
+        self.advance(&mut st);
+    }
+
+    /// Dispatch the next ready task, resolving quiescence as needed.
+    /// Callers must have no task `Running` (the caller either just
+    /// blocked or just finished).
+    fn advance(&self, st: &mut CoreState) {
+        loop {
+            if let Some(Reverse((_, r))) = st.ready.pop() {
+                if st.tasks[r].status != Status::Ready {
+                    continue; // stale entry; the task moved on already
+                }
+                st.tasks[r].status = Status::Running;
+                st.dispatches += 1;
+                if let Some(c) = &st.tasks[r].carrier {
+                    c.unpark();
+                }
+                return;
+            }
+            if !st.tasks.iter().any(|t| t.status == Status::Blocked) {
+                return; // all done (or still registering): nothing to run
+            }
+            st.quiescences += 1;
+            Self::resolve_quiescence(st);
+        }
+    }
+
+    /// Ready heap empty, at least one task blocked: decide how the wait
+    /// set unwinds.  Always readies at least one task.
+    fn resolve_quiescence(st: &mut CoreState) {
+        // The p2p deadlock diagnostic, same shape as the thread
+        // backend's `blocked_ranks()` snapshot: every rank blocked in a
+        // point-to-point receive.
+        let p2p: Vec<BlockedRank> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, t)| match (t.status, t.wait) {
+                (Status::Blocked, Some(Wait::Recv { src, tag, .. })) => {
+                    Some(BlockedRank { rank, src, tag })
+                }
+                _ => None,
+            })
+            .collect();
+        // 1. A fault-armed receive: the lowest-clock waiter times out.
+        let choice = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.status == Status::Blocked
+                    && matches!(t.wait, Some(Wait::Recv { armed: true, .. }))
+            })
+            .min_by_key(|(r, t)| (t.key, *r))
+            .map(|(r, _)| r);
+        if let Some(r) = choice {
+            let blocked = p2p.iter().filter(|b| b.rank != r).cloned().collect();
+            st.tasks[r].verdict = Some(Verdict::P2pTimeout { blocked });
+            Self::make_ready(st, r);
+            return;
+        }
+        // 2. A fault-armed collective waiter: poison the round; the
+        // chosen reporter charges, everyone else unwinds on the poison.
+        let choice = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, t)| match (t.status, t.wait) {
+                (Status::Blocked, Some(Wait::Coll { ticket, armed: true })) => {
+                    Some((r, t.key, ticket))
+                }
+                _ => None,
+            })
+            .min_by_key(|&(r, key, _)| (key, r));
+        if let Some((r, _, ticket)) = choice {
+            let err = CommError::CollectiveTimeout { rank: r, ticket, blocked: p2p };
+            st.coll.poison = Some(err.clone());
+            st.tasks[r].verdict = Some(Verdict::CollTimeout(err));
+            Self::wake_collective_waiters(st);
+            return;
+        }
+        // 3. True deadlock: no fault anywhere could explain the wait
+        // set.  Hand every blocked task the full wait graph.
+        let waiting: Vec<WaitEdge> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, t)| match (t.status, t.wait) {
+                (Status::Blocked, Some(Wait::Recv { src, tag, .. })) => {
+                    Some(WaitEdge { rank, on: WaitOn::Recv { src, tag } })
+                }
+                (Status::Blocked, Some(Wait::Coll { ticket, .. })) => {
+                    Some(WaitEdge { rank, on: WaitOn::Collective { ticket } })
+                }
+                _ => None,
+            })
+            .collect();
+        // Sticky-poison the round too, so collectives after the unwind
+        // fail fast instead of re-deadlocking.
+        if let Some(e) = waiting.iter().find(|e| matches!(e.on, WaitOn::Collective { .. })) {
+            st.coll.poison = Some(CommError::Deadlock { rank: e.rank, waiting: waiting.clone() });
+        }
+        for r in 0..st.tasks.len() {
+            if st.tasks[r].status == Status::Blocked {
+                st.tasks[r].verdict = Some(Verdict::Deadlock { waiting: waiting.clone() });
+                Self::make_ready(st, r);
+            }
+        }
+    }
+
+    fn make_ready(st: &mut CoreState, r: usize) {
+        if st.tasks[r].status == Status::Blocked {
+            st.tasks[r].status = Status::Ready;
+            let key = st.tasks[r].key;
+            st.ready.push(Reverse((key, r)));
+        }
+    }
+
+    fn wake_collective_waiters(st: &mut CoreState) {
+        for r in 0..st.tasks.len() {
+            if st.tasks[r].status == Status::Blocked
+                && matches!(st.tasks[r].wait, Some(Wait::Coll { .. }))
+            {
+                Self::make_ready(st, r);
+            }
+        }
+    }
+
+    /// Block the calling task on `wait`, hand the baton onward, and
+    /// park until re-dispatched.  Returns the re-acquired state lock
+    /// plus the verdict, if the scheduler woke us to deliver one.
+    fn sched_wait<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, CoreState>,
+        rank: usize,
+        wait: Wait,
+        key: u64,
+    ) -> (MutexGuard<'a, CoreState>, Option<Verdict>) {
+        st.tasks[rank].status = Status::Blocked;
+        st.tasks[rank].wait = Some(wait);
+        st.tasks[rank].key = key;
+        self.advance(&mut st);
+        drop(st);
+        self.park_until_running(rank);
+        let mut st = lock_tolerant(&self.state);
+        st.tasks[rank].wait = None;
+        let verdict = st.tasks[rank].verdict.take();
+        (st, verdict)
+    }
+
+    /// Deliver a message; wakes the destination if it is blocked on
+    /// this source.  The sender keeps the baton (sends are buffered and
+    /// non-blocking, exactly like the thread backend).
+    pub(crate) fn post(&self, src: usize, dst: usize, msg: Message) {
+        let mut st = lock_tolerant(&self.state);
+        st.mail[dst][src].push_back(msg);
+        if st.tasks[dst].status == Status::Blocked {
+            if let Some(Wait::Recv { src: waiting_on, .. }) = st.tasks[dst].wait {
+                if waiting_on == src {
+                    Self::make_ready(&mut st, dst);
+                }
+            }
+        }
+    }
+
+    /// Pull the next message off the `src → rank` queue, blocking (in
+    /// virtual time) until one is posted.  `armed` marks the wait as
+    /// carrying an injector deadline; `key` is the caller's lane-0
+    /// clock, the scheduling priority while blocked.
+    pub(crate) fn recv_msg(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: u32,
+        armed: bool,
+        key: u64,
+    ) -> Result<Message, CommError> {
+        let mut st = lock_tolerant(&self.state);
+        loop {
+            if let Some(msg) = st.mail[rank][src].pop_front() {
+                return Ok(msg);
+            }
+            let (guard, verdict) = self.sched_wait(st, rank, Wait::Recv { src, tag, armed }, key);
+            st = guard;
+            match verdict {
+                None => {} // woken by a post: re-check the queue
+                Some(Verdict::P2pTimeout { blocked }) => {
+                    return Err(CommError::Timeout { rank, src, tag, blocked });
+                }
+                Some(Verdict::Deadlock { waiting }) => {
+                    return Err(CommError::Deadlock { rank, waiting });
+                }
+                Some(Verdict::CollTimeout(_)) => {
+                    unreachable!("collective verdict delivered to a p2p wait")
+                }
+            }
+        }
+    }
+
+    /// The event-core collective: same round state machine as the
+    /// thread backend (`CollRound`, lockstep tickets, rank-ordered
+    /// reduction via [`finish_round`], sticky poison) with scheduler
+    /// waits in place of condvar waits.  Returns the payload and the
+    /// synchronized clocks; the caller applies the cost epilogue.
+    #[allow(clippy::too_many_arguments)] // mirrors the thread backend's collective signature
+    pub(crate) fn collective(
+        &self,
+        rank: usize,
+        kind: CollKind,
+        data: Vec<f64>,
+        ticket: CollTicket,
+        clocks: Vec<SimDuration>,
+        armed: bool,
+        key: u64,
+    ) -> Result<(Arc<Vec<f64>>, Vec<SimDuration>), CollFailure> {
+        let n = self.n_ranks;
+        let mut st = lock_tolerant(&self.state);
+        // Wait for the previous round to fully drain before depositing.
+        loop {
+            if let Some(p) = st.coll.poison.clone() {
+                return Err(CollFailure::plain(p));
+            }
+            if st.coll.result.is_none() {
+                break;
+            }
+            let (guard, verdict) = self.sched_wait(st, rank, Wait::Coll { ticket, armed }, key);
+            st = guard;
+            if let Some(v) = verdict {
+                return Err(Self::coll_verdict(rank, v));
+            }
+        }
+        // Lockstep verification: first depositor stamps the round's
+        // ticket, everyone else must present the same one.
+        if let Err(e) = stamp_ticket(&mut st.coll, rank, ticket) {
+            Self::wake_collective_waiters(&mut st);
+            return Err(CollFailure::plain(e));
+        }
+        assert!(
+            st.coll.contrib[rank].is_none(),
+            "rank {rank} re-entered a collective before the group completed one — \
+             collective call order must match across ranks"
+        );
+        st.coll.contrib[rank] = Some((data, clocks));
+        st.coll.deposited += 1;
+        if st.coll.deposited == n {
+            // Last to arrive computes the result, rank-ordered.
+            let contribs: Vec<(Vec<f64>, Vec<SimDuration>)> =
+                st.coll.contrib.iter_mut().filter_map(Option::take).collect();
+            let (payload, sync) = finish_round(contribs, kind);
+            st.coll.result = Some((Arc::new(payload), sync));
+            st.coll.deposited = 0;
+            st.coll.ticket = None;
+            Self::wake_collective_waiters(&mut st);
+        }
+        let (payload, sync) = loop {
+            if let Some(p) = st.coll.poison.clone() {
+                return Err(CollFailure::plain(p));
+            }
+            if let Some((p, s)) = st.coll.result.as_ref() {
+                break (Arc::clone(p), s.clone());
+            }
+            let (guard, verdict) = self.sched_wait(st, rank, Wait::Coll { ticket, armed }, key);
+            st = guard;
+            if let Some(v) = verdict {
+                return Err(Self::coll_verdict(rank, v));
+            }
+        };
+        st.coll.left += 1;
+        if st.coll.left == n {
+            st.coll.left = 0;
+            st.coll.result = None;
+            // Wake ranks blocked at the entry of the *next* round.
+            Self::wake_collective_waiters(&mut st);
+        }
+        Ok((payload, sync))
+    }
+
+    fn coll_verdict(rank: usize, v: Verdict) -> CollFailure {
+        match v {
+            Verdict::CollTimeout(err) => CollFailure { err, charge_timeout: true },
+            Verdict::Deadlock { waiting } => {
+                CollFailure::plain(CommError::Deadlock { rank, waiting })
+            }
+            Verdict::P2pTimeout { .. } => {
+                unreachable!("p2p verdict delivered to a collective wait")
+            }
+        }
+    }
+
+    /// Pool bookkeeping, same contract as the thread backend's
+    /// `Shared::take_buf` / `Shared::return_buf`.
+    pub(crate) fn take_buf(&self, len: usize) -> Vec<f64> {
+        let mut st = lock_tolerant(&self.state);
+        if let Some(i) = st.pool.iter().position(|b| b.capacity() >= len) {
+            return st.pool.swap_remove(i);
+        }
+        drop(st);
+        crate::comm::count_fresh_alloc();
+        Vec::with_capacity(len)
+    }
+
+    pub(crate) fn return_buf(&self, mut buf: Vec<f64>) {
+        buf.clear();
+        let mut st = lock_tolerant(&self.state);
+        if st.pool.len() < crate::comm::POOL_CAP {
+            st.pool.push(buf);
+        }
+    }
+}

@@ -362,9 +362,54 @@ impl V2dSim {
         comm: &Comm,
         sink: &mut MultiCostSink,
     ) -> Result<StepStats, StepError> {
-        // Arm this step's scheduled faults and apply the ones aimed at
-        // the driver itself: a rank stall charges virtual time, a field
-        // fault poisons one cell of the radiation field.
+        self.arm_step_faults(sink);
+        let istep = self.istep;
+        let mut cx = ExecCtx::with_parts(
+            sink,
+            Some(&mut self.profiler),
+            self.faults.as_mut(),
+            self.tracer.as_mut().map(|t| t as &mut dyn TraceSink),
+        );
+        cx.trace_enter("step", &[("istep", AttrVal::U64(istep as u64))]);
+        // The rank step function, decomposed: the borrow split below
+        // hands the phase struct the simulation state disjoint from the
+        // observability borrows riding in `cx`, and each phase runs from
+        // one communication yield point to the next (the same seams the
+        // event-driven universe schedules on).
+        let mut phases = StepPhases {
+            cfg: &self.cfg,
+            cart: &self.cart,
+            grid: &self.grid,
+            erad: &mut self.erad,
+            source: &mut self.source,
+            hydro: self.hydro.as_mut(),
+            temp: self.temp.as_mut(),
+            wks: &mut self.wks,
+            recovery: self.recovery,
+            istep,
+        };
+        let dt = phases.cfg.dt;
+        let hydro_dt = phases.hydro_phase(comm, &mut cx, dt);
+        phases.matter_emission_phase(&mut cx);
+        let (rad, rad_substeps, recoveries) = match phases.radiation_phase(comm, &mut cx, dt) {
+            Ok(out) => out,
+            Err(e) => {
+                cx.trace_exit("step");
+                return Err(e);
+            }
+        };
+        phases.matter_update_phase(&mut cx, dt);
+        cx.trace_exit("step");
+
+        self.time += dt;
+        self.istep += 1;
+        Ok(StepStats { rad, hydro_dt, rad_substeps, recoveries })
+    }
+
+    /// Arm this step's scheduled faults and apply the ones aimed at the
+    /// driver itself: a rank stall charges virtual time, a field fault
+    /// poisons one cell of the radiation field.
+    fn arm_step_faults(&mut self, sink: &mut MultiCostSink) {
         if let Some(inj) = &mut self.faults {
             inj.begin_step(self.istep as u64);
             if let Some(secs) = inj.poll_stall() {
@@ -391,196 +436,6 @@ impl V2dSim {
                 }
             }
         }
-        let istep = self.istep;
-        let mut cx = ExecCtx::with_parts(
-            sink,
-            Some(&mut self.profiler),
-            self.faults.as_mut(),
-            self.tracer.as_mut().map(|t| t as &mut dyn TraceSink),
-        );
-        cx.trace_enter("step", &[("istep", AttrVal::U64(istep as u64))]);
-        let dt = self.cfg.dt;
-        let mut hydro_dt = None;
-        if let Some((stepper, state)) = &mut self.hydro {
-            cx.enter("hydro");
-            // Subcycle the explicit hydro to its CFL limit within dt.
-            let mut advanced = 0.0;
-            while advanced < dt {
-                let hdt = stepper.max_dt(comm, &mut cx, &self.grid, state).min(dt - advanced);
-                stepper.step(comm, &mut cx, &self.cart, &self.grid, state, hdt);
-                advanced += hdt;
-            }
-            hydro_dt = Some(advanced);
-            cx.exit("hydro");
-        }
-
-        // Matter emission enters the radiation solve as its source term,
-        // evaluated at the beginning-of-step temperature (operator split).
-        if let (Some(cp), Some(temp)) = (&self.cfg.coupling, &self.temp) {
-            cx.enter("matter_emission");
-            let opacity = self.cfg.opacity;
-            let at = move |i1: usize, i2: usize| {
-                let _ = (i1, i2);
-                opacity.eval(1.0, 1.0)
-            };
-            cp.emission_source(&mut cx, self.cfg.c_light, &at, temp, &mut self.source);
-            cx.exit("matter_emission");
-        }
-
-        let rad_stepper = RadStepper {
-            limiter: self.cfg.limiter,
-            opacity: self.cfg.opacity,
-            c_light: self.cfg.c_light,
-            precond: self.cfg.precond,
-            solve: self.cfg.solve,
-        };
-        cx.enter("radiation");
-        // Hydro provides the matter background when enabled.  The
-        // temperature proxy fields are derived on the fly.
-        let matter_fields = self.hydro.as_ref().map(|(stepper, state)| {
-            let (n1, n2) = (self.grid.n1, self.grid.n2);
-            let mut rho = crate::field::Field2::new(n1, n2);
-            let mut temp = crate::field::Field2::new(n1, n2);
-            for i2 in 0..n2 {
-                for i1 in 0..n1 {
-                    let w = stepper.eos.to_prim(state.cons(i1 as isize, i2 as isize));
-                    rho.set(i1 as isize, i2 as isize, w.rho);
-                    temp.set(i1 as isize, i2 as isize, stepper.eos.temperature(&w));
-                }
-            }
-            (rho, temp)
-        });
-        let matter = match &matter_fields {
-            Some((rho, temp)) => MatterState::Fields { rho, temp },
-            None => MatterState::Uniform,
-        };
-
-        // The recovery ladder.  The fast path is one sub-step covering
-        // all of dt; a failed attempt leaves `erad` untouched (the
-        // stepper only commits converged stages), so the driver can
-        // scrub poisoned data or halve the sub-timestep and try again.
-        // A solve failure is collective (convergence comes from ganged
-        // reductions, injected breakdowns fire on every rank), and the
-        // scrub-vs-halve decision is reduced globally, so all ranks
-        // stay in lockstep through the ladder.
-        let mut remaining = dt;
-        let mut sub_dt = dt;
-        let mut halvings = 0u32;
-        let mut recoveries = 0u32;
-        let mut rad_substeps = 0usize;
-        let rad = loop {
-            let take = sub_dt.min(remaining);
-            match rad_stepper.try_step(
-                comm,
-                &mut cx,
-                &self.cart,
-                &self.grid,
-                &matter,
-                take,
-                &mut self.erad,
-                &self.source,
-                &mut self.wks,
-            ) {
-                Ok(st) => {
-                    remaining -= take;
-                    rad_substeps += 1;
-                    if remaining <= 0.0 {
-                        break st;
-                    }
-                }
-                Err(error) => {
-                    // Rung 0: a communicator fault is not recoverable —
-                    // the ladder's own scrub/halve decision is a
-                    // collective, and the group is already poisoned or
-                    // short a member.  Surface the typed verdict now.
-                    if let Some(ce) = error.error.comm.clone() {
-                        cx.exit("radiation");
-                        cx.trace_exit("step");
-                        return Err(StepError::Comm { istep: self.istep, error: ce });
-                    }
-                    // Rung 1: scrub non-finite cells (data poisoning
-                    // shows up as a NonFinite breakdown) and retry at
-                    // the same sub-timestep.  The decision is reduced
-                    // globally so an injection on one rank walks every
-                    // rank down the same rung.
-                    let scrubbed = scrub_nonfinite(&mut self.erad);
-                    let global_scrubbed = match comm.try_allreduce_scalar(
-                        &mut cx,
-                        coll_site::SCRUB_DECISION,
-                        ReduceOp::Sum,
-                        scrubbed as f64,
-                    ) {
-                        Ok(g) => g,
-                        Err(ce) => {
-                            cx.exit("radiation");
-                            cx.trace_exit("step");
-                            return Err(StepError::Comm { istep: self.istep, error: ce });
-                        }
-                    };
-                    if global_scrubbed > 0.0 {
-                        recoveries += 1;
-                        cx.trace_instant(
-                            "recovery",
-                            &[
-                                ("action", AttrVal::Str("scrub")),
-                                ("cells_global", AttrVal::F64(global_scrubbed)),
-                                ("dt", AttrVal::F64(take)),
-                            ],
-                        );
-                        if let Some(inj) = cx.faults() {
-                            inj.note(format!(
-                                "recover: scrubbed {scrubbed} non-finite cells ({} global), retry at dt {take:.3e}",
-                                global_scrubbed as usize
-                            ));
-                        }
-                        continue;
-                    }
-                    // Rung 2: halve the sub-timestep (bounded).
-                    if halvings < self.recovery.max_dt_halvings {
-                        halvings += 1;
-                        recoveries += 1;
-                        sub_dt *= 0.5;
-                        cx.trace_instant(
-                            "recovery",
-                            &[
-                                ("action", AttrVal::Str("dt_halve")),
-                                ("dt", AttrVal::F64(sub_dt)),
-                                ("halvings", AttrVal::U64(halvings as u64)),
-                            ],
-                        );
-                        if let Some(inj) = cx.faults() {
-                            inj.note(format!(
-                                "recover: halve dt to {sub_dt:.3e} ({halvings}/{})",
-                                self.recovery.max_dt_halvings
-                            ));
-                        }
-                        continue;
-                    }
-                    cx.exit("radiation");
-                    cx.trace_exit("step");
-                    return Err(StepError::Radiation { istep: self.istep, dt: take, error });
-                }
-            }
-        };
-        cx.exit("radiation");
-
-        // Close the exchange: implicit gas-temperature update against
-        // the freshly solved radiation field.
-        if let (Some(cp), Some(temp)) = (&self.cfg.coupling, &mut self.temp) {
-            cx.enter("matter_update");
-            let opacity = self.cfg.opacity;
-            let at = move |i1: usize, i2: usize| {
-                let _ = (i1, i2);
-                opacity.eval(1.0, 1.0)
-            };
-            cp.update_temperature(&mut cx, self.cfg.c_light, dt, &at, &self.erad, temp);
-            cx.exit("matter_update");
-        }
-        cx.trace_exit("step");
-
-        self.time += dt;
-        self.istep += 1;
-        Ok(StepStats { rad, hydro_dt, rad_substeps, recoveries })
     }
 
     /// Run `n_steps` (from the config), returning aggregates.
@@ -711,6 +566,224 @@ impl V2dSim {
     /// ParaProf-style routine report for lane 0.
     pub fn profiler_report(&self, sink: &MultiCostSink) -> String {
         self.profiler.report(&sink.lanes[0])
+    }
+}
+
+/// One step of the rank step function, split into its named phases.
+///
+/// Each phase runs the driver from one blocking communication site to
+/// the next — the halo exchanges and CFL/convergence reductions inside
+/// it are exactly the yield points where the event-driven universe
+/// suspends the rank.  The struct borrows the simulation state
+/// disjointly from the observability state (`Profiler`, `FaultInjector`,
+/// `Tracer`) that [`ExecCtx`] carries, so phases can charge clocks and
+/// emit trace spans while mutating fields.
+struct StepPhases<'a> {
+    cfg: &'a V2dConfig,
+    cart: &'a CartComm,
+    grid: &'a LocalGrid,
+    erad: &'a mut TileVec,
+    source: &'a mut TileVec,
+    hydro: Option<&'a mut (HydroStepper, HydroState)>,
+    temp: Option<&'a mut Field2>,
+    wks: &'a mut RadWorkspace,
+    recovery: RecoveryPolicy,
+    istep: usize,
+}
+
+impl StepPhases<'_> {
+    /// Subcycle the explicit hydro to its CFL limit within `dt`.
+    /// Returns the advanced hydro time when hydro is enabled.
+    fn hydro_phase(&mut self, comm: &Comm, cx: &mut ExecCtx<'_>, dt: f64) -> Option<f64> {
+        let (stepper, state) = match &mut self.hydro {
+            Some(h) => &mut **h,
+            None => return None,
+        };
+        cx.enter("hydro");
+        let mut advanced = 0.0;
+        while advanced < dt {
+            let hdt = stepper.max_dt(comm, cx, self.grid, state).min(dt - advanced);
+            stepper.step(comm, cx, self.cart, self.grid, state, hdt);
+            advanced += hdt;
+        }
+        cx.exit("hydro");
+        Some(advanced)
+    }
+
+    /// Matter emission enters the radiation solve as its source term,
+    /// evaluated at the beginning-of-step temperature (operator split).
+    fn matter_emission_phase(&mut self, cx: &mut ExecCtx<'_>) {
+        if let (Some(cp), Some(temp)) = (&self.cfg.coupling, self.temp.as_deref()) {
+            cx.enter("matter_emission");
+            let opacity = self.cfg.opacity;
+            let at = move |i1: usize, i2: usize| {
+                let _ = (i1, i2);
+                opacity.eval(1.0, 1.0)
+            };
+            cp.emission_source(cx, self.cfg.c_light, &at, temp, self.source);
+            cx.exit("matter_emission");
+        }
+    }
+
+    /// The implicit radiation update behind its recovery ladder.  The
+    /// fast path is one sub-step covering all of `dt`; a failed attempt
+    /// leaves `erad` untouched (the stepper only commits converged
+    /// stages), so the driver can scrub poisoned data or halve the
+    /// sub-timestep and try again.  A solve failure is collective
+    /// (convergence comes from ganged reductions, injected breakdowns
+    /// fire on every rank), and the scrub-vs-halve decision is reduced
+    /// globally, so all ranks stay in lockstep through the ladder.
+    ///
+    /// Returns `(stats, substeps, recoveries)` on success; the caller
+    /// still owns the enclosing `step` trace span on the error path.
+    fn radiation_phase(
+        &mut self,
+        comm: &Comm,
+        cx: &mut ExecCtx<'_>,
+        dt: f64,
+    ) -> Result<(RadStepStats, usize, u32), StepError> {
+        let rad_stepper = RadStepper {
+            limiter: self.cfg.limiter,
+            opacity: self.cfg.opacity,
+            c_light: self.cfg.c_light,
+            precond: self.cfg.precond,
+            solve: self.cfg.solve,
+        };
+        cx.enter("radiation");
+        // Hydro provides the matter background when enabled.  The
+        // temperature proxy fields are derived on the fly.
+        let matter_fields = self.hydro.as_ref().map(|h| {
+            let (stepper, state) = &**h;
+            let (n1, n2) = (self.grid.n1, self.grid.n2);
+            let mut rho = crate::field::Field2::new(n1, n2);
+            let mut temp = crate::field::Field2::new(n1, n2);
+            for i2 in 0..n2 {
+                for i1 in 0..n1 {
+                    let w = stepper.eos.to_prim(state.cons(i1 as isize, i2 as isize));
+                    rho.set(i1 as isize, i2 as isize, w.rho);
+                    temp.set(i1 as isize, i2 as isize, stepper.eos.temperature(&w));
+                }
+            }
+            (rho, temp)
+        });
+        let matter = match &matter_fields {
+            Some((rho, temp)) => MatterState::Fields { rho, temp },
+            None => MatterState::Uniform,
+        };
+
+        let mut remaining = dt;
+        let mut sub_dt = dt;
+        let mut halvings = 0u32;
+        let mut recoveries = 0u32;
+        let mut rad_substeps = 0usize;
+        let rad = loop {
+            let take = sub_dt.min(remaining);
+            match rad_stepper.try_step(
+                comm,
+                cx,
+                self.cart,
+                self.grid,
+                &matter,
+                take,
+                self.erad,
+                self.source,
+                self.wks,
+            ) {
+                Ok(st) => {
+                    remaining -= take;
+                    rad_substeps += 1;
+                    if remaining <= 0.0 {
+                        break st;
+                    }
+                }
+                Err(error) => {
+                    // Rung 0: a communicator fault is not recoverable —
+                    // the ladder's own scrub/halve decision is a
+                    // collective, and the group is already poisoned or
+                    // short a member.  Surface the typed verdict now.
+                    if let Some(ce) = error.error.comm.clone() {
+                        cx.exit("radiation");
+                        return Err(StepError::Comm { istep: self.istep, error: ce });
+                    }
+                    // Rung 1: scrub non-finite cells (data poisoning
+                    // shows up as a NonFinite breakdown) and retry at
+                    // the same sub-timestep.  The decision is reduced
+                    // globally so an injection on one rank walks every
+                    // rank down the same rung.
+                    let scrubbed = scrub_nonfinite(self.erad);
+                    let global_scrubbed = match comm.try_allreduce_scalar(
+                        cx,
+                        coll_site::SCRUB_DECISION,
+                        ReduceOp::Sum,
+                        scrubbed as f64,
+                    ) {
+                        Ok(g) => g,
+                        Err(ce) => {
+                            cx.exit("radiation");
+                            return Err(StepError::Comm { istep: self.istep, error: ce });
+                        }
+                    };
+                    if global_scrubbed > 0.0 {
+                        recoveries += 1;
+                        cx.trace_instant(
+                            "recovery",
+                            &[
+                                ("action", AttrVal::Str("scrub")),
+                                ("cells_global", AttrVal::F64(global_scrubbed)),
+                                ("dt", AttrVal::F64(take)),
+                            ],
+                        );
+                        if let Some(inj) = cx.faults() {
+                            inj.note(format!(
+                                "recover: scrubbed {scrubbed} non-finite cells ({} global), retry at dt {take:.3e}",
+                                global_scrubbed as usize
+                            ));
+                        }
+                        continue;
+                    }
+                    // Rung 2: halve the sub-timestep (bounded).
+                    if halvings < self.recovery.max_dt_halvings {
+                        halvings += 1;
+                        recoveries += 1;
+                        sub_dt *= 0.5;
+                        cx.trace_instant(
+                            "recovery",
+                            &[
+                                ("action", AttrVal::Str("dt_halve")),
+                                ("dt", AttrVal::F64(sub_dt)),
+                                ("halvings", AttrVal::U64(halvings as u64)),
+                            ],
+                        );
+                        if let Some(inj) = cx.faults() {
+                            inj.note(format!(
+                                "recover: halve dt to {sub_dt:.3e} ({halvings}/{})",
+                                self.recovery.max_dt_halvings
+                            ));
+                        }
+                        continue;
+                    }
+                    cx.exit("radiation");
+                    return Err(StepError::Radiation { istep: self.istep, dt: take, error });
+                }
+            }
+        };
+        cx.exit("radiation");
+        Ok((rad, rad_substeps, recoveries))
+    }
+
+    /// Close the exchange: implicit gas-temperature update against the
+    /// freshly solved radiation field.
+    fn matter_update_phase(&mut self, cx: &mut ExecCtx<'_>, dt: f64) {
+        if let (Some(cp), Some(temp)) = (&self.cfg.coupling, self.temp.as_deref_mut()) {
+            cx.enter("matter_update");
+            let opacity = self.cfg.opacity;
+            let at = move |i1: usize, i2: usize| {
+                let _ = (i1, i2);
+                opacity.eval(1.0, 1.0)
+            };
+            cp.update_temperature(cx, self.cfg.c_light, dt, &at, self.erad, temp);
+            cx.exit("matter_update");
+        }
     }
 }
 

@@ -85,6 +85,18 @@ impl Metrics {
         }
     }
 
+    /// Fold an execution-engine launch snapshot into the registry under
+    /// the `sched.*` namespace: `dispatches` (rank hand-offs of the
+    /// event-driven scheduler) and `quiescences` (empty-ready-queue
+    /// resolutions: exact timeouts or deadlock verdicts).  Both are
+    /// schedule-deterministic on the event universe, so reports
+    /// carrying them gate bit-for-bit like any modeled quantity; the
+    /// legacy thread universe reports zeros.
+    pub fn record_sched(&mut self, dispatches: u64, quiescences: u64) {
+        self.counter_add("sched.dispatches", dispatches);
+        self.counter_add("sched.quiescences", quiescences);
+    }
+
     /// Look up a metric.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.map.get(name)
@@ -180,6 +192,15 @@ mod tests {
         let j = m.to_json();
         assert_eq!(Metrics::from_json(&j).unwrap(), m);
         assert_eq!(m.counter("solver.iters"), 42);
+    }
+
+    #[test]
+    fn sched_snapshot_lands_in_its_namespace_and_accumulates() {
+        let mut m = Metrics::new();
+        m.record_sched(120, 2);
+        m.record_sched(30, 0);
+        assert_eq!(m.counter("sched.dispatches"), 150);
+        assert_eq!(m.counter("sched.quiescences"), 2);
     }
 
     #[test]

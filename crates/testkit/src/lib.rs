@@ -22,6 +22,8 @@ pub mod fuzz;
 pub mod mini;
 pub mod watchdog;
 
-pub use fuzz::{campaign, check_seed, fuzz_spec};
-pub use mini::{merged_log, run_mini, MiniSpec, RankRun};
+pub use fuzz::{campaign, campaign_on, check_seed, check_seed_on, fuzz_spec, stable, stable_text};
+pub use mini::{
+    merged_log, run_mini, run_mini_observed, run_mini_on, MiniSpec, RankObservation, RankRun,
+};
 pub use watchdog::{run_with_watchdog, Verdict};

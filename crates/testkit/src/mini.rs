@@ -3,11 +3,13 @@
 //! coordinates of a scenario (grid, tiling, physics, schedule) live in
 //! one declarative spec instead of being re-derived per test file.
 
-use v2d_comm::{Comm, Spmd, TileMap};
+use v2d_comm::{Comm, Spmd, TileMap, Universe};
 use v2d_core::problems::GaussianPulse;
 use v2d_core::sim::{V2dConfig, V2dSim};
 use v2d_core::RecoveryPolicy;
-use v2d_machine::{CompilerProfile, FaultInjector, FaultPlan, FaultRecord};
+use v2d_machine::{CompilerProfile, FaultInjector, FaultPlan, FaultRecord, MultiCostSink};
+use v2d_obs::trace::Event;
+use v2d_obs::Tracer;
 
 /// Declarative coordinates of one mini-simulation: grid, rank tiling,
 /// step count, physics flavor, and (optionally) a fault plan and a
@@ -112,34 +114,81 @@ impl RankRun {
     }
 }
 
-/// Run the spec on `spec.ranks()` simulated ranks (one compiler lane,
-/// Cray-opt) and collect per-rank outcomes.  Steps go through
-/// [`V2dSim::try_step`], so an exhausted recovery ladder or a poisoned
-/// communicator lands in [`RankRun::error`] instead of panicking — the
-/// fuzzer's *no-deadlock* property is exactly "this function returns".
-pub fn run_mini(spec: &MiniSpec) -> Vec<RankRun> {
-    let spec = spec.clone();
-    Spmd::new(spec.ranks()).with_profiles(vec![CompilerProfile::cray_opt()]).run(move |ctx| {
-        let mut sim = spec.build(&ctx.comm);
-        let mut recoveries = 0u32;
-        let mut steps_done = 0usize;
-        let mut error = None;
-        for _ in 0..spec.steps {
-            match sim.try_step(&ctx.comm, &mut ctx.sink) {
-                Ok(st) => {
-                    steps_done += 1;
-                    recoveries +=
-                        st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
-                }
-                Err(e) => {
-                    error = Some(e.to_string());
-                    break;
-                }
+/// Everything one rank's mini run exposes for cross-universe
+/// equivalence checks: the [`RankRun`] outcome plus the final per-lane
+/// virtual clocks and the recorded trace (spans and instants in virtual
+/// time).  Both universes must agree on all of it bit-for-bit on
+/// timeout-free schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankObservation {
+    pub run: RankRun,
+    /// Final virtual clock of each cost lane, in cycles.
+    pub clock_cycles: Vec<u64>,
+    /// The rank's trace events (virtual-time spans + instants).
+    pub trace: Vec<Event>,
+}
+
+/// Drive one rank's simulation through the spec's steps, collecting the
+/// outcome.  Steps go through [`V2dSim::try_step`], so an exhausted
+/// recovery ladder or a poisoned communicator lands in
+/// [`RankRun::error`] instead of panicking.
+fn drive(spec: &MiniSpec, sim: &mut V2dSim, comm: &Comm, sink: &mut MultiCostSink) -> RankRun {
+    let mut recoveries = 0u32;
+    let mut steps_done = 0usize;
+    let mut error = None;
+    for _ in 0..spec.steps {
+        match sim.try_step(comm, sink) {
+            Ok(st) => {
+                steps_done += 1;
+                recoveries +=
+                    st.recoveries + st.rad.stages.iter().map(|s| s.recoveries).sum::<u32>();
+            }
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
             }
         }
-        let bits = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
-        RankRun { bits, recoveries, steps_done, error, log: sim.take_fault_log() }
-    })
+    }
+    let bits = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
+    RankRun { bits, recoveries, steps_done, error, log: sim.take_fault_log() }
+}
+
+/// Run the spec on `spec.ranks()` simulated ranks (one compiler lane,
+/// Cray-opt) under the environment-selected [`Universe`] and collect
+/// per-rank outcomes.  The fuzzer's *no-deadlock* property is exactly
+/// "this function returns" — on the event-driven universe a deadlock
+/// would come back as a typed error instead of a hang.
+pub fn run_mini(spec: &MiniSpec) -> Vec<RankRun> {
+    run_mini_on(spec, Universe::from_env())
+}
+
+/// [`run_mini`] pinned to an explicit [`Universe`] — the
+/// backend-equivalence tests run the same spec on both engines.
+pub fn run_mini_on(spec: &MiniSpec, universe: Universe) -> Vec<RankRun> {
+    let spec = spec.clone();
+    Spmd::new(spec.ranks()).with_profiles(vec![CompilerProfile::cray_opt()]).universe(universe).run(
+        move |ctx| {
+            let mut sim = spec.build(&ctx.comm);
+            drive(&spec, &mut sim, &ctx.comm, &mut ctx.sink)
+        },
+    )
+}
+
+/// [`run_mini_on`] with a tracer attached: returns each rank's outcome
+/// together with its final virtual clocks and full trace, the raw
+/// material for bit-for-bit cross-universe comparison.
+pub fn run_mini_observed(spec: &MiniSpec, universe: Universe) -> Vec<RankObservation> {
+    let spec = spec.clone();
+    Spmd::new(spec.ranks()).with_profiles(vec![CompilerProfile::cray_opt()]).universe(universe).run(
+        move |ctx| {
+            let mut sim = spec.build(&ctx.comm);
+            sim.set_tracer(Tracer::new(ctx.rank(), &ctx.sink));
+            let run = drive(&spec, &mut sim, &ctx.comm, &mut ctx.sink);
+            let clock_cycles = ctx.sink.lanes.iter().map(|l| l.clock.now().cycles()).collect();
+            let trace = sim.take_tracer().map(|t| t.events().to_vec()).unwrap_or_default();
+            RankObservation { run, clock_cycles, trace }
+        },
+    )
 }
 
 /// Merge every rank's fault log into one deterministic, sorted block of

@@ -1,0 +1,95 @@
+//! Differential tests pinning the two execution universes to each
+//! other: the event-driven scheduler must reproduce the legacy
+//! thread-per-rank engine bit-for-bit — final field bits, virtual
+//! clocks, recovery logs, and trace spans — across the fuzzer's smoke
+//! band, and its exact quiescence detection must turn a deadlocked
+//! schedule into a typed wait-graph error with no watchdog in sight.
+
+use v2d_comm::{CommError, Spmd, Universe, WaitOn};
+use v2d_machine::CompilerProfile;
+use v2d_testkit::{fuzz_spec, run_mini_observed, stable, MiniSpec, RankObservation};
+
+/// Did any rank in the launch hit a wall-clock/virtual timeout?  Which
+/// waiter a timeout elects as its reporter (and therefore which rank's
+/// clock absorbs the timeout charge) is engine policy — the thread
+/// engine races wall-clock deadlines, the event engine picks the
+/// earliest `(clock, rank)` waiter — so clocks and traces are only
+/// comparable on timeout-free schedules.
+fn saw_timeout(outs: &[RankObservation]) -> bool {
+    outs.iter().any(|o| {
+        o.run.error.as_deref().is_some_and(|e| e.contains("timed out"))
+            || o.run.log.iter().any(|r| r.what.contains("timed out"))
+    })
+}
+
+/// The fuzzer's always-on smoke band, replayed on both universes.  The
+/// outcome (fields, steps, recoveries, typed errors, fault logs) must
+/// match seed-for-seed; on timeout-free schedules the per-lane virtual
+/// clocks and the full trace must match bit-for-bit too, because every
+/// cycle charged to a clock flows through backend-shared cost code.
+#[test]
+fn fuzz_smoke_band_is_bit_identical_across_universes() {
+    for seed in 0..24u64 {
+        let spec = fuzz_spec(seed);
+        let events = run_mini_observed(&spec, Universe::EventDriven);
+        let threads = run_mini_observed(&spec, Universe::Threads);
+        assert_eq!(events.len(), threads.len(), "seed {seed}: rank count [{spec:?}]");
+        let timeouts = saw_timeout(&events) || saw_timeout(&threads);
+        for (rank, (e, t)) in events.iter().zip(&threads).enumerate() {
+            assert_eq!(
+                stable(&e.run),
+                stable(&t.run),
+                "seed {seed}: rank {rank} outcome diverges across universes [{spec:?}]"
+            );
+            if !timeouts {
+                assert_eq!(
+                    e.clock_cycles, t.clock_cycles,
+                    "seed {seed}: rank {rank} virtual clocks diverge across universes [{spec:?}]"
+                );
+                assert_eq!(
+                    e.trace, t.trace,
+                    "seed {seed}: rank {rank} trace diverges across universes [{spec:?}]"
+                );
+            }
+        }
+    }
+}
+
+/// The ROADMAP deadlock-regression coordinates (24×12 grid, 2×1
+/// tiling), driven into an actual cyclic wait on the event universe:
+/// the scheduler proves quiescence and hands every rank the complete
+/// wait graph as a typed error.  No watchdog wraps this test — exact
+/// deadlock detection *is* the deadline.
+#[test]
+fn exact_deadlock_reports_the_wait_graph_at_regression_coordinates() {
+    let spec = MiniSpec::nonlinear(24, 12, 4).tiled(2, 1);
+    const TAG: u32 = 0x0dead;
+    let outs = Spmd::new(spec.ranks())
+        .with_profiles(vec![CompilerProfile::cray_opt()])
+        .universe(Universe::EventDriven)
+        .run(|ctx| {
+            // Both ranks wait on a message the partner never sends: the
+            // cross-recv cycle the historic FieldNan deadlock reduced to.
+            let partner = 1 - ctx.rank();
+            ctx.comm.recv(&mut ctx.sink, partner, TAG).expect_err("schedule must deadlock")
+        });
+    assert_eq!(outs.len(), 2);
+    for (rank, err) in outs.iter().enumerate() {
+        match err {
+            CommError::Deadlock { rank: r, waiting } => {
+                assert_eq!(*r, rank, "the error names the rank it unblocked");
+                assert_eq!(waiting.len(), 2, "both ranks appear in the wait graph");
+                for edge in waiting {
+                    match edge.on {
+                        WaitOn::Recv { src, tag } => {
+                            assert_eq!(src, 1 - edge.rank, "each edge points at the partner");
+                            assert_eq!(tag, TAG);
+                        }
+                        ref other => panic!("unexpected wait edge kind: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("expected CommError::Deadlock, got: {other}"),
+        }
+    }
+}

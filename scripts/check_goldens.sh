@@ -58,9 +58,10 @@ check_txt ablation_solvers.txt   ablation_solvers
 check_txt ablation_faults.txt    ablation_faults
 if [[ "${SKIP_SLOW:-0}" != 1 ]]; then
     check_txt table1_output.txt    table1
+    check_txt table1_full.txt      table1_full
     check_txt breakdown_output.txt breakdown
 else
-    echo "== table1_output.txt / breakdown_output.txt skipped (SKIP_SLOW=1)"
+    echo "== table1_output.txt / table1_full.txt / breakdown_output.txt skipped (SKIP_SLOW=1)"
 fi
 
 # The bitmap golden is noise-free: regenerate in place and let git judge.
