@@ -7,19 +7,28 @@
 //! * **after**  — the PR 2 path: cached pre-decoded programs + parallel
 //!   cell fan-out.
 //!
-//! Both paths must produce *bit-identical* artifacts (asserted here —
-//! this harness doubles as an end-to-end equivalence check), so the
-//! speedup is pure overhead removal, not a model change.  Results are
-//! written as JSON (default `bench/BENCH_PR2.json`), establishing the
-//! repo's perf trajectory.
+//! A third section times the hot `run_decoded` kernels themselves —
+//! the five SVE routines at VL 512 and 2048 on a large problem — with
+//! fusion off (the legacy match-per-op decoded loop, *before*) and on
+//! (the superinstruction-fused threaded-code engine, *after*).  State
+//! is cloned per repetition outside the timed region, so the numbers
+//! are the bare executor.
+//!
+//! Every before/after pair must produce *bit-identical* artifacts
+//! (asserted here — this harness doubles as an end-to-end equivalence
+//! check), so the speedups are pure overhead removal, not a model
+//! change.  Results are written as JSON (default
+//! `bench/BENCH_PR7.json`), extending the repo's perf trajectory.
 //!
 //! Usage: `bench_wallclock [--quick] [--out PATH]`
-//! `--quick` runs one round instead of best-of-3 (used by the CI smoke
-//! step, which asserts only that the harness runs).
+//! `--quick` runs one round with few repetitions and skips the
+//! aggregate-speedup assertion (used by the CI smoke step, which
+//! asserts only that the harness runs and stays bit-identical).
 
 use std::time::Instant;
 use v2d_bench::{fig1, table2};
-use v2d_sve::kernels::ExecMode;
+use v2d_sve::kernels::{decoded_routine, prepare_routine, ExecMode, Routine, Variant};
+use v2d_sve::{DecodedProgram, ExecConfig, Executor};
 
 struct Timed<T> {
     secs: f64,
@@ -44,18 +53,99 @@ fn fig1_serial() -> fig1::Artifacts {
     fig1::Artifacts { stats: fig1::stats(), ascii: fig1::ascii(100), pbm: fig1::pbm() }
 }
 
+/// One hot-kernel timing row.
+struct HotRow {
+    routine: &'static str,
+    vl: u32,
+    before_s: f64,
+    after_s: f64,
+}
+
+/// Problem size of the hot-kernel section: large enough that the
+/// dispatch loop dominates, small enough that state clones stay cheap.
+const HOT_N: usize = 4000;
+
+/// Best-of-`rounds` total of `reps` bare `run_decoded` calls; the state
+/// clone per repetition happens outside the timed region.
+fn time_hot(
+    rounds: usize,
+    reps: usize,
+    exec: &Executor,
+    dp: &DecodedProgram,
+    regs0: &v2d_sve::RegFile,
+    mem0: &v2d_sve::SimMem,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let (mut regs, mut mem) = (regs0.clone(), mem0.clone());
+            let t0 = Instant::now();
+            let _ = exec.run_decoded(dp, &mut regs, &mut mem);
+            total += t0.elapsed().as_secs_f64();
+        }
+        best = best.min(total);
+    }
+    best
+}
+
+/// Time the five SVE kernels at VL 512 and 2048, unfused vs fused,
+/// asserting bit-identity (stats, registers, memory) per cell.
+fn hot_kernels(rounds: usize, reps: usize) -> Vec<HotRow> {
+    let mut rows = Vec::new();
+    for vl in [512u32, 2048] {
+        for r in Routine::ALL {
+            let fused_cfg = ExecConfig::a64fx_l1().with_vl(vl).with_fuse(true);
+            let plain_cfg = fused_cfg.clone().with_fuse(false);
+            let dp_f = decoded_routine(r, Variant::Sve, &fused_cfg);
+            let dp_u = decoded_routine(r, Variant::Sve, &plain_cfg);
+            let (regs0, mem0) = prepare_routine(r, HOT_N, &fused_cfg);
+            let exec_f = Executor::new(fused_cfg);
+            let exec_u = Executor::new(plain_cfg);
+
+            // Bit-identity in-harness: both engines, same state, same
+            // everything — registers, memory image, full stats.
+            let (mut rf, mut mf) = (regs0.clone(), mem0.clone());
+            let sf = exec_f.run_decoded(&dp_f, &mut rf, &mut mf);
+            let (mut ru, mut mu) = (regs0.clone(), mem0.clone());
+            let su = exec_u.run_decoded(&dp_u, &mut ru, &mut mu);
+            assert_eq!(sf, su, "{} vl={vl}: stats diverge", r.name());
+            assert_eq!(rf, ru, "{} vl={vl}: registers diverge", r.name());
+            assert_eq!(mf, mu, "{} vl={vl}: memory diverges", r.name());
+
+            let before_s = time_hot(rounds, reps, &exec_u, &dp_u, &regs0, &mem0);
+            let after_s = time_hot(rounds, reps, &exec_f, &dp_f, &regs0, &mem0);
+            rows.push(HotRow { routine: r.name(), vl, before_s, after_s });
+        }
+    }
+    rows
+}
+
 fn main() {
     let mut quick = false;
-    let mut out = String::from("bench/BENCH_PR2.json");
+    let mut out = String::from("bench/BENCH_PR7.json");
+    let mut reps_override = None;
+    let mut rounds_override = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (expected --quick / --out PATH)"),
+            "--reps" => {
+                reps_override =
+                    Some(args.next().expect("--reps needs a count").parse().expect("--reps count"))
+            }
+            "--rounds" => {
+                rounds_override = Some(
+                    args.next().expect("--rounds needs a count").parse().expect("--rounds count"),
+                )
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --quick / --reps N / --rounds N / --out PATH)"
+            ),
         }
     }
-    let rounds = if quick { 1 } else { 3 };
+    let rounds = rounds_override.unwrap_or(if quick { 1 } else { 3 });
     let workers = v2d_bench::par::workers_for(usize::MAX);
 
     eprintln!("timing table2 sweep (interpreted, serial) …");
@@ -76,12 +166,39 @@ fn main() {
         "Fig. 1 artifacts must be bit-identical across render paths"
     );
 
+    let reps = reps_override.unwrap_or(if quick { 5 } else { 60 });
+    eprintln!("timing hot run_decoded kernels (unfused vs fused) …");
+    let hot = hot_kernels(rounds, reps);
+    let hot_before: f64 = hot.iter().map(|r| r.before_s).sum();
+    let hot_after: f64 = hot.iter().map(|r| r.after_s).sum();
+    let hot_speedup = hot_before / hot_after;
+    if !quick {
+        assert!(
+            hot_speedup >= 2.0,
+            "hot-kernel section must be ≥2× under fusion, got {hot_speedup:.3}×"
+        );
+    }
+
     let before = t2_before.secs + f1_before.secs;
     let after = t2_after.secs + f1_after.secs;
     let speedup = before / after;
 
+    let hot_rows = hot
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"routine\": \"{}\", \"vl\": {}, \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}",
+                r.routine.to_lowercase(),
+                r.vl,
+                r.before_s,
+                r.after_s,
+                r.before_s / r.after_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"schema_version\": {schema},\n  \"kind\": \"wallclock\",\n  \"bench\": \"table2+fig1 sweep wall clock\",\n  \"workers\": {workers},\n  \"rounds\": {rounds},\n  \"table2\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"fig1\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"total\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}\n}}\n",
+        "{{\n  \"schema_version\": {schema},\n  \"kind\": \"wallclock\",\n  \"bench\": \"table2+fig1 sweep + hot run_decoded kernels wall clock\",\n  \"workers\": {workers},\n  \"rounds\": {rounds},\n  \"table2\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"fig1\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"total\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }},\n  \"hot_kernels\": {{\n  \"n\": {hot_n},\n  \"reps\": {reps},\n  \"rows\": [\n{hot_rows}\n  ],\n  \"total\": {{ \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}\n  }}\n}}\n",
         t2_before.secs,
         t2_after.secs,
         t2_before.secs / t2_after.secs,
@@ -91,7 +208,11 @@ fn main() {
         before,
         after,
         speedup,
+        hot_before,
+        hot_after,
+        hot_speedup,
         schema = v2d_obs::SCHEMA_VERSION,
+        hot_n = HOT_N,
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");

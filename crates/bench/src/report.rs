@@ -24,7 +24,8 @@ use v2d_core::problems::GaussianPulse;
 use v2d_linalg::sparsity;
 use v2d_machine::{A64fxModel, FaultKind, FaultPlan, ALL_COMPILERS};
 use v2d_obs::{BenchReport, Gate, Metric, Metrics, RunReport, Tracer};
-use v2d_sve::kernels::ExecMode;
+use v2d_sve::kernels::{decoded_routine, prepare_routine, ExecMode, Routine, Variant};
+use v2d_sve::{ExecConfig, Executor};
 use v2d_testkit::MiniSpec;
 
 use crate::{fig1, table1, table2};
@@ -197,6 +198,41 @@ pub fn add_sched(report: &mut BenchReport) {
     }
 }
 
+/// Superinstruction-fusion coverage, pinned by the gate under
+/// `sve.fuse.*`: chains formed over the ten kernel programs (a
+/// decode-time property — any pattern-table or matcher change moves
+/// it), plus the dynamic fused-op counts of a dedicated serial run of
+/// the five SVE kernels on the calling thread.  Fusion is forced on
+/// explicitly so the entries are independent of the `V2D_SVE_FUSE`
+/// environment override, and the dynamic counts come from the
+/// thread-local per-run snapshot rather than the process-wide counters,
+/// so concurrent test threads cannot perturb them.
+pub fn add_fuse(report: &mut BenchReport) {
+    let cfg = ExecConfig::a64fx_l1().with_fuse(true);
+    let mut chains = 0u64;
+    for r in Routine::ALL {
+        for v in [Variant::Scalar, Variant::Sve] {
+            chains += decoded_routine(r, v, &cfg).chain_count() as u64;
+        }
+    }
+    let (mut fused_ops, mut total_ops) = (0u64, 0u64);
+    for r in Routine::ALL {
+        let (mut regs, mut mem) = prepare_routine(r, 96, &cfg);
+        let dp = decoded_routine(r, Variant::Sve, &cfg);
+        let _ = Executor::new(cfg.clone()).run_decoded(&dp, &mut regs, &mut mem);
+        let (f, t) = v2d_sve::fuse::last_run_fuse_counts();
+        fused_ops += f;
+        total_ops += t;
+    }
+    let mut m = Metrics::new();
+    m.record_fuse(chains, fused_ops, total_ops);
+    for (name, metric) in m.iter() {
+        if let Metric::Counter(c) = metric {
+            report.add(name, *c as f64, "count", Gate::Exact);
+        }
+    }
+}
+
 /// The deterministic 2-rank fault-recovery run behind the `faults.*`
 /// entries: a NaN landing in the field, an injected solver breakdown,
 /// and a delayed halo message, all recovered from.  The coordinates
@@ -299,6 +335,7 @@ pub fn collect(opts: &CollectOpts) -> BenchReport {
     add_table1_mini(&mut report);
     add_table1_full(&mut report);
     add_sched(&mut report);
+    add_fuse(&mut report);
     add_fault_mini(&mut report);
     add_fault_mini_nl(&mut report);
 
@@ -370,9 +407,19 @@ mod tests {
         let cmp = compare(&report, &back);
         assert!(cmp.pass(), "round-trip drift:\n{}", cmp.table(true));
         // The exact families are all present.
-        for prefix in ["table2.", "fig1.", "table1_mini.", "table1_full.", "sched.", "faults."] {
+        for prefix in
+            ["table2.", "fig1.", "table1_mini.", "table1_full.", "sched.", "faults.", "sve.fuse."]
+        {
             assert!(report.entries.keys().any(|k| k.starts_with(prefix)), "no {prefix} entries");
         }
+        // Fusion actually fires: every coverage counter is nonzero, and
+        // the dedicated run spends most of its dynamic instructions
+        // inside fused chains.
+        let fuse = |k: &str| report.entries[k].value;
+        assert!(fuse("sve.fuse.chains") > 0.0);
+        let (fused, total) = (fuse("sve.fuse.fused_ops"), fuse("sve.fuse.total_ops"));
+        assert!(fused > 0.0 && total >= fused);
+        assert!(fused / total > 0.5, "fused fraction {fused}/{total} too low");
     }
 
     #[test]

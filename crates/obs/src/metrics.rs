@@ -97,6 +97,18 @@ impl Metrics {
         self.counter_add("sched.quiescences", quiescences);
     }
 
+    /// Fold a superinstruction-fusion snapshot into the registry under
+    /// the `sve.fuse.*` namespace: `chains` (fused chains formed at
+    /// decode), `fused_ops` (dynamic instructions executed inside fused
+    /// chains), and `total_ops` (all dynamic instructions of the same
+    /// runs).  All three are decode/schedule-deterministic, so reports
+    /// carrying them gate exactly like any modeled quantity.
+    pub fn record_fuse(&mut self, chains: u64, fused_ops: u64, total_ops: u64) {
+        self.counter_add("sve.fuse.chains", chains);
+        self.counter_add("sve.fuse.fused_ops", fused_ops);
+        self.counter_add("sve.fuse.total_ops", total_ops);
+    }
+
     /// Look up a metric.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.map.get(name)
@@ -201,6 +213,16 @@ mod tests {
         m.record_sched(30, 0);
         assert_eq!(m.counter("sched.dispatches"), 150);
         assert_eq!(m.counter("sched.quiescences"), 2);
+    }
+
+    #[test]
+    fn fuse_snapshot_lands_in_its_namespace_and_accumulates() {
+        let mut m = Metrics::new();
+        m.record_fuse(7, 700, 900);
+        m.record_fuse(1, 50, 100);
+        assert_eq!(m.counter("sve.fuse.chains"), 8);
+        assert_eq!(m.counter("sve.fuse.fused_ops"), 750);
+        assert_eq!(m.counter("sve.fuse.total_ops"), 1000);
     }
 
     #[test]

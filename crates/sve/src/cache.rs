@@ -4,7 +4,10 @@
 //! The kernel builders in [`crate::kernels`] are shape-agnostic — problem
 //! sizes arrive in registers, not in the instruction stream — so a cached
 //! program is keyed by (routine/variant name, vector length, residency
-//! level).  The pipeline model has floating-point fields and therefore no
+//! level, fusion flag, decode-format version): a fused and an unfused
+//! decoding of the same kernel are distinct programs, and entries decoded
+//! under an older [`crate::decode::DECODE_FORMAT_VERSION`] never satisfy
+//! a lookup.  The pipeline model has floating-point fields and therefore no
 //! total `Hash`/`Eq`; instead a hit additionally *verifies*
 //! `SchedModel` equality via `PartialEq` and rebuilds in place on
 //! mismatch, so an exotic sweep over scheduler parameters is correct
@@ -56,6 +59,14 @@ struct Entry {
     name: &'static str,
     vl_bits: u32,
     level: MemLevel,
+    /// Whether the program was decoded with superinstruction fusion: the
+    /// fused and unfused decodings of one kernel are different artifacts
+    /// (the fused one carries a plan and a threaded-code body), so the
+    /// flag is part of the key, not a property verified after the hit.
+    fuse: bool,
+    /// [`crate::decode::DECODE_FORMAT_VERSION`] at decode time, so
+    /// entries from a stale decode layout can never satisfy a lookup.
+    format: u32,
     program: Rc<DecodedProgram>,
     /// Monotone use stamp for LRU eviction.
     stamp: u64,
@@ -87,11 +98,13 @@ pub fn cached_program(
         let cache = &mut *cell.borrow_mut();
         cache.clock += 1;
         let stamp = cache.clock;
-        if let Some(e) = cache
-            .entries
-            .iter_mut()
-            .find(|e| e.name == name && e.vl_bits == cfg.vl_bits && e.level == cfg.level)
-        {
+        if let Some(e) = cache.entries.iter_mut().find(|e| {
+            e.name == name
+                && e.vl_bits == cfg.vl_bits
+                && e.level == cfg.level
+                && e.fuse == cfg.fuse
+                && e.format == crate::decode::DECODE_FORMAT_VERSION
+        }) {
             if e.program.sched() == &cfg.sched {
                 HITS.fetch_add(1, Ordering::Relaxed);
                 e.stamp = stamp;
@@ -118,6 +131,8 @@ pub fn cached_program(
             name,
             vl_bits: cfg.vl_bits,
             level: cfg.level,
+            fuse: cfg.fuse,
+            format: crate::decode::DECODE_FORMAT_VERSION,
             program: Rc::clone(&program),
             stamp,
         });
@@ -156,5 +171,23 @@ mod tests {
         }
         let again = cached_program("test/tiny", &l1, tiny);
         assert!(again.matches(&l1));
+    }
+
+    #[test]
+    fn fuse_flip_is_a_cache_miss() {
+        let on = ExecConfig::a64fx_l1().with_fuse(true);
+        let off = on.clone().with_fuse(false);
+        let fused = cached_program("test/fuse-key", &on, tiny);
+        assert!(fused.fuse());
+        // Flipping the fusion flag must reach the builder: the unfused
+        // decoding is a different artifact, not a sched-verified rehit.
+        let plain = cached_program("test/fuse-key", &off, tiny);
+        assert!(!Rc::ptr_eq(&fused, &plain));
+        assert!(!plain.fuse());
+        // Both variants now coexist; each rehits its own entry.
+        let fused2 = cached_program("test/fuse-key", &on, || unreachable!("must hit"));
+        let plain2 = cached_program("test/fuse-key", &off, || unreachable!("must hit"));
+        assert!(Rc::ptr_eq(&fused, &fused2));
+        assert!(Rc::ptr_eq(&plain, &plain2));
     }
 }

@@ -35,10 +35,12 @@
 //! kernel and on randomized programs.
 
 use crate::exec::{deps_of, ExecConfig, ExecStats, Executor, RegId};
+use crate::fuse::FusionPlan;
 use crate::isa::Instr;
 use crate::mem::SimMem;
 use crate::reg::RegFile;
 use crate::sched::SchedModel;
+use crate::thread::OpFn;
 use std::sync::atomic::{AtomicU64, Ordering};
 use v2d_machine::MemLevel;
 
@@ -51,8 +53,15 @@ pub fn decode_count() -> u64 {
     DECODE_COUNT.load(Ordering::Relaxed)
 }
 
+/// Version of the decoded-program layout (micro-op fields, fusion-plan
+/// shape, threaded-code calling convention).  Part of the program-cache
+/// key, so a layout change can never silently reuse a stale
+/// [`DecodedProgram`] within a process.  Bump on any change to
+/// [`DecodedOp`], the fusion plan, or the lowering in [`crate::thread`].
+pub const DECODE_FORMAT_VERSION: u32 = 2;
+
 /// Sentinel for "no register" in the flat operand encoding.
-const NO_REG: u8 = 0xFF;
+pub(crate) const NO_REG: u8 = 0xFF;
 
 /// Flatten a register id into the single ready-time array:
 /// `x0..x31 → 0..32`, `d0..d31 → 32..64`, `z0..z31 → 64..96`,
@@ -67,11 +76,11 @@ fn flat(r: RegId) -> u8 {
 }
 
 /// Number of slots in the flat register ready-time array.
-const FLAT_REGS: usize = 112;
+pub(crate) const FLAT_REGS: usize = 112;
 
 /// How an op's flop count depends on its governing predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FlopRule {
+pub(crate) enum FlopRule {
     /// Fixed count (scalar arithmetic; 0 for non-FP ops).
     Const(u64),
     /// `k` flops per active lane (predicated vector arithmetic).
@@ -82,7 +91,7 @@ enum FlopRule {
 
 /// How an op's memory traffic depends on its governing predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MemRule {
+pub(crate) enum MemRule {
     /// Not a memory instruction.
     None,
     /// Fixed bytes (scalar load/store).
@@ -93,7 +102,7 @@ enum MemRule {
 
 impl FlopRule {
     #[inline]
-    fn eval(self, active: u64) -> u64 {
+    pub(crate) fn eval(self, active: u64) -> u64 {
         match self {
             FlopRule::Const(k) => k,
             FlopRule::PerActive(k) => k * active,
@@ -104,7 +113,7 @@ impl FlopRule {
 
 impl MemRule {
     #[inline]
-    fn eval(self, active: u64) -> u64 {
+    pub(crate) fn eval(self, active: u64) -> u64 {
         match self {
             MemRule::None => 0,
             MemRule::Const(b) => b,
@@ -160,40 +169,60 @@ fn rules_of(i: &Instr) -> (Option<u8>, FlopRule, MemRule) {
 /// [`Executor::step`]) plus everything the timing loop needs, resolved to
 /// flat indices and plain integers.
 #[derive(Debug, Clone)]
-struct DecodedOp {
-    instr: Instr,
+pub(crate) struct DecodedOp {
+    pub(crate) instr: Instr,
     /// Flat source-register indices (first `n_srcs` entries valid).
-    srcs: [u8; 5],
-    n_srcs: u8,
+    pub(crate) srcs: [u8; 5],
+    pub(crate) n_srcs: u8,
     /// Flat destination register, or [`NO_REG`].
-    dst: u8,
+    pub(crate) dst: u8,
     /// Governing predicate register (0–15), or [`NO_REG`] if unpredicated.
-    pg: u8,
+    pub(crate) pg: u8,
     /// Dense unit-class index into the per-unit pipe trackers.
-    unit: u8,
+    pub(crate) unit: u8,
     /// Slot into the program's mnemonic table.
-    mix_slot: u16,
-    latency: u64,
+    pub(crate) mix_slot: u16,
+    pub(crate) latency: u64,
     /// Pipe occupancy, pre-clamped to ≥ 1.
-    occupancy: u64,
-    flops: FlopRule,
-    mem: MemRule,
-    is_load: bool,
-    is_store: bool,
+    pub(crate) occupancy: u64,
+    pub(crate) flops: FlopRule,
+    pub(crate) mem: MemRule,
+    pub(crate) is_load: bool,
+    pub(crate) is_store: bool,
 }
 
 /// A program lowered once for a fixed (vector length, residency level,
-/// pipeline model) configuration.  Branch targets need no translation:
-/// they are already dense indices into the instruction array, and the
-/// decoded array is index-aligned with it.
-#[derive(Debug, Clone)]
+/// pipeline model, fusion flag) configuration.  Branch targets need no
+/// translation: they are already dense indices into the instruction
+/// array, and the decoded array is index-aligned with it.  When decoded
+/// with fusion, the program also carries its fusion plan and the
+/// pre-bound threaded-code dispatch array (see [`crate::fuse`] and
+/// [`crate::thread`]).
 pub struct DecodedProgram {
-    ops: Vec<DecodedOp>,
+    pub(crate) ops: Vec<DecodedOp>,
     /// Distinct mnemonics of this program, indexed by `DecodedOp::mix_slot`.
-    mnemonics: Vec<&'static str>,
+    pub(crate) mnemonics: Vec<&'static str>,
     vl_bits: u32,
     level: MemLevel,
     sched: SchedModel,
+    /// Whether this program was lowered for the fused threaded engine.
+    fuse: bool,
+    /// The fusion plan (`Some` iff `fuse`).
+    plan: Option<FusionPlan>,
+    /// Pre-bound dispatch closures (empty unless `fuse`).
+    pub(crate) threaded: Vec<OpFn>,
+}
+
+impl std::fmt::Debug for DecodedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodedProgram")
+            .field("ops", &self.ops.len())
+            .field("vl_bits", &self.vl_bits)
+            .field("level", &self.level)
+            .field("fuse", &self.fuse)
+            .field("chains", &self.chain_count())
+            .finish_non_exhaustive()
+    }
 }
 
 impl DecodedProgram {
@@ -267,12 +296,22 @@ impl DecodedProgram {
                 is_store: instr.is_store(),
             });
         }
+        let (plan, threaded) = if cfg.fuse {
+            let plan = crate::fuse::plan(&ops, lanes);
+            let threaded = crate::thread::lower(&ops, &plan, lanes as usize);
+            (Some(plan), threaded)
+        } else {
+            (None, Vec::new())
+        };
         DecodedProgram {
             ops,
             mnemonics,
             vl_bits: cfg.vl_bits,
             level: cfg.level,
             sched: sched.clone(),
+            fuse: cfg.fuse,
+            plan,
+            threaded,
         }
     }
 
@@ -302,9 +341,43 @@ impl DecodedProgram {
     }
 
     /// Whether this program may run under `cfg` (identical VL, residency
-    /// level, and pipeline parameters).
+    /// level, pipeline parameters, and fusion setting).
     pub fn matches(&self, cfg: &ExecConfig) -> bool {
-        self.vl_bits == cfg.vl_bits && self.level == cfg.level && self.sched == cfg.sched
+        self.vl_bits == cfg.vl_bits
+            && self.level == cfg.level
+            && self.sched == cfg.sched
+            && self.fuse == cfg.fuse
+    }
+
+    /// Whether this program was lowered for the fused threaded engine.
+    pub fn fuse(&self) -> bool {
+        self.fuse
+    }
+
+    /// The original instruction sequence, one per decoded op.
+    pub fn instrs(&self) -> Vec<Instr> {
+        self.ops.iter().map(|op| op.instr).collect()
+    }
+
+    /// Number of fused superop chains (0 when decoded without fusion).
+    pub fn chain_count(&self) -> usize {
+        self.plan().map_or(0, |p| p.chains.len())
+    }
+
+    /// Static instructions covered by fused chains.
+    pub fn fused_static_ops(&self) -> usize {
+        self.plan.as_ref().map_or(0, |p| p.fused_static_ops())
+    }
+
+    /// The fused chains as `(start, len, compound mnemonic)` triples, in
+    /// program order.
+    pub fn chains(&self) -> impl Iterator<Item = (usize, usize, &'static str)> + '_ {
+        self.plan.iter().flat_map(|p| p.chains.iter().map(|c| (c.start, c.len, c.name)))
+    }
+
+    /// The fusion plan, when decoded with fusion.
+    pub(crate) fn plan(&self) -> Option<&FusionPlan> {
+        self.plan.as_ref()
     }
 }
 
@@ -317,47 +390,112 @@ impl DecodedProgram {
 /// requested again (`ready` is bounded below by the monotone in-order
 /// fetch frontier the prune floor is taken from).
 #[derive(Debug)]
-struct RingSlots {
+pub(crate) struct RingSlots {
     pipes: u8,
     /// Cycle corresponding to `buf[head]`.
     base: u64,
     head: usize,
     buf: Vec<u8>,
+    /// Path-compressed "next non-full slot" pointers, union-find style.
+    /// `skip[i]` is only meaningful while `buf[i] == pipes` (written on
+    /// the transition to full, tightened by [`RingSlots::next_free`]); it
+    /// points at a candidate for the first non-full slot after `i`.
+    /// In-order fetch keeps most reservations clustered in a saturated
+    /// band just ahead of the fetch frontier, so without the skip
+    /// pointers every reservation re-walks that band — an O(band) scan
+    /// per op that dominated the whole executor.
+    skip: Vec<u32>,
 }
 
 impl RingSlots {
-    fn new(pipes: usize) -> Self {
-        RingSlots { pipes: pipes as u8, base: 0, head: 0, buf: Vec::new() }
+    pub(crate) fn new(pipes: usize) -> Self {
+        RingSlots { pipes: pipes as u8, base: 0, head: 0, buf: Vec::new(), skip: Vec::new() }
+    }
+
+    /// First index `≥ i` whose slot is below `pipes` (indices past the
+    /// tracked window are free).  Walks the skip chain — every hop lands
+    /// on a slot that was full when its pointer was written, and counts
+    /// never decrease — then path-compresses it, so repeated queries over
+    /// a saturated band are amortized near-O(1).
+    #[inline]
+    fn next_free(&mut self, i: usize) -> usize {
+        let tracked = self.buf.len();
+        if i >= tracked || self.buf[i] < self.pipes {
+            return i;
+        }
+        let mut j = self.skip[i] as usize;
+        while j < tracked && self.buf[j] >= self.pipes {
+            j = self.skip[j] as usize;
+        }
+        let mut k = i;
+        while k < tracked && self.buf[k] >= self.pipes {
+            let next = self.skip[k] as usize;
+            self.skip[k] = j as u32;
+            k = next;
+        }
+        j
+    }
+
+    /// Single-cycle reservation — the overwhelmingly common case (every
+    /// op except predicate generation and gathers), kept small enough to
+    /// inline into the charge loop: in-bounds non-full slot → one load,
+    /// one store, done.  Everything else defers to [`RingSlots::reserve`],
+    /// which handles the identical occ = 1 walk through `next_free`.
+    #[inline(always)]
+    pub(crate) fn reserve1(&mut self, ready: u64) -> u64 {
+        debug_assert!(ready >= self.base, "reservation below the pruned floor");
+        let i = self.head + (ready - self.base) as usize;
+        if i < self.buf.len() {
+            let b = self.buf[i] + 1;
+            if b <= self.pipes {
+                self.buf[i] = b;
+                if b == self.pipes {
+                    self.skip[i] = (i + 1) as u32;
+                }
+                return ready;
+            }
+        }
+        self.reserve(ready, 1)
     }
 
     #[inline]
-    fn reserve(&mut self, ready: u64, occ: u64) -> u64 {
+    pub(crate) fn reserve(&mut self, ready: u64, occ: u64) -> u64 {
         debug_assert!(ready >= self.base, "reservation below the pruned floor");
         debug_assert!(occ >= 1);
         let occ = occ as usize;
-        let mut start_idx = self.head + (ready - self.base) as usize;
+        let mut start_idx = self.next_free(self.head + (ready - self.base) as usize);
         let tracked = self.buf.len();
         'search: loop {
-            for k in 0..occ {
+            // `start_idx` itself is known non-full; for multi-cycle
+            // occupancies the rest of the window still needs checking.
+            for k in 1..occ {
                 let idx = start_idx + k;
                 if idx < tracked && self.buf[idx] >= self.pipes {
-                    start_idx = idx + 1;
+                    start_idx = self.next_free(idx + 1);
                     continue 'search;
                 }
             }
             let end = start_idx + occ;
             if end > self.buf.len() {
-                self.buf.resize(end, 0);
+                // Grow geometrically: trailing zeros mean "no reservations
+                // yet", so a longer buffer is observationally identical,
+                // and a per-reservation `resize` call is hot-path cost.
+                let new_len = end.next_power_of_two().max(64);
+                self.buf.resize(new_len, 0);
+                self.skip.resize(new_len, 0);
             }
-            for slot in &mut self.buf[start_idx..end] {
-                *slot += 1;
+            for idx in start_idx..end {
+                self.buf[idx] += 1;
+                if self.buf[idx] >= self.pipes {
+                    self.skip[idx] = (idx + 1) as u32;
+                }
             }
             return self.base + (start_idx - self.head) as u64;
         }
     }
 
     /// Forget cycles before `floor`; amortized O(1) per forgotten cycle.
-    fn prune(&mut self, floor: u64) {
+    pub(crate) fn prune(&mut self, floor: u64) {
         if floor <= self.base {
             return;
         }
@@ -365,11 +503,19 @@ impl RingSlots {
         self.base = floor;
         if self.head + adv >= self.buf.len() {
             self.buf.clear();
+            self.skip.clear();
             self.head = 0;
         } else {
             self.head += adv;
             if self.head >= self.buf.len() / 2 {
+                let shift = self.head as u32;
                 self.buf.drain(..self.head);
+                self.skip.drain(..self.head);
+                // Skip pointers are absolute buffer indices; re-anchor
+                // them (only entries for still-full slots are ever read).
+                for s in &mut self.skip {
+                    *s = s.saturating_sub(shift);
+                }
                 self.head = 0;
             }
         }
@@ -394,6 +540,9 @@ impl Executor {
         let cfg = self.config();
         assert_eq!(regs.vl_bits(), cfg.vl_bits, "register file VL does not match executor config");
         assert!(dp.matches(cfg), "decoded program was lowered for a different configuration");
+        if dp.fuse {
+            return crate::thread::run_threaded(cfg, dp, regs, mem);
+        }
         let sched = &cfg.sched;
         let fetch_width = sched.fetch_width;
 
@@ -432,7 +581,12 @@ impl Executor {
                 rdy = rdy.max(bw_ready);
                 mem_bytes_cum += mem_bytes;
             }
-            let start = units[op.unit as usize].reserve(rdy, op.occupancy);
+            let unit = &mut units[op.unit as usize];
+            let start = if op.occupancy == 1 {
+                unit.reserve1(rdy)
+            } else {
+                unit.reserve(rdy, op.occupancy)
+            };
             let complete = start + op.latency;
             if stats.instrs % 4096 == 0 {
                 let floor = fetched / fetch_width;

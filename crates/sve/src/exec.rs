@@ -31,6 +31,24 @@ pub struct ExecConfig {
     pub sched: SchedModel,
     /// Safety cap on dynamically executed instructions.
     pub max_instrs: u64,
+    /// Execute decoded programs through the superinstruction-fused
+    /// threaded-code engine (`true`, the default) or the legacy
+    /// match-per-op loop (`false`) — the unfused path survives as the
+    /// differential oracle and wall-clock baseline.  Both produce
+    /// bit-identical registers, memory, and [`ExecStats`].  The default
+    /// honours the `V2D_SVE_FUSE` environment variable (`0`/`false`/`off`
+    /// disables), read once per process.
+    pub fuse: bool,
+}
+
+/// Process-default of [`ExecConfig::fuse`]: on, unless `V2D_SVE_FUSE` is
+/// set to `0`/`false`/`off` (read once — CI uses it to run the golden
+/// suite against the unfused oracle).
+fn fuse_default() -> bool {
+    static FUSE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FUSE.get_or_init(|| {
+        !matches!(std::env::var("V2D_SVE_FUSE").as_deref(), Ok("0") | Ok("false") | Ok("off"))
+    })
 }
 
 impl ExecConfig {
@@ -41,6 +59,7 @@ impl ExecConfig {
             level: MemLevel::L1,
             sched: SchedModel::a64fx(),
             max_instrs: 200_000_000,
+            fuse: fuse_default(),
         }
     }
 
@@ -53,6 +72,12 @@ impl ExecConfig {
     /// Same core, different vector length.
     pub fn with_vl(mut self, vl_bits: u32) -> Self {
         self.vl_bits = vl_bits;
+        self
+    }
+
+    /// Same core, explicit fusion setting (see [`ExecConfig::fuse`]).
+    pub fn with_fuse(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
         self
     }
 }
@@ -465,6 +490,16 @@ impl Executor {
         r: &mut RegFile,
         mem: &mut SimMem,
     ) -> usize {
+        step_instr(instr, pc, r, mem)
+    }
+}
+
+/// Free-function form of [`Executor::step`]: the executable specification
+/// of every instruction's architectural effect.  The threaded-code engine
+/// in [`crate::thread`] calls this for opcodes it does not specialize, so
+/// even its fallback path shares the interpreter's semantics verbatim.
+pub(crate) fn step_instr(instr: &Instr, pc: usize, r: &mut RegFile, mem: &mut SimMem) -> usize {
+    {
         use Instr::*;
         let lanes = r.lanes();
         match *instr {

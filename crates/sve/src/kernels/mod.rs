@@ -179,8 +179,110 @@ pub mod oracle {
     }
 }
 
-fn executor(cfg: &ExecConfig) -> (Executor, RegFile) {
-    (Executor::new(cfg.clone()), RegFile::new(cfg.vl_bits))
+/// Build the initial machine state for MATVEC: the banded memory image
+/// and the register convention shared by both variants.  Returns the
+/// ready-to-run `(regs, mem)` plus the address of `y` for readback.
+fn matvec_state(sys: &BandedSystem, x: &[f64], vl_bits: u32) -> (RegFile, SimMem, usize) {
+    assert_eq!(x.len(), sys.n);
+    let n = sys.n;
+    let m = sys.m;
+    let mut mem = SimMem::new(8 * (7 * n + 4 * m) + 4096);
+    // x is padded by m zeros on each side so the shifted streams never
+    // read out of bounds (boundary coefficients are zero).
+    let mut xp = vec![0.0; n + 2 * m];
+    xp[m..m + n].copy_from_slice(x);
+    let x_base = mem.alloc_f64(&xp) + 8 * m; // &x[0]
+    let y_base = mem.alloc_f64_zeroed(n);
+    let dc = mem.alloc_f64(&sys.dc);
+    let dl1 = mem.alloc_f64(&sys.dl1);
+    let du1 = mem.alloc_f64(&sys.du1);
+    let dl2 = mem.alloc_f64(&sys.dl2);
+    let du2 = mem.alloc_f64(&sys.du2);
+
+    let mut regs = RegFile::new(vl_bits);
+    // Register convention shared by both variants (see builders).
+    regs.x[0] = dc as u64;
+    regs.x[1] = dl1 as u64;
+    regs.x[2] = du1 as u64;
+    regs.x[3] = dl2 as u64;
+    regs.x[4] = du2 as u64;
+    regs.x[5] = x_base as u64;
+    regs.x[6] = y_base as u64;
+    regs.x[7] = n as u64;
+    regs.x[9] = (x_base - 8) as u64; // &x[-1]
+    regs.x[10] = (x_base + 8) as u64; // &x[+1]
+    regs.x[11] = (x_base - 8 * m) as u64; // &x[-m]
+    regs.x[12] = (x_base + 8 * m) as u64; // &x[+m]
+    (regs, mem, y_base)
+}
+
+/// Initial machine state for DPROD.
+fn dprod_state(x: &[f64], y: &[f64], vl_bits: u32) -> (RegFile, SimMem) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let mut mem = SimMem::new(8 * 2 * n + 4096);
+    let xb = mem.alloc_f64(x);
+    let yb = mem.alloc_f64(y);
+    let mut regs = RegFile::new(vl_bits);
+    regs.x[0] = xb as u64;
+    regs.x[1] = yb as u64;
+    regs.x[2] = n as u64;
+    (regs, mem)
+}
+
+/// Initial machine state for DAXPY; also returns the address of `y`.
+fn daxpy_state(a: f64, x: &[f64], y: &[f64], vl_bits: u32) -> (RegFile, SimMem, usize) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let mut mem = SimMem::new(8 * 2 * n + 4096);
+    let xb = mem.alloc_f64(x);
+    let yb = mem.alloc_f64(y);
+    let mut regs = RegFile::new(vl_bits);
+    regs.x[0] = xb as u64;
+    regs.x[1] = yb as u64;
+    regs.x[2] = n as u64;
+    regs.d[0] = a;
+    (regs, mem, yb)
+}
+
+/// Initial machine state for DSCAL; also returns the address of `y`.
+fn dscal_state(c: f64, d: f64, y: &[f64], vl_bits: u32) -> (RegFile, SimMem, usize) {
+    let n = y.len();
+    let mut mem = SimMem::new(8 * n + 4096);
+    let yb = mem.alloc_f64(y);
+    let mut regs = RegFile::new(vl_bits);
+    regs.x[0] = yb as u64;
+    regs.x[1] = n as u64;
+    regs.d[0] = c;
+    regs.d[1] = d;
+    (regs, mem, yb)
+}
+
+/// Initial machine state for DDAXPY; also returns the address of `w`.
+fn ddaxpy_state(
+    a: f64,
+    b: f64,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    vl_bits: u32,
+) -> (RegFile, SimMem, usize) {
+    assert!(x.len() == y.len() && y.len() == z.len());
+    let n = x.len();
+    let mut mem = SimMem::new(8 * 4 * n + 4096);
+    let xb = mem.alloc_f64(x);
+    let yb = mem.alloc_f64(y);
+    let zb = mem.alloc_f64(z);
+    let wb = mem.alloc_f64_zeroed(n);
+    let mut regs = RegFile::new(vl_bits);
+    regs.x[0] = xb as u64;
+    regs.x[1] = yb as u64;
+    regs.x[2] = zb as u64;
+    regs.x[3] = wb as u64;
+    regs.x[4] = n as u64;
+    regs.d[0] = a;
+    regs.d[1] = b;
+    (regs, mem, wb)
 }
 
 /// Stable cache key of a kernel program.  The builders are shape-agnostic
@@ -257,38 +359,10 @@ pub fn run_matvec_with(
     cfg: &ExecConfig,
     mode: ExecMode,
 ) -> (Vec<f64>, ExecStats) {
-    assert_eq!(x.len(), sys.n);
-    let n = sys.n;
-    let m = sys.m;
-    let mut mem = SimMem::new(8 * (7 * n + 4 * m) + 4096);
-    // x is padded by m zeros on each side so the shifted streams never
-    // read out of bounds (boundary coefficients are zero).
-    let mut xp = vec![0.0; n + 2 * m];
-    xp[m..m + n].copy_from_slice(x);
-    let x_base = mem.alloc_f64(&xp) + 8 * m; // &x[0]
-    let y_base = mem.alloc_f64_zeroed(n);
-    let dc = mem.alloc_f64(&sys.dc);
-    let dl1 = mem.alloc_f64(&sys.dl1);
-    let du1 = mem.alloc_f64(&sys.du1);
-    let dl2 = mem.alloc_f64(&sys.dl2);
-    let du2 = mem.alloc_f64(&sys.du2);
-
-    let (exec, mut regs) = executor(cfg);
-    // Register convention shared by both variants (see builders).
-    regs.x[0] = dc as u64;
-    regs.x[1] = dl1 as u64;
-    regs.x[2] = du1 as u64;
-    regs.x[3] = dl2 as u64;
-    regs.x[4] = du2 as u64;
-    regs.x[5] = x_base as u64;
-    regs.x[6] = y_base as u64;
-    regs.x[7] = n as u64;
-    regs.x[9] = (x_base - 8) as u64; // &x[-1]
-    regs.x[10] = (x_base + 8) as u64; // &x[+1]
-    regs.x[11] = (x_base - 8 * m) as u64; // &x[-m]
-    regs.x[12] = (x_base + 8 * m) as u64; // &x[+m]
+    let (mut regs, mut mem, y_base) = matvec_state(sys, x, cfg.vl_bits);
+    let exec = Executor::new(cfg.clone());
     let stats = execute(Routine::Matvec, variant, mode, &exec, &mut regs, &mut mem);
-    (mem.read_f64_slice(y_base, n), stats)
+    (mem.read_f64_slice(y_base, sys.n), stats)
 }
 
 /// Run DPROD (`x · y`); returns the dot product and stats.
@@ -304,15 +378,8 @@ pub fn run_dprod_with(
     cfg: &ExecConfig,
     mode: ExecMode,
 ) -> (f64, ExecStats) {
-    assert_eq!(x.len(), y.len());
-    let n = x.len();
-    let mut mem = SimMem::new(8 * 2 * n + 4096);
-    let xb = mem.alloc_f64(x);
-    let yb = mem.alloc_f64(y);
-    let (exec, mut regs) = executor(cfg);
-    regs.x[0] = xb as u64;
-    regs.x[1] = yb as u64;
-    regs.x[2] = n as u64;
+    let (mut regs, mut mem) = dprod_state(x, y, cfg.vl_bits);
+    let exec = Executor::new(cfg.clone());
     let stats = execute(Routine::Dprod, variant, mode, &exec, &mut regs, &mut mem);
     (regs.d[0], stats)
 }
@@ -337,18 +404,10 @@ pub fn run_daxpy_with(
     cfg: &ExecConfig,
     mode: ExecMode,
 ) -> (Vec<f64>, ExecStats) {
-    assert_eq!(x.len(), y.len());
-    let n = x.len();
-    let mut mem = SimMem::new(8 * 2 * n + 4096);
-    let xb = mem.alloc_f64(x);
-    let yb = mem.alloc_f64(y);
-    let (exec, mut regs) = executor(cfg);
-    regs.x[0] = xb as u64;
-    regs.x[1] = yb as u64;
-    regs.x[2] = n as u64;
-    regs.d[0] = a;
+    let (mut regs, mut mem, yb) = daxpy_state(a, x, y, cfg.vl_bits);
+    let exec = Executor::new(cfg.clone());
     let stats = execute(Routine::Daxpy, variant, mode, &exec, &mut regs, &mut mem);
-    (mem.read_f64_slice(yb, n), stats)
+    (mem.read_f64_slice(yb, x.len()), stats)
 }
 
 /// Run DSCAL (`y ← c − d·y`); returns the updated `y` and stats.
@@ -371,16 +430,10 @@ pub fn run_dscal_with(
     cfg: &ExecConfig,
     mode: ExecMode,
 ) -> (Vec<f64>, ExecStats) {
-    let n = y.len();
-    let mut mem = SimMem::new(8 * n + 4096);
-    let yb = mem.alloc_f64(y);
-    let (exec, mut regs) = executor(cfg);
-    regs.x[0] = yb as u64;
-    regs.x[1] = n as u64;
-    regs.d[0] = c;
-    regs.d[1] = d;
+    let (mut regs, mut mem, yb) = dscal_state(c, d, y, cfg.vl_bits);
+    let exec = Executor::new(cfg.clone());
     let stats = execute(Routine::Dscal, variant, mode, &exec, &mut regs, &mut mem);
-    (mem.read_f64_slice(yb, n), stats)
+    (mem.read_f64_slice(yb, y.len()), stats)
 }
 
 /// Run DDAXPY (`w ← a·x + b·y + z`); returns `w` and stats.
@@ -408,23 +461,10 @@ pub fn run_ddaxpy_with(
     cfg: &ExecConfig,
     mode: ExecMode,
 ) -> (Vec<f64>, ExecStats) {
-    assert!(x.len() == y.len() && y.len() == z.len());
-    let n = x.len();
-    let mut mem = SimMem::new(8 * 4 * n + 4096);
-    let xb = mem.alloc_f64(x);
-    let yb = mem.alloc_f64(y);
-    let zb = mem.alloc_f64(z);
-    let wb = mem.alloc_f64_zeroed(n);
-    let (exec, mut regs) = executor(cfg);
-    regs.x[0] = xb as u64;
-    regs.x[1] = yb as u64;
-    regs.x[2] = zb as u64;
-    regs.x[3] = wb as u64;
-    regs.x[4] = n as u64;
-    regs.d[0] = a;
-    regs.d[1] = b;
+    let (mut regs, mut mem, wb) = ddaxpy_state(a, b, x, y, z, cfg.vl_bits);
+    let exec = Executor::new(cfg.clone());
     let stats = execute(Routine::Ddaxpy, variant, mode, &exec, &mut regs, &mut mem);
-    (mem.read_f64_slice(wb, n), stats)
+    (mem.read_f64_slice(wb, x.len()), stats)
 }
 
 /// Run `routine` on a standard Table II problem (banded system with band
@@ -456,6 +496,52 @@ pub fn run_routine_with(
         Routine::Dscal => run_dscal_with(0.9, 1.1, &y, variant, cfg, mode).1,
         Routine::Ddaxpy => run_ddaxpy_with(1.7, -0.6, &x, &y, &z, variant, cfg, mode).1,
     }
+}
+
+/// Build the ready-to-run machine state (register file + memory image)
+/// for `routine` on the same standard Table II problem of size `n` that
+/// [`run_routine`] uses.
+///
+/// Both variants share the register convention, so the state is
+/// variant-independent.  The wall-clock benchmark clones this state per
+/// repetition and times the bare [`Executor::run_decoded`] call on it,
+/// keeping allocation and data synthesis out of the measured region.
+pub fn prepare_routine(routine: Routine, n: usize, cfg: &ExecConfig) -> (RegFile, SimMem) {
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.51).cos()).collect();
+    let z: Vec<f64> = (0..n).map(|i| 0.5 - (i as f64 * 0.13).sin()).collect();
+    match routine {
+        Routine::Matvec => {
+            let m = (n / 20).max(1);
+            let sys = BandedSystem::test_system(n, m);
+            let (regs, mem, _) = matvec_state(&sys, &x, cfg.vl_bits);
+            (regs, mem)
+        }
+        Routine::Dprod => dprod_state(&x, &y, cfg.vl_bits),
+        Routine::Daxpy => {
+            let (regs, mem, _) = daxpy_state(1.7, &x, &y, cfg.vl_bits);
+            (regs, mem)
+        }
+        Routine::Dscal => {
+            let (regs, mem, _) = dscal_state(0.9, 1.1, &y, cfg.vl_bits);
+            (regs, mem)
+        }
+        Routine::Ddaxpy => {
+            let (regs, mem, _) = ddaxpy_state(1.7, -0.6, &x, &y, &z, cfg.vl_bits);
+            (regs, mem)
+        }
+    }
+}
+
+/// The cached decoded program for `(routine, variant)` under `cfg` —
+/// what [`ExecMode::Decoded`] runs internally, exposed so harnesses can
+/// time or inspect the program without re-entering the cache per call.
+pub fn decoded_routine(
+    routine: Routine,
+    variant: Variant,
+    cfg: &ExecConfig,
+) -> std::rc::Rc<crate::decode::DecodedProgram> {
+    cache::cached_program(program_key(routine, variant), cfg, || build_program(routine, variant))
 }
 
 // Register-convention documentation shared with the builders: kept here so
@@ -588,6 +674,24 @@ mod tests {
         let stats128 = run_routine(Routine::Daxpy, 1000, Variant::Sve, &cfg().with_vl(128));
         let stats1024 = run_routine(Routine::Daxpy, 1000, Variant::Sve, &cfg().with_vl(1024));
         assert!(stats1024.cycles < stats128.cycles);
+    }
+
+    #[test]
+    fn prepared_state_reproduces_run_routine() {
+        // prepare_routine + decoded_routine is exactly what run_routine
+        // does internally, minus the readback — same stats, both
+        // variants, every routine.
+        for r in Routine::ALL {
+            for v in [Variant::Scalar, Variant::Sve] {
+                let c = cfg();
+                let expect = run_routine(r, 257, v, &c);
+                let (mut regs, mut mem) = prepare_routine(r, 257, &c);
+                let dp = decoded_routine(r, v, &c);
+                let exec = Executor::new(c.clone());
+                let stats = exec.run_decoded(&dp, &mut regs, &mut mem);
+                assert_eq!(stats, expect, "{} {:?}", r.name(), v);
+            }
+        }
     }
 
     #[test]

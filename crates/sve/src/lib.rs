@@ -28,15 +28,17 @@ pub mod cache;
 pub mod decode;
 pub mod disasm;
 pub mod exec;
+pub mod fuse;
 pub mod isa;
 pub mod kernels;
 pub mod mem;
 pub mod reg;
 pub mod sched;
+pub(crate) mod thread;
 
 pub use asm::{Asm, Label};
 pub use decode::DecodedProgram;
-pub use disasm::{disassemble, mnemonic};
+pub use disasm::{disassemble, disassemble_decoded, mnemonic};
 pub use exec::{ExecConfig, ExecStats, Executor};
 pub use isa::{Instr, D, P, X, Z};
 pub use mem::SimMem;

@@ -86,6 +86,38 @@ impl SimMem {
     pub fn read_f64_slice(&self, addr: usize, len: usize) -> Vec<f64> {
         (0..len).map(|i| self.load_f64(addr + 8 * i)).collect()
     }
+
+    /// Load `out.len()` contiguous f64 values starting at `addr` — the
+    /// full-predicate fast path of `ld1d`.  Value-identical to
+    /// `out[i] = load_f64(addr + 8·i)` lane by lane; one alignment/bounds
+    /// check covers the whole stream.
+    ///
+    /// # Panics
+    /// On out-of-bounds or unaligned access.
+    #[inline]
+    pub fn load_f64_stream(&self, addr: usize, out: &mut [f64]) {
+        assert!(addr.is_multiple_of(8), "unaligned f64 load at {addr:#x}");
+        let end = addr + 8 * out.len();
+        assert!(end <= self.bytes.len(), "f64 load out of bounds at {addr:#x}");
+        for (o, chunk) in out.iter_mut().zip(self.bytes[addr..end].chunks_exact(8)) {
+            *o = f64::from_le_bytes(chunk.try_into().expect("chunks_exact(8) yields 8 bytes"));
+        }
+    }
+
+    /// Store `vals` contiguously starting at `addr` — the full-predicate
+    /// fast path of `st1d`.  Value-identical to per-lane `store_f64`.
+    ///
+    /// # Panics
+    /// On out-of-bounds or unaligned access.
+    #[inline]
+    pub fn store_f64_stream(&mut self, addr: usize, vals: &[f64]) {
+        assert!(addr.is_multiple_of(8), "unaligned f64 store at {addr:#x}");
+        let end = addr + 8 * vals.len();
+        assert!(end <= self.bytes.len(), "f64 store out of bounds at {addr:#x}");
+        for (chunk, v) in self.bytes[addr..end].chunks_exact_mut(8).zip(vals) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +149,26 @@ mod tests {
         let mut m = SimMem::new(256);
         let a = m.alloc_f64_zeroed(8);
         assert_eq!(m.read_f64_slice(a, 8), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn stream_load_store_match_per_lane() {
+        let mut m = SimMem::new(1024);
+        let a = m.alloc_f64(&[1.0, -2.5, 3.25, 4.0, 5.5]);
+        let b = m.alloc_f64_zeroed(5);
+        let mut lanes = [0.0f64; 5];
+        m.load_f64_stream(a, &mut lanes);
+        assert_eq!(lanes.to_vec(), m.read_f64_slice(a, 5));
+        m.store_f64_stream(b, &lanes);
+        assert_eq!(m.read_f64_slice(b, 5), m.read_f64_slice(a, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn stream_oob_panics() {
+        let m = SimMem::new(32);
+        let mut out = [0.0f64; 5];
+        m.load_f64_stream(0, &mut out);
     }
 
     #[test]

@@ -1,14 +1,15 @@
-//! Property test: decoded-trace execution is bitwise-identical to the
-//! legacy step-interpreter — same architectural results, same memory
-//! image, same [`ExecStats`] to the cycle — on every kernel program and
-//! on randomized straight-line programs, across vector lengths and
-//! residency levels.
+//! Property tests: decoded-trace execution is bitwise-identical to the
+//! legacy step-interpreter, and the superinstruction-fused threaded
+//! engine is bitwise-identical to the unfused decoded loop — same
+//! architectural results, same memory image, same [`ExecStats`] to the
+//! cycle — on every kernel program and on randomized straight-line
+//! programs, across vector lengths and residency levels.
 
 use proptest::prelude::*;
 use v2d_machine::MemLevel;
 use v2d_sve::kernels::{
-    run_daxpy_with, run_dprod_with, run_matvec_with, run_routine_with, BandedSystem, ExecMode,
-    Routine, Variant,
+    decoded_routine, prepare_routine, run_daxpy_with, run_dprod_with, run_matvec_with,
+    run_routine_with, BandedSystem, ExecMode, Routine, Variant,
 };
 use v2d_sve::{DecodedProgram, ExecConfig, Executor, Instr, RegFile, SimMem, D, P, X, Z};
 
@@ -58,6 +59,38 @@ fn kernel_results_are_mode_invariant() {
                 run_matvec_with(&sys, &x, v, &cfg, ExecMode::Interpreted),
                 run_matvec_with(&sys, &x, v, &cfg, ExecMode::Decoded),
             );
+        }
+    }
+}
+
+#[test]
+fn every_kernel_is_fuse_invariant() {
+    // The fused threaded engine vs the unfused decoded loop: registers,
+    // memory, and full stats must match bit for bit in every routine ×
+    // variant × VL × level cell.  Tail-heavy n exercises chains whose
+    // final iteration runs under a partial predicate.
+    let n = 173;
+    for vl in VLS {
+        for level in LEVELS {
+            let base = ExecConfig::a64fx_l1().with_vl(vl).with_level(level);
+            for r in Routine::ALL {
+                for v in [Variant::Scalar, Variant::Sve] {
+                    let run = |fuse: bool| {
+                        let cfg = base.clone().with_fuse(fuse);
+                        let (mut regs, mut mem) = prepare_routine(r, n, &cfg);
+                        let dp = decoded_routine(r, v, &cfg);
+                        assert_eq!(dp.fuse(), fuse);
+                        let stats = Executor::new(cfg).run_decoded(&dp, &mut regs, &mut mem);
+                        (stats, regs, mem)
+                    };
+                    let (sf, rf, mf) = run(true);
+                    let (su, ru, mu) = run(false);
+                    let at = format!("{r:?}/{v:?} vl={vl} level={level:?}");
+                    assert_eq!(sf, su, "stats diverge: {at}");
+                    assert_eq!(rf, ru, "registers diverge: {at}");
+                    assert_eq!(mf, mu, "memory diverges: {at}");
+                }
+            }
         }
     }
 }
@@ -150,6 +183,26 @@ proptest! {
         let dp = DecodedProgram::decode(&prog, &cfg);
         let (mut r2, mut m2) = machine_state(vl, bound);
         let s2 = exec.run_decoded(&dp, &mut r2, &mut m2);
+        prop_assert_eq!(s1, s2, "stats diverge (vl={}, level={:?})", vl, level);
+        prop_assert_eq!(r1, r2, "registers diverge (vl={}, level={:?})", vl, level);
+        prop_assert_eq!(m1, m2, "memory diverges (vl={}, level={:?})", vl, level);
+    }
+
+    #[test]
+    fn random_programs_are_fuse_invariant(
+        prog in proptest::collection::vec(arb_instr(), 1..48),
+        vl in prop_oneof![Just(128u32), Just(256), Just(512), Just(1024), Just(2048)],
+        level in prop_oneof![Just(MemLevel::L1), Just(MemLevel::L2), Just(MemLevel::Hbm)],
+        bound in 0u64..40,
+    ) {
+        let fused = ExecConfig::a64fx_l1().with_vl(vl).with_level(level).with_fuse(true);
+        let plain = fused.clone().with_fuse(false);
+        let (mut r1, mut m1) = machine_state(vl, bound);
+        let s1 = Executor::new(fused.clone())
+            .run_decoded(&DecodedProgram::decode(&prog, &fused), &mut r1, &mut m1);
+        let (mut r2, mut m2) = machine_state(vl, bound);
+        let s2 = Executor::new(plain.clone())
+            .run_decoded(&DecodedProgram::decode(&prog, &plain), &mut r2, &mut m2);
         prop_assert_eq!(s1, s2, "stats diverge (vl={}, level={:?})", vl, level);
         prop_assert_eq!(r1, r2, "registers diverge (vl={}, level={:?})", vl, level);
         prop_assert_eq!(m1, m2, "memory diverges (vl={}, level={:?})", vl, level);
