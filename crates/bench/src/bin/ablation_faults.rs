@@ -8,10 +8,11 @@
 
 use std::path::PathBuf;
 
-use v2d_comm::{Spmd, TileMap};
+use v2d_comm::{Spmd, TileMap, Universe};
 use v2d_core::checkpoint::{restore_checkpoint, write_checkpoint, CheckpointStore};
 use v2d_core::problems::GaussianPulse;
 use v2d_core::sim::V2dSim;
+use v2d_core::supervise::{run_supervised_on, RetryPolicy, SuperviseSpec};
 use v2d_machine::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 
 const N1: usize = 16;
@@ -254,4 +255,119 @@ fn main() {
     for line in &lines {
         println!("{line}");
     }
+
+    rank_kill_campaign();
+}
+
+/// Supervised rank-kill campaign coordinates: the `supervise_recovery`
+/// regression scenario and its variants.
+const SUP_N1: usize = 24;
+const SUP_N2: usize = 12;
+const SUP_STEPS: usize = 5;
+
+/// The rank-kill campaign: permanent rank deaths pushed through the run
+/// supervisor — checkpoint rollback, deterministic virtual-clock
+/// backoff, shrinking re-decomposition — with each scenario's recovery
+/// ledger reported.  Everything printed is a pure function of spec ×
+/// policy × plan, so the section extends the golden.
+fn rank_kill_campaign() {
+    println!("\nrank-kill campaign — {SUP_N1}×{SUP_N2}×2 linear pulse, {RANKS}×1 ranks, {SUP_STEPS} steps");
+    println!("supervisor: 3 retries, backoff base 1s (virtual), doubling; shrink onto survivors\n");
+
+    let dir = std::env::temp_dir().join(format!("v2d_ablation_kills_{}", std::process::id()));
+    let scenario = |plan: FaultPlan, checkpoint_every: usize| SuperviseSpec {
+        cfg: GaussianPulse::linear_config(SUP_N1, SUP_N2, SUP_STEPS),
+        np1: RANKS,
+        np2: 1,
+        plan,
+        checkpoint_every,
+        checkpoint_keep: 4,
+        dir: dir.clone(),
+    };
+    let cases = [
+        ("clean (no kills)", scenario(FaultPlan::empty(), 1), RetryPolicy::default()),
+        (
+            "kill rank 0 @ step 2",
+            scenario(FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill), 1),
+            RetryPolicy::default(),
+        ),
+        (
+            "stall rank 1 @ step 3, no checkpoints",
+            scenario(FaultPlan::empty().with_event(3, Some(1), FaultKind::RankStallForever), 0),
+            RetryPolicy::default(),
+        ),
+        (
+            "kill rank 0 @ step 2, shrink off",
+            scenario(FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill), 1),
+            RetryPolicy { allow_shrink: false, ..RetryPolicy::default() },
+        ),
+    ];
+
+    println!(
+        "{:<38} {:>8} {:>9} {:>7} {:>8} {:>8} {:>6}",
+        "scenario", "attempts", "rollbacks", "shrinks", "replayed", "mttr_s", "ranks"
+    );
+    let mut ledgers = Vec::new();
+    let mut clean_bits = None;
+    for (name, spec, policy) in cases {
+        let report = run_supervised_on(&spec, policy, Universe::EventDriven)
+            .unwrap_or_else(|e| panic!("{name}: supervised run failed: {e}"));
+        let l = &report.ledger;
+        println!(
+            "{name:<38} {:>8} {:>9} {:>7} {:>8} {:>8.3} {:>5}x{}",
+            l.attempts,
+            l.rollbacks,
+            l.redecompositions,
+            l.steps_replayed,
+            report.mttr_virtual_secs,
+            report.final_np.0,
+            report.final_np.1,
+        );
+        assert!(
+            report.final_bits.iter().all(|b| f64::from_bits(*b).is_finite()),
+            "{name}: non-finite cells survived recovery"
+        );
+        if l.kills == 0 {
+            clean_bits = Some(report.final_bits.clone());
+        } else if let Some(clean) = &clean_bits {
+            if l.redecompositions == 0 {
+                // Same-width recovery replays the exact trajectory:
+                // checkpoint gather/scatter moves bits, not arithmetic,
+                // so the recovered global field is the healthy one
+                // bit-for-bit.
+                assert_eq!(
+                    &report.final_bits, clean,
+                    "{name}: same-width recovery must be bit-identical to the healthy run"
+                );
+            } else {
+                // A shrunk run re-gangs the reductions, so it agrees
+                // with the healthy field to reduction-reordering
+                // tolerance (same bound as the checkpoint topology-
+                // independence test), not bit-for-bit.
+                for (a, b) in report.final_bits.iter().zip(clean) {
+                    let (x, y) = (f64::from_bits(*a), f64::from_bits(*b));
+                    assert!(
+                        (x - y).abs() < 1e-9,
+                        "{name}: shrunk recovery drifted from the healthy run: {x} vs {y}"
+                    );
+                }
+            }
+        }
+        if !l.events.is_empty() {
+            ledgers.push((name, l.events.clone()));
+        }
+    }
+
+    println!("\nrecovery ledgers:");
+    for (name, events) in &ledgers {
+        println!("  {name}:");
+        for ev in events {
+            println!("    {ev}");
+        }
+    }
+    let sum = checksum(clean_bits.iter().flatten().copied());
+    println!("\nhealthy global field checksum: {sum:#018x}");
+    println!("same-width kill recovery bit-identical to the healthy trajectory: PASS");
+    println!("shrunk kill recovery within reduction-reordering tolerance: PASS");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -17,6 +17,9 @@
 //! * `--perturb-cycles N` — inject N simulated cycles into one modeled
 //!   clock before comparing.  `--perturb-cycles 1` is the red-run
 //!   demonstration: a single cycle of drift must fail the gate;
+//! * `--perturb-supervise N` — inject N phantom replayed steps into the
+//!   supervised recovery ledger before comparing, the red-run
+//!   demonstration for the `supervise.*` family;
 //! * `--summary PATH` — write the markdown delta table there.
 
 use std::io::Write as _;
@@ -42,10 +45,17 @@ fn main() {
                     .parse()
                     .expect("--perturb-cycles needs an integer")
             }
+            "--perturb-supervise" => {
+                opts.perturb_supervise = args
+                    .next()
+                    .expect("--perturb-supervise needs a count")
+                    .parse()
+                    .expect("--perturb-supervise needs an integer")
+            }
             "--summary" => summary = args.next(),
             other => panic!(
                 "unknown argument {other:?} (expected --baseline PATH / --skip-wallclock / \
-                 --quick / --perturb-cycles N / --summary PATH)"
+                 --quick / --perturb-cycles N / --perturb-supervise N / --summary PATH)"
             ),
         }
     }

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use v2d_comm::{ReduceOp, Spmd, Universe};
 use v2d_core::problems::GaussianPulse;
+use v2d_core::supervise::{run_supervised_on, RetryPolicy, SuperviseSpec};
 use v2d_linalg::sparsity;
 use v2d_machine::{A64fxModel, FaultKind, FaultPlan, ALL_COMPILERS};
 use v2d_obs::{BenchReport, Gate, Metric, Metrics, RunReport, Tracer};
@@ -45,11 +46,15 @@ pub struct CollectOpts {
     /// SVE clock — the CI red-run demonstration: even one cycle must
     /// trip the exact gate.
     pub perturb_cycles: u64,
+    /// Inject this many phantom replayed steps into the supervised
+    /// recovery ledger before recording it — the red-run proof for the
+    /// `supervise.*` gate family.
+    pub perturb_supervise: u64,
 }
 
 impl Default for CollectOpts {
     fn default() -> Self {
-        CollectOpts { wallclock: true, rounds: 3, perturb_cycles: 0 }
+        CollectOpts { wallclock: true, rounds: 3, perturb_cycles: 0, perturb_supervise: 0 }
     }
 }
 
@@ -319,6 +324,59 @@ pub fn add_fault_mini_nl(report: &mut BenchReport) {
     add_fault_totals(report, "faults_nl", &rr);
 }
 
+/// The pinned supervised-recovery scenario behind the `supervise.*`
+/// entries: the `supervise_recovery` regression coordinates — linear
+/// 24×12 pulse on 2×1 ranks, rank 0 killed at the top of step 2,
+/// checkpoint after every step, shrink allowed — run explicitly on the
+/// event-driven universe.  The whole recovery ledger (kills, rollbacks,
+/// re-decompositions, steps replayed, attempts, virtual backoff, MTTR)
+/// plus a checksum of the recovered global field gate bit-for-bit.
+/// `perturb` injects phantom replayed steps before recording — the CI
+/// red-run demonstration for this family.
+pub fn add_supervise(report: &mut BenchReport, perturb: u64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Unique scratch dir per call: report collections run concurrently
+    // inside one test binary.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "v2d_bench_supervise_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let spec = SuperviseSpec {
+        cfg: GaussianPulse::linear_config(24, 12, 5),
+        np1: 2,
+        np2: 1,
+        plan: FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill),
+        checkpoint_every: 1,
+        checkpoint_keep: 4,
+        dir: dir.clone(),
+    };
+    let run = run_supervised_on(&spec, RetryPolicy::default(), Universe::EventDriven)
+        .expect("the pinned supervised scenario must recover");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut m = Metrics::new();
+    let l = &run.ledger;
+    m.record_supervise(
+        l.kills,
+        l.rollbacks,
+        l.redecompositions,
+        l.steps_replayed + perturb,
+        l.attempts,
+        l.backoff_virtual_secs,
+        run.mttr_virtual_secs,
+    );
+    for (name, metric) in m.iter() {
+        match metric {
+            Metric::Counter(c) => report.add(name, *c as f64, "count", Gate::Exact),
+            Metric::Gauge(g) => report.add(name, *g, "s", Gate::Exact),
+            Metric::Hist(_) => {}
+        }
+    }
+    let bytes: Vec<u8> = run.final_bits.iter().flat_map(|b| b.to_le_bytes()).collect();
+    report.add("supervise.final_fnv32", fnv32(&bytes) as f64, "hash", Gate::Exact);
+}
+
 /// Collect the canonical report.
 pub fn collect(opts: &CollectOpts) -> BenchReport {
     let mut report = BenchReport::new(vec![
@@ -338,6 +396,7 @@ pub fn collect(opts: &CollectOpts) -> BenchReport {
     add_fuse(&mut report);
     add_fault_mini(&mut report);
     add_fault_mini_nl(&mut report);
+    add_supervise(&mut report, opts.perturb_supervise);
 
     if opts.wallclock {
         report.add("wallclock.table2_s", t2_secs, "s_wall", Gate::Ceil { frac: WALLCLOCK_CEIL });
@@ -401,15 +460,22 @@ mod tests {
 
     #[test]
     fn quick_report_round_trips_and_self_compares_clean() {
-        let opts = CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 0 };
+        let opts = CollectOpts { wallclock: false, rounds: 1, ..CollectOpts::default() };
         let report = collect(&opts);
         let back = BenchReport::parse(&report.to_json_string()).expect("parses");
         let cmp = compare(&report, &back);
         assert!(cmp.pass(), "round-trip drift:\n{}", cmp.table(true));
         // The exact families are all present.
-        for prefix in
-            ["table2.", "fig1.", "table1_mini.", "table1_full.", "sched.", "faults.", "sve.fuse."]
-        {
+        for prefix in [
+            "table2.",
+            "fig1.",
+            "table1_mini.",
+            "table1_full.",
+            "sched.",
+            "faults.",
+            "sve.fuse.",
+            "supervise.",
+        ] {
             assert!(report.entries.keys().any(|k| k.starts_with(prefix)), "no {prefix} entries");
         }
         // Fusion actually fires: every coverage counter is nonzero, and
@@ -424,11 +490,33 @@ mod tests {
 
     #[test]
     fn one_cycle_perturbation_trips_the_gate() {
-        let base = collect(&CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 0 });
-        let fresh = collect(&CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 1 });
+        let quick = CollectOpts { wallclock: false, rounds: 1, ..CollectOpts::default() };
+        let base = collect(&quick);
+        let fresh = collect(&CollectOpts { perturb_cycles: 1, ..quick });
         let cmp = compare(&base, &fresh);
         assert!(!cmp.pass(), "a 1-cycle perturbation must not pass the exact gate");
         assert_eq!(cmp.failures(), 1, "{}", cmp.table(true));
+    }
+
+    #[test]
+    fn ledger_perturbation_trips_the_gate() {
+        let quick = CollectOpts { wallclock: false, rounds: 1, ..CollectOpts::default() };
+        let base = collect(&quick);
+        let fresh = collect(&CollectOpts { perturb_supervise: 1, ..quick });
+        let cmp = compare(&base, &fresh);
+        assert!(!cmp.pass(), "a phantom replayed step must not pass the exact gate");
+        assert_eq!(cmp.failures(), 1, "{}", cmp.table(true));
+        // The pinned scenario actually recovered: one kill, one
+        // rollback, one shrink, checksum present.
+        for (key, want) in [
+            ("supervise.kills", 1.0),
+            ("supervise.rollbacks", 1.0),
+            ("supervise.redecompositions", 1.0),
+            ("supervise.attempts", 2.0),
+        ] {
+            assert_eq!(base.entries[key].value, want, "{key}");
+        }
+        assert!(base.entries.contains_key("supervise.final_fnv32"));
     }
 
     #[test]

@@ -50,7 +50,8 @@ fn fault_recovery_trace_is_bit_identical_across_replays() {
 fn bench_compare_round_trips_and_flags_drift() {
     // Build a wallclock-free baseline through the library and hand it
     // to the real binary.
-    let opts = report::CollectOpts { wallclock: false, rounds: 1, perturb_cycles: 0 };
+    let opts =
+        report::CollectOpts { wallclock: false, rounds: 1, ..report::CollectOpts::default() };
     let baseline = report::collect(&opts).to_json_string();
     let path = std::env::temp_dir().join(format!("v2d_obs_baseline_{}.json", std::process::id()));
     std::fs::write(&path, baseline).expect("write temp baseline");

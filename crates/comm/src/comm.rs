@@ -1,6 +1,6 @@
 //! Point-to-point messaging and data-carrying collectives.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -141,6 +141,14 @@ pub enum CommError {
     /// wait graph at quiescence.  (The thread-backed universe cannot
     /// produce this — it has no global view and relies on watchdogs.)
     Deadlock { rank: usize, waiting: Vec<WaitEdge> },
+    /// Rank `rank` retired permanently (a `RankKill` /
+    /// `RankStallForever` fault) and the caller's wait could only have
+    /// been satisfied by it.  `site` is the p2p tag for receives or the
+    /// collective call-site id for collectives.  Both universes produce
+    /// this same value at the same program point: messages the dead rank
+    /// posted before dying stay deliverable, it never sends again, and
+    /// the error carries no virtual-time charge.
+    RankDead { rank: usize, site: u32 },
 }
 
 impl std::fmt::Display for CommError {
@@ -192,6 +200,9 @@ impl std::fmt::Display for CommError {
                     write!(f, " [{e}]")?;
                 }
                 Ok(())
+            }
+            CommError::RankDead { rank, site } => {
+                write!(f, "peer rank {rank} is dead (observed at site {site:#x})")
             }
         }
     }
@@ -385,6 +396,12 @@ pub(crate) struct Shared {
     /// sender can [`Shared::nudge`] it awake instead of the receiver
     /// polling the channel on a busy loop.
     parked: Vec<Mutex<Option<std::thread::Thread>>>,
+    /// Liveness registry: `dead[r]` is set by [`Shared::retire`] when
+    /// rank `r` dies permanently (`RankKill` / `RankStallForever`).
+    /// Receivers and collective waiters probe it so a wait satisfiable
+    /// only by a dead rank degrades to [`CommError::RankDead`] instead
+    /// of hanging until a watchdog fires.
+    dead: Vec<AtomicBool>,
 }
 
 impl Shared {
@@ -416,6 +433,36 @@ impl Shared {
         if let Some(t) = lock_tolerant(&self.parked[dst]).take() {
             t.unpark();
         }
+    }
+
+    /// Mark `rank` permanently dead and wake everyone who might be
+    /// waiting on it.  Taking the collective lock before `notify_all`
+    /// serializes the flag store with every check-then-wait sequence in
+    /// [`Comm::collective_threads`] (waiters hold the lock from their
+    /// dead-check through condvar-wait entry), so no waiter can miss
+    /// the wakeup; the nudges re-run every parked receiver's probe loop.
+    fn retire(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+        let round = lock_tolerant(&self.coll);
+        self.coll_cv.notify_all();
+        drop(round);
+        for dst in 0..self.n_ranks {
+            self.nudge(dst);
+        }
+    }
+
+    /// Lowest-numbered dead rank, if any.
+    fn first_dead(&self) -> Option<usize> {
+        (0..self.n_ranks).find(|&r| self.dead[r].load(Ordering::SeqCst))
+    }
+
+    /// Lowest-numbered dead rank that has *not* deposited into the
+    /// current collective round — the round can then never complete.
+    /// (A rank that deposited before dying still lets the round finish;
+    /// survivors use the result.)
+    fn dead_blocker(&self, round: &CollRound) -> Option<usize> {
+        (0..self.n_ranks)
+            .find(|&r| self.dead[r].load(Ordering::SeqCst) && round.contrib[r].is_none())
     }
 
     /// Snapshot of every rank currently blocked inside a receive.
@@ -479,6 +526,7 @@ impl Comm {
             pool: Mutex::new(Vec::new()),
             waiting: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
             parked: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
+            dead: (0..n_ranks).map(|_| AtomicBool::new(false)).collect(),
         });
         (0..n_ranks)
             .map(|rank| Comm { rank, backend: Backend::Threads(Arc::clone(&shared)) })
@@ -502,6 +550,19 @@ impl Comm {
         match &self.backend {
             Backend::Threads(sh) => sh.n_ranks,
             Backend::Events(core) => core.n_ranks(),
+        }
+    }
+
+    /// Retire this rank permanently: the endpoint is marked dead and
+    /// every peer wait satisfiable only by it resolves into
+    /// [`CommError::RankDead`].  Called by the rank itself when a
+    /// `RankKill` / `RankStallForever` fault fires, *before* its body
+    /// returns — messages already sent stay deliverable, nothing else
+    /// will ever be sent.  Idempotent; charges no virtual time.
+    pub fn retire(&self) {
+        match &self.backend {
+            Backend::Threads(sh) => sh.retire(self.rank),
+            Backend::Events(core) => core.kill(self.rank),
         }
     }
 
@@ -760,10 +821,14 @@ impl Comm {
     ///
     /// Deadline-armed waits used to poll `recv_timeout` on escalating
     /// slices, which kept a blocked rank's core warm for the whole wait.
-    /// Now they park with bounded exponential backoff (50 µs doubling to
-    /// a 50 ms cap) and the sender unparks them through
-    /// [`Shared::nudge`], so a blocked rank costs the host nothing until
-    /// mail actually arrives or the deadline expires.
+    /// Now every wait parks with bounded exponential backoff (50 µs
+    /// doubling to a 50 ms cap) and the sender unparks the receiver
+    /// through [`Shared::nudge`], so a blocked rank costs the host
+    /// nothing until mail arrives, the deadline expires, or the source
+    /// rank retires.  The bounded park cap doubles as the liveness
+    /// probe: even if [`Shared::retire`]'s nudge races past an
+    /// unpublished handle, the receiver re-checks the dead flag within
+    /// one park slice.
     fn recv_msg_threads(
         &self,
         sh: &Shared,
@@ -771,56 +836,66 @@ impl Comm {
         tag: u32,
         deadline: Option<Duration>,
     ) -> Result<Message, CommError> {
+        enum Fail {
+            Disconnected,
+            TimedOut,
+            Dead,
+        }
         *lock_tolerant(&sh.waiting[self.rank]) = Some((src, tag));
         let got = {
             let rx = lock_tolerant(&sh.mailboxes[self.rank][src]);
-            match deadline {
-                None => rx.recv().map_err(|_| None),
-                Some(total) => {
-                    let start = Instant::now();
-                    let mut backoff = Duration::from_micros(50);
-                    loop {
-                        match rx.try_recv() {
-                            Ok(msg) => break Ok(msg),
-                            Err(TryRecvError::Disconnected) => break Err(None),
-                            Err(TryRecvError::Empty) => {}
-                        }
-                        let left = match total.checked_sub(start.elapsed()) {
-                            Some(left) if !left.is_zero() => left,
-                            _ => break Err(Some(())),
-                        };
-                        // Publish our handle, then re-check: a message
-                        // that slipped in between the poll and the
-                        // registration must not strand us parked.
-                        *lock_tolerant(&sh.parked[self.rank]) = Some(std::thread::current());
-                        match rx.try_recv() {
-                            Ok(msg) => {
-                                *lock_tolerant(&sh.parked[self.rank]) = None;
-                                break Ok(msg);
-                            }
-                            Err(TryRecvError::Disconnected) => {
-                                *lock_tolerant(&sh.parked[self.rank]) = None;
-                                break Err(None);
-                            }
-                            Err(TryRecvError::Empty) => {}
-                        }
-                        std::thread::park_timeout(backoff.min(left));
-                        *lock_tolerant(&sh.parked[self.rank]) = None;
-                        backoff = (backoff * 2).min(Duration::from_millis(50));
-                    }
+            let start = Instant::now();
+            let mut backoff = Duration::from_micros(50);
+            loop {
+                match rx.try_recv() {
+                    Ok(msg) => break Ok(msg),
+                    Err(TryRecvError::Disconnected) => break Err(Fail::Disconnected),
+                    Err(TryRecvError::Empty) => {}
                 }
+                // The channel is empty, so everything the source sent
+                // before retiring has been consumed: a dead source can
+                // never satisfy this wait.
+                if sh.dead[src].load(Ordering::SeqCst) {
+                    break Err(Fail::Dead);
+                }
+                let left = match deadline {
+                    None => Duration::from_millis(50),
+                    Some(total) => match total.checked_sub(start.elapsed()) {
+                        Some(left) if !left.is_zero() => left,
+                        _ => break Err(Fail::TimedOut),
+                    },
+                };
+                // Publish our handle, then re-check: a message that
+                // slipped in between the poll and the registration must
+                // not strand us parked.
+                *lock_tolerant(&sh.parked[self.rank]) = Some(std::thread::current());
+                match rx.try_recv() {
+                    Ok(msg) => {
+                        *lock_tolerant(&sh.parked[self.rank]) = None;
+                        break Ok(msg);
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        *lock_tolerant(&sh.parked[self.rank]) = None;
+                        break Err(Fail::Disconnected);
+                    }
+                    Err(TryRecvError::Empty) => {}
+                }
+                std::thread::park_timeout(backoff.min(left));
+                *lock_tolerant(&sh.parked[self.rank]) = None;
+                backoff = (backoff * 2).min(Duration::from_millis(50));
             }
         };
         *lock_tolerant(&sh.waiting[self.rank]) = None;
         match got {
             Ok(msg) => Ok(msg),
-            Err(Some(())) => {
+            Err(Fail::TimedOut) => {
                 // Deadline fired: snapshot who else is stuck (the
                 // deadlock diagnostic) and report.
                 let blocked = sh.blocked_ranks();
                 Err(CommError::Timeout { rank: self.rank, src, tag, blocked })
             }
-            Err(None) => Err(CommError::Disconnected { rank: self.rank, src, tag }),
+            Err(Fail::Disconnected) => Err(CommError::Disconnected { rank: self.rank, src, tag }),
+            Err(Fail::Dead) => Err(CommError::RankDead { rank: src, site: tag }),
         }
     }
 
@@ -974,6 +1049,11 @@ impl Comm {
             if let Some(p) = round.poison.clone() {
                 return Err(p);
             }
+            // A dead rank can never deposit into the round we are
+            // trying to enter, so give up before waiting out the drain.
+            if let Some(d) = shared.first_dead() {
+                return Err(CommError::RankDead { rank: d, site: ticket.site });
+            }
             round = match wait_step(cv, round, deadline, wait_start, &mut slice) {
                 Ok(g) => g,
                 Err(()) => {
@@ -984,6 +1064,9 @@ impl Comm {
         }
         if let Some(p) = round.poison.clone() {
             return Err(p);
+        }
+        if let Some(d) = shared.dead_blocker(&round) {
+            return Err(CommError::RankDead { rank: d, site: ticket.site });
         }
         // Lockstep verification: first depositor stamps the round's
         // ticket, everyone else must present the same one.
@@ -1017,6 +1100,12 @@ impl Comm {
             }
             if let Some((p, s)) = round.result.as_ref() {
                 break (Arc::clone(p), s.clone());
+            }
+            // A completed round's result is used even if a depositor
+            // died afterwards, so only a dead rank that never deposited
+            // (the round can then never complete) fails the wait.
+            if let Some(d) = shared.dead_blocker(&round) {
+                return Err(CommError::RankDead { rank: d, site: ticket.site });
             }
             round = match wait_step(cv, round, deadline, wait_start, &mut slice) {
                 Ok(g) => g,

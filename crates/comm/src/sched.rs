@@ -126,6 +126,11 @@ struct CoreState {
     /// of the thread backend's per-pair channels.
     mail: Vec<Vec<VecDeque<Message>>>,
     coll: CollRound,
+    /// Liveness registry: `dead[r]` is set by [`EventCore::kill`] when
+    /// rank `r` retires permanently (a `RankKill` / `RankStallForever`
+    /// fault).  Orthogonal to [`Status`] — the dying rank keeps Running
+    /// until its body returns through [`EventCore::finish`].
+    dead: Vec<bool>,
     /// Free list of payload buffers (see `Comm::recv_into`).
     pool: Vec<Vec<f64>>,
     registered: usize,
@@ -169,6 +174,7 @@ impl EventCore {
                     .map(|_| (0..n_ranks).map(|_| VecDeque::new()).collect())
                     .collect(),
                 coll: CollRound::new(n_ranks),
+                dead: vec![false; n_ranks],
                 pool: Vec::new(),
                 registered: 0,
                 dispatches: 0,
@@ -212,6 +218,30 @@ impl EventCore {
                 return;
             }
             std::thread::park();
+        }
+    }
+
+    /// Mark `rank` permanently dead and ready every task whose wait it
+    /// could have satisfied: receivers blocked on `rank → self` and all
+    /// collective waiters.  Woken tasks re-check the liveness registry
+    /// and resolve into `CommError::RankDead` when their wait can no
+    /// longer complete.  The caller is the dying rank itself, still
+    /// Running — no dispatch happens here; its eventual
+    /// [`EventCore::finish`] hands the baton onward as usual.  Messages
+    /// it posted before dying stay in the mail queues (deliverable),
+    /// matching the thread backend, whose channels cannot un-send.
+    pub(crate) fn kill(&self, rank: usize) {
+        let mut st = lock_tolerant(&self.state);
+        st.dead[rank] = true;
+        for r in 0..st.tasks.len() {
+            if st.tasks[r].status != Status::Blocked {
+                continue;
+            }
+            match st.tasks[r].wait {
+                Some(Wait::Recv { src, .. }) if src == rank => Self::make_ready(&mut st, r),
+                Some(Wait::Coll { .. }) => Self::make_ready(&mut st, r),
+                _ => {}
+            }
         }
     }
 
@@ -404,6 +434,12 @@ impl EventCore {
             if let Some(msg) = st.mail[rank][src].pop_front() {
                 return Ok(msg);
             }
+            // The queue is drained, so everything `src` posted before
+            // dying has been consumed: a dead source can never satisfy
+            // this wait.
+            if st.dead[src] {
+                return Err(CommError::RankDead { rank: src, site: tag });
+            }
             let (guard, verdict) = self.sched_wait(st, rank, Wait::Recv { src, tag, armed }, key);
             st = guard;
             match verdict {
@@ -447,11 +483,19 @@ impl EventCore {
             if st.coll.result.is_none() {
                 break;
             }
+            // A dead rank can never deposit into the round we are
+            // trying to enter, so give up before waiting out the drain.
+            if let Some(d) = Self::first_dead(&st) {
+                return Err(CollFailure::plain(CommError::RankDead { rank: d, site: ticket.site }));
+            }
             let (guard, verdict) = self.sched_wait(st, rank, Wait::Coll { ticket, armed }, key);
             st = guard;
             if let Some(v) = verdict {
                 return Err(Self::coll_verdict(rank, v));
             }
+        }
+        if let Some(d) = Self::dead_blocker(&st) {
+            return Err(CollFailure::plain(CommError::RankDead { rank: d, site: ticket.site }));
         }
         // Lockstep verification: first depositor stamps the round's
         // ticket, everyone else must present the same one.
@@ -483,6 +527,12 @@ impl EventCore {
             if let Some((p, s)) = st.coll.result.as_ref() {
                 break (Arc::clone(p), s.clone());
             }
+            // A completed round's result is used even if a depositor
+            // died afterwards, so only a dead rank that never deposited
+            // (the round can then never complete) fails the wait.
+            if let Some(d) = Self::dead_blocker(&st) {
+                return Err(CollFailure::plain(CommError::RankDead { rank: d, site: ticket.site }));
+            }
             let (guard, verdict) = self.sched_wait(st, rank, Wait::Coll { ticket, armed }, key);
             st = guard;
             if let Some(v) = verdict {
@@ -497,6 +547,17 @@ impl EventCore {
             Self::wake_collective_waiters(&mut st);
         }
         Ok((payload, sync))
+    }
+
+    /// Lowest-numbered dead rank, if any.
+    fn first_dead(st: &CoreState) -> Option<usize> {
+        st.dead.iter().position(|&d| d)
+    }
+
+    /// Lowest-numbered dead rank that has *not* deposited into the
+    /// current collective round — the round can then never complete.
+    fn dead_blocker(st: &CoreState) -> Option<usize> {
+        (0..st.dead.len()).find(|&r| st.dead[r] && st.coll.contrib[r].is_none())
     }
 
     fn coll_verdict(rank: usize, v: Verdict) -> CollFailure {

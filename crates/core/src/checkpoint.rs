@@ -87,7 +87,7 @@ impl From<CommError> for CheckpointError {
     }
 }
 
-fn attr_i64(file: &File, name: &str) -> Result<i64, CheckpointError> {
+pub(crate) fn attr_i64(file: &File, name: &str) -> Result<i64, CheckpointError> {
     match file.attr(name) {
         Ok(Value::I64(v)) => Ok(*v),
         Ok(_) => Err(CheckpointError::BadAttr { name: name.into(), expected: "an integer" }),
@@ -277,6 +277,28 @@ impl CheckpointStore {
         &self.dir
     }
 
+    /// Adjust the retention policy: keep at most `k` checkpoints
+    /// (clamped to ≥ 1).  Pruning runs after each successful
+    /// [`CheckpointStore::save`] and never deletes the newest file.
+    pub fn keep_last(mut self, k: usize) -> Self {
+        self.keep = k.max(1);
+        self
+    }
+
+    /// The current retention bound.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Delete every checkpoint file in the store's directory (e.g. when
+    /// a supervised run starts fresh and stale checkpoints from an
+    /// earlier run must not be rolled back into).  Best-effort.
+    pub fn clear(&mut self) {
+        for path in self.checkpoint_files() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
     fn checkpoint_files(&self) -> Vec<PathBuf> {
         let mut files: Vec<PathBuf> = match std::fs::read_dir(&self.dir) {
             Ok(rd) => rd
@@ -414,5 +436,42 @@ mod tests {
         let loaded = v2d_io::File::open(&path).unwrap();
         assert_eq!(&loaded, &single[0]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_retention_keeps_last_k_and_clear_empties() {
+        let (n1, n2) = (8, 6);
+        let cfg = GaussianPulse::linear_config(n1, n2, 10);
+        let ck = Spmd::new(1).with_profiles(profiles()).run(|ctx| {
+            let map = TileMap::new(n1, n2, 1, 1);
+            let mut sim = V2dSim::new(cfg, &ctx.comm, map);
+            GaussianPulse::standard().init(&mut sim);
+            sim.step(&ctx.comm, &mut ctx.sink);
+            write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather")
+        });
+        let dir = std::env::temp_dir().join(format!("v2d_ck_retention_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = CheckpointStore::new(&dir, 10).unwrap().keep_last(3);
+        assert_eq!(store.keep(), 3);
+        for istep in 1..=6 {
+            store.save(&ck[0], istep).unwrap();
+        }
+        let left: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        let mut left_sorted = left.clone();
+        left_sorted.sort();
+        assert_eq!(
+            left_sorted,
+            vec!["ck_00000004.h5l", "ck_00000005.h5l", "ck_00000006.h5l"],
+            "retention must keep exactly the newest 3"
+        );
+        let (_, newest, _) = store.load_latest().unwrap();
+        assert!(newest.ends_with("ck_00000006.h5l"));
+        store.clear();
+        assert!(store.load_latest().is_err(), "cleared store has nothing to load");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

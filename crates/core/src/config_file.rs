@@ -307,6 +307,24 @@ impl ParFile {
         check("run.nprx2", nprx2 >= 1, "process topology must be >= 1")?;
         Ok((cfg, (nprx1, nprx2)))
     }
+
+    /// The checkpoint cadence knobs of the `[run]` section:
+    /// `(checkpoint_every, checkpoint_keep)`.  `checkpoint_every = 0`
+    /// (the default) disables periodic checkpointing entirely — the
+    /// paper decks carry no knob and their runs stay byte-identical;
+    /// `checkpoint_keep` bounds the on-disk rotation
+    /// ([`crate::checkpoint::CheckpointStore::keep_last`], default 4).
+    pub fn checkpoint_policy(&self) -> Result<(usize, usize), ParError> {
+        let every: usize = self.scalar_or("run.checkpoint_every", 0)?;
+        let keep: usize = self.scalar_or("run.checkpoint_keep", 4)?;
+        if keep < 1 {
+            return Err(ParError::Invalid {
+                key: "run.checkpoint_keep".into(),
+                msg: "must keep at least one checkpoint".into(),
+            });
+        }
+        Ok((every, keep))
+    }
 }
 
 /// The parameter file reproducing the paper's benchmark configuration.
@@ -430,6 +448,22 @@ mod tests {
                 other => panic!("`{to}` accepted: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_policy_defaults_off_and_validates() {
+        let pf = ParFile::parse(PAPER_PAR).unwrap();
+        assert_eq!(pf.checkpoint_policy().unwrap(), (0, 4), "paper deck: no checkpointing");
+        let pf = ParFile::parse(
+            "[run]\ndt = 0.1\nn_steps = 1\ncheckpoint_every = 5\ncheckpoint_keep = 2\n",
+        )
+        .unwrap();
+        assert_eq!(pf.checkpoint_policy().unwrap(), (5, 2));
+        let pf = ParFile::parse("[run]\ndt = 0.1\nn_steps = 1\ncheckpoint_keep = 0\n").unwrap();
+        assert!(matches!(
+            pf.checkpoint_policy(),
+            Err(ParError::Invalid { key, .. }) if key == "run.checkpoint_keep"
+        ));
     }
 
     #[test]

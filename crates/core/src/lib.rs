@@ -31,7 +31,10 @@
 //! * [`sim`] — the [`sim::V2dSim`] driver tying it together;
 //! * [`config_file`] — the runtime parameter-file reader (V2D-style
 //!   `key = value` decks, including the NPRX1/NPRX2 topology knobs);
-//! * [`checkpoint`] — HDF5-style (h5lite) parallel checkpoint/restart.
+//! * [`checkpoint`] — HDF5-style (h5lite) parallel checkpoint/restart;
+//! * [`supervise`] — the fault-tolerant run supervisor: checkpoint
+//!   rollback, bounded retries with deterministic virtual-clock backoff,
+//!   and shrinking re-decomposition after permanent rank loss.
 
 // Library code recovers through typed errors (SolveError,
 // CheckpointError, ParError) rather than panicking; tests and binaries
@@ -48,8 +51,13 @@ pub mod opacity;
 pub mod problems;
 pub mod rad;
 pub mod sim;
+pub mod supervise;
 
 pub use grid::{Geometry, Grid2, LocalGrid};
 pub use limiter::Limiter;
 pub use opacity::OpacityModel;
 pub use sim::{PrecondKind, RecoveryPolicy, StepError, StepStats, V2dConfig, V2dSim};
+pub use supervise::{
+    run_supervised, run_supervised_on, RecoveryLedger, RetryPolicy, SuperviseError,
+    SuperviseReport, SuperviseSpec,
+};

@@ -102,6 +102,13 @@ pub enum StepError {
     /// communicator's collectives are sticky-poisoned — the run is over
     /// on every rank, each holding a typed verdict instead of a hang.
     Comm { istep: usize, error: CommError },
+    /// This rank was killed by its fault plan (`RankKill`, or
+    /// `RankStallForever` when `stalled`) at the top of step `istep`.
+    /// Its comm endpoint is already retired — peers resolve into
+    /// [`CommError::RankDead`] — and the body must return without
+    /// touching the communicator again.  Only the supervisor
+    /// (`v2d_core::supervise`) can recover from this, by relaunching.
+    Lost { istep: usize, stalled: bool },
 }
 
 impl std::fmt::Display for StepError {
@@ -113,6 +120,12 @@ impl std::fmt::Display for StepError {
             StepError::Comm { istep, error } => {
                 write!(f, "step {istep}: communicator failed: {error}")
             }
+            StepError::Lost { istep, stalled: false } => {
+                write!(f, "step {istep}: rank killed by fault plan")
+            }
+            StepError::Lost { istep, stalled: true } => {
+                write!(f, "step {istep}: rank stalled forever by fault plan")
+            }
         }
     }
 }
@@ -122,6 +135,7 @@ impl std::error::Error for StepError {
         match self {
             StepError::Radiation { error, .. } => Some(error),
             StepError::Comm { error, .. } => Some(error),
+            StepError::Lost { .. } => None,
         }
     }
 }
@@ -362,7 +376,14 @@ impl V2dSim {
         comm: &Comm,
         sink: &mut MultiCostSink,
     ) -> Result<StepStats, StepError> {
-        self.arm_step_faults(sink);
+        if let Some(kind) = self.arm_step_faults(sink) {
+            // Whole-rank death: retire the endpoint first so peer waits
+            // resolve into typed `RankDead` instead of hanging, then
+            // unwind without advancing time.
+            comm.retire();
+            let stalled = matches!(kind, v2d_machine::FaultKind::RankStallForever);
+            return Err(StepError::Lost { istep: self.istep, stalled });
+        }
         let istep = self.istep;
         let mut cx = ExecCtx::with_parts(
             sink,
@@ -408,10 +429,19 @@ impl V2dSim {
 
     /// Arm this step's scheduled faults and apply the ones aimed at the
     /// driver itself: a rank stall charges virtual time, a field fault
-    /// poisons one cell of the radiation field.
-    fn arm_step_faults(&mut self, sink: &mut MultiCostSink) {
+    /// poisons one cell of the radiation field.  A whole-rank death
+    /// (`RankKill` / `RankStallForever`) is returned to [`Self::try_step`]
+    /// instead — a dead rank injects nothing else and must not step.
+    fn arm_step_faults(&mut self, sink: &mut MultiCostSink) -> Option<v2d_machine::FaultKind> {
         if let Some(inj) = &mut self.faults {
             inj.begin_step(self.istep as u64);
+            if let Some(kind) = inj.poll_kill() {
+                let stalled = matches!(kind, v2d_machine::FaultKind::RankStallForever);
+                if let Some(t) = &mut self.tracer {
+                    t.instant(sink, "fault_kill", &[("stalled", AttrVal::Bool(stalled))]);
+                }
+                return Some(kind);
+            }
             if let Some(secs) = inj.poll_stall() {
                 for lane in &mut sink.lanes {
                     lane.charge_mpi_secs(secs);
@@ -436,6 +466,7 @@ impl V2dSim {
                 }
             }
         }
+        None
     }
 
     /// Run `n_steps` (from the config), returning aggregates.

@@ -44,6 +44,16 @@ pub enum FaultKind {
     /// Corrupt the checkpoint written at this step: flip one byte at a
     /// fractional offset `byte_frac` in (0, 1) of the serialized file.
     CorruptCheckpoint { byte_frac: f64 },
+    /// Kill this rank permanently at the top of the step: the rank body
+    /// returns with a fatal error, its comm endpoint is retired, and
+    /// every peer wait satisfiable only by it resolves into
+    /// `CommError::RankDead`.  Models a node loss.
+    RankKill,
+    /// The rank never makes progress again but (conceptually) keeps its
+    /// endpoint open.  At the comm layer this is indistinguishable from
+    /// a kill — the rank retires before its first blocking site of the
+    /// step — but the recovery report records the distinct cause.
+    RankStallForever,
 }
 
 impl FaultKind {
@@ -58,6 +68,8 @@ impl FaultKind {
             FaultKind::DelayMessage { .. } => "delay-message",
             FaultKind::RankStall { .. } => "rank-stall",
             FaultKind::CorruptCheckpoint { .. } => "corrupt-checkpoint",
+            FaultKind::RankKill => "rank-kill",
+            FaultKind::RankStallForever => "rank-stall-forever",
         }
     }
 }
@@ -312,6 +324,16 @@ impl FaultInjector {
         None
     }
 
+    /// A whole-rank death scheduled for this `(step, rank)`, if any.
+    /// Polled at the very top of the step, before any other fault class
+    /// — a dead rank injects nothing else.
+    pub fn poll_kill(&mut self) -> Option<FaultKind> {
+        let kind =
+            self.take_event(|k| matches!(k, FaultKind::RankKill | FaultKind::RankStallForever))?;
+        self.note(format!("inject {}", kind.name()));
+        Some(kind)
+    }
+
     /// Byte-fraction at which to corrupt the checkpoint written this
     /// step, if one is scheduled.
     pub fn poll_checkpoint(&mut self) -> Option<f64> {
@@ -394,6 +416,7 @@ mod tests {
             assert_eq!(inj.poll_send(), SendFault::None);
             assert!(inj.poll_stall().is_none());
             assert!(inj.poll_checkpoint().is_none());
+            assert!(inj.poll_kill().is_none());
         }
         assert!(inj.log.is_empty());
         assert!(inj.is_empty());
@@ -428,6 +451,26 @@ mod tests {
             assert!(inj.poll_solver_breakdown());
             assert!(!inj.poll_solver_breakdown());
         }
+    }
+
+    #[test]
+    fn rank_kill_fires_once_at_its_coordinates() {
+        let plan = FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill).with_event(
+            4,
+            Some(1),
+            FaultKind::RankStallForever,
+        );
+        let mut r0 = FaultInjector::new(plan.clone(), 0);
+        let mut r1 = FaultInjector::new(plan, 1);
+        r0.begin_step(2);
+        r1.begin_step(2);
+        assert_eq!(r0.poll_kill(), Some(FaultKind::RankKill));
+        assert!(r0.poll_kill().is_none(), "fires once");
+        assert!(r1.poll_kill().is_none(), "wrong rank");
+        r1.begin_step(4);
+        assert_eq!(r1.poll_kill(), Some(FaultKind::RankStallForever));
+        assert_eq!(r0.log.len(), 1);
+        assert!(r0.log[0].what.contains("rank-kill"));
     }
 
     #[test]

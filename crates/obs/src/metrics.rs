@@ -109,6 +109,33 @@ impl Metrics {
         self.counter_add("sve.fuse.total_ops", total_ops);
     }
 
+    /// Fold a run supervisor's recovery ledger into the registry under
+    /// the `supervise.*` namespace: counters for kills observed,
+    /// rollback cycles, shrinking re-decompositions, steps replayed,
+    /// and launches made, plus gauges for the accumulated virtual
+    /// backoff and the virtual-time MTTR.  The whole ledger is a pure
+    /// function of spec × policy × fault plan, so reports carrying it
+    /// gate bit-for-bit like any modeled quantity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_supervise(
+        &mut self,
+        kills: u64,
+        rollbacks: u64,
+        redecompositions: u64,
+        steps_replayed: u64,
+        attempts: u64,
+        backoff_secs: f64,
+        mttr_secs: f64,
+    ) {
+        self.counter_add("supervise.kills", kills);
+        self.counter_add("supervise.rollbacks", rollbacks);
+        self.counter_add("supervise.redecompositions", redecompositions);
+        self.counter_add("supervise.steps_replayed", steps_replayed);
+        self.counter_add("supervise.attempts", attempts);
+        self.gauge_set("supervise.backoff_s", backoff_secs);
+        self.gauge_set("supervise.mttr_s", mttr_secs);
+    }
+
     /// Look up a metric.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.map.get(name)
@@ -223,6 +250,21 @@ mod tests {
         assert_eq!(m.counter("sve.fuse.chains"), 8);
         assert_eq!(m.counter("sve.fuse.fused_ops"), 750);
         assert_eq!(m.counter("sve.fuse.total_ops"), 1000);
+    }
+
+    #[test]
+    fn supervise_ledger_lands_in_its_namespace() {
+        let mut m = Metrics::new();
+        m.record_supervise(1, 1, 1, 3, 2, 1.0, 1.15);
+        m.record_supervise(0, 1, 0, 2, 1, 0.5, 0.0);
+        assert_eq!(m.counter("supervise.kills"), 1);
+        assert_eq!(m.counter("supervise.rollbacks"), 2);
+        assert_eq!(m.counter("supervise.redecompositions"), 1);
+        assert_eq!(m.counter("supervise.steps_replayed"), 5);
+        assert_eq!(m.counter("supervise.attempts"), 3);
+        // Gauges hold the latest snapshot, not a sum.
+        assert_eq!(m.get("supervise.backoff_s"), Some(&Metric::Gauge(0.5)));
+        assert_eq!(m.get("supervise.mttr_s"), Some(&Metric::Gauge(0.0)));
     }
 
     #[test]

@@ -47,10 +47,10 @@ pub fn stable(run: &RankRun) -> RankRun {
 
 /// Grids the fuzzer samples from: small enough for CI, varied enough to
 /// hit uneven tile splits in both directions.
-const GRIDS: &[(usize, usize)] = &[(16, 8), (24, 12), (12, 12), (20, 10), (8, 16)];
+pub(crate) const GRIDS: &[(usize, usize)] = &[(16, 8), (24, 12), (12, 12), (20, 10), (8, 16)];
 
 /// Rank tilings: single rank, both strip orientations, and a 2×2 square.
-const TILINGS: &[(usize, usize)] = &[(1, 1), (2, 1), (1, 2), (2, 2)];
+pub(crate) const TILINGS: &[(usize, usize)] = &[(1, 1), (2, 1), (1, 2), (2, 2)];
 
 /// Derive the scenario for `seed`.  Pure function of the seed: the
 /// replay property leans on this.

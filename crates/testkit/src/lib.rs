@@ -12,7 +12,12 @@
 //! * [`fuzz`] — the seeded schedule/fault fuzzer ([`fuzz_spec`],
 //!   [`check_seed`], [`campaign`]) asserting no-deadlock, bit-identical
 //!   replay, and zero-fault bit-identity over grid × tiling × fault ×
-//!   policy coordinates.
+//!   policy coordinates;
+//! * [`supfuzz`] — the rank-kill/recovery axis
+//!   ([`supervise_fuzz_case`], [`check_supervise_seed_on`]) sweeping
+//!   supervised runs over kills × retry budgets × shrink on/off and
+//!   asserting completion-or-typed-error, bit-identical replay, and
+//!   zero-kill bit-identity.
 //!
 //! The crate is test infrastructure: it depends on the stack under test
 //! (`v2d-core` and below) and is consumed as a `dev-dependency` (or by
@@ -20,10 +25,12 @@
 
 pub mod fuzz;
 pub mod mini;
+pub mod supfuzz;
 pub mod watchdog;
 
 pub use fuzz::{campaign, campaign_on, check_seed, check_seed_on, fuzz_spec, stable, stable_text};
 pub use mini::{
     merged_log, run_mini, run_mini_observed, run_mini_on, MiniSpec, RankObservation, RankRun,
 };
+pub use supfuzz::{check_supervise_seed_on, supervise_fuzz_case};
 pub use watchdog::{run_with_watchdog, Verdict};

@@ -5,9 +5,13 @@
 //! band, and its exact quiescence detection must turn a deadlocked
 //! schedule into a typed wait-graph error with no watchdog in sight.
 
+use std::time::Duration;
+
 use v2d_comm::{CommError, Spmd, Universe, WaitOn};
-use v2d_machine::CompilerProfile;
-use v2d_testkit::{fuzz_spec, run_mini_observed, stable, MiniSpec, RankObservation};
+use v2d_machine::{CompilerProfile, FaultKind, FaultPlan};
+use v2d_testkit::{
+    check_supervise_seed_on, fuzz_spec, run_mini_observed, stable, MiniSpec, RankObservation,
+};
 
 /// Did any rank in the launch hit a wall-clock/virtual timeout?  Which
 /// waiter a timeout elects as its reporter (and therefore which rank's
@@ -52,6 +56,51 @@ fn fuzz_smoke_band_is_bit_identical_across_universes() {
                 );
             }
         }
+    }
+}
+
+/// A rank killed by its fault plan must surface the *same* typed
+/// verdicts on both engines: the victim reports `StepError::Lost`, the
+/// survivor's wait on the dead peer resolves into a typed
+/// `CommError::RankDead` — the threads engine via its bounded
+/// park/unpark liveness probe, the event engine via the scheduler's
+/// dead-rank registry — with no wall-clock deadline involved.  Death
+/// charges no virtual time, so clocks and traces stay bit-identical too.
+#[test]
+fn rank_kill_produces_identical_typed_death_on_both_universes() {
+    // Two ranks: the survivor observes the victim directly, so the
+    // verdict does not depend on cascade ordering.
+    let mut plan = FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill);
+    // A generous real-time deadline: death detection must not lean on
+    // the receive timeout to resolve.
+    plan.recv_timeout_ms = 60_000;
+    let spec = MiniSpec::linear(16, 8, 4).tiled(2, 1).with_plan(plan);
+    let events = run_mini_observed(&spec, Universe::EventDriven);
+    let threads = run_mini_observed(&spec, Universe::Threads);
+    for outs in [&events, &threads] {
+        let killed = outs[0].run.error.as_deref().unwrap_or("");
+        assert!(killed.contains("rank killed by fault plan"), "victim verdict: {killed}");
+        assert_eq!(outs[0].run.steps_done, 2, "the kill lands at the top of step 2");
+        let survivor = outs[1].run.error.as_deref().unwrap_or("");
+        assert!(survivor.contains("peer rank 0 is dead"), "survivor verdict: {survivor}");
+    }
+    for (rank, (e, t)) in events.iter().zip(&threads).enumerate() {
+        assert_eq!(e, t, "rank {rank}: kill observation diverges across universes");
+    }
+}
+
+/// The supervised-recovery fuzz axis replayed on both universes: every
+/// seed's full `Result` (recovery ledger, final fields, shrunk
+/// decomposition, or typed `SuperviseError`) must agree engine-for-engine.
+#[test]
+fn supervised_recovery_seeds_agree_across_universes() {
+    let deadline = Duration::from_secs(60);
+    for seed in 0..8u64 {
+        let events = check_supervise_seed_on(seed, None, Universe::EventDriven)
+            .unwrap_or_else(|msg| panic!("event universe: {msg}"));
+        let threads = check_supervise_seed_on(seed, Some(deadline), Universe::Threads)
+            .unwrap_or_else(|msg| panic!("threads universe: {msg}"));
+        assert_eq!(events, threads, "seed {seed}: supervised outcome diverges across universes");
     }
 }
 
