@@ -11,8 +11,8 @@
 //!
 //! Flags:
 //! * `--baseline PATH` — baseline report (default `bench/baseline.json`);
-//! * `--skip-wallclock` — drop `s_wall` entries from both sides (for
-//!   machines whose timings are meaningless);
+//! * `--skip-wallclock` — drop wall-clock (`*_wall`) entries from both
+//!   sides (for machines whose timings are meaningless);
 //! * `--quick` — 1 timing round for the wall-clock entries;
 //! * `--perturb-cycles N` — inject N simulated cycles into one modeled
 //!   clock before comparing.  `--perturb-cycles 1` is the red-run
@@ -20,6 +20,9 @@
 //! * `--perturb-supervise N` — inject N phantom replayed steps into the
 //!   supervised recovery ledger before comparing, the red-run
 //!   demonstration for the `supervise.*` family;
+//! * `--perturb-serve N` — inject N phantom deduped requests into the
+//!   service-layer load counters before comparing, the red-run
+//!   demonstration for the `serve.*` family;
 //! * `--summary PATH` — write the markdown delta table there.
 
 use std::io::Write as _;
@@ -52,10 +55,18 @@ fn main() {
                     .parse()
                     .expect("--perturb-supervise needs an integer")
             }
+            "--perturb-serve" => {
+                opts.perturb_serve = args
+                    .next()
+                    .expect("--perturb-serve needs a count")
+                    .parse()
+                    .expect("--perturb-serve needs an integer")
+            }
             "--summary" => summary = args.next(),
             other => panic!(
                 "unknown argument {other:?} (expected --baseline PATH / --skip-wallclock / \
-                 --quick / --perturb-cycles N / --perturb-supervise N / --summary PATH)"
+                 --quick / --perturb-cycles N / --perturb-supervise N / --perturb-serve N / \
+                 --summary PATH)"
             ),
         }
     }
@@ -64,7 +75,7 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline}: {e}"));
     let mut base = BenchReport::parse(&text)
         .unwrap_or_else(|e| panic!("cannot parse baseline {baseline}: {e}"));
-    opts.wallclock = !skip_wallclock && base.entries.values().any(|e| e.unit == "s_wall");
+    opts.wallclock = !skip_wallclock && base.entries.values().any(|e| e.unit.ends_with("_wall"));
     if skip_wallclock {
         strip_wallclock(&mut base);
     }

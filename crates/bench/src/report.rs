@@ -50,11 +50,21 @@ pub struct CollectOpts {
     /// recovery ledger before recording it — the red-run proof for the
     /// `supervise.*` gate family.
     pub perturb_supervise: u64,
+    /// Inject this many phantom deduped requests into the service-layer
+    /// load counters before recording them — the red-run proof for the
+    /// `serve.*` gate family.
+    pub perturb_serve: u64,
 }
 
 impl Default for CollectOpts {
     fn default() -> Self {
-        CollectOpts { wallclock: true, rounds: 3, perturb_cycles: 0, perturb_supervise: 0 }
+        CollectOpts {
+            wallclock: true,
+            rounds: 3,
+            perturb_cycles: 0,
+            perturb_supervise: 0,
+            perturb_serve: 0,
+        }
     }
 }
 
@@ -377,6 +387,70 @@ pub fn add_supervise(report: &mut BenchReport, perturb: u64) {
     report.add("supervise.final_fnv32", fnv32(&bytes) as f64, "hash", Gate::Exact);
 }
 
+/// The service-layer gate family (`serve.*`): drive the quick
+/// synthetic load profile through a scripted (gate-closed admission)
+/// service and pin every deterministic admission counter bit-for-bit —
+/// requests admitted, deduped onto in-flight jobs, served from the
+/// memoized result tier, scheduled, completed, cancelled, rejected —
+/// plus a checksum over the result/cancel response bytes and the
+/// rank-kill spec's recovery ledger.  Scripted admission makes all of
+/// these pure functions of the load profile, so `Exact` gates hold on
+/// any machine.  `perturb` injects phantom deduped requests — the CI
+/// red-run demonstration for this family.  Returns the load outcome so
+/// [`collect`] can also gate the wall-clock throughput as a `Floor`.
+pub fn add_serve(report: &mut BenchReport, perturb: u64) -> v2d_serve::load::LoadOutcome {
+    use v2d_serve::load::{run, LoadProfile};
+    use v2d_serve::ServeOpts;
+    let out = run(&LoadProfile::quick(), ServeOpts::default());
+    add_serve_outcome(report, &out, perturb);
+    out
+}
+
+/// Record one finished load campaign's deterministic entries (used by
+/// both [`add_serve`] and the standalone `bench_serve` harness, which
+/// may drive the full profile instead of the quick one).
+pub fn add_serve_outcome(
+    report: &mut BenchReport,
+    out: &v2d_serve::load::LoadOutcome,
+    perturb: u64,
+) {
+    use v2d_serve::Response;
+    // Only the admission counters are gate material: the pool and
+    // decoded-program-cache counters depend on thread scheduling (and,
+    // for the program tiers, on whatever else the process ran).
+    const GATED: [&str; 12] = [
+        "serve.admitted",
+        "serve.rejected",
+        "serve.deduped",
+        "serve.scheduled",
+        "serve.completed",
+        "serve.failed",
+        "serve.cancelled",
+        "serve.status_served",
+        "serve.cache.result_hits",
+        "serve.cache.result_misses",
+        "serve.cache.result_insertions",
+        "serve.cache.result_evictions",
+    ];
+    for name in GATED {
+        let bump = if name == "serve.deduped" { perturb } else { 0 };
+        report.add(name, (out.metrics.counter(name) + bump) as f64, "count", Gate::Exact);
+    }
+    report.add("serve.results_fnv32", out.checksum as f64, "hash", Gate::Exact);
+    let kill = out
+        .responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Result { id, result, .. } if id == "kill-0" => Some(result),
+            _ => None,
+        })
+        .expect("the load profile's rank-kill spec must be answered");
+    let ledger = kill.ledger.as_ref().expect("a kill response carries its recovery ledger");
+    report.add("serve.kill.kills", ledger.kills as f64, "count", Gate::Exact);
+    report.add("serve.kill.rollbacks", ledger.rollbacks as f64, "count", Gate::Exact);
+    report.add("serve.kill.attempts", ledger.attempts as f64, "count", Gate::Exact);
+}
+
 /// Collect the canonical report.
 pub fn collect(opts: &CollectOpts) -> BenchReport {
     let mut report = BenchReport::new(vec![
@@ -397,18 +471,24 @@ pub fn collect(opts: &CollectOpts) -> BenchReport {
     add_fault_mini(&mut report);
     add_fault_mini_nl(&mut report);
     add_supervise(&mut report, opts.perturb_supervise);
+    let load = add_serve(&mut report, opts.perturb_serve);
 
     if opts.wallclock {
         report.add("wallclock.table2_s", t2_secs, "s_wall", Gate::Ceil { frac: WALLCLOCK_CEIL });
         report.add("wallclock.fig1_s", f1_secs, "s_wall", Gate::Ceil { frac: WALLCLOCK_CEIL });
+        // The service must sustain at least 5% of the baseline rate —
+        // a deliberately loose floor: shared runners are noisy, but a
+        // deadlocked queue or serialized pool still trips it.
+        report.add("serve.load.req_per_s", load.req_per_s, "rps_wall", Gate::Floor { frac: 0.05 });
     }
     report
 }
 
-/// Drop wall-clock entries (`s_wall`) from a report, for comparisons on
-/// machines whose timings are meaningless (e.g. heavily shared runners).
+/// Drop wall-clock entries (any `*_wall` unit: `s_wall` ceilings,
+/// `rps_wall` floors) from a report, for comparisons on machines whose
+/// timings are meaningless (e.g. heavily shared runners).
 pub fn strip_wallclock(report: &mut BenchReport) {
-    report.entries.retain(|_, e| e.unit != "s_wall");
+    report.entries.retain(|_, e| !e.unit.ends_with("_wall"));
 }
 
 /// Table II rows → a [`RunReport`] whose totals carry the modeled
@@ -475,6 +555,7 @@ mod tests {
             "faults.",
             "sve.fuse.",
             "supervise.",
+            "serve.",
         ] {
             assert!(report.entries.keys().any(|k| k.starts_with(prefix)), "no {prefix} entries");
         }
@@ -517,6 +598,23 @@ mod tests {
             assert_eq!(base.entries[key].value, want, "{key}");
         }
         assert!(base.entries.contains_key("supervise.final_fnv32"));
+    }
+
+    #[test]
+    fn serve_perturbation_trips_the_gate() {
+        let quick = CollectOpts { wallclock: false, rounds: 1, ..CollectOpts::default() };
+        let base = collect(&quick);
+        let fresh = collect(&CollectOpts { perturb_serve: 1, ..quick });
+        let cmp = compare(&base, &fresh);
+        assert!(!cmp.pass(), "a phantom deduped request must not pass the exact gate");
+        assert_eq!(cmp.failures(), 1, "{}", cmp.table(true));
+        // The quick load profile exercises the whole admission surface.
+        assert!(base.entries["serve.admitted"].value > 10.0);
+        assert!(base.entries["serve.deduped"].value >= 1.0);
+        assert!(base.entries["serve.cache.result_hits"].value >= 1.0);
+        assert!(base.entries["serve.cancelled"].value >= 1.0);
+        assert_eq!(base.entries["serve.kill.kills"].value, 1.0);
+        assert!(base.entries.contains_key("serve.results_fnv32"));
     }
 
     #[test]

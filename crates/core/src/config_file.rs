@@ -120,6 +120,23 @@ impl ParFile {
         self.entries.get(key).map(String::as_str)
     }
 
+    /// The canonical one-line-per-entry rendering of the deck: sorted
+    /// `section.key = value` pairs, independent of comment placement,
+    /// section ordering, and whitespace.  Two decks with equal canonical
+    /// forms configure bit-identical runs, which is what makes
+    /// content-hash keyed result memoization (the serve layer's dedupe
+    /// and result cache) sound.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(k);
+            out.push_str(" = ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
     fn req(&self, key: &str) -> Result<&str, ParError> {
         self.get(key).ok_or_else(|| ParError::Missing(key.to_string()))
     }

@@ -136,6 +136,35 @@ impl Metrics {
         self.gauge_set("supervise.mttr_s", mttr_secs);
     }
 
+    /// Fold a service-layer admission snapshot into the registry under
+    /// the `serve.*` namespace: requests admitted, rejected at parse,
+    /// deduped onto an in-flight job, served from the memoized result
+    /// cache, scheduled as fresh jobs, completed, failed, and
+    /// subscriber cancellations.  Under the scripted (gated) admission
+    /// mode every one of these is a pure function of the request
+    /// script, so reports carrying them gate bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_serve(
+        &mut self,
+        admitted: u64,
+        rejected: u64,
+        deduped: u64,
+        result_hits: u64,
+        scheduled: u64,
+        completed: u64,
+        failed: u64,
+        cancelled: u64,
+    ) {
+        self.counter_add("serve.admitted", admitted);
+        self.counter_add("serve.rejected", rejected);
+        self.counter_add("serve.deduped", deduped);
+        self.counter_add("serve.cache.result_hits", result_hits);
+        self.counter_add("serve.scheduled", scheduled);
+        self.counter_add("serve.completed", completed);
+        self.counter_add("serve.failed", failed);
+        self.counter_add("serve.cancelled", cancelled);
+    }
+
     /// Look up a metric.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.map.get(name)

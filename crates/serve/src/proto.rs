@@ -1,0 +1,462 @@
+//! The service wire protocol: newline-delimited JSON (NDJSON).
+//!
+//! One request per line in, one response per line out.  Requests carry
+//! an `id` chosen by the client; responses echo it, so a client may
+//! pipeline requests and correlate replies in any order.  The payload
+//! of a submit response lives under a single `"result"` member that is
+//! rendered from a shared [`RunResult`] allocation — two requests that
+//! deduped onto the same job (or hit the result cache) serialize the
+//! *same* object, so their `"result"` bytes are identical by
+//! construction.  The e2e harness asserts exactly that.
+//!
+//! Request lines:
+//!
+//! ```text
+//! {"req":"submit","id":"a","deck":"[grid]\nn1 = 16\n…","priority":2,
+//!  "faults":[{"step":2,"rank":0,"kind":"rank-kill"}]}
+//! {"req":"cancel","id":"c1","target":"a"}
+//! {"req":"status","id":"s1"}
+//! {"req":"shutdown","id":"q1"}
+//! {"req":"barrier"}
+//! ```
+//!
+//! `priority` and `faults` are optional (default `0` / none).
+//! `barrier` is script-mode only: the deterministic harness drains the
+//! pool before admitting what follows; a live daemon rejects it.
+
+use std::sync::Arc;
+
+use v2d_machine::FaultKind;
+use v2d_obs::Json;
+
+/// One fault event requested alongside a deck, mirrored onto
+/// [`v2d_machine::FaultPlan`] events at admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    pub step: u64,
+    /// `None` = any rank (the plan's wildcard).
+    pub rank: Option<usize>,
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// The wire name of the fault kind.  Only the kinds a service
+    /// client can request are named; the richer payload-carrying kinds
+    /// stay internal to the fault-campaign harnesses.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            FaultKind::RankKill => "rank-kill",
+            FaultKind::RankStallForever => "rank-stall-forever",
+            FaultKind::FieldNan => "field-nan",
+            FaultKind::FieldInf => "field-inf",
+            FaultKind::SolverBreakdown { .. } => "solver-breakdown",
+            _ => "unsupported",
+        }
+    }
+
+    fn kind_from_name(name: &str) -> Result<FaultKind, String> {
+        match name {
+            "rank-kill" => Ok(FaultKind::RankKill),
+            "rank-stall-forever" => Ok(FaultKind::RankStallForever),
+            "field-nan" => Ok(FaultKind::FieldNan),
+            "field-inf" => Ok(FaultKind::FieldInf),
+            "solver-breakdown" => Ok(FaultKind::SolverBreakdown { count: 1 }),
+            other => Err(format!("unknown fault kind `{other}`")),
+        }
+    }
+
+    /// Canonical text line used in the request content hash: the fault
+    /// plan is part of the experiment's identity.
+    pub fn canonical(&self) -> String {
+        match self.rank {
+            Some(r) => format!("fault {} {} {}\n", self.step, r, self.kind_name()),
+            None => format!("fault {} * {}\n", self.step, self.kind_name()),
+        }
+    }
+}
+
+/// A submit request: a parameter-file deck plus scheduling knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submit {
+    pub id: String,
+    /// The experiment, in the existing `v2d.par` format.
+    pub deck: String,
+    /// Higher runs earlier; ties break FIFO.
+    pub priority: i64,
+    pub faults: Vec<FaultSpec>,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Submit(Submit),
+    Cancel { id: String, target: String },
+    Status { id: String },
+    Shutdown { id: String },
+    Barrier,
+}
+
+impl Request {
+    /// The request id echoed in responses (barriers have none).
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Request::Submit(s) => Some(&s.id),
+            Request::Cancel { id, .. } | Request::Status { id } | Request::Shutdown { id } => {
+                Some(id)
+            }
+            Request::Barrier => None,
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let j = match self {
+            Request::Submit(s) => {
+                let faults = s
+                    .faults
+                    .iter()
+                    .map(|f| {
+                        let mut fields = vec![("step", Json::Num(f.step as f64))];
+                        if let Some(r) = f.rank {
+                            fields.push(("rank", Json::Num(r as f64)));
+                        }
+                        fields.push(("kind", Json::Str(f.kind_name().to_string())));
+                        Json::obj(fields)
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("req", Json::Str("submit".into())),
+                    ("id", Json::Str(s.id.clone())),
+                    ("deck", Json::Str(s.deck.clone())),
+                    ("priority", Json::Num(s.priority as f64)),
+                    ("faults", Json::Arr(faults)),
+                ])
+            }
+            Request::Cancel { id, target } => Json::obj(vec![
+                ("req", Json::Str("cancel".into())),
+                ("id", Json::Str(id.clone())),
+                ("target", Json::Str(target.clone())),
+            ]),
+            Request::Status { id } => {
+                Json::obj(vec![("req", Json::Str("status".into())), ("id", Json::Str(id.clone()))])
+            }
+            Request::Shutdown { id } => Json::obj(vec![
+                ("req", Json::Str("shutdown".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            Request::Barrier => Json::obj(vec![("req", Json::Str("barrier".into()))]),
+        };
+        j.to_compact()
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let j = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let req =
+        j.get("req").and_then(Json::as_str).ok_or_else(|| "missing `req` member".to_string())?;
+    let id = |j: &Json| -> Result<String, String> {
+        j.get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "missing `id` member".to_string())
+    };
+    match req {
+        "submit" => {
+            let deck = j
+                .get("deck")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "submit: missing `deck`".to_string())?
+                .to_string();
+            let priority = j.get("priority").and_then(Json::as_f64).unwrap_or(0.0) as i64;
+            let mut faults = Vec::new();
+            if let Some(arr) = j.get("faults").and_then(Json::as_arr) {
+                for f in arr {
+                    let step = f
+                        .get("step")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| "fault: missing `step`".to_string())?;
+                    let rank = f.get("rank").and_then(Json::as_u64).map(|r| r as usize);
+                    let kind = f
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "fault: missing `kind`".to_string())?;
+                    faults.push(FaultSpec { step, rank, kind: FaultSpec::kind_from_name(kind)? });
+                }
+            }
+            Ok(Request::Submit(Submit { id: id(&j)?, deck, priority, faults }))
+        }
+        "cancel" => {
+            let target = j
+                .get("target")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "cancel: missing `target`".to_string())?
+                .to_string();
+            Ok(Request::Cancel { id: id(&j)?, target })
+        }
+        "status" => Ok(Request::Status { id: id(&j)? }),
+        "shutdown" => Ok(Request::Shutdown { id: id(&j)? }),
+        "barrier" => Ok(Request::Barrier),
+        other => Err(format!("unknown request `{other}`")),
+    }
+}
+
+/// Where a submit response came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// This request's own job computed it.
+    Computed,
+    /// Attached to an identical in-flight job.
+    Dedup,
+    /// Served from the memoized result cache.
+    ResultCache,
+    /// The request was cancelled before (or instead of) computing.
+    Cancelled,
+}
+
+impl Source {
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Computed => "computed",
+            Source::Dedup => "dedup",
+            Source::ResultCache => "result-cache",
+            Source::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// The recovery ledger as it crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerWire {
+    pub kills: u64,
+    pub rollbacks: u64,
+    pub redecompositions: u64,
+    pub steps_replayed: u64,
+    pub attempts: u64,
+    pub backoff_virtual_secs: f64,
+    pub events: Vec<String>,
+}
+
+impl LedgerWire {
+    pub fn from_ledger(l: &v2d_core::supervise::RecoveryLedger) -> Self {
+        LedgerWire {
+            kills: l.kills,
+            rollbacks: l.rollbacks,
+            redecompositions: l.redecompositions,
+            steps_replayed: l.steps_replayed,
+            attempts: l.attempts,
+            backoff_virtual_secs: l.backoff_virtual_secs,
+            events: l.events.clone(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kills", Json::Num(self.kills as f64)),
+            ("rollbacks", Json::Num(self.rollbacks as f64)),
+            ("redecompositions", Json::Num(self.redecompositions as f64)),
+            ("steps_replayed", Json::Num(self.steps_replayed as f64)),
+            ("attempts", Json::Num(self.attempts as f64)),
+            ("backoff_virtual_secs", Json::Num(self.backoff_virtual_secs)),
+            ("events", Json::Arr(self.events.iter().map(|e| Json::Str(e.clone())).collect())),
+        ])
+    }
+}
+
+/// The outcome of one admitted experiment.  Shared (`Arc`) between
+/// every subscriber of a deduped job and with the result cache; the
+/// response serializer renders it as the `"result"` member, so all
+/// subscribers emit identical result bytes.
+///
+/// The final field itself is *not* shipped — a paper-sized deck carries
+/// 40 000 f64s — only its length and FNV-32 checksum, which is what the
+/// bit-identity assertions need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// `"done"`, `"failed"`, or `"cancelled"`.
+    pub outcome: &'static str,
+    /// Checksum + length of the final global field bits (done only).
+    pub bits_fnv32: Option<u64>,
+    pub bits_len: Option<usize>,
+    /// The decomposition the run finished on (done only).
+    pub final_np: Option<(usize, usize)>,
+    /// Virtual mean-time-to-repair (done only).
+    pub mttr_virtual_secs: Option<f64>,
+    /// Error text (failed only).
+    pub error: Option<String>,
+    /// The typed recovery ledger (done and failed).
+    pub ledger: Option<LedgerWire>,
+}
+
+impl RunResult {
+    pub fn cancelled() -> Self {
+        RunResult {
+            outcome: "cancelled",
+            bits_fnv32: None,
+            bits_len: None,
+            final_np: None,
+            mttr_virtual_secs: None,
+            error: None,
+            ledger: None,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("outcome", Json::Str(self.outcome.to_string()))];
+        if let Some(h) = self.bits_fnv32 {
+            fields.push(("bits_fnv32", Json::Num(h as f64)));
+        }
+        if let Some(n) = self.bits_len {
+            fields.push(("bits_len", Json::Num(n as f64)));
+        }
+        if let Some((a, b)) = self.final_np {
+            fields.push(("np", Json::Arr(vec![Json::Num(a as f64), Json::Num(b as f64)])));
+        }
+        if let Some(m) = self.mttr_virtual_secs {
+            fields.push(("mttr_virtual_secs", Json::Num(m)));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error", Json::Str(e.clone())));
+        }
+        if let Some(l) = &self.ledger {
+            fields.push(("ledger", l.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Terminal answer to a submit (including cancelled submits).
+    Result { id: String, source: Source, result: Arc<RunResult> },
+    /// Acknowledgement of a cancel request. `outcome` is `"cancelled"`
+    /// (the target was detached) or `"unknown"` (no such in-flight id —
+    /// already finished, already cancelled, or never seen).
+    CancelAck { id: String, target: String, outcome: &'static str },
+    /// The live telemetry snapshot: the metrics registry as JSON.
+    Status { id: String, metrics: Json },
+    /// Shutdown acknowledged; the daemon drains and exits.
+    Bye { id: String },
+    /// The request could not be admitted.
+    Error { id: String, what: String },
+}
+
+impl Response {
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Result { id, .. }
+            | Response::CancelAck { id, .. }
+            | Response::Status { id, .. }
+            | Response::Bye { id }
+            | Response::Error { id, .. } => id,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Result { id, source, result } => Json::obj(vec![
+                ("resp", Json::Str("result".into())),
+                ("id", Json::Str(id.clone())),
+                ("source", Json::Str(source.name().to_string())),
+                ("result", result.to_json()),
+            ]),
+            Response::CancelAck { id, target, outcome } => Json::obj(vec![
+                ("resp", Json::Str("cancel".into())),
+                ("id", Json::Str(id.clone())),
+                ("target", Json::Str(target.clone())),
+                ("outcome", Json::Str((*outcome).to_string())),
+            ]),
+            Response::Status { id, metrics } => Json::obj(vec![
+                ("resp", Json::Str("status".into())),
+                ("id", Json::Str(id.clone())),
+                ("metrics", metrics.clone()),
+            ]),
+            Response::Bye { id } => {
+                Json::obj(vec![("resp", Json::Str("bye".into())), ("id", Json::Str(id.clone()))])
+            }
+            Response::Error { id, what } => Json::obj(vec![
+                ("resp", Json::Str("error".into())),
+                ("id", Json::Str(id.clone())),
+                ("error", Json::Str(what.clone())),
+            ]),
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let req = Request::Submit(Submit {
+            id: "a1".into(),
+            deck: "[grid]\nn1 = 16\n".into(),
+            priority: 2,
+            faults: vec![
+                FaultSpec { step: 2, rank: Some(0), kind: FaultKind::RankKill },
+                FaultSpec { step: 4, rank: None, kind: FaultKind::FieldNan },
+            ],
+        });
+        let line = req.to_line();
+        assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for req in [
+            Request::Cancel { id: "c".into(), target: "a".into() },
+            Request::Status { id: "s".into() },
+            Request::Shutdown { id: "q".into() },
+            Request::Barrier,
+        ] {
+            assert_eq!(parse_request(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"req":"submit","id":"x"}"#).is_err());
+        assert!(parse_request(r#"{"req":"teleport","id":"x"}"#).is_err());
+        assert!(parse_request(
+            r#"{"req":"submit","id":"x","deck":"d","faults":[{"step":1,"kind":"quantum"}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shared_results_serialize_identically() {
+        let res = Arc::new(RunResult {
+            outcome: "done",
+            bits_fnv32: Some(123),
+            bits_len: Some(256),
+            final_np: Some((2, 1)),
+            mttr_virtual_secs: Some(0.0),
+            error: None,
+            ledger: Some(LedgerWire {
+                kills: 1,
+                rollbacks: 1,
+                redecompositions: 1,
+                steps_replayed: 2,
+                attempts: 2,
+                backoff_virtual_secs: 1.0,
+                events: vec!["attempt 1: rank 0 lost".into()],
+            }),
+        });
+        let a = Response::Result { id: "a".into(), source: Source::Computed, result: res.clone() };
+        let b = Response::Result { id: "b".into(), source: Source::Dedup, result: res };
+        let member = |line: &str| {
+            let j = Json::parse(line).unwrap();
+            j.get("result").unwrap().to_compact()
+        };
+        assert_eq!(member(&a.to_line()), member(&b.to_line()));
+    }
+}

@@ -1,0 +1,364 @@
+//! The work-stealing worker pool behind the service.
+//!
+//! A generalization of `bench::par`'s fork-join helper into a resident
+//! executor: long-lived worker threads, a shared **priority injector**
+//! (max-heap on `(priority, FIFO seq)`), and per-worker deques.  A
+//! worker grabs a small batch from the injector — the head it runs, the
+//! tail goes to its local deque front-first so local execution
+//! preserves priority order — and idle peers steal from the *back* of
+//! other workers' deques (the lowest-priority end), the classic
+//! owner-front/thief-back split.
+//!
+//! Two control surfaces matter to the service layer:
+//!
+//! * an **admission gate**: while closed, queued tasks are not
+//!   dispatched.  [`Service::run_script`](crate::service::Service::run_script)
+//!   admits a whole phase gate-closed, so dedupe and cancellation
+//!   resolve against a deterministic in-flight set, then opens the gate
+//!   and drains — that is what makes the `serve.*` counters exact-gate
+//!   material;
+//! * **cancellation is cooperative and lives above the pool**: a task
+//!   is an opaque closure; the service hands it a shared token and the
+//!   closure decides to skip.  The pool itself never drops work.
+//!
+//! Tasks are assumed coarse (whole experiments, milliseconds to
+//! seconds), so plain mutex-guarded deques are entirely adequate — the
+//! scheduling cost is noise next to one BiCGSTAB solve.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of pool work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Injector batch size: the head is run immediately, the rest seed the
+/// worker's local deque (and become steal targets).
+const BATCH: usize = 4;
+
+struct PrioTask {
+    priority: i64,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for PrioTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for PrioTask {}
+impl PartialOrd for PrioTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then older seq (FIFO ties).
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Central {
+    heap: BinaryHeap<PrioTask>,
+    gate_open: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<Central>,
+    ready: Condvar,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Submitted-but-not-finished count, for [`WorkPool::drain`].
+    live: Mutex<u64>,
+    drained: Condvar,
+    seq: AtomicU64,
+    stolen: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl Shared {
+    fn finish_one(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let mut live = self.live.lock().unwrap();
+        *live -= 1;
+        if *live == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn run(&self, task: Task) {
+        // A panicking task must not wedge `drain` (the live count) or
+        // kill its worker thread; the service layer reports failures
+        // through typed responses, so a panic here is a bug being
+        // contained, not hidden.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        self.finish_one();
+    }
+
+    fn worker_loop(&self, w: usize) {
+        loop {
+            // Local deque first: front = highest-priority of the batch.
+            let local = self.locals[w].lock().unwrap().pop_front();
+            if let Some(t) = local {
+                self.run(t);
+                continue;
+            }
+            // Steal from a peer's back (its lowest-priority end).
+            let n = self.locals.len();
+            let mut stolen = None;
+            for k in 1..n {
+                let v = (w + k) % n;
+                if let Some(t) = self.locals[v].lock().unwrap().pop_back() {
+                    stolen = Some(t);
+                    break;
+                }
+            }
+            if let Some(t) = stolen {
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                self.run(t);
+                continue;
+            }
+            // Injector: batch-grab under the central lock.
+            let mut st = self.state.lock().unwrap();
+            if st.gate_open && !st.heap.is_empty() {
+                let first = st.heap.pop().expect("non-empty").task;
+                let mut extras = Vec::new();
+                while extras.len() + 1 < BATCH {
+                    match st.heap.pop() {
+                        Some(t) => extras.push(t.task),
+                        None => break,
+                    }
+                }
+                drop(st);
+                if !extras.is_empty() {
+                    let mut l = self.locals[w].lock().unwrap();
+                    // Heap pops in priority order; push_back keeps the
+                    // front as the next-highest priority.
+                    for t in extras {
+                        l.push_back(t);
+                    }
+                    drop(l);
+                    // Peers may steal the tail.
+                    self.ready.notify_all();
+                }
+                self.run(first);
+                continue;
+            }
+            if st.shutdown {
+                let heap_empty = st.heap.is_empty();
+                drop(st);
+                let locals_empty = self.locals.iter().all(|l| l.lock().unwrap().is_empty());
+                if heap_empty && locals_empty {
+                    return;
+                }
+                // Work remains in a deque somewhere; loop back to steal.
+                continue;
+            }
+            // Timed wait: a peer publishing batch extras between our
+            // deque scan and this wait could miss the notify; the
+            // timeout bounds that race instead of requiring a lock
+            // hierarchy over all deques.
+            let (_st, _timeout) = self.ready.wait_timeout(st, Duration::from_millis(50)).unwrap();
+        }
+    }
+}
+
+/// The resident pool.  Dropping it without [`WorkPool::shutdown`]
+/// detaches the workers; the service layer always shuts down
+/// explicitly.
+pub struct WorkPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkPool {
+    /// `gate_open = false` starts the pool paused: tasks queue but do
+    /// not dispatch until [`WorkPool::set_gate`].
+    pub fn new(n_workers: usize, gate_open: bool) -> Self {
+        let n = n_workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Central { heap: BinaryHeap::new(), gate_open, shutdown: false }),
+            ready: Condvar::new(),
+            locals: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            live: Mutex::new(0),
+            drained: Condvar::new(),
+            seq: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
+        let workers = (0..n)
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("v2d-serve-w{w}"))
+                    .spawn(move || sh.worker_loop(w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkPool { shared, workers }
+    }
+
+    /// Queue a task.  Higher priority dispatches earlier; ties FIFO.
+    pub fn submit(&self, priority: i64, task: Task) {
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        *self.shared.live.lock().unwrap() += 1;
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.shutdown, "submit after shutdown");
+        st.heap.push(PrioTask { priority, seq, task });
+        drop(st);
+        self.shared.ready.notify_all();
+    }
+
+    /// Open or close the admission gate.
+    pub fn set_gate(&self, open: bool) {
+        self.shared.state.lock().unwrap().gate_open = open;
+        self.shared.ready.notify_all();
+    }
+
+    /// Block until every submitted task has finished.  With the gate
+    /// closed this blocks forever if anything is queued — callers open
+    /// the gate first.
+    pub fn drain(&self) {
+        let mut live = self.shared.live.lock().unwrap();
+        while *live > 0 {
+            live = self.shared.drained.wait(live).unwrap();
+        }
+    }
+
+    /// Queued tasks not yet picked up (injector + local deques).
+    pub fn depth(&self) -> u64 {
+        let heap = self.shared.state.lock().unwrap().heap.len() as u64;
+        let locals: u64 = self.shared.locals.iter().map(|l| l.lock().unwrap().len() as u64).sum();
+        heap + locals
+    }
+
+    /// Tasks executed to completion.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Tasks a worker stole from a peer's deque.
+    pub fn stolen(&self) -> u64 {
+        self.shared.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Finish queued work and join the workers.  Opens the gate: a
+    /// shutdown must not strand admitted requests.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.gate_open = true;
+            st.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_everything_and_drains() {
+        let pool = WorkPool::new(4, true);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let h = Arc::clone(&hits);
+            pool.submit(
+                0,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        pool.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+        assert_eq!(pool.executed(), 64);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn gate_closed_holds_work_and_priorities_order_dispatch() {
+        // Single worker + closed gate: admission order is decoupled
+        // from execution order, which must come out by (priority, FIFO).
+        let pool = WorkPool::new(1, false);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (prio, tag) in [(0, "low-a"), (5, "high"), (0, "low-b"), (3, "mid")] {
+            let o = Arc::clone(&order);
+            pool.submit(prio, Box::new(move || o.lock().unwrap().push(tag)));
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(order.lock().unwrap().is_empty(), "gate closed: nothing may run");
+        assert_eq!(pool.depth(), 4);
+        pool.set_gate(true);
+        pool.drain();
+        assert_eq!(*order.lock().unwrap(), vec!["high", "mid", "low-a", "low-b"]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_queued_work_even_if_gated() {
+        let pool = WorkPool::new(2, false);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let h = Arc::clone(&hits);
+            pool.submit(
+                1,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn stealing_happens_under_imbalance() {
+        // One slow task pins worker A while its batch extras sit in A's
+        // deque; worker B must steal them.  Batches only form with >
+        // one queued task, so submit them gate-closed.
+        let pool = WorkPool::new(2, false);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for i in 0..12 {
+            let h = Arc::clone(&hits);
+            pool.submit(
+                0,
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(40));
+                    }
+                    h.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        pool.set_gate(true);
+        pool.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 12);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_wedge_the_pool() {
+        let pool = WorkPool::new(2, true);
+        pool.submit(0, Box::new(|| panic!("contained")));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(
+            0,
+            Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        pool.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+}

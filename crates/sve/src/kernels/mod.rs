@@ -540,7 +540,7 @@ pub fn decoded_routine(
     routine: Routine,
     variant: Variant,
     cfg: &ExecConfig,
-) -> std::rc::Rc<crate::decode::DecodedProgram> {
+) -> std::sync::Arc<crate::decode::DecodedProgram> {
     cache::cached_program(program_key(routine, variant), cfg, || build_program(routine, variant))
 }
 

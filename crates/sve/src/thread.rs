@@ -350,11 +350,15 @@ fn check_cap(f: &Frame<'_>, group_len: u64) {
 }
 
 /// A pre-bound dispatch closure: executes one group (fused chain or plain
-/// op) and returns the next dispatch slot.
-pub(crate) type OpFn = Box<dyn Fn(&mut Frame) -> usize>;
+/// op) and returns the next dispatch slot.  `Send + Sync` because every
+/// closure captures only plain decoded-op data (indices, lane counts,
+/// immediates) — which is what lets a [`DecodedProgram`] live in the
+/// process-shared tier of the program cache and be replayed from any
+/// worker thread.
+pub(crate) type OpFn = Box<dyn Fn(&mut Frame) -> usize + Send + Sync>;
 
 /// A pre-bound semantic closure for one non-branch micro-op.
-type Micro = Box<dyn Fn(&mut Frame)>;
+type Micro = Box<dyn Fn(&mut Frame) + Send + Sync>;
 
 /// Typed (unboxed) semantic closures for the hot opcodes — lane-exact
 /// replicas of [`step_instr`]'s match arms with full-predicate fast

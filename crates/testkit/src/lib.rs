@@ -17,14 +17,20 @@
 //!   ([`supervise_fuzz_case`], [`check_supervise_seed_on`]) sweeping
 //!   supervised runs over kills × retry budgets × shrink on/off and
 //!   asserting completion-or-typed-error, bit-identical replay, and
-//!   zero-kill bit-identity.
+//!   zero-kill bit-identity;
+//! * [`servefuzz`] — the service request-mix axis ([`serve_fuzz_case`],
+//!   [`check_serve_seed`]) sweeping scripted `v2d-serve` campaigns over
+//!   request mixes × worker counts × result-cache capacities and
+//!   asserting replay determinism, admission conservation, and that
+//!   cancellation never poisons the shared result cache.
 //!
 //! The crate is test infrastructure: it depends on the stack under test
-//! (`v2d-core` and below) and is consumed as a `dev-dependency` (or by
-//! the bench harness), never by library code.
+//! (`v2d-serve`, `v2d-core`, and below) and is consumed as a
+//! `dev-dependency` (or by the bench harness), never by library code.
 
 pub mod fuzz;
 pub mod mini;
+pub mod servefuzz;
 pub mod supfuzz;
 pub mod watchdog;
 
@@ -32,5 +38,6 @@ pub use fuzz::{campaign, campaign_on, check_seed, check_seed_on, fuzz_spec, stab
 pub use mini::{
     merged_log, run_mini, run_mini_observed, run_mini_on, MiniSpec, RankObservation, RankRun,
 };
+pub use servefuzz::{check_serve_seed, serve_fuzz_case};
 pub use supfuzz::{check_supervise_seed_on, supervise_fuzz_case};
 pub use watchdog::{run_with_watchdog, Verdict};

@@ -1,0 +1,33 @@
+//! The service request-mix fuzz bands (see `v2d_testkit::servefuzz`):
+//! seeds sweep scripted `v2d-serve` campaigns over request mixes ×
+//! worker counts × result-cache capacities, asserting admission
+//! conservation, cancellation hygiene (a cancelled deck never enters
+//! the shared result cache), payload-byte replay determinism, and full
+//! counter/checksum determinism on eviction-free campaigns.
+//!
+//! A failure names the seed — reproduce locally with
+//! `v2d_testkit::check_serve_seed(seed)`; the derived profile is
+//! printed in the diagnosis.
+
+use v2d_testkit::check_serve_seed;
+
+fn sweep(seeds: std::ops::Range<u64>) -> Vec<String> {
+    seeds.filter_map(|seed| check_serve_seed(seed).err()).collect()
+}
+
+/// Always-on band, disjoint from the unit-test seeds so CI covers more
+/// of the mix space.
+#[test]
+fn serve_smoke_band_holds_every_property() {
+    let failures = sweep(100..116);
+    assert!(failures.is_empty(), "serve fuzz failures:\n{}", failures.join("\n---\n"));
+}
+
+/// The deep sweep for the scheduled CI job; run with
+/// `cargo test -p v2d-testkit -- --ignored`.
+#[test]
+#[ignore = "slow: 96-campaign service sweep for the scheduled CI job"]
+fn serve_full_campaign_96_scenarios() {
+    let failures = sweep(0..96);
+    assert!(failures.is_empty(), "serve fuzz failures:\n{}", failures.join("\n---\n"));
+}

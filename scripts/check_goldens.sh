@@ -19,6 +19,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast with a real message if the `dirname $0` hop did not land at
+# the repo root (e.g. the script was invoked by bare name through PATH,
+# making `dirname` return "." and the cd a no-op in some other tree):
+# every comparison below would otherwise die confusingly mid-run.
+if [[ ! -f Cargo.toml || ! -f table2_output.txt || ! -d crates/bench ]]; then
+    echo "error: check_goldens.sh must run against the v2d repo root, but landed in $PWD" >&2
+    echo "       (no Cargo.toml / golden captures here — invoke it by path," >&2
+    echo "        e.g. scripts/check_goldens.sh from a full checkout)" >&2
+    exit 2
+fi
+
 ART="${ARTIFACT_DIR:-target/golden-artifacts}"
 mkdir -p "$ART"
 

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the v2d-serve daemon over its Unix socket.
+#
+# Starts the daemon single-worker (so queue order is deterministic),
+# occupies the worker with a slow deck, and then — while that job runs —
+# submits the scripted mix the service must multiplex correctly:
+#
+#   * a duplicate pair (same deck modulo comments/whitespace): both
+#     responses must carry byte-identical "result" members, exactly one
+#     computed and one deduped, and the daemon's dedup counter must be
+#     nonzero;
+#   * a priority pair: the high-priority submission queued later must
+#     complete before the earlier default-priority one;
+#   * a cancellation: answered `cancelled` immediately, with a
+#     `cancelled` cancel-ack;
+#   * a rank-kill spec: 2 ranks, rank 0 killed mid-run — the response
+#     must carry a RecoveryLedger showing the supervised recovery;
+#   * a status probe and a shutdown handshake (drain + bye).
+#
+# Exits non-zero (with the offending line) on any violated assertion.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -f Cargo.toml || ! -d crates/serve ]]; then
+    echo "error: serve_e2e.sh must run against the v2d repo root, but landed in $PWD" >&2
+    exit 2
+fi
+
+echo "building v2d-serve …"
+cargo build --release -p v2d --bin v2d-serve
+
+SOCK="${SOCK:-$(mktemp -u /tmp/v2d_serve_e2e_XXXXXX.sock)}"
+./target/release/v2d-serve --socket "$SOCK" --workers 1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.1
+done
+[[ -S "$SOCK" ]] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+
+python3 - "$SOCK" <<'EOF'
+import json, socket, sys
+
+sock_path = sys.argv[1]
+
+def deck(n1, n2, steps, np1=1, np2=1, every=0, ks2="2.0", comment=""):
+    return (
+        f"{comment}[grid]\nn1 = {n1}\nn2 = {n2}\nx1 = 0.0 2.0\nx2 = 0.0 1.0\n"
+        f"[run]\ndt = 0.01\nn_steps = {steps}\nnprx1 = {np1}\nnprx2 = {np2}\n"
+        f"checkpoint_every = {every}\n"
+        f"[radiation]\nlimiter = none\nkappa_a = 0.0 0.0\nkappa_s = 2.0 {ks2}\n"
+    )
+
+def submit(id, d, priority=0, faults=None):
+    r = {"req": "submit", "id": id, "deck": d, "priority": priority}
+    if faults:
+        r["faults"] = faults
+    return r
+
+# One batch, written before reading anything: the slow job pins the
+# single worker, so everything after it is admitted while queued and the
+# dedupe / priority / cancel decisions are deterministic.
+requests = [
+    submit("slow", deck(64, 32, 6)),
+    submit("dup-a", deck(16, 8, 3)),
+    submit("dup-b", deck(16, 8, 3, comment="# same physics, different text\n")),
+    submit("lo", deck(20, 10, 3, ks2="2.000000001")),
+    submit("hi", deck(20, 10, 3, ks2="2.000000002"), priority=5),
+    submit("cxl", deck(24, 12, 3, ks2="2.000000003")),
+    {"req": "cancel", "id": "cxl-c", "target": "cxl"},
+    submit("kill", deck(16, 8, 4, np1=2, np2=1, every=1),
+           faults=[{"step": 2, "rank": 0, "kind": "rank-kill"}]),
+    {"req": "status", "id": "st"},
+    {"req": "shutdown", "id": "bye"},
+]
+expected = len(requests)  # one response per request
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+s.sendall(("".join(json.dumps(r) + "\n" for r in requests)).encode())
+
+lines = []
+buf = b""
+s.settimeout(120)
+while len(lines) < expected:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+    while b"\n" in buf:
+        line, buf = buf.split(b"\n", 1)
+        if line.strip():
+            lines.append(line.decode())
+s.close()
+assert len(lines) == expected, f"expected {expected} responses, got {len(lines)}:\n" + "\n".join(lines)
+
+by_id = {}
+order = []
+for line in lines:
+    obj = json.loads(line)
+    by_id[obj["id"]] = (obj, line)
+    order.append(obj["id"])
+print("response order:", " ".join(order))
+
+def result_member(line):
+    # Raw bytes of the trailing "result" member — byte identity, not
+    # merely parsed equality.
+    return line.split('"result":', 1)[1]
+
+# 1. Duplicate pair: identical bytes, one computed + one deduped.
+da, la = by_id["dup-a"]
+db, lb = by_id["dup-b"]
+assert result_member(la) == result_member(lb), f"duplicate results differ:\n{la}\n{lb}"
+sources = {da["source"], db["source"]}
+assert sources == {"computed", "dedup"}, f"duplicate pair sources {sources}"
+assert da["result"]["outcome"] == "done", la
+
+# 2. Priority pair: "hi" (queued later, priority 5) completes first.
+assert order.index("hi") < order.index("lo"), \
+    f"priority inversion: hi answered after lo ({order})"
+
+# 3. Cancellation: immediate cancelled result + cancelled ack.
+cxl, lc = by_id["cxl"]
+assert cxl["result"]["outcome"] == "cancelled", lc
+ack, lk = by_id["cxl-c"]
+assert ack["outcome"] == "cancelled", lk
+
+# 4. Rank-kill spec: recovered, with a ledger proving the recovery.
+kill, lkill = by_id["kill"]
+assert kill["result"]["outcome"] == "done", lkill
+ledger = kill["result"].get("ledger")
+assert ledger and ledger["kills"] >= 1 and ledger["attempts"] >= 2, lkill
+print(f"kill recovered: {ledger['kills']} kill(s), {ledger['attempts']} attempts, "
+      f"{ledger['rollbacks']} rollback(s)")
+
+# 5. Live telemetry: the dedup counter is visible and nonzero.
+st, _ = by_id["st"]
+deduped = st["metrics"]["serve.deduped"]["value"]
+assert deduped >= 1, f"serve.deduped = {deduped}"
+print(f"serve.deduped = {deduped}")
+
+# 6. Shutdown handshake.
+assert by_id["bye"][0]["resp"] == "bye"
+print("serve e2e: all assertions passed")
+EOF
+
+wait "$DAEMON"
+echo "daemon exited cleanly"

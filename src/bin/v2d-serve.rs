@@ -1,0 +1,173 @@
+//! The resident experiment daemon.
+//!
+//! Accepts newline-delimited JSON requests — the same deck format the
+//! `v2d` CLI reads from `.par` files, inlined as a string — over a Unix
+//! socket or stdin, and answers each with one NDJSON response:
+//!
+//! ```text
+//! v2d-serve --socket /tmp/v2d.sock &
+//! printf '%s\n' '{"req":"submit","id":"a","deck":"[grid]\nn1 = 16\n…"}' | nc -U /tmp/v2d.sock
+//! ```
+//!
+//! Identical decks submitted concurrently are computed once (every
+//! subscriber receives the same bytes); completed decks are answered
+//! from the memoized result cache, which is sound because the modeled
+//! clocks make every run bit-reproducible.  Each job runs under the
+//! checkpoint/rollback supervisor, so decks with injected rank faults
+//! come back with a recovery ledger instead of an error.
+//!
+//! Flags:
+//! * `--socket PATH` — listen on a Unix socket (connections are served
+//!   one at a time; each connection is one NDJSON session);
+//! * `--stdio` — single session on stdin/stdout (the default);
+//! * `--workers N` — worker threads in the job pool (default 2);
+//! * `--cache N` — result-cache capacity in entries (default 64);
+//! * `--universe events|threads` — execution engine for every job
+//!   (default `events`).
+//!
+//! A `{"req":"shutdown","id":…}` request drains in-flight jobs, answers
+//! `bye`, and exits the daemon.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+
+use v2d_serve::{parse_request, Handled, Request, Response, ServeOpts, Service};
+
+fn main() {
+    let mut socket: Option<String> = None;
+    let mut opts = ServeOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(args.next().expect("--socket needs a path")),
+            "--stdio" => socket = None,
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("--workers needs an integer")
+            }
+            "--cache" => {
+                opts.result_cache_cap = args
+                    .next()
+                    .expect("--cache needs a capacity")
+                    .parse()
+                    .expect("--cache needs an integer")
+            }
+            "--universe" => {
+                opts.universe = match args.next().expect("--universe needs a name").as_str() {
+                    "events" => v2d_comm::Universe::EventDriven,
+                    "threads" => v2d_comm::Universe::Threads,
+                    other => panic!("unknown universe {other:?} (expected events|threads)"),
+                }
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --socket PATH / --stdio / --workers N / \
+                 --cache N / --universe events|threads)"
+            ),
+        }
+    }
+
+    let svc = Service::new(opts);
+    match socket {
+        None => {
+            let stdout: Arc<Mutex<Box<dyn Write + Send>>> =
+                Arc::new(Mutex::new(Box::new(std::io::stdout())));
+            let bye = session(&svc, BufReader::new(std::io::stdin()), &stdout);
+            finish(svc, bye, &stdout);
+        }
+        Some(path) => serve_socket(svc, &path),
+    }
+}
+
+/// Accept loop: one NDJSON session per connection, sequentially — the
+/// service itself multiplexes jobs, so a single protocol thread keeps
+/// response interleaving simple and loses no compute parallelism.
+fn serve_socket(svc: Service, path: &str) {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .unwrap_or_else(|e| panic!("cannot bind {path}: {e}"));
+    eprintln!("v2d-serve: listening on {path}");
+    for conn in listener.incoming() {
+        let conn = match conn {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("v2d-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let writer: Arc<Mutex<Box<dyn Write + Send>>> =
+            Arc::new(Mutex::new(Box::new(conn.try_clone().expect("clone socket for writing"))));
+        let bye = session(&svc, BufReader::new(conn), &writer);
+        if bye {
+            finish(svc, true, &writer);
+            let _ = std::fs::remove_file(path);
+            return;
+        }
+    }
+}
+
+/// Drive one NDJSON session; returns true when the client asked the
+/// daemon to shut down.
+fn session<R: BufRead>(
+    svc: &Service,
+    reader: R,
+    writer: &Arc<Mutex<Box<dyn Write + Send>>>,
+) -> bool {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("v2d-serve: read failed: {e}");
+                return false;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match parse_request(&line) {
+            Ok(r) => r,
+            Err(what) => {
+                emit(writer, &Response::Error { id: String::new(), what });
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown { .. });
+        match svc.handle(req) {
+            Handled::Now(resp) if is_shutdown => {
+                // Drain before acknowledging: `bye` promises every
+                // admitted job was answered.
+                svc.drain();
+                emit(writer, &resp);
+                return true;
+            }
+            Handled::Now(resp) => emit(writer, &resp),
+            Handled::Later(rx) => {
+                // The job answers on its own schedule; forward from a
+                // detached thread so the session keeps accepting.
+                let writer = Arc::clone(writer);
+                std::thread::spawn(move || {
+                    if let Ok(resp) = rx.recv() {
+                        emit(&writer, &resp);
+                    }
+                });
+            }
+        }
+    }
+    false
+}
+
+fn emit(writer: &Arc<Mutex<Box<dyn Write + Send>>>, resp: &Response) {
+    let mut w = writer.lock().unwrap();
+    if writeln!(w, "{}", resp.to_line()).and_then(|_| w.flush()).is_err() {
+        eprintln!("v2d-serve: client went away before its response");
+    }
+}
+
+fn finish(svc: Service, bye: bool, _writer: &Arc<Mutex<Box<dyn Write + Send>>>) {
+    if bye {
+        eprintln!("v2d-serve: drained, shutting down");
+    }
+    svc.shutdown();
+}
