@@ -10,7 +10,7 @@ use std::path::PathBuf;
 
 use v2d_comm::{Spmd, TileMap, Universe};
 use v2d_core::checkpoint::{restore_checkpoint, write_checkpoint, CheckpointStore};
-use v2d_core::problems::GaussianPulse;
+use v2d_core::problems::{Family, GaussianPulse};
 use v2d_core::sim::V2dSim;
 use v2d_core::supervise::{run_supervised_on, RetryPolicy, SuperviseSpec};
 use v2d_machine::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
@@ -257,6 +257,7 @@ fn main() {
     }
 
     rank_kill_campaign();
+    sedov_kill_campaign();
 }
 
 /// Supervised rank-kill campaign coordinates: the `supervise_recovery`
@@ -277,6 +278,7 @@ fn rank_kill_campaign() {
     let dir = std::env::temp_dir().join(format!("v2d_ablation_kills_{}", std::process::id()));
     let scenario = |plan: FaultPlan, checkpoint_every: usize| SuperviseSpec {
         cfg: GaussianPulse::linear_config(SUP_N1, SUP_N2, SUP_STEPS),
+        scenario: Family::Gaussian,
         np1: RANKS,
         np2: 1,
         plan,
@@ -369,5 +371,96 @@ fn rank_kill_campaign() {
     println!("\nhealthy global field checksum: {sum:#018x}");
     println!("same-width kill recovery bit-identical to the healthy trajectory: PASS");
     println!("shrunk kill recovery within reduction-reordering tolerance: PASS");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sedov rank-kill coordinates: small enough for CI, coarse enough
+/// that the blast still sits well inside the box at the final step.
+const SED_N: usize = 24;
+const SED_STEPS: usize = 4;
+
+/// The rank-kill campaign on the Sedov–Taylor scenario: a registry
+/// family with a full conserved hydro state riding the checkpoints.
+/// The supervised gather appends the hydro fields to `final_bits`, so
+/// the same-width assertion covers mass/momentum/energy bit-for-bit —
+/// any checkpoint or restore path dropping a hydro dataset trips here
+/// before it could silently corrupt a recovered run.
+fn sedov_kill_campaign() {
+    println!(
+        "\nsedov rank-kill campaign — {SED_N}×{SED_N} blast (registry scenario), {RANKS}×1 ranks, {SED_STEPS} steps"
+    );
+    println!("supervisor: checkpoint every step; same-width retry, then shrink onto survivors\n");
+
+    let dir = std::env::temp_dir().join(format!("v2d_ablation_sedov_{}", std::process::id()));
+    let scenario = |plan: FaultPlan| SuperviseSpec {
+        cfg: Family::Sedov.scenario().config(SED_N, SED_N, SED_STEPS),
+        scenario: Family::Sedov,
+        np1: RANKS,
+        np2: 1,
+        plan,
+        checkpoint_every: 1,
+        checkpoint_keep: 4,
+        dir: dir.clone(),
+    };
+    let cases = [
+        ("clean (no kills)", scenario(FaultPlan::empty()), RetryPolicy::default()),
+        (
+            "kill rank 0 @ step 2",
+            scenario(FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill)),
+            RetryPolicy::default(),
+        ),
+        (
+            "kill rank 0 @ step 2, shrink off",
+            scenario(FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill)),
+            RetryPolicy { allow_shrink: false, ..RetryPolicy::default() },
+        ),
+    ];
+
+    println!(
+        "{:<38} {:>8} {:>9} {:>7} {:>8} {:>8} {:>6}",
+        "scenario", "attempts", "rollbacks", "shrinks", "replayed", "mttr_s", "ranks"
+    );
+    let mut clean_bits = None;
+    for (name, spec, policy) in cases {
+        let report = run_supervised_on(&spec, policy, Universe::EventDriven)
+            .unwrap_or_else(|e| panic!("{name}: supervised sedov run failed: {e}"));
+        let l = &report.ledger;
+        println!(
+            "{name:<38} {:>8} {:>9} {:>7} {:>8} {:>8.3} {:>5}x{}",
+            l.attempts,
+            l.rollbacks,
+            l.redecompositions,
+            l.steps_replayed,
+            report.mttr_virtual_secs,
+            report.final_np.0,
+            report.final_np.1,
+        );
+        assert!(
+            report.final_bits.iter().all(|b| f64::from_bits(*b).is_finite()),
+            "{name}: non-finite cells survived recovery"
+        );
+        if l.kills == 0 {
+            clean_bits = Some(report.final_bits.clone());
+        } else if let Some(clean) = &clean_bits {
+            if l.redecompositions == 0 {
+                assert_eq!(
+                    &report.final_bits, clean,
+                    "{name}: same-width sedov recovery must be bit-identical (radiation + hydro)"
+                );
+            } else {
+                for (a, b) in report.final_bits.iter().zip(clean) {
+                    let (x, y) = (f64::from_bits(*a), f64::from_bits(*b));
+                    assert!(
+                        (x - y).abs() < 1e-9,
+                        "{name}: shrunk sedov recovery drifted from the healthy run: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+    let sum = checksum(clean_bits.iter().flatten().copied());
+    println!("\nhealthy sedov field checksum (radiation + hydro): {sum:#018x}");
+    println!("same-width sedov kill recovery bit-identical (hydro included): PASS");
+    println!("shrunk sedov kill recovery within reduction-reordering tolerance: PASS");
     let _ = std::fs::remove_dir_all(&dir);
 }

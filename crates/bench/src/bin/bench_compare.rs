@@ -23,6 +23,9 @@
 //! * `--perturb-serve N` — inject N phantom deduped requests into the
 //!   service-layer load counters before comparing, the red-run
 //!   demonstration for the `serve.*` family;
+//! * `--perturb-scenario N` — bump the first problem family's field
+//!   checksum by N before comparing, the red-run demonstration for the
+//!   `scenario.*` family;
 //! * `--summary PATH` — write the markdown delta table there.
 
 use std::io::Write as _;
@@ -62,11 +65,18 @@ fn main() {
                     .parse()
                     .expect("--perturb-serve needs an integer")
             }
+            "--perturb-scenario" => {
+                opts.perturb_scenario = args
+                    .next()
+                    .expect("--perturb-scenario needs a count")
+                    .parse()
+                    .expect("--perturb-scenario needs an integer")
+            }
             "--summary" => summary = args.next(),
             other => panic!(
                 "unknown argument {other:?} (expected --baseline PATH / --skip-wallclock / \
                  --quick / --perturb-cycles N / --perturb-supervise N / --perturb-serve N / \
-                 --summary PATH)"
+                 --perturb-scenario N / --summary PATH)"
             ),
         }
     }

@@ -1,0 +1,39 @@
+//! The scenario zoo table: every registry problem family run at its
+//! own smoke resolution, single rank, with the validation norms, the
+//! pass verdict, and a bit-exact checksum of the final fields.  On
+//! modeled clocks every printed number is a pure function of the code,
+//! so the whole table is a golden (`table_scenarios.txt`) and its rows
+//! also back the `scenario.*` entries of the CI regression gate.
+
+use v2d_bench::report::scenario_rows;
+
+fn main() {
+    println!("Scenario zoo — every registry family at smoke resolution, 1 rank");
+    println!(
+        "{:<18} {:>12} {:>11} {:>11} {:>11} {:>6}   {:<18}",
+        "family", "grid×steps", "l1", "l2", "linf", "pass", "field checksum"
+    );
+    let rows = scenario_rows();
+    for row in &rows {
+        let (n1, n2, steps) = row.smoke;
+        let r = &row.report;
+        println!(
+            "{:<18} {:>12} {:>11.4e} {:>11.4e} {:>11.4e} {:>6}   {:#010x}",
+            r.family,
+            format!("{n1}x{n2}x{steps}"),
+            r.l1,
+            r.l2,
+            r.linf,
+            if r.pass { "yes" } else { "NO" },
+            row.field_fnv32,
+        );
+    }
+    println!("\ndetails:");
+    for row in &rows {
+        println!("  {:<18} {}", row.report.family, row.report.detail);
+    }
+    let failed: Vec<&str> =
+        rows.iter().filter(|r| !r.report.pass).map(|r| r.report.family).collect();
+    assert!(failed.is_empty(), "families failing their own validation: {failed:?}");
+    println!("\nall {} families pass their own validation", rows.len());
+}

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use v2d_comm::{ReduceOp, Spmd, Universe};
-use v2d_core::problems::GaussianPulse;
+use v2d_core::problems::{Family, GaussianPulse};
 use v2d_core::supervise::{run_supervised_on, RetryPolicy, SuperviseSpec};
 use v2d_linalg::sparsity;
 use v2d_machine::{A64fxModel, FaultKind, FaultPlan, ALL_COMPILERS};
@@ -54,6 +54,10 @@ pub struct CollectOpts {
     /// load counters before recording them — the red-run proof for the
     /// `serve.*` gate family.
     pub perturb_serve: u64,
+    /// Bump the first problem family's field checksum by this much
+    /// before recording it — the red-run proof for the `scenario.*`
+    /// gate family.
+    pub perturb_scenario: u64,
 }
 
 impl Default for CollectOpts {
@@ -64,6 +68,7 @@ impl Default for CollectOpts {
             perturb_cycles: 0,
             perturb_supervise: 0,
             perturb_serve: 0,
+            perturb_scenario: 0,
         }
     }
 }
@@ -355,6 +360,7 @@ pub fn add_supervise(report: &mut BenchReport, perturb: u64) {
     ));
     let spec = SuperviseSpec {
         cfg: GaussianPulse::linear_config(24, 12, 5),
+        scenario: Family::Gaussian,
         np1: 2,
         np2: 1,
         plan: FaultPlan::empty().with_event(2, Some(0), FaultKind::RankKill),
@@ -451,6 +457,84 @@ pub fn add_serve_outcome(
     report.add("serve.kill.attempts", ledger.attempts as f64, "count", Gate::Exact);
 }
 
+/// One problem family's smoke-resolution outcome: the validation
+/// report plus an FNV checksum over the final field bits (radiation
+/// and, where the family carries one, the conserved hydro state).
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    pub family: Family,
+    pub smoke: (usize, usize, usize),
+    pub report: v2d_core::problems::ValidationReport,
+    pub field_fnv32: u64,
+}
+
+/// Run every registry family at its own smoke resolution, single rank,
+/// one Cray-opt lane, and collect the validation report + field
+/// checksum rows.  On modeled clocks every number here is a pure
+/// function of the scenario coordinates, so the `table_scenarios`
+/// golden and the `scenario.*` gate family both pin these rows.
+pub fn scenario_rows() -> Vec<ScenarioRow> {
+    use v2d_comm::TileMap;
+    use v2d_core::problems::FAMILIES;
+    use v2d_core::sim::V2dSim;
+    use v2d_machine::CompilerProfile;
+    FAMILIES
+        .iter()
+        .map(|&family| {
+            let sc = family.scenario();
+            let (n1, n2, steps) = sc.smoke();
+            let out = std::sync::Mutex::new(None);
+            Spmd::new(1).with_profiles(vec![CompilerProfile::cray_opt()]).run(|ctx| {
+                let mut sim =
+                    V2dSim::new(sc.config(n1, n2, steps), &ctx.comm, TileMap::new(n1, n2, 1, 1));
+                sc.init(&mut sim);
+                sim.run(&ctx.comm, &mut ctx.sink);
+                let report = sc.validate(&sim, &ctx.comm, &mut ctx.sink);
+                let mut bits: Vec<u64> =
+                    sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
+                if let Some(state) = sim.hydro() {
+                    let g = sim.grid();
+                    for field in [&state.rho, &state.m1, &state.m2, &state.etot] {
+                        for i2 in 0..g.n2 {
+                            for i1 in 0..g.n1 {
+                                bits.push(field.get(i1 as isize, i2 as isize).to_bits());
+                            }
+                        }
+                    }
+                }
+                *out.lock().expect("scenario row mutex") = Some((report, bits));
+            });
+            let (report, bits) =
+                out.into_inner().expect("scenario row mutex").expect("rank 0 reported");
+            let bytes: Vec<u8> = bits.iter().flat_map(|b| b.to_le_bytes()).collect();
+            ScenarioRow { family, smoke: (n1, n2, steps), report, field_fnv32: fnv32(&bytes) }
+        })
+        .collect()
+}
+
+/// The problem-family gate (`scenario.*`): every registry scenario's
+/// smoke-resolution validation norms (tight `Band` — the norms are
+/// deterministic, but the band leaves room for an intentional
+/// last-digit change in a future analytic reference), its 0/1 pass
+/// counter, and a bit-exact checksum of the final fields.  `perturb`
+/// bumps the first family's checksum — the CI red-run demonstration.
+pub fn add_scenarios(report: &mut BenchReport, perturb: u64) {
+    for (i, row) in scenario_rows().iter().enumerate() {
+        let r = &row.report;
+        let mut m = Metrics::new();
+        m.record_scenario(r.family, r.l1, r.l2, r.linf, r.pass);
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => report.add(name, *c as f64, "count", Gate::Exact),
+                Metric::Gauge(g) => report.add(name, *g, "norm", Gate::Band { rel: 1e-9 }),
+                Metric::Hist(_) => {}
+            }
+        }
+        let sum = row.field_fnv32 + if i == 0 { perturb } else { 0 };
+        report.add(&format!("scenario.{}.field_fnv32", r.family), sum as f64, "hash", Gate::Exact);
+    }
+}
+
 /// Collect the canonical report.
 pub fn collect(opts: &CollectOpts) -> BenchReport {
     let mut report = BenchReport::new(vec![
@@ -471,6 +555,7 @@ pub fn collect(opts: &CollectOpts) -> BenchReport {
     add_fault_mini(&mut report);
     add_fault_mini_nl(&mut report);
     add_supervise(&mut report, opts.perturb_supervise);
+    add_scenarios(&mut report, opts.perturb_scenario);
     let load = add_serve(&mut report, opts.perturb_serve);
 
     if opts.wallclock {
@@ -555,6 +640,7 @@ mod tests {
             "faults.",
             "sve.fuse.",
             "supervise.",
+            "scenario.",
             "serve.",
         ] {
             assert!(report.entries.keys().any(|k| k.starts_with(prefix)), "no {prefix} entries");
@@ -598,6 +684,24 @@ mod tests {
             assert_eq!(base.entries[key].value, want, "{key}");
         }
         assert!(base.entries.contains_key("supervise.final_fnv32"));
+    }
+
+    #[test]
+    fn scenario_perturbation_trips_the_gate() {
+        let quick = CollectOpts { wallclock: false, rounds: 1, ..CollectOpts::default() };
+        let base = collect(&quick);
+        let fresh = collect(&CollectOpts { perturb_scenario: 1, ..quick });
+        let cmp = compare(&base, &fresh);
+        assert!(!cmp.pass(), "a one-count checksum bump must not pass the exact gate");
+        assert_eq!(cmp.failures(), 1, "{}", cmp.table(true));
+        // Every registry family is present and passing its own
+        // validation at smoke resolution.
+        for family in v2d_core::problems::FAMILIES {
+            let pass = &format!("scenario.{family}.pass");
+            assert_eq!(base.entries[pass].value, 1.0, "{family} fails validation");
+            assert!(base.entries.contains_key(&format!("scenario.{family}.l2")));
+            assert!(base.entries.contains_key(&format!("scenario.{family}.field_fnv32")));
+        }
     }
 
     #[test]

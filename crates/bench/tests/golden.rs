@@ -86,6 +86,11 @@ fn ablation_faults_matches_golden() {
 }
 
 #[test]
+fn table_scenarios_matches_golden() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table_scenarios"), &[], "table_scenarios.txt");
+}
+
+#[test]
 #[ignore = "full 100-step run, minutes of wall clock"]
 fn table1_matches_golden() {
     assert_matches_golden(env!("CARGO_BIN_EXE_table1"), &[], "table1_output.txt");

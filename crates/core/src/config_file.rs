@@ -300,6 +300,37 @@ impl ParFile {
             }
         };
 
+        let coupling = match self.get("coupling.enabled").unwrap_or("false") {
+            "true" | "yes" | "1" => {
+                let cv: f64 = self.scalar_or("coupling.cv", 1.0)?;
+                let a_rad: f64 = self.scalar_or("coupling.a_rad", 1.0)?;
+                let split = match self.get("coupling.split") {
+                    Some(_) => self.pair("coupling.split")?,
+                    None => (0.5, 0.5),
+                };
+                check("coupling.cv", cv > 0.0, "heat capacity must be > 0")?;
+                check("coupling.a_rad", a_rad > 0.0, "radiation constant must be > 0")?;
+                check(
+                    "coupling.split",
+                    split.0 >= 0.0 && split.1 >= 0.0 && (split.0 + split.1 - 1.0).abs() < 1e-12,
+                    "emission split must be a partition of unity",
+                )?;
+                Some(crate::rad::coupling::MatterCoupling::new(cv, a_rad, [split.0, split.1]))
+            }
+            "false" | "no" | "0" => None,
+            other => {
+                return Err(ParError::Invalid {
+                    key: "coupling.enabled".into(),
+                    msg: format!("expected a boolean, got `{other}`"),
+                })
+            }
+        };
+        check(
+            "coupling.enabled",
+            !(hydro.is_some() && coupling.is_some()),
+            "hydro and matter coupling are mutually exclusive",
+        )?;
+
         let c_light = self.scalar_or("radiation.c_light", 1.0)?;
         let dt = self.scalar("run.dt")?;
         let n_steps = self.scalar("run.n_steps")?;
@@ -316,7 +347,7 @@ impl ParFile {
             precond,
             solve,
             hydro,
-            coupling: None,
+            coupling,
         };
         let nprx1: usize = self.scalar_or("run.nprx1", 1)?;
         let nprx2: usize = self.scalar_or("run.nprx2", 1)?;
@@ -341,6 +372,27 @@ impl ParFile {
             });
         }
         Ok((every, keep))
+    }
+
+    /// The `[problem]` section's scenario selection.  `Ok(None)` when
+    /// the deck names no family (legacy decks run the standard Gaussian
+    /// pulse); a typed [`ParError::Invalid`] listing every valid family
+    /// when the name is not in the registry — never a panic on the
+    /// deck-parsing path.
+    pub fn problem(&self) -> Result<Option<crate::problems::Family>, ParError> {
+        match self.get("problem.family") {
+            None => Ok(None),
+            Some(name) => match crate::problems::Family::parse(name) {
+                Some(f) => Ok(Some(f)),
+                None => Err(ParError::Invalid {
+                    key: "problem.family".into(),
+                    msg: format!(
+                        "unknown problem family `{name}` (valid: {})",
+                        crate::problems::Family::valid_names()
+                    ),
+                }),
+            },
+        }
     }
 }
 
@@ -480,6 +532,55 @@ mod tests {
         assert!(matches!(
             pf.checkpoint_policy(),
             Err(ParError::Invalid { key, .. }) if key == "run.checkpoint_keep"
+        ));
+    }
+
+    #[test]
+    fn problem_family_defaults_to_none_and_parses() {
+        let pf = ParFile::parse(PAPER_PAR).unwrap();
+        assert_eq!(pf.problem().unwrap(), None, "legacy decks name no family");
+        let pf = ParFile::parse("[problem]\nfamily = sedov\n").unwrap();
+        assert_eq!(pf.problem().unwrap(), Some(crate::problems::Family::Sedov));
+    }
+
+    #[test]
+    fn unknown_problem_family_is_a_typed_error_listing_the_registry() {
+        let pf = ParFile::parse("[problem]\nfamily = warp-drive\n").unwrap();
+        match pf.problem() {
+            Err(ParError::Invalid { key, msg }) => {
+                assert_eq!(key, "problem.family");
+                assert!(msg.contains("warp-drive"), "names the offender: {msg}");
+                for family in crate::problems::FAMILIES {
+                    assert!(msg.contains(family.name()), "missing `{}` in: {msg}", family.name());
+                }
+            }
+            other => panic!("expected a typed Invalid error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coupling_section_builds_the_closure_and_excludes_hydro() {
+        let text = format!("{PAPER_PAR}\n[coupling]\nenabled = true\ncv = 2.0\nsplit = 0.7 0.3\n");
+        let pf = ParFile::parse(&text).unwrap();
+        let (cfg, _) = pf.to_config().unwrap();
+        let cp = cfg.coupling.expect("coupling enabled");
+        assert!((cp.cv - 2.0).abs() < 1e-12);
+        assert_eq!(cp.split, [0.7, 0.3]);
+        // Bad split is a typed error, not an assert inside MatterCoupling.
+        let text = format!("{PAPER_PAR}\n[coupling]\nenabled = true\nsplit = 0.7 0.7\n");
+        let pf = ParFile::parse(&text).unwrap();
+        assert!(matches!(
+            pf.to_config(),
+            Err(ParError::Invalid { key, .. }) if key == "coupling.split"
+        ));
+        // Hydro and coupling together are rejected.
+        let text = format!(
+            "{PAPER_PAR}\n[hydro]\nenabled = true\ngamma = 1.4\n[coupling]\nenabled = true\n"
+        );
+        let pf = ParFile::parse(&text).unwrap();
+        assert!(matches!(
+            pf.to_config(),
+            Err(ParError::Invalid { key, .. }) if key == "coupling.enabled"
         ));
     }
 

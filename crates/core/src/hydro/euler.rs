@@ -224,14 +224,19 @@ impl HydroStepper {
         self
     }
 
-    /// Globally stable timestep (collective: allreduce-min).
+    /// Globally stable timestep (collective: allreduce-max over wave
+    /// speeds).  A failed collective (peer death, timeout, poisoned
+    /// communicator) surfaces as the typed [`v2d_comm::CommError`] so
+    /// the driver can end the run with a verdict instead of panicking —
+    /// the supervised rank-kill path reaches this collective first on
+    /// hydro scenarios.
     pub fn max_dt(
         &self,
         comm: &Comm,
         cx: &mut ExecCtx,
         grid: &LocalGrid,
         state: &HydroState,
-    ) -> f64 {
+    ) -> Result<f64, v2d_comm::CommError> {
         let (dx1, dx2) = (grid.global.dx1(), grid.global.dx2());
         let mut max_speed: f64 = 0.0;
         for i2 in 0..grid.n2 as isize {
@@ -249,16 +254,14 @@ impl HydroStepper {
             0,
             4 * 8 * grid.n1 * grid.n2,
         ));
-        let global = comm
-            .try_allreduce_scalar(
-                cx,
-                v2d_comm::coll_site::HYDRO_CFL,
-                v2d_comm::ReduceOp::Max,
-                max_speed,
-            )
-            .unwrap_or_else(|e| panic!("max_dt: {e}"));
+        let global = comm.try_allreduce_scalar(
+            cx,
+            v2d_comm::coll_site::HYDRO_CFL,
+            v2d_comm::ReduceOp::Max,
+            max_speed,
+        )?;
         assert!(global > 0.0, "static flow has no CFL limit — choose dt directly");
-        self.cfl / global
+        Ok(self.cfl / global)
     }
 
     /// Advance one split step: an x1 sweep then an x2 sweep, each with
@@ -459,6 +462,7 @@ mod tests {
             while t < 0.1 {
                 let dt = stepper
                     .max_dt(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &grid, &st)
+                    .expect("healthy comm")
                     .min(0.1 - t);
                 stepper.step(
                     &ctx.comm,
@@ -502,6 +506,7 @@ mod tests {
             while t < 0.4 {
                 let dt = stepper
                     .max_dt(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &grid, &st)
+                    .expect("healthy comm")
                     .min(0.4 - t);
                 stepper.step(
                     &ctx.comm,
@@ -559,6 +564,7 @@ mod tests {
             while t < 0.6 {
                 let dt = stepper
                     .max_dt(&ctx.comm, &mut ExecCtx::new(&mut ctx.sink), &grid, &st)
+                    .expect("healthy comm")
                     .min(0.6 - t);
                 stepper.step(
                     &ctx.comm,

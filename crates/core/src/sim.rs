@@ -410,7 +410,13 @@ impl V2dSim {
             istep,
         };
         let dt = phases.cfg.dt;
-        let hydro_dt = phases.hydro_phase(comm, &mut cx, dt);
+        let hydro_dt = match phases.hydro_phase(comm, &mut cx, dt) {
+            Ok(h) => h,
+            Err(error) => {
+                cx.trace_exit("step");
+                return Err(StepError::Comm { istep, error });
+            }
+        };
         phases.matter_emission_phase(&mut cx);
         let (rad, rad_substeps, recoveries) = match phases.radiation_phase(comm, &mut cx, dt) {
             Ok(out) => out,
@@ -624,21 +630,35 @@ struct StepPhases<'a> {
 
 impl StepPhases<'_> {
     /// Subcycle the explicit hydro to its CFL limit within `dt`.
-    /// Returns the advanced hydro time when hydro is enabled.
-    fn hydro_phase(&mut self, comm: &Comm, cx: &mut ExecCtx<'_>, dt: f64) -> Option<f64> {
+    /// Returns the advanced hydro time when hydro is enabled.  The CFL
+    /// collective is the first communication of a step, so on hydro
+    /// scenarios a peer death or poisoned communicator surfaces here as
+    /// the typed [`CommError`] the driver turns into a run verdict.
+    fn hydro_phase(
+        &mut self,
+        comm: &Comm,
+        cx: &mut ExecCtx<'_>,
+        dt: f64,
+    ) -> Result<Option<f64>, CommError> {
         let (stepper, state) = match &mut self.hydro {
             Some(h) => &mut **h,
-            None => return None,
+            None => return Ok(None),
         };
         cx.enter("hydro");
         let mut advanced = 0.0;
         while advanced < dt {
-            let hdt = stepper.max_dt(comm, cx, self.grid, state).min(dt - advanced);
+            let hdt = match stepper.max_dt(comm, cx, self.grid, state) {
+                Ok(v) => v.min(dt - advanced),
+                Err(e) => {
+                    cx.exit("hydro");
+                    return Err(e);
+                }
+            };
             stepper.step(comm, cx, self.cart, self.grid, state, hdt);
             advanced += hdt;
         }
         cx.exit("hydro");
-        Some(advanced)
+        Ok(Some(advanced))
     }
 
     /// Matter emission enters the radiation solve as its source term,

@@ -39,15 +39,20 @@ use v2d_io::File;
 use v2d_machine::{CompilerProfile, FaultInjector, FaultKind, FaultPlan};
 
 use crate::checkpoint::{restore_checkpoint, write_checkpoint, CheckpointStore};
-use crate::problems::GaussianPulse;
+use crate::problems::Family;
 use crate::sim::{StepError, V2dConfig, V2dSim};
 
 /// Coordinates of one supervised run: the solver configuration, the
+/// problem family whose initial condition seeds every attempt, the
 /// initial rank decomposition, the fault plan every rank replays, and
 /// the checkpoint cadence.
 #[derive(Debug, Clone)]
 pub struct SuperviseSpec {
     pub cfg: V2dConfig,
+    /// The registry scenario initializing each attempt's fields.
+    /// [`Family::Gaussian`] reproduces the legacy standard-pulse init
+    /// bit-for-bit.
+    pub scenario: Family,
     /// Initial process grid (`np1 × np2` ranks).
     pub np1: usize,
     pub np2: usize,
@@ -356,6 +361,7 @@ fn launch(
     universe: Universe,
 ) -> Vec<RankOutcome> {
     let cfg = spec.cfg;
+    let scenario = spec.scenario;
     let (every, keep) = (spec.checkpoint_every, spec.checkpoint_keep);
     let dir = spec.dir.clone();
     let n_ranks = np.0 * np.1;
@@ -363,7 +369,7 @@ fn launch(
         move |ctx| {
             let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, np.0, np.1);
             let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-            GaussianPulse::standard().init(&mut sim);
+            scenario.scenario().init(&mut sim);
             sim.set_fault_injector(FaultInjector::new(plan.clone(), ctx.comm.rank()));
             if let Some(ck) = &resume {
                 if let Err(e) = restore_checkpoint(&mut sim, ck) {
@@ -413,12 +419,20 @@ fn launch(
             // giving the report decomposition-agnostic bits.
             match write_checkpoint(&ctx.comm, &mut ctx.sink, &sim) {
                 Ok(file) => {
-                    let bits = file
+                    // Radiation first (the legacy layout, so hydro-free
+                    // specs keep byte-identical reports), then the hydro
+                    // fields when the scenario evolves them.
+                    let mut bits: Vec<u64> = file
                         .dataset("radiation/erad")
                         .ok()
                         .and_then(|d| d.as_f64())
                         .map(|v| v.iter().map(|x| x.to_bits()).collect())
                         .unwrap_or_default();
+                    for name in ["hydro/rho", "hydro/m1", "hydro/m2", "hydro/etot"] {
+                        if let Some(v) = file.dataset(name).ok().and_then(|d| d.as_f64()) {
+                            bits.extend(v.iter().map(|x| x.to_bits()));
+                        }
+                    }
                     RankOutcome::Done { bits }
                 }
                 Err(e) => {

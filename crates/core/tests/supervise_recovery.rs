@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use v2d_core::problems::GaussianPulse;
+use v2d_core::problems::{Family, GaussianPulse};
 use v2d_core::{run_supervised, RetryPolicy, SuperviseError, SuperviseSpec};
 use v2d_machine::{FaultKind, FaultPlan};
 
@@ -21,6 +21,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn pinned_spec(tag: &str, plan: FaultPlan, checkpoint_every: usize) -> SuperviseSpec {
     SuperviseSpec {
         cfg: GaussianPulse::linear_config(24, 12, 5),
+        scenario: Family::Gaussian,
         np1: 2,
         np2: 1,
         plan,

@@ -136,6 +136,18 @@ impl Metrics {
         self.gauge_set("supervise.mttr_s", mttr_secs);
     }
 
+    /// Fold one problem-family validation report into the registry
+    /// under the `scenario.<family>.*` namespace: the three relative
+    /// error norms as gauges plus a 0/1 pass counter.  On modeled
+    /// clocks every norm is a pure function of the scenario coordinates,
+    /// so reports carrying them gate like any modeled quantity.
+    pub fn record_scenario(&mut self, family: &str, l1: f64, l2: f64, linf: f64, pass: bool) {
+        self.gauge_set(&format!("scenario.{family}.l1"), l1);
+        self.gauge_set(&format!("scenario.{family}.l2"), l2);
+        self.gauge_set(&format!("scenario.{family}.linf"), linf);
+        self.counter_add(&format!("scenario.{family}.pass"), pass as u64);
+    }
+
     /// Fold a service-layer admission snapshot into the registry under
     /// the `serve.*` namespace: requests admitted, rejected at parse,
     /// deduped onto an in-flight job, served from the memoized result
@@ -294,6 +306,17 @@ mod tests {
         // Gauges hold the latest snapshot, not a sum.
         assert_eq!(m.get("supervise.backoff_s"), Some(&Metric::Gauge(0.5)));
         assert_eq!(m.get("supervise.mttr_s"), Some(&Metric::Gauge(0.0)));
+    }
+
+    #[test]
+    fn scenario_report_lands_in_its_namespace() {
+        let mut m = Metrics::new();
+        m.record_scenario("sedov", 1e-14, 2e-14, 3.4e-3, true);
+        m.record_scenario("sod", 1.4e-2, 2.0e-2, 0.4, false);
+        assert_eq!(m.get("scenario.sedov.l2"), Some(&Metric::Gauge(2e-14)));
+        assert_eq!(m.counter("scenario.sedov.pass"), 1);
+        assert_eq!(m.get("scenario.sod.linf"), Some(&Metric::Gauge(0.4)));
+        assert_eq!(m.counter("scenario.sod.pass"), 0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use v2d_comm::Universe;
 use v2d_core::config_file::ParFile;
+use v2d_core::problems::Family;
 use v2d_core::sim::V2dConfig;
 use v2d_core::supervise::{run_supervised_on, RetryPolicy, SuperviseError, SuperviseSpec};
 use v2d_machine::FaultPlan;
@@ -136,6 +137,7 @@ struct Core {
 struct Admitted {
     key: u64,
     cfg: V2dConfig,
+    scenario: Family,
     np: (usize, usize),
     checkpoint: (usize, usize),
     plan: FaultPlan,
@@ -249,10 +251,10 @@ impl Service {
         drop(reg);
         c.scheduled.fetch_add(1, Ordering::Relaxed);
         let core = Arc::clone(&self.core);
-        let Admitted { key, cfg, np, checkpoint, plan } = adm;
+        let Admitted { key, cfg, scenario, np, checkpoint, plan } = adm;
         self.pool.submit(
             s.priority,
-            Box::new(move || core.execute(key, cfg, np, checkpoint, plan, token)),
+            Box::new(move || core.execute(key, cfg, scenario, np, checkpoint, plan, token)),
         );
         Handled::Later(rx)
     }
@@ -382,6 +384,11 @@ fn parse_submit(s: &Submit, universe: Universe) -> Result<Admitted, String> {
     let pf = ParFile::parse(&s.deck).map_err(|e| format!("deck: {e}"))?;
     let (cfg, np) = pf.to_config().map_err(|e| format!("deck: {e}"))?;
     let checkpoint = pf.checkpoint_policy().map_err(|e| format!("deck: {e}"))?;
+    // `[problem] family` picks the scenario from the registry; absent
+    // keeps the legacy standard pulse.  The canonical deck rendering
+    // includes the `problem.*` keys, so the content hash separates
+    // scenarios automatically.
+    let scenario = pf.problem().map_err(|e| format!("deck: {e}"))?.unwrap_or(Family::Gaussian);
     if np.0 * np.1 > MAX_RANKS {
         return Err(format!(
             "deck: {}x{} ranks exceeds the service cap of {MAX_RANKS}",
@@ -414,14 +421,16 @@ fn parse_submit(s: &Submit, universe: Universe) -> Result<Admitted, String> {
         text.push_str(&f.canonical());
     }
     text.push_str(universe.name());
-    Ok(Admitted { key: fnv64(text.as_bytes()), cfg, np, checkpoint, plan })
+    Ok(Admitted { key: fnv64(text.as_bytes()), cfg, scenario, np, checkpoint, plan })
 }
 
 impl Core {
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         key: u64,
         cfg: V2dConfig,
+        scenario: Family,
         np: (usize, usize),
         checkpoint: (usize, usize),
         plan: FaultPlan,
@@ -445,6 +454,7 @@ impl Core {
         ));
         let spec = SuperviseSpec {
             cfg,
+            scenario,
             np1: np.0,
             np2: np.1,
             plan,

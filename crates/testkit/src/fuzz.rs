@@ -13,6 +13,7 @@
 use std::time::Duration;
 
 use v2d_comm::Universe;
+use v2d_core::problems::FAMILIES;
 use v2d_core::RecoveryPolicy;
 use v2d_machine::fault::SplitMix64;
 use v2d_machine::FaultPlan;
@@ -74,7 +75,18 @@ pub fn fuzz_spec(seed: u64) -> MiniSpec {
         plan.recv_timeout_ms = 250;
         spec = spec.with_plan(plan);
     }
-    spec.with_policy(RecoveryPolicy { max_dt_halvings: 1 + (rng.next_u64() % 3) as u32 })
+    let mut spec =
+        spec.with_policy(RecoveryPolicy { max_dt_halvings: 1 + (rng.next_u64() % 3) as u32 });
+    // Scenario axis, drawn *last* so every pre-registry seed derives the
+    // exact same spec it always did up to this point.  Half the seeds
+    // keep the legacy pulse pair; the other half drive one of the
+    // registry families (config + init swapped in, fault plan and
+    // policy unchanged).
+    let draw = rng.next_u64() % (2 * FAMILIES.len() as u64);
+    if let Some(family) = FAMILIES.get(draw as usize) {
+        spec = spec.with_scenario(*family);
+    }
+    spec
 }
 
 /// One seed's outcome, or a message describing which property failed.

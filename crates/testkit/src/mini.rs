@@ -4,7 +4,7 @@
 //! one declarative spec instead of being re-derived per test file.
 
 use v2d_comm::{Comm, Spmd, TileMap, Universe};
-use v2d_core::problems::GaussianPulse;
+use v2d_core::problems::{Family, GaussianPulse};
 use v2d_core::sim::{V2dConfig, V2dSim};
 use v2d_core::RecoveryPolicy;
 use v2d_machine::{CompilerProfile, FaultInjector, FaultPlan, FaultRecord, MultiCostSink};
@@ -25,6 +25,11 @@ pub struct MiniSpec {
     /// `true` for the flux-limited (nonlinear) configuration, `false`
     /// for the pure-scattering linear pulse.
     pub nonlinear: bool,
+    /// Registry scenario overriding the pulse configuration and initial
+    /// condition (`None` keeps the legacy Gaussian-pulse pair, whose
+    /// bits every pre-registry golden depends on).  The scenario's own
+    /// physics replaces `nonlinear`.
+    pub scenario: Option<Family>,
     pub plan: Option<FaultPlan>,
     pub policy: Option<RecoveryPolicy>,
 }
@@ -32,12 +37,31 @@ pub struct MiniSpec {
 impl MiniSpec {
     /// A single-rank linear pulse (`linear_config`) of `steps` steps.
     pub fn linear(n1: usize, n2: usize, steps: usize) -> Self {
-        MiniSpec { n1, n2, np1: 1, np2: 1, steps, nonlinear: false, plan: None, policy: None }
+        MiniSpec {
+            n1,
+            n2,
+            np1: 1,
+            np2: 1,
+            steps,
+            nonlinear: false,
+            scenario: None,
+            plan: None,
+            policy: None,
+        }
     }
 
     /// A single-rank nonlinear (limiter-on) pulse (`scaled_config`).
     pub fn nonlinear(n1: usize, n2: usize, steps: usize) -> Self {
         MiniSpec { nonlinear: true, ..Self::linear(n1, n2, steps) }
+    }
+
+    /// Drive a registry scenario instead of the legacy pulse: config
+    /// and initial condition both come from the [`Family`]'s
+    /// [`v2d_core::problems::Scenario`] at this spec's grid and step
+    /// count.
+    pub fn with_scenario(mut self, family: Family) -> Self {
+        self.scenario = Some(family);
+        self
     }
 
     /// Decompose over an `np1 × np2` rank grid.
@@ -66,7 +90,9 @@ impl MiniSpec {
 
     /// The derived solver configuration.
     pub fn config(&self) -> V2dConfig {
-        if self.nonlinear {
+        if let Some(family) = self.scenario {
+            family.scenario().config(self.n1, self.n2, self.steps)
+        } else if self.nonlinear {
             GaussianPulse::scaled_config(self.n1, self.n2, self.steps)
         } else {
             GaussianPulse::linear_config(self.n1, self.n2, self.steps)
@@ -78,7 +104,10 @@ impl MiniSpec {
     pub fn build(&self, comm: &Comm) -> V2dSim {
         let map = TileMap::new(self.n1, self.n2, self.np1, self.np2);
         let mut sim = V2dSim::new(self.config(), comm, map);
-        GaussianPulse::standard().init(&mut sim);
+        match self.scenario {
+            Some(family) => family.scenario().init(&mut sim),
+            None => GaussianPulse::standard().init(&mut sim),
+        }
         if let Some(plan) = &self.plan {
             sim.set_fault_injector(FaultInjector::new(plan.clone(), comm.rank()));
         }
@@ -149,7 +178,20 @@ fn drive(spec: &MiniSpec, sim: &mut V2dSim, comm: &Comm, sink: &mut MultiCostSin
             }
         }
     }
-    let bits = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
+    let mut bits: Vec<u64> = sim.erad().interior_to_vec().iter().map(|v| v.to_bits()).collect();
+    // Hydro scenarios: the trajectory lives in the conserved fields too,
+    // so replay/equivalence must compare their bits as well (hydro-free
+    // specs append nothing — legacy comparisons are unchanged).
+    if let Some(state) = sim.hydro() {
+        let g = sim.grid();
+        for field in [&state.rho, &state.m1, &state.m2, &state.etot] {
+            for i2 in 0..g.n2 {
+                for i1 in 0..g.n1 {
+                    bits.push(field.get(i1 as isize, i2 as isize).to_bits());
+                }
+            }
+        }
+    }
     RankRun { bits, recoveries, steps_done, error, log: sim.take_fault_log() }
 }
 

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use v2d_comm::Universe;
-use v2d_core::problems::GaussianPulse;
+use v2d_core::problems::{Family, GaussianPulse};
 use v2d_core::supervise::{run_supervised_on, RetryPolicy, SuperviseReport, SuperviseSpec};
 use v2d_core::SuperviseError;
 use v2d_machine::fault::SplitMix64;
@@ -45,6 +45,7 @@ pub fn supervise_fuzz_case(seed: u64) -> (SuperviseSpec, RetryPolicy) {
     }
     let spec = SuperviseSpec {
         cfg: GaussianPulse::linear_config(n1, n2, steps),
+        scenario: Family::Gaussian,
         np1,
         np2,
         plan,

@@ -23,7 +23,7 @@ fn report(failures: &[(u64, String)]) -> String {
 
 #[test]
 fn fuzz_smoke_band_is_deadlock_free_and_replays() {
-    let failures = campaign(0..24, CASE_DEADLINE);
+    let failures = campaign(0..32, CASE_DEADLINE);
     assert!(failures.is_empty(), "{} failing seed(s):\n{}", failures.len(), report(&failures));
 }
 

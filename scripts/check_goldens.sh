@@ -67,6 +67,7 @@ check_txt ablation_ganged.txt    ablation_ganged
 check_txt ablation_precond.txt   ablation_precond
 check_txt ablation_solvers.txt   ablation_solvers
 check_txt ablation_faults.txt    ablation_faults
+check_txt table_scenarios.txt    table_scenarios
 if [[ "${SKIP_SLOW:-0}" != 1 ]]; then
     check_txt table1_output.txt    table1
     check_txt table1_full.txt      table1_full

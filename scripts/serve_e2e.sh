@@ -15,6 +15,11 @@
 #     `cancelled` cancel-ack;
 #   * a rank-kill spec: 2 ranks, rank 0 killed mid-run — the response
 #     must carry a RecoveryLedger showing the supervised recovery;
+#   * a registry scenario by name: `[problem] family = sedov` runs the
+#     Sedov blast (hydro enabled) through the same queue.  A duplicate
+#     sedov pair must dedupe (the canonical deck hashes the problem.*
+#     keys), while the byte-wise twin *without* the family line runs
+#     the legacy pulse and must hash apart;
 #   * a status probe and a shutdown handshake (drain + bye).
 #
 # Exits non-zero (with the offending line) on any violated assertion.
@@ -53,6 +58,19 @@ def deck(n1, n2, steps, np1=1, np2=1, every=0, ks2="2.0", comment=""):
         f"[radiation]\nlimiter = none\nkappa_a = 0.0 0.0\nkappa_s = 2.0 {ks2}\n"
     )
 
+def sedov_deck(comment="", family="[problem]\nfamily = sedov\n\n"):
+    # Mirrors problems::Scenario::deck for the Sedov family; dropping
+    # `family` (empty string) yields the byte-wise legacy twin that must
+    # hash apart from the named scenario.
+    return (
+        f"{comment}{family}[grid]\nn1 = 16\nn2 = 16\nx1 = 0.0 1.0\nx2 = 0.0 1.0\n"
+        "[run]\ndt = 0.005\nn_steps = 3\nnprx1 = 1\nnprx2 = 1\n"
+        "[radiation]\nlimiter = none\nkappa_a = 0.0 0.0\nkappa_s = 2.0 2.0\n"
+        "[hydro]\nenabled = true\ngamma = 1.4\ncfl = 0.4\n"
+        "bc_west = reflecting\nbc_east = reflecting\n"
+        "bc_south = reflecting\nbc_north = reflecting\n"
+    )
+
 def submit(id, d, priority=0, faults=None):
     r = {"req": "submit", "id": id, "deck": d, "priority": priority}
     if faults:
@@ -72,6 +90,9 @@ requests = [
     {"req": "cancel", "id": "cxl-c", "target": "cxl"},
     submit("kill", deck(16, 8, 4, np1=2, np2=1, every=1),
            faults=[{"step": 2, "rank": 0, "kind": "rank-kill"}]),
+    submit("sed-a", sedov_deck()),
+    submit("sed-b", sedov_deck(comment="# same blast, different text\n")),
+    submit("sed-plain", sedov_deck(family="")),
     {"req": "status", "id": "st"},
     {"req": "shutdown", "id": "bye"},
 ]
@@ -135,13 +156,30 @@ assert ledger and ledger["kills"] >= 1 and ledger["attempts"] >= 2, lkill
 print(f"kill recovered: {ledger['kills']} kill(s), {ledger['attempts']} attempts, "
       f"{ledger['rollbacks']} rollback(s)")
 
-# 5. Live telemetry: the dedup counter is visible and nonzero.
+# 5. Registry scenario by name: the sedov pair dedupes byte-identically,
+#    and the family-less twin runs the legacy pulse under a different
+#    content hash (the canonical deck carries the problem.* keys).
+sa, lsa = by_id["sed-a"]
+sb, lsb = by_id["sed-b"]
+assert sa["result"]["outcome"] == "done", lsa
+assert result_member(lsa) == result_member(lsb), f"sedov duplicates differ:\n{lsa}\n{lsb}"
+sed_sources = {sa["source"], sb["source"]}
+assert sed_sources == {"computed", "dedup"}, f"sedov pair sources {sed_sources}"
+sp, lsp = by_id["sed-plain"]
+assert sp["result"]["outcome"] == "done", lsp
+assert sp["source"] == "computed", f"family-less twin deduped against the scenario: {lsp}"
+assert sp["result"]["bits_fnv32"] != sa["result"]["bits_fnv32"], \
+    f"sedov and legacy twin agree bit-for-bit: {lsa}\n{lsp}"
+print(f"sedov by name: checksum {sa['result']['bits_fnv32']:#010x}, "
+      f"legacy twin {sp['result']['bits_fnv32']:#010x}")
+
+# 6. Live telemetry: the dedup counter is visible and nonzero.
 st, _ = by_id["st"]
 deduped = st["metrics"]["serve.deduped"]["value"]
 assert deduped >= 1, f"serve.deduped = {deduped}"
 print(f"serve.deduped = {deduped}")
 
-# 6. Shutdown handshake.
+# 7. Shutdown handshake.
 assert by_id["bye"][0]["resp"] == "bye"
 print("serve e2e: all assertions passed")
 EOF

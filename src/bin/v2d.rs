@@ -2,9 +2,11 @@
 //! parameter file, exactly the way the original code is driven.
 //!
 //! ```text
-//! v2d <file.par>        run the given parameter deck
-//! v2d --paper           run the paper's benchmark deck (serial)
-//! v2d --print-paper     print the built-in benchmark deck and exit
+//! v2d <file.par>            run the given parameter deck
+//! v2d --paper               run the paper's benchmark deck (serial)
+//! v2d --print-paper         print the built-in benchmark deck and exit
+//! v2d --print-deck <family> print a registry scenario's canonical deck
+//!                           at its smoke resolution and exit
 //! ```
 //!
 //! The run reports solver statistics, the per-compiler simulated A64FX
@@ -14,11 +16,13 @@
 use v2d::comm::{Spmd, TileMap};
 use v2d::core::checkpoint::{write_checkpoint, CheckpointStore};
 use v2d::core::config_file::{ParFile, PAPER_PAR};
-use v2d::core::problems::GaussianPulse;
+use v2d::core::problems::Family;
 use v2d::core::sim::{RunStats, V2dSim};
 
 fn usage() -> ! {
-    eprintln!("usage: v2d <file.par> | v2d --paper | v2d --print-paper");
+    eprintln!(
+        "usage: v2d <file.par> | v2d --paper | v2d --print-paper | v2d --print-deck <family>"
+    );
     std::process::exit(2);
 }
 
@@ -27,6 +31,22 @@ fn main() {
     let par = match arg.as_str() {
         "--print-paper" => {
             print!("{PAPER_PAR}");
+            return;
+        }
+        "--print-deck" => {
+            // A registry scenario's canonical deck at its smoke
+            // resolution — feed it back to `v2d <file.par>` verbatim.
+            let name = std::env::args().nth(2).unwrap_or_else(|| usage());
+            let Some(family) = Family::parse(&name) else {
+                eprintln!(
+                    "v2d: unknown problem family `{name}` (valid: {})",
+                    Family::valid_names()
+                );
+                std::process::exit(2);
+            };
+            let sc = family.scenario();
+            let (n1, n2, steps) = sc.smoke();
+            print!("{}", sc.deck(n1, n2, steps, 1, 1));
             return;
         }
         "--paper" => ParFile::parse(PAPER_PAR).expect("built-in deck parses"),
@@ -56,6 +76,15 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // `[problem] family = <name>` selects the scenario from the
+    // registry; absent, decks keep driving the legacy standard pulse.
+    let family = match par.problem() {
+        Ok(f) => f.unwrap_or(Family::Gaussian),
+        Err(e) => {
+            eprintln!("v2d: bad parameter file: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!(
         "V2D: {}×{}×2 zones, {} steps of dt = {}, topology {}×{} ({} ranks)",
@@ -67,13 +96,12 @@ fn main() {
         np2,
         np1 * np2
     );
+    println!("problem: {family} — {}", family.scenario().describe());
 
     let map = TileMap::new(cfg.grid.n1, cfg.grid.n2, np1, np2);
     let outs = Spmd::new(np1 * np2).run(move |ctx| {
         let mut sim = V2dSim::new(cfg, &ctx.comm, map);
-        // Parameter decks drive the standard pulse problem; problem
-        // selection could become a deck section later.
-        GaussianPulse::standard().init(&mut sim);
+        family.scenario().init(&mut sim);
         let e0 = sim.total_radiation_energy(&ctx.comm, &mut ctx.sink);
         let agg = if ck_every > 0 {
             // Stepwise run with a rotating on-disk checkpoint store
@@ -102,6 +130,7 @@ fn main() {
             sim.run(&ctx.comm, &mut ctx.sink)
         };
         let e1 = sim.total_radiation_energy(&ctx.comm, &mut ctx.sink);
+        let report = family.scenario().validate(&sim, &ctx.comm, &mut ctx.sink);
         let ck = write_checkpoint(&ctx.comm, &mut ctx.sink, &sim).expect("checkpoint gather");
         if ctx.rank() == 0 {
             ck.save("v2d_final.h5l").expect("write checkpoint");
@@ -112,11 +141,11 @@ fn main() {
             .iter()
             .map(|l| (l.profile.id.label().to_string(), l.elapsed_secs(), l.mpi_secs()))
             .collect();
-        (agg, e0, e1, times, sim.profiler_report(&ctx.sink))
+        (agg, e0, e1, times, sim.profiler_report(&ctx.sink), report)
     });
 
     // Report per-rank maxima (the job is as slow as its slowest rank).
-    let (agg, e0, e1, _, profile) = &outs[0];
+    let (agg, e0, e1, _, profile, report) = &outs[0];
     println!(
         "\nsolves: {} | BiCGSTAB iterations: {} ({:.1}/solve) | reductions: {}",
         agg.total_solves,
@@ -125,6 +154,7 @@ fn main() {
         agg.total_reductions
     );
     println!("radiation energy: {e0:.6e} → {e1:.6e}");
+    println!("validation: {report}");
     println!("\nsimulated A64FX times (max over ranks):");
     println!("{:<16} {:>12} {:>12}", "compiler", "total s", "MPI s");
     for i in 0..outs[0].3.len() {
